@@ -1,0 +1,191 @@
+//! ASTGCN baseline (Guo et al. 2019, paper ref.\[5\]): attention-based spatial-temporal
+//! graph convolution with *independent temporal branches*.
+//!
+//! The original models "recent, daily-periodic and weekly-periodic
+//! dependency" in three parallel branches, each applying spatial attention
+//! and graph convolution over a nearby-station graph, fused by learned
+//! weights. We keep that defining structure: a recent branch (last `k'`
+//! slots), a daily branch (same slot, previous days) and — when the dataset
+//! carries at least a week of history window — a weekly branch (same slot,
+//! 7 days back); each branch is a distance-masked GAT followed by a GCN, and
+//! a learned per-branch scalar gate fuses them. Branch widths and depths are
+//! reduced to fit the CPU budget; the architecture class is unchanged.
+
+use crate::util::{split_prediction, target_matrix, train_by_slot, BaselineConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stgnn_data::dataset::BikeDataset;
+use stgnn_data::error::Result;
+use stgnn_data::predictor::{DemandSupplyPredictor, Prediction};
+use stgnn_graph::builders::knn_graph;
+use stgnn_graph::{GatLayer, GcnLayer};
+use stgnn_tensor::autograd::{Graph, Param, ParamSet, Var};
+use stgnn_tensor::loss::mse;
+use stgnn_tensor::nn::Linear;
+use stgnn_tensor::{Shape, Tensor};
+use std::rc::Rc;
+
+struct Branch {
+    attention: GatLayer,
+    conv: GcnLayer,
+    /// Learned fusion gate (scalar).
+    gate: Rc<Param>,
+}
+
+struct Net {
+    recent: Branch,
+    daily: Branch,
+    weekly: Option<Branch>,
+    head: Linear,
+}
+
+/// The ASTGCN baseline.
+pub struct Astgcn {
+    config: BaselineConfig,
+    params: ParamSet,
+    net: Option<Net>,
+    n_lags: usize,
+    n_days: usize,
+    has_weekly: bool,
+}
+
+impl Astgcn {
+    /// Creates an untrained ASTGCN.
+    pub fn new(config: BaselineConfig) -> Self {
+        Astgcn { config, params: ParamSet::new(), net: None, n_lags: 0, n_days: 0, has_weekly: false }
+    }
+
+    /// Branch inputs: `n×2·len` blocks of normalised demand/supply at the
+    /// branch's slots.
+    fn branch_features(data: &BikeDataset, slots: &[usize]) -> Tensor {
+        let n = data.n_stations();
+        let scale = 1.0 / data.target_scale();
+        let width = 2 * slots.len();
+        let mut out = vec![0.0f32; n * width];
+        for (b, &t) in slots.iter().enumerate() {
+            let d = data.flows().demand_at(t);
+            let s = data.flows().supply_at(t);
+            for i in 0..n {
+                out[i * width + 2 * b] = d[i] * scale;
+                out[i * width + 2 * b + 1] = s[i] * scale;
+            }
+        }
+        Tensor::from_vec(Shape::matrix(n, width), out).expect("branch features")
+    }
+
+    fn recent_slots(&self, t: usize) -> Vec<usize> {
+        (1..=self.n_lags).map(|lag| t - lag).collect()
+    }
+
+    fn daily_slots(&self, data: &BikeDataset, t: usize) -> Vec<usize> {
+        let spd = data.slots_per_day();
+        (1..=self.n_days).map(|day| t - day * spd).collect()
+    }
+
+    fn forward(&self, net: &Net, g: &Graph, data: &BikeDataset, t: usize) -> Var {
+        let run = |branch: &Branch, feats: Tensor| -> Var {
+            let x = g.leaf(feats);
+            let h = branch.attention.forward(g, &x);
+            let h = branch.conv.forward(g, &h);
+            let gate = g.param(&branch.gate).sigmoid();
+            // scalar gate broadcast: h · gate (1×1) via scalar trick
+            let n = h.shape().rows();
+            let ones = g.leaf(Tensor::ones(Shape::matrix(n, 1)));
+            h.mul_col_broadcast(&ones.matmul(&gate))
+        };
+        let mut fused = run(&net.recent, Self::branch_features(data, &self.recent_slots(t)));
+        fused = fused.add(&run(&net.daily, Self::branch_features(data, &self.daily_slots(data, t))));
+        if let Some(weekly) = &net.weekly {
+            let spd = data.slots_per_day();
+            fused = fused.add(&run(weekly, Self::branch_features(data, &[t - 7 * spd])));
+        }
+        net.head.forward(g, &fused)
+    }
+}
+
+impl DemandSupplyPredictor for Astgcn {
+    fn name(&self) -> &str {
+        "ASTGCN"
+    }
+
+    fn fit(&mut self, data: &BikeDataset) -> Result<()> {
+        let (n_lags, n_days) = self.config.effective_lags(data);
+        self.n_lags = n_lags;
+        self.n_days = n_days;
+        self.has_weekly = data.config().d >= 7;
+        let h = self.config.hidden;
+        let graph = knn_graph(data.registry(), 5.min(data.n_stations().saturating_sub(1)));
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut params = ParamSet::new();
+        let branch = |name: &str, in_dim: usize, params: &mut ParamSet, rng: &mut StdRng| Branch {
+            attention: GatLayer::new(params, rng, &format!("{name}.att"), in_dim, h, true).with_mask(&graph),
+            conv: GcnLayer::new(params, rng, &format!("{name}.gcn"), &graph, h, h, true),
+            gate: params.add(format!("{name}.gate"), Tensor::zeros(Shape::matrix(1, 1))),
+        };
+        let net = Net {
+            recent: branch("astgcn.recent", 2 * n_lags, &mut params, &mut rng),
+            daily: branch("astgcn.daily", 2 * n_days, &mut params, &mut rng),
+            weekly: self.has_weekly.then(|| branch("astgcn.weekly", 2, &mut params, &mut rng)),
+            head: Linear::new(&mut params, &mut rng, "astgcn.head", h, 2, true),
+        };
+        self.params = params;
+
+        // `self` fields needed inside the closure, copied out to avoid
+        // borrowing self mutably and immutably at once.
+        let this = Astgcn {
+            config: self.config.clone(),
+            params: ParamSet::new(),
+            net: None,
+            n_lags,
+            n_days,
+            has_weekly: self.has_weekly,
+        };
+        train_by_slot(&self.params, &self.config, data, &|g, t, _| {
+            let out = this.forward(&net, g, data, t);
+            mse(&out, &g.leaf(target_matrix(data, t)))
+        })?;
+        self.net = Some(net);
+        Ok(())
+    }
+
+    fn predict(&self, data: &BikeDataset, t: usize) -> Prediction {
+        let net = self.net.as_ref().expect("ASTGCN predict before fit");
+        let g = Graph::new();
+        let out = self.forward(net, &g, data, t).value();
+        let (demand, supply) = split_prediction(data, &out);
+        Prediction { demand, supply }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stgnn_data::dataset::{DatasetConfig, Split};
+    use stgnn_data::predictor::evaluate;
+    use stgnn_data::synthetic::{CityConfig, SyntheticCity};
+
+    #[test]
+    fn fit_predict_without_weekly_branch() {
+        let city = SyntheticCity::generate(CityConfig::test_tiny(111));
+        let data = BikeDataset::from_city(&city, DatasetConfig::small(6, 2)).unwrap();
+        let mut m = Astgcn::new(BaselineConfig::test_tiny(10));
+        m.fit(&data).unwrap();
+        assert!(!m.has_weekly, "tiny dataset has d=2 < 7");
+        let slots = data.slots(Split::Test);
+        let row = evaluate(&m, &data, &slots);
+        assert!(row.rmse_mean.is_finite() && row.n_slots > 0);
+    }
+
+    #[test]
+    fn branch_features_layout() {
+        let city = SyntheticCity::generate(CityConfig::test_tiny(112));
+        let data = BikeDataset::from_city(&city, DatasetConfig::small(6, 2)).unwrap();
+        let t = data.slots(Split::Train)[0];
+        let f = Astgcn::branch_features(&data, &[t - 1, t - 2]);
+        assert_eq!(f.shape().dims(), &[data.n_stations(), 4]);
+        let expect = data.flows().demand_at(t - 1)[0] / data.target_scale();
+        assert!((f.get2(0, 0) - expect).abs() < 1e-6);
+        let expect_s = data.flows().supply_at(t - 2)[0] / data.target_scale();
+        assert!((f.get2(0, 3) - expect_s).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,187 @@
+//! GBike baseline (He & Shin 2020, paper ref.\[11\]): graph attention with a locality
+//! prior.
+//!
+//! GBike "assumed that closer stations would have more dependency than
+//! distant stations, and used a predefined metric to measure the dependency
+//! in terms of distance". We keep exactly that defining property: attention
+//! is masked to each station's nearest neighbours and biased by an additive
+//! `−distance/σ` prior, so the learned dependency can only redistribute mass
+//! *within* the locality assumption. The paper's Figure 10 visualises this
+//! prior; [`locality_dependency`] reproduces it.
+
+use crate::util::{lag_features, split_prediction, target_matrix, train_by_slot, BaselineConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stgnn_data::dataset::BikeDataset;
+use stgnn_data::error::Result;
+use stgnn_data::predictor::{DemandSupplyPredictor, Prediction};
+use stgnn_data::station::StationRegistry;
+use stgnn_graph::builders::knn_graph;
+use stgnn_graph::GatLayer;
+use stgnn_tensor::autograd::{Graph, ParamSet, Var};
+use stgnn_tensor::loss::mse;
+use stgnn_tensor::nn::Linear;
+use stgnn_tensor::{Shape, Tensor};
+
+/// Locality radius parameter of the distance prior, in kilometres.
+const SIGMA_KM: f64 = 1.0;
+/// Neighbourhood size of the attention mask.
+const KNN: usize = 8;
+
+/// Additive attention prior: `−d(i,j)/σ` (0 on the diagonal). Closer ⇒
+/// larger logit — the locality assumption in one matrix.
+pub fn distance_prior(registry: &StationRegistry) -> Tensor {
+    let n = registry.len();
+    let mut prior = Tensor::zeros(Shape::matrix(n, n));
+    let buf = prior.data_mut();
+    for i in 0..n {
+        for j in 0..n {
+            buf[i * n + j] = -(registry.distance_km(i, j) / SIGMA_KM) as f32;
+        }
+    }
+    prior
+}
+
+/// The "existing approach" dependency of Figure 10: the softmax of the
+/// distance prior restricted to the `k` nearest stations — by construction
+/// monotonically decreasing with distance and constant over time.
+pub fn locality_dependency(registry: &StationRegistry, target: usize, k: usize) -> Vec<f32> {
+    let neighbors = registry.nearest(target, k);
+    let logits: Vec<f32> =
+        neighbors.iter().map(|&j| -(registry.distance_km(target, j) / SIGMA_KM) as f32).collect();
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|&v| (v - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// The GBike baseline: two distance-masked, distance-biased GAT layers.
+pub struct GBike {
+    config: BaselineConfig,
+    params: ParamSet,
+    net: Option<(GatLayer, GatLayer, Linear)>,
+    n_lags: usize,
+    n_days: usize,
+}
+
+impl GBike {
+    /// Creates an untrained GBike.
+    pub fn new(config: BaselineConfig) -> Self {
+        GBike { config, params: ParamSet::new(), net: None, n_lags: 0, n_days: 0 }
+    }
+
+    fn forward(net: &(GatLayer, GatLayer, Linear), g: &Graph, x: &Var) -> Var {
+        let h1 = net.0.forward(g, x);
+        let h2 = net.1.forward(g, &h1);
+        net.2.forward(g, &h2)
+    }
+
+    /// The final-layer attention matrix at slot `t` (for dependency
+    /// visualisation and the case-study comparison).
+    pub fn attention_at(&self, data: &BikeDataset, t: usize) -> Option<Tensor> {
+        let net = self.net.as_ref()?;
+        let g = Graph::new();
+        let x = g.leaf(lag_features(data, t, self.n_lags, self.n_days));
+        let h1 = net.0.forward(&g, &x);
+        let (_, alpha) = net.1.forward_with_attention(&g, &h1);
+        Some(alpha.value())
+    }
+}
+
+impl DemandSupplyPredictor for GBike {
+    fn name(&self) -> &str {
+        "GBike"
+    }
+
+    fn fit(&mut self, data: &BikeDataset) -> Result<()> {
+        let (n_lags, n_days) = self.config.effective_lags(data);
+        self.n_lags = n_lags;
+        self.n_days = n_days;
+        let in_dim = 2 * (n_lags + n_days);
+        let h = self.config.hidden;
+        let graph = knn_graph(data.registry(), KNN.min(data.n_stations().saturating_sub(1)));
+        let prior = distance_prior(data.registry());
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut params = ParamSet::new();
+        let net = (
+            GatLayer::new(&mut params, &mut rng, "gbike.1", in_dim, h, true)
+                .with_mask(&graph)
+                .with_prior(prior.clone()),
+            GatLayer::new(&mut params, &mut rng, "gbike.2", h, h, true)
+                .with_mask(&graph)
+                .with_prior(prior),
+            Linear::new(&mut params, &mut rng, "gbike.head", h, 2, true),
+        );
+        self.params = params;
+        train_by_slot(&self.params, &self.config, data, &|g, t, _| {
+            let x = g.leaf(lag_features(data, t, n_lags, n_days));
+            let out = Self::forward(&net, g, &x);
+            mse(&out, &g.leaf(target_matrix(data, t)))
+        })?;
+        self.net = Some(net);
+        Ok(())
+    }
+
+    fn predict(&self, data: &BikeDataset, t: usize) -> Prediction {
+        let net = self.net.as_ref().expect("GBike predict before fit");
+        let g = Graph::new();
+        let x = g.leaf(lag_features(data, t, self.n_lags, self.n_days));
+        let out = Self::forward(net, &g, &x).value();
+        let (demand, supply) = split_prediction(data, &out);
+        Prediction { demand, supply }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stgnn_data::dataset::{DatasetConfig, Split};
+    use stgnn_data::predictor::evaluate;
+    use stgnn_data::synthetic::{CityConfig, SyntheticCity};
+
+    fn dataset(seed: u64) -> BikeDataset {
+        let city = SyntheticCity::generate(CityConfig::test_tiny(seed));
+        BikeDataset::from_city(&city, DatasetConfig::small(6, 2)).unwrap()
+    }
+
+    #[test]
+    fn locality_dependency_is_monotone_decreasing() {
+        let data = dataset(105);
+        let dep = locality_dependency(data.registry(), 0, 6);
+        assert_eq!(dep.len(), 6);
+        assert!((dep.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        // nearest stations first ⇒ scores non-increasing
+        assert!(dep.windows(2).all(|w| w[0] >= w[1] - 1e-6), "{dep:?}");
+    }
+
+    #[test]
+    fn distance_prior_penalises_distance() {
+        let data = dataset(106);
+        let prior = distance_prior(data.registry());
+        let n = data.n_stations();
+        for i in 0..n {
+            assert_eq!(prior.get2(i, i), 0.0);
+        }
+        // the farthest pair has the most negative logit
+        let nearest = data.registry().nearest(0, n - 1);
+        let closest = nearest[0];
+        let farthest = *nearest.last().unwrap();
+        assert!(prior.get2(0, farthest) < prior.get2(0, closest));
+    }
+
+    #[test]
+    fn fit_predict_and_attention_export() {
+        let data = dataset(107);
+        let mut m = GBike::new(BaselineConfig::test_tiny(9));
+        assert!(m.attention_at(&data, data.slots(Split::Test)[0]).is_none());
+        m.fit(&data).unwrap();
+        let slots = data.slots(Split::Test);
+        let row = evaluate(&m, &data, &slots);
+        assert!(row.rmse_mean.is_finite() && row.n_slots > 0);
+        let alpha = m.attention_at(&data, slots[0]).unwrap();
+        assert_eq!(alpha.shape().dims(), &[data.n_stations(), data.n_stations()]);
+        // masked attention: rows sum to 1
+        let sum: f32 = alpha.row(0).iter().sum();
+        assert!((sum - 1.0).abs() < 1e-4);
+    }
+}

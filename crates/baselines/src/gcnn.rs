@@ -1,0 +1,107 @@
+//! GCNN baseline (Lin et al. 2018, paper ref.\[45\]): a conventional graph convolutional
+//! network over a *static* station graph, with per-station lag features as
+//! node inputs. It "only considers the link correlations between stations" —
+//! the graph is fixed by distance, and there is no attention and no dynamic
+//! structure.
+
+use crate::util::{lag_features, split_prediction, target_matrix, train_by_slot, BaselineConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stgnn_data::dataset::BikeDataset;
+use stgnn_data::error::Result;
+use stgnn_data::predictor::{DemandSupplyPredictor, Prediction};
+use stgnn_graph::builders::knn_graph;
+use stgnn_graph::GcnLayer;
+use stgnn_tensor::autograd::{Graph, ParamSet, Var};
+use stgnn_tensor::loss::mse;
+use stgnn_tensor::nn::Linear;
+
+/// Out-degree of the static station graph the GCN convolves over.
+const KNN: usize = 5;
+
+/// The GCNN baseline: two GCN layers + linear head.
+pub struct Gcnn {
+    config: BaselineConfig,
+    params: ParamSet,
+    net: Option<(GcnLayer, GcnLayer, Linear)>,
+    n_lags: usize,
+    n_days: usize,
+}
+
+impl Gcnn {
+    /// Creates an untrained GCNN.
+    pub fn new(config: BaselineConfig) -> Self {
+        Gcnn { config, params: ParamSet::new(), net: None, n_lags: 0, n_days: 0 }
+    }
+
+    fn forward(net: &(GcnLayer, GcnLayer, Linear), g: &Graph, x: &Var) -> Var {
+        let h1 = net.0.forward(g, x);
+        let h2 = net.1.forward(g, &h1);
+        net.2.forward(g, &h2)
+    }
+}
+
+impl DemandSupplyPredictor for Gcnn {
+    fn name(&self) -> &str {
+        "GCNN"
+    }
+
+    fn fit(&mut self, data: &BikeDataset) -> Result<()> {
+        let (n_lags, n_days) = self.config.effective_lags(data);
+        self.n_lags = n_lags;
+        self.n_days = n_days;
+        let in_dim = 2 * (n_lags + n_days);
+        let h = self.config.hidden;
+        let graph = knn_graph(data.registry(), KNN.min(data.n_stations().saturating_sub(1)));
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut params = ParamSet::new();
+        let net = (
+            GcnLayer::new(&mut params, &mut rng, "gcnn.1", &graph, in_dim, h, true),
+            GcnLayer::new(&mut params, &mut rng, "gcnn.2", &graph, h, h, true),
+            Linear::new(&mut params, &mut rng, "gcnn.head", h, 2, true),
+        );
+        self.params = params;
+        train_by_slot(&self.params, &self.config, data, &|g, t, _| {
+            let x = g.leaf(lag_features(data, t, n_lags, n_days));
+            let out = Self::forward(&net, g, &x);
+            mse(&out, &g.leaf(target_matrix(data, t)))
+        })?;
+        self.net = Some(net);
+        Ok(())
+    }
+
+    fn predict(&self, data: &BikeDataset, t: usize) -> Prediction {
+        let net = self.net.as_ref().expect("GCNN predict before fit");
+        let g = Graph::new();
+        let x = g.leaf(lag_features(data, t, self.n_lags, self.n_days));
+        let out = Self::forward(net, &g, &x).value();
+        let (demand, supply) = split_prediction(data, &out);
+        Prediction { demand, supply }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stgnn_data::dataset::{DatasetConfig, Split};
+    use stgnn_data::predictor::evaluate;
+    use stgnn_data::synthetic::{CityConfig, SyntheticCity};
+
+    #[test]
+    fn fit_predict_and_beat_zero() {
+        let city = SyntheticCity::generate(CityConfig::test_tiny(101));
+        let data = BikeDataset::from_city(&city, DatasetConfig::small(6, 2)).unwrap();
+        let mut m = Gcnn::new(BaselineConfig::test_tiny(7));
+        m.fit(&data).unwrap();
+        let slots = data.slots(Split::Test);
+        let row = evaluate(&m, &data, &slots);
+        let mut zero = stgnn_data::MetricsAccumulator::new();
+        for &t in &slots {
+            let (d, s) = data.raw_targets(t);
+            zero.add_slot(&vec![0.0; d.len()], &vec![0.0; s.len()], d, s);
+        }
+        assert!(row.rmse_mean < zero.finalize().rmse_mean);
+        let p = m.predict(&data, slots[0]);
+        assert_eq!(p.demand.len(), data.n_stations());
+    }
+}

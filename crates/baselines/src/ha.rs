@@ -1,0 +1,127 @@
+//! Historical Average (HA) baseline.
+//!
+//! Predicts each station's demand/supply at slot `t` as the average of its
+//! historical values at the *same time-of-day interval* over the training
+//! days (Froehlich et al. 2009, cited as ref.\[43\] in the paper).
+
+use stgnn_data::dataset::{BikeDataset, Split};
+use stgnn_data::error::Result;
+use stgnn_data::predictor::{DemandSupplyPredictor, Prediction};
+
+/// The HA model: a per-(station, time-of-day) mean table.
+#[derive(Debug, Default)]
+pub struct HistoricalAverage {
+    /// `demand[tod * n + i]`.
+    demand: Vec<f32>,
+    supply: Vec<f32>,
+    n: usize,
+    slots_per_day: usize,
+}
+
+impl HistoricalAverage {
+    /// An untrained model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl DemandSupplyPredictor for HistoricalAverage {
+    fn name(&self) -> &str {
+        "HA"
+    }
+
+    fn fit(&mut self, data: &BikeDataset) -> Result<()> {
+        let n = data.n_stations();
+        let spd = data.slots_per_day();
+        let mut demand = vec![0.0f64; spd * n];
+        let mut supply = vec![0.0f64; spd * n];
+        let mut counts = vec![0u32; spd];
+        for day in data.days(Split::Train) {
+            for tod in 0..spd {
+                let t = day * spd + tod;
+                counts[tod] += 1;
+                let d = data.flows().demand_at(t);
+                let s = data.flows().supply_at(t);
+                for i in 0..n {
+                    demand[tod * n + i] += d[i] as f64;
+                    supply[tod * n + i] += s[i] as f64;
+                }
+            }
+        }
+        self.demand = demand
+            .iter()
+            .enumerate()
+            .map(|(idx, &v)| (v / counts[idx / n].max(1) as f64) as f32)
+            .collect();
+        self.supply = supply
+            .iter()
+            .enumerate()
+            .map(|(idx, &v)| (v / counts[idx / n].max(1) as f64) as f32)
+            .collect();
+        self.n = n;
+        self.slots_per_day = spd;
+        Ok(())
+    }
+
+    fn predict(&self, data: &BikeDataset, t: usize) -> Prediction {
+        assert!(self.n > 0, "HA predict before fit");
+        let tod = data.flows().tod_of_slot(t);
+        Prediction {
+            demand: self.demand[tod * self.n..(tod + 1) * self.n].to_vec(),
+            supply: self.supply[tod * self.n..(tod + 1) * self.n].to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stgnn_data::dataset::DatasetConfig;
+    use stgnn_data::predictor::evaluate;
+    use stgnn_data::synthetic::{CityConfig, SyntheticCity};
+
+    fn dataset() -> BikeDataset {
+        let city = SyntheticCity::generate(CityConfig::test_tiny(71));
+        BikeDataset::from_city(&city, DatasetConfig::small(6, 2)).unwrap()
+    }
+
+    #[test]
+    fn fit_computes_same_interval_means() {
+        let data = dataset();
+        let mut ha = HistoricalAverage::new();
+        ha.fit(&data).unwrap();
+        // Manually average station 0's demand at tod 8 over training days.
+        let spd = data.slots_per_day();
+        let days = data.days(Split::Train);
+        let n_days = days.len() as f32;
+        let manual: f32 =
+            days.map(|day| data.flows().demand_at(day * spd + 8)[0]).sum::<f32>() / n_days;
+        let t = data.slots(Split::Test).iter().copied().find(|&t| data.flows().tod_of_slot(t) == 8).unwrap();
+        let pred = ha.predict(&data, t);
+        assert!((pred.demand[0] - manual).abs() < 1e-4);
+    }
+
+    #[test]
+    fn beats_zero_on_periodic_data() {
+        let data = dataset();
+        let mut ha = HistoricalAverage::new();
+        ha.fit(&data).unwrap();
+        let slots = data.slots(Split::Test);
+        let row = evaluate(&ha, &data, &slots);
+        assert!(row.rmse_mean > 0.0);
+        assert!(row.n_slots > 0);
+        // periodic synthetic demand → HA must be informative (RMSE below the
+        // raw magnitude of demand)
+        let scale = data.target_scale();
+        assert!(row.rmse_mean < scale, "HA rmse {} vs scale {scale}", row.rmse_mean);
+    }
+
+    #[test]
+    #[should_panic(expected = "before fit")]
+    fn predict_before_fit_panics() {
+        let data = dataset();
+        let ha = HistoricalAverage::new();
+        let t = data.slots(Split::Test)[0];
+        let _ = ha.predict(&data, t);
+    }
+}

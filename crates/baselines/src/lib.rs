@@ -1,0 +1,45 @@
+//! # stgnn-baselines
+//!
+//! From-scratch implementations of every comparison model in STGNN-DJD's
+//! Table I (§VII-B), all behind `stgnn_data::DemandSupplyPredictor` so the
+//! experiment harness treats them uniformly:
+//!
+//! | module | model | defining property kept |
+//! |---|---|---|
+//! | [`ha`] | Historical Average | same-interval average over training history |
+//! | [`arima`] | ARIMA | per-station autoregression, window 12 |
+//! | [`gbt`] | XGBoost | second-order gradient-boosted trees on lag features |
+//! | [`mlp`] | MLP | 3-layer fully-connected net on lag features |
+//! | [`recurrent`] | RNN / LSTM | temporal-only recurrence over city-wide series |
+//! | [`gcnn`] | GCNN | graph convolution over a static distance graph |
+//! | [`mgnn`] | MGNN | multi-graph (distance + correlation) fusion, no attention |
+//! | [`astgcn`] | ASTGCN | recent/daily/weekly branches + spatial attention |
+//! | [`stsgcn`] | STSGCN | localised spatial-temporal synchronous convolution |
+//! | [`gbike`] | GBike | graph attention with a distance (locality) prior |
+//!
+//! Each module documents what was simplified relative to the original paper
+//! and why the simplification preserves the comparison's meaning.
+
+pub mod arima;
+pub mod astgcn;
+pub mod gbike;
+pub mod gbt;
+pub mod gcnn;
+pub mod ha;
+pub mod mgnn;
+pub mod mlp;
+pub mod recurrent;
+pub mod stsgcn;
+pub mod util;
+
+pub use arima::Arima;
+pub use astgcn::Astgcn;
+pub use gbike::GBike;
+pub use gbt::GradientBoostedTrees;
+pub use gcnn::Gcnn;
+pub use ha::HistoricalAverage;
+pub use mgnn::Mgnn;
+pub use mlp::Mlp;
+pub use recurrent::{LstmPredictor, RnnPredictor};
+pub use stsgcn::Stsgcn;
+pub use util::BaselineConfig;

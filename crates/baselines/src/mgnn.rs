@@ -1,0 +1,127 @@
+//! MGNN baseline (Chai et al. 2018, paper ref.\[36\]): multi-graph convolution.
+//!
+//! The original fuses several station graphs — distance, transition
+//! (flow) and correlation — with graph convolutions and *no attention*.
+//! We build all three graphs from the training split, run one GCN layer per
+//! graph, sum the branch outputs (the original's fusion), apply a second
+//! shared GCN-style projection, and read out with a linear head.
+
+use crate::util::{lag_features, split_prediction, target_matrix, train_by_slot, BaselineConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stgnn_data::dataset::{BikeDataset, Split};
+use stgnn_data::error::Result;
+use stgnn_data::predictor::{DemandSupplyPredictor, Prediction};
+use stgnn_graph::builders::{correlation_graph, flow_graph, knn_graph};
+use stgnn_graph::GcnLayer;
+use stgnn_tensor::autograd::{Graph, ParamSet, Var};
+use stgnn_tensor::loss::mse;
+use stgnn_tensor::nn::Linear;
+
+/// The MGNN baseline.
+pub struct Mgnn {
+    config: BaselineConfig,
+    params: ParamSet,
+    net: Option<Net>,
+    n_lags: usize,
+    n_days: usize,
+}
+
+struct Net {
+    distance_branch: GcnLayer,
+    flow_branch: GcnLayer,
+    corr_branch: GcnLayer,
+    fuse: Linear,
+    head: Linear,
+}
+
+impl Mgnn {
+    /// Creates an untrained MGNN.
+    pub fn new(config: BaselineConfig) -> Self {
+        Mgnn { config, params: ParamSet::new(), net: None, n_lags: 0, n_days: 0 }
+    }
+
+    fn forward(net: &Net, g: &Graph, x: &Var) -> Var {
+        let a = net.distance_branch.forward(g, x);
+        let b = net.flow_branch.forward(g, x);
+        let c = net.corr_branch.forward(g, x);
+        let fused = a.add(&b).add(&c);
+        net.head.forward(g, &net.fuse.forward(g, &fused).relu())
+    }
+}
+
+impl DemandSupplyPredictor for Mgnn {
+    fn name(&self) -> &str {
+        "MGNN"
+    }
+
+    fn fit(&mut self, data: &BikeDataset) -> Result<()> {
+        let (n_lags, n_days) = self.config.effective_lags(data);
+        self.n_lags = n_lags;
+        self.n_days = n_days;
+        let in_dim = 2 * (n_lags + n_days);
+        let h = self.config.hidden;
+
+        // All three graphs are built from training data only.
+        let spd = data.slots_per_day();
+        let train_range = {
+            let days = data.days(Split::Train);
+            days.start * spd..days.end * spd
+        };
+        let dist_g = knn_graph(data.registry(), 5.min(data.n_stations().saturating_sub(1)));
+        let flow_g = flow_graph(data.flows(), train_range.start, train_range.end);
+        let corr_g = correlation_graph(data.flows(), train_range.start, train_range.end, 0.5);
+
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut params = ParamSet::new();
+        let net = Net {
+            distance_branch: GcnLayer::new(&mut params, &mut rng, "mgnn.dist", &dist_g, in_dim, h, true),
+            flow_branch: GcnLayer::new(&mut params, &mut rng, "mgnn.flow", &flow_g, in_dim, h, true),
+            corr_branch: GcnLayer::new(&mut params, &mut rng, "mgnn.corr", &corr_g, in_dim, h, true),
+            fuse: Linear::new(&mut params, &mut rng, "mgnn.fuse", h, h, true),
+            head: Linear::new(&mut params, &mut rng, "mgnn.head", h, 2, true),
+        };
+        self.params = params;
+        train_by_slot(&self.params, &self.config, data, &|g, t, _| {
+            let x = g.leaf(lag_features(data, t, n_lags, n_days));
+            let out = Self::forward(&net, g, &x);
+            mse(&out, &g.leaf(target_matrix(data, t)))
+        })?;
+        self.net = Some(net);
+        Ok(())
+    }
+
+    fn predict(&self, data: &BikeDataset, t: usize) -> Prediction {
+        let net = self.net.as_ref().expect("MGNN predict before fit");
+        let g = Graph::new();
+        let x = g.leaf(lag_features(data, t, self.n_lags, self.n_days));
+        let out = Self::forward(net, &g, &x).value();
+        let (demand, supply) = split_prediction(data, &out);
+        Prediction { demand, supply }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stgnn_data::dataset::DatasetConfig;
+    use stgnn_data::predictor::evaluate;
+    use stgnn_data::synthetic::{CityConfig, SyntheticCity};
+
+    #[test]
+    fn fit_predict_and_beat_zero() {
+        let city = SyntheticCity::generate(CityConfig::test_tiny(103));
+        let data = BikeDataset::from_city(&city, DatasetConfig::small(6, 2)).unwrap();
+        let mut m = Mgnn::new(BaselineConfig::test_tiny(8));
+        m.fit(&data).unwrap();
+        let slots = data.slots(Split::Test);
+        let row = evaluate(&m, &data, &slots);
+        let mut zero = stgnn_data::MetricsAccumulator::new();
+        for &t in &slots {
+            let (d, s) = data.raw_targets(t);
+            zero.add_slot(&vec![0.0; d.len()], &vec![0.0; s.len()], d, s);
+        }
+        assert!(row.rmse_mean < zero.finalize().rmse_mean);
+        assert_eq!(m.predict(&data, slots[0]).supply.len(), data.n_stations());
+    }
+}

@@ -1,0 +1,124 @@
+//! MLP baseline: a three-layer fully-connected network on per-station lag
+//! features (§VII-B), shared across stations. Temporal-only — its Table I
+//! role is showing that ignoring inter-station dependency costs accuracy.
+
+use crate::util::{lag_features, split_prediction, target_matrix, train_by_slot, BaselineConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stgnn_data::dataset::BikeDataset;
+use stgnn_data::error::Result;
+use stgnn_data::predictor::{DemandSupplyPredictor, Prediction};
+use stgnn_tensor::autograd::{Graph, ParamSet, Var};
+use stgnn_tensor::loss::mse;
+use stgnn_tensor::nn::Linear;
+use stgnn_tensor::Tensor;
+
+/// The 3-layer MLP baseline.
+pub struct Mlp {
+    config: BaselineConfig,
+    params: ParamSet,
+    layers: Option<(Linear, Linear, Linear)>,
+    n_lags: usize,
+    n_days: usize,
+}
+
+impl Mlp {
+    /// Creates an untrained MLP.
+    pub fn new(config: BaselineConfig) -> Self {
+        Mlp { config, params: ParamSet::new(), layers: None, n_lags: 0, n_days: 0 }
+    }
+
+    fn forward(&self, g: &Graph, x: &Tensor) -> Var {
+        let (l1, l2, l3) = self.layers.as_ref().expect("MLP forward before fit");
+        let h1 = l1.forward(g, &g.leaf(x.clone())).relu();
+        let h2 = l2.forward(g, &h1).relu();
+        l3.forward(g, &h2)
+    }
+}
+
+impl DemandSupplyPredictor for Mlp {
+    fn name(&self) -> &str {
+        "MLP"
+    }
+
+    fn fit(&mut self, data: &BikeDataset) -> Result<()> {
+        let (n_lags, n_days) = self.config.effective_lags(data);
+        self.n_lags = n_lags;
+        self.n_days = n_days;
+        let in_dim = 2 * (n_lags + n_days);
+        let h = self.config.hidden;
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut params = ParamSet::new();
+        self.layers = Some((
+            Linear::new(&mut params, &mut rng, "mlp.1", in_dim, h, true),
+            Linear::new(&mut params, &mut rng, "mlp.2", h, h, true),
+            Linear::new(&mut params, &mut rng, "mlp.3", h, 2, true),
+        ));
+        self.params = params;
+
+        // Borrow pieces individually so the closure doesn't capture `self`.
+        let layers = self.layers.as_ref().expect("just built");
+        let data_ref = data;
+        train_by_slot(&self.params, &self.config, data, &|g, t, _train| {
+            let x = lag_features(data_ref, t, n_lags, n_days);
+            let h1 = layers.0.forward(g, &g.leaf(x)).relu();
+            let h2 = layers.1.forward(g, &h1).relu();
+            let out = layers.2.forward(g, &h2);
+            mse(&out, &g.leaf(target_matrix(data_ref, t)))
+        })?;
+        Ok(())
+    }
+
+    fn predict(&self, data: &BikeDataset, t: usize) -> Prediction {
+        let g = Graph::new();
+        let x = lag_features(data, t, self.n_lags, self.n_days);
+        let out = self.forward(&g, &x).value();
+        let (demand, supply) = split_prediction(data, &out);
+        Prediction { demand, supply }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stgnn_data::dataset::{DatasetConfig, Split};
+    use stgnn_data::predictor::evaluate;
+    use stgnn_data::synthetic::{CityConfig, SyntheticCity};
+
+    #[test]
+    fn fit_and_predict_shapes() {
+        let city = SyntheticCity::generate(CityConfig::test_tiny(81));
+        let data = BikeDataset::from_city(&city, DatasetConfig::small(6, 2)).unwrap();
+        let mut mlp = Mlp::new(BaselineConfig::test_tiny(2));
+        mlp.fit(&data).unwrap();
+        let t = data.slots(Split::Test)[0];
+        let p = mlp.predict(&data, t);
+        assert_eq!(p.demand.len(), data.n_stations());
+        assert!(p.demand.iter().chain(&p.supply).all(|&v| v >= 0.0 && v.is_finite()));
+    }
+
+    #[test]
+    fn training_beats_zero_prediction() {
+        let city = SyntheticCity::generate(CityConfig::test_tiny(82));
+        let data = BikeDataset::from_city(&city, DatasetConfig::small(6, 2)).unwrap();
+        let mut mlp = Mlp::new(BaselineConfig::test_tiny(3));
+        mlp.fit(&data).unwrap();
+        let slots = data.slots(Split::Test);
+        let row = evaluate(&mlp, &data, &slots);
+        let mut zero = stgnn_data::MetricsAccumulator::new();
+        for &t in &slots {
+            let (d, s) = data.raw_targets(t);
+            zero.add_slot(&vec![0.0; d.len()], &vec![0.0; s.len()], d, s);
+        }
+        assert!(row.rmse_mean < zero.finalize().rmse_mean, "MLP no better than zero");
+    }
+
+    #[test]
+    #[should_panic(expected = "before fit")]
+    fn predict_before_fit_panics() {
+        let city = SyntheticCity::generate(CityConfig::test_tiny(83));
+        let data = BikeDataset::from_city(&city, DatasetConfig::small(6, 2)).unwrap();
+        let mlp = Mlp::new(BaselineConfig::test_tiny(4));
+        let _ = mlp.predict(&data, data.slots(Split::Test)[0]);
+    }
+}

@@ -1,0 +1,347 @@
+//! Shared machinery for the baselines: lag features, a small dense linear
+//! solver, and a generic per-slot NN training loop.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use stgnn_data::dataset::{BikeDataset, Split};
+use stgnn_data::error::{Error, Result};
+use stgnn_tensor::autograd::{Graph, ParamSet, Var};
+use stgnn_tensor::optim::{Adam, Optimizer};
+use stgnn_tensor::{Shape, Tensor};
+
+/// Common knobs for the learned baselines.
+#[derive(Debug, Clone)]
+pub struct BaselineConfig {
+    /// Recent demand/supply lags per station (capped by the dataset's `k`).
+    pub n_lags: usize,
+    /// Same-slot daily lags (capped by the dataset's `d`).
+    pub n_days: usize,
+    /// Hidden width of NN baselines.
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Slots per gradient step.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Early-stopping patience in epochs.
+    pub patience: usize,
+    /// Optional cap on batches per epoch.
+    pub max_batches_per_epoch: Option<usize>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BaselineConfig {
+    fn default() -> Self {
+        BaselineConfig {
+            n_lags: 6,
+            n_days: 3,
+            hidden: 64,
+            epochs: 15,
+            batch_size: 16,
+            learning_rate: 0.005,
+            patience: 3,
+            max_batches_per_epoch: Some(12),
+            seed: 7,
+        }
+    }
+}
+
+impl BaselineConfig {
+    /// A very small configuration for unit tests.
+    pub fn test_tiny(seed: u64) -> Self {
+        BaselineConfig {
+            n_lags: 3,
+            n_days: 1,
+            hidden: 16,
+            epochs: 4,
+            batch_size: 8,
+            patience: 4,
+            max_batches_per_epoch: Some(6),
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Lags actually usable on a dataset (bounded by its windows).
+    pub fn effective_lags(&self, data: &BikeDataset) -> (usize, usize) {
+        (self.n_lags.min(data.config().k), self.n_days.min(data.config().d))
+    }
+}
+
+/// Per-station lag features at target slot `t`: recent demand lags, recent
+/// supply lags, same-slot daily demand lags, same-slot daily supply lags —
+/// `n × 2(n_lags + n_days)`, normalised by the dataset's target scale.
+///
+/// This is exactly the feature set the paper gives its XGBoost baseline
+/// ("historical demand and supply at the last k time slots on the same day
+/// and the same time slot in the last d days"); the MLP and graph baselines
+/// reuse it as node features.
+pub fn lag_features(data: &BikeDataset, t: usize, n_lags: usize, n_days: usize) -> Tensor {
+    let n = data.n_stations();
+    let spd = data.slots_per_day();
+    let scale = 1.0 / data.target_scale();
+    let width = 2 * (n_lags + n_days);
+    let mut out = vec![0.0f32; n * width];
+    for i in 0..n {
+        let row = &mut out[i * width..(i + 1) * width];
+        let mut c = 0;
+        for lag in 1..=n_lags {
+            row[c] = data.flows().demand_at(t - lag)[i] * scale;
+            c += 1;
+        }
+        for lag in 1..=n_lags {
+            row[c] = data.flows().supply_at(t - lag)[i] * scale;
+            c += 1;
+        }
+        for day in 1..=n_days {
+            row[c] = data.flows().demand_at(t - day * spd)[i] * scale;
+            c += 1;
+        }
+        for day in 1..=n_days {
+            row[c] = data.flows().supply_at(t - day * spd)[i] * scale;
+            c += 1;
+        }
+    }
+    Tensor::from_vec(Shape::matrix(n, width), out).expect("lag feature shape")
+}
+
+/// Solves the symmetric positive-definite system `A·x = b` (ridge-regularised
+/// normal equations) by Gaussian elimination with partial pivoting.
+/// Returns `None` when the system is numerically singular.
+pub fn solve_linear(a: &[f64], b: &[f64], n: usize) -> Option<Vec<f64>> {
+    let mut m = vec![0.0f64; n * (n + 1)];
+    for i in 0..n {
+        m[i * (n + 1)..i * (n + 1) + n].copy_from_slice(&a[i * n..(i + 1) * n]);
+        m[i * (n + 1) + n] = b[i];
+    }
+    let w = n + 1;
+    for col in 0..n {
+        // partial pivot
+        let pivot = (col..n).max_by(|&r1, &r2| {
+            m[r1 * w + col].abs().partial_cmp(&m[r2 * w + col].abs()).expect("NaN pivot")
+        })?;
+        if m[pivot * w + col].abs() < 1e-12 {
+            return None;
+        }
+        if pivot != col {
+            for j in 0..w {
+                m.swap(col * w + j, pivot * w + j);
+            }
+        }
+        let diag = m[col * w + col];
+        for r in (col + 1)..n {
+            let factor = m[r * w + col] / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            for j in col..w {
+                m[r * w + j] -= factor * m[col * w + j];
+            }
+        }
+    }
+    let mut x = vec![0.0f64; n];
+    for i in (0..n).rev() {
+        let mut acc = m[i * w + n];
+        for j in (i + 1)..n {
+            acc -= m[i * w + j] * x[j];
+        }
+        x[i] = acc / m[i * w + i];
+    }
+    Some(x)
+}
+
+/// Generic per-slot NN training loop shared by the deep baselines: shuffles
+/// training slots, accumulates the closure's loss over each batch, steps
+/// Adam, early-stops on validation loss, and restores the best snapshot.
+///
+/// The closure traces one slot's loss on the given tape (`train` toggles any
+/// stochastic regularisation the model applies).
+pub fn train_by_slot(
+    params: &ParamSet,
+    config: &BaselineConfig,
+    data: &BikeDataset,
+    loss_fn: &dyn Fn(&Graph, usize, bool) -> Var,
+) -> Result<f32> {
+    let train_slots = data.slots(Split::Train);
+    if train_slots.is_empty() {
+        return Err(Error::InvalidConfig("no valid training slots".into()));
+    }
+    let val_slots: Vec<usize> = {
+        let all = data.slots(Split::Val);
+        if all.len() > 32 {
+            let stride = all.len() as f64 / 32.0;
+            (0..32).map(|i| all[(i as f64 * stride) as usize]).collect()
+        } else {
+            all
+        }
+    };
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut opt = Adam::new(config.learning_rate).with_clip(5.0);
+    let mut best = f32::INFINITY;
+    let mut best_snapshot: Option<Vec<Tensor>> = None;
+    let mut since_best = 0usize;
+    for _ in 0..config.epochs {
+        let mut slots = train_slots.clone();
+        slots.shuffle(&mut rng);
+        if let Some(cap) = config.max_batches_per_epoch {
+            slots.truncate(cap * config.batch_size);
+        }
+        for batch in slots.chunks(config.batch_size) {
+            params.zero_grads();
+            let scale = 1.0 / batch.len() as f32;
+            for &t in batch {
+                let g = Graph::new();
+                loss_fn(&g, t, true).mul_scalar(scale).backward();
+            }
+            opt.step(params);
+        }
+        let val = if val_slots.is_empty() {
+            let g = Graph::new();
+            loss_fn(&g, train_slots[0], false).value().scalar()
+        } else {
+            let mut acc = 0.0f64;
+            for &t in &val_slots {
+                let g = Graph::new();
+                acc += loss_fn(&g, t, false).value().scalar() as f64;
+            }
+            (acc / val_slots.len() as f64) as f32
+        };
+        if val < best {
+            best = val;
+            best_snapshot = Some(params.params().iter().map(|p| p.value()).collect());
+            since_best = 0;
+        } else {
+            since_best += 1;
+            if since_best >= config.patience {
+                break;
+            }
+        }
+    }
+    if let Some(snapshot) = best_snapshot {
+        for (p, v) in params.params().iter().zip(snapshot) {
+            p.set_value(v);
+        }
+    }
+    Ok(best)
+}
+
+/// Splits a `n×2` prediction matrix into clamped, denormalised demand and
+/// supply vectors.
+pub fn split_prediction(data: &BikeDataset, out: &Tensor) -> (Vec<f32>, Vec<f32>) {
+    let n = out.shape().rows();
+    let mut demand = Vec::with_capacity(n);
+    let mut supply = Vec::with_capacity(n);
+    for i in 0..n {
+        demand.push((out.get2(i, 0) * data.target_scale()).max(0.0));
+        supply.push((out.get2(i, 1) * data.target_scale()).max(0.0));
+    }
+    (demand, supply)
+}
+
+/// The normalised `n×2` target matrix (demand, supply) at slot `t`.
+pub fn target_matrix(data: &BikeDataset, t: usize) -> Tensor {
+    let (d, s) = data.targets(t);
+    Tensor::concat_cols(&[&d, &s]).expect("target concat")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stgnn_data::dataset::DatasetConfig;
+    use stgnn_data::synthetic::{CityConfig, SyntheticCity};
+
+    fn dataset() -> BikeDataset {
+        let city = SyntheticCity::generate(CityConfig::test_tiny(61));
+        BikeDataset::from_city(&city, DatasetConfig::small(6, 2)).unwrap()
+    }
+
+    #[test]
+    fn lag_features_shape_and_content() {
+        let data = dataset();
+        let t = data.slots(Split::Train)[0];
+        let f = lag_features(&data, t, 3, 1);
+        assert_eq!(f.shape().dims(), &[data.n_stations(), 8]);
+        // first column is demand at t-1, normalised
+        let expect = data.flows().demand_at(t - 1)[0] / data.target_scale();
+        assert!((f.get2(0, 0) - expect).abs() < 1e-6);
+        // daily demand lag sits after the two recent blocks
+        let expect_daily = data.flows().demand_at(t - data.slots_per_day())[0] / data.target_scale();
+        assert!((f.get2(0, 6) - expect_daily).abs() < 1e-6);
+    }
+
+    #[test]
+    fn solve_linear_known_system() {
+        // [2 1; 1 3] x = [5; 10] → x = [1, 3]
+        let x = solve_linear(&[2.0, 1.0, 1.0, 3.0], &[5.0, 10.0], 2).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-9);
+        assert!((x[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solve_linear_rejects_singular() {
+        assert!(solve_linear(&[1.0, 2.0, 2.0, 4.0], &[1.0, 2.0], 2).is_none());
+    }
+
+    #[test]
+    fn solve_linear_handles_permuted_pivots() {
+        // leading zero forces pivoting
+        let x = solve_linear(&[0.0, 1.0, 1.0, 0.0], &[2.0, 3.0], 2).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-9);
+        assert!((x[1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn train_by_slot_reduces_a_simple_loss() {
+        let data = dataset();
+        let mut ps = ParamSet::new();
+        let w = ps.add("w", Tensor::zeros(Shape::matrix(1, 1)));
+        let cfg = BaselineConfig::test_tiny(3);
+        // loss = (w − mean demand at t)²: optimum is the mean of sampled targets.
+        let w2 = std::rc::Rc::clone(&w);
+        let data2 = data.clone();
+        let best = train_by_slot(&ps, &cfg, &data, &move |g, t, _| {
+            let (d, _) = data2.targets(t);
+            let target = g.leaf(Tensor::from_scalar(d.mean_all().scalar()).reshape(Shape::matrix(1, 1)).unwrap());
+            let _ = &w2;
+            let wv = g.param(&w2);
+            wv.sub(&target).square().sum_all()
+        })
+        .unwrap();
+        assert!(best < 0.05, "train_by_slot failed to reduce loss: {best}");
+        assert!(w.value().scalar() > 0.0);
+    }
+
+    #[test]
+    fn split_prediction_clamps_and_denormalizes() {
+        let data = dataset();
+        let out = Tensor::from_rows(&[&[0.5, -0.2], &[0.1, 0.3]]);
+        let padded = {
+            // extend to n rows
+            let n = data.n_stations();
+            let mut rows: Vec<Vec<f32>> = (0..n).map(|_| vec![0.0, 0.0]).collect();
+            rows[0] = vec![0.5, -0.2];
+            rows[1] = vec![0.1, 0.3];
+            let flat: Vec<f32> = rows.into_iter().flatten().collect();
+            Tensor::from_vec(Shape::matrix(n, 2), flat).unwrap()
+        };
+        let _ = out;
+        let (d, s) = split_prediction(&data, &padded);
+        assert!((d[0] - 0.5 * data.target_scale()).abs() < 1e-4);
+        assert_eq!(s[0], 0.0, "negative prediction must clamp to zero");
+        assert!((s[1] - 0.3 * data.target_scale()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn target_matrix_concatenates() {
+        let data = dataset();
+        let t = data.slots(Split::Train)[0];
+        let m = target_matrix(&data, t);
+        assert_eq!(m.shape().dims(), &[data.n_stations(), 2]);
+        let (d, s) = data.targets(t);
+        assert_eq!(m.get2(0, 0), d.get2(0, 0));
+        assert_eq!(m.get2(0, 1), s.get2(0, 0));
+    }
+}

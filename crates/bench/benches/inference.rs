@@ -1,0 +1,45 @@
+//! §VII-I as a criterion benchmark: full-model single-slot prediction
+//! latency (all stations at once), on an *untrained* model — inference cost
+//! does not depend on the weights, so no training is needed to measure it.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use stgnn_bench::{ExperimentContext, Scale};
+use stgnn_core::model::ModelInputs;
+use stgnn_core::StgnnDjd;
+use stgnn_data::Split;
+use stgnn_tensor::autograd::Graph;
+
+fn bench_inference(c: &mut Criterion) {
+    let ctx = ExperimentContext::new(Scale::Quick).expect("context");
+    let mut group = c.benchmark_group("predict_one_slot_all_stations");
+    group.sample_size(20);
+    for (name, data) in ctx.datasets() {
+        let model = StgnnDjd::new(ctx.scale.stgnn_config(), data.n_stations()).expect("config");
+        let t = data.slots(Split::Test)[0];
+        group.bench_with_input(BenchmarkId::from_parameter(name), &t, |b, &t| {
+            b.iter(|| {
+                let g = Graph::new();
+                let inputs = ModelInputs::from_dataset(data, t);
+                let out = model.forward(&g, &inputs, false);
+                black_box((out.demand.value(), out.supply.value()));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_input_assembly(c: &mut Criterion) {
+    // How much of the per-slot latency is just copying the window stacks.
+    let ctx = ExperimentContext::new(Scale::Quick).expect("context");
+    let mut group = c.benchmark_group("input_window_assembly");
+    for (name, data) in ctx.datasets() {
+        let t = data.slots(Split::Test)[0];
+        group.bench_with_input(BenchmarkId::from_parameter(name), &t, |b, &t| {
+            b.iter(|| black_box(ModelInputs::from_dataset(data, t)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference, bench_input_assembly);
+criterion_main!(benches);

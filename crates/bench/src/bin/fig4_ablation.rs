@@ -1,0 +1,53 @@
+//! Figure 4 — design variations of STGNN-DJD (§VII-F).
+//!
+//! Compares the full model against its three ablations on both datasets:
+//! "No FC" (free node features instead of flow convolution), "No FCG" and
+//! "No PCG". The paper's claim: removing any component hurts.
+//!
+//! ```text
+//! cargo run -p stgnn-bench --release --bin fig4_ablation
+//! ```
+
+use stgnn_bench::{run_fit_eval, ExperimentContext, Scale, TableWriter};
+use stgnn_core::{StgnnConfig, StgnnDjd};
+use stgnn_data::Split;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("[fig4] building synthetic cities at {scale:?} scale…");
+    let ctx = ExperimentContext::new(scale).expect("context");
+
+    type Tweak = fn(StgnnConfig) -> StgnnConfig;
+    let variants: Vec<(&str, Tweak)> = vec![
+        ("No FC", StgnnConfig::without_flow_conv),
+        ("No FCG", StgnnConfig::without_fcg),
+        ("No PCG", StgnnConfig::without_pcg),
+        ("STGNN-DJD", |c| c),
+    ];
+
+    let mut table = TableWriter::new(
+        "Figure 4: design variations (RMSE / MAE, mean±std)",
+        &["Variant", "Chicago RMSE", "Chicago MAE", "LA RMSE", "LA MAE"],
+    );
+    let mut cells: Vec<Vec<String>> =
+        variants.iter().map(|(name, _)| vec![name.to_string()]).collect();
+
+    for (ds_name, data) in ctx.datasets() {
+        let slots = data.slots(Split::Test);
+        for (row, (name, tweak)) in variants.iter().enumerate() {
+            eprintln!("[fig4] {ds_name}: fitting {name}…");
+            let config = tweak(scale.stgnn_config());
+            let mut model =
+                StgnnDjd::new(config, data.n_stations()).expect("valid variant").with_name(*name);
+            let outcome = run_fit_eval(&mut model, data, &slots).expect("fit");
+            let (rmse, mae) = outcome.metrics.cells();
+            eprintln!("[fig4] {ds_name}: {name} → RMSE {rmse}, MAE {mae}");
+            cells[row].push(rmse);
+            cells[row].push(mae);
+        }
+    }
+    for row in cells {
+        table.row(&row);
+    }
+    table.finish("fig4_ablation");
+}

@@ -1,0 +1,52 @@
+//! Figure 5 — aggregator study on the flow-convoluted graph (§VII-G).
+//!
+//! Replaces the flow-based aggregator with GraphSAGE mean/max and compares.
+//! The paper's claim: the flow-based aggregator wins, more clearly on the
+//! denser (Chicago) dataset.
+//!
+//! ```text
+//! cargo run -p stgnn-bench --release --bin fig5_fcg_aggregators
+//! ```
+
+use stgnn_bench::{run_fit_eval, ExperimentContext, Scale, TableWriter};
+use stgnn_core::{FcgAggregator, StgnnDjd};
+use stgnn_data::Split;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("[fig5] building synthetic cities at {scale:?} scale…");
+    let ctx = ExperimentContext::new(scale).expect("context");
+
+    let variants = [
+        ("Mean", FcgAggregator::Mean),
+        ("Max", FcgAggregator::Max),
+        ("Flow-based", FcgAggregator::Flow),
+    ];
+
+    let mut table = TableWriter::new(
+        "Figure 5: FCG aggregators (RMSE / MAE, mean±std)",
+        &["Aggregator", "Chicago RMSE", "Chicago MAE", "LA RMSE", "LA MAE"],
+    );
+    let mut cells: Vec<Vec<String>> =
+        variants.iter().map(|(name, _)| vec![name.to_string()]).collect();
+
+    for (ds_name, data) in ctx.datasets() {
+        let slots = data.slots(Split::Test);
+        for (row, (name, agg)) in variants.iter().enumerate() {
+            eprintln!("[fig5] {ds_name}: fitting {name} aggregator…");
+            let mut config = scale.stgnn_config();
+            config.fcg_aggregator = *agg;
+            let mut model =
+                StgnnDjd::new(config, data.n_stations()).expect("valid config").with_name(*name);
+            let outcome = run_fit_eval(&mut model, data, &slots).expect("fit");
+            let (rmse, mae) = outcome.metrics.cells();
+            eprintln!("[fig5] {ds_name}: {name} → RMSE {rmse}, MAE {mae}");
+            cells[row].push(rmse);
+            cells[row].push(mae);
+        }
+    }
+    for row in cells {
+        table.row(&row);
+    }
+    table.finish("fig5_fcg_aggregators");
+}

@@ -1,0 +1,51 @@
+//! Figure 6 — aggregator study on the pattern correlation graph (§VII-G).
+//!
+//! Replaces the multi-head attention aggregator with mean/max pooling over
+//! the (complete) PCG. The paper's claim: data-driven attention wins.
+//!
+//! ```text
+//! cargo run -p stgnn-bench --release --bin fig6_pcg_aggregators
+//! ```
+
+use stgnn_bench::{run_fit_eval, ExperimentContext, Scale, TableWriter};
+use stgnn_core::{PcgAggregator, StgnnDjd};
+use stgnn_data::Split;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("[fig6] building synthetic cities at {scale:?} scale…");
+    let ctx = ExperimentContext::new(scale).expect("context");
+
+    let variants = [
+        ("Mean", PcgAggregator::Mean),
+        ("Max", PcgAggregator::Max),
+        ("Attention", PcgAggregator::Attention),
+    ];
+
+    let mut table = TableWriter::new(
+        "Figure 6: PCG aggregators (RMSE / MAE, mean±std)",
+        &["Aggregator", "Chicago RMSE", "Chicago MAE", "LA RMSE", "LA MAE"],
+    );
+    let mut cells: Vec<Vec<String>> =
+        variants.iter().map(|(name, _)| vec![name.to_string()]).collect();
+
+    for (ds_name, data) in ctx.datasets() {
+        let slots = data.slots(Split::Test);
+        for (row, (name, agg)) in variants.iter().enumerate() {
+            eprintln!("[fig6] {ds_name}: fitting {name} aggregator…");
+            let mut config = scale.stgnn_config();
+            config.pcg_aggregator = *agg;
+            let mut model =
+                StgnnDjd::new(config, data.n_stations()).expect("valid config").with_name(*name);
+            let outcome = run_fit_eval(&mut model, data, &slots).expect("fit");
+            let (rmse, mae) = outcome.metrics.cells();
+            eprintln!("[fig6] {ds_name}: {name} → RMSE {rmse}, MAE {mae}");
+            cells[row].push(rmse);
+            cells[row].push(mae);
+        }
+    }
+    for row in cells {
+        table.row(&row);
+    }
+    table.finish("fig6_pcg_aggregators");
+}

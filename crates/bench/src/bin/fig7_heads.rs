@@ -1,0 +1,47 @@
+//! Figure 7 — impact of the attention head count m (§VII-H).
+//!
+//! Sweeps m ∈ 1..=5. The paper's shape: error falls with m, with
+//! diminishing returns past m = 4 (their default).
+//!
+//! ```text
+//! cargo run -p stgnn-bench --release --bin fig7_heads
+//! ```
+
+use stgnn_bench::{ascii_chart, run_fit_eval, ExperimentContext, Scale, TableWriter};
+use stgnn_core::StgnnDjd;
+use stgnn_data::Split;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("[fig7] building synthetic cities at {scale:?} scale…");
+    let ctx = ExperimentContext::new(scale).expect("context");
+
+    let mut table = TableWriter::new(
+        "Figure 7: head count m vs error (RMSE / MAE, mean±std)",
+        &["m", "Chicago RMSE", "Chicago MAE", "LA RMSE", "LA MAE"],
+    );
+    let heads: Vec<usize> = (1..=5).collect();
+    let mut cells: Vec<Vec<String>> = heads.iter().map(|m| vec![m.to_string()]).collect();
+    let mut series: Vec<(&str, Vec<(f32, f32)>)> = vec![("Chicago", vec![]), ("LA", vec![])];
+
+    for (ds_idx, (ds_name, data)) in ctx.datasets().into_iter().enumerate() {
+        let slots = data.slots(Split::Test);
+        for (row, &m) in heads.iter().enumerate() {
+            eprintln!("[fig7] {ds_name}: fitting m = {m}…");
+            let mut config = scale.stgnn_config();
+            config.heads = m;
+            let mut model = StgnnDjd::new(config, data.n_stations()).expect("valid config");
+            let outcome = run_fit_eval(&mut model, data, &slots).expect("fit");
+            let (rmse, mae) = outcome.metrics.cells();
+            eprintln!("[fig7] {ds_name}: m={m} → RMSE {rmse}, MAE {mae}");
+            series[ds_idx].1.push((m as f32, outcome.metrics.rmse_mean));
+            cells[row].push(rmse);
+            cells[row].push(mae);
+        }
+    }
+    for row in cells {
+        table.row(&row);
+    }
+    table.finish("fig7_heads");
+    println!("{}", ascii_chart("RMSE vs head count m", &series));
+}

@@ -1,0 +1,47 @@
+//! Figure 8 — impact of the FCG layer count (§VII-H).
+//!
+//! Sweeps FCG depth 1..=5. The paper's shape: best at 2 layers; deeper
+//! stacks add parameters without accuracy.
+//!
+//! ```text
+//! cargo run -p stgnn-bench --release --bin fig8_fcg_layers
+//! ```
+
+use stgnn_bench::{ascii_chart, run_fit_eval, ExperimentContext, Scale, TableWriter};
+use stgnn_core::StgnnDjd;
+use stgnn_data::Split;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("[fig8] building synthetic cities at {scale:?} scale…");
+    let ctx = ExperimentContext::new(scale).expect("context");
+
+    let mut table = TableWriter::new(
+        "Figure 8: FCG layer count vs error (RMSE / MAE, mean±std)",
+        &["FCG layers", "Chicago RMSE", "Chicago MAE", "LA RMSE", "LA MAE"],
+    );
+    let depths: Vec<usize> = (1..=5).collect();
+    let mut cells: Vec<Vec<String>> = depths.iter().map(|l| vec![l.to_string()]).collect();
+    let mut series: Vec<(&str, Vec<(f32, f32)>)> = vec![("Chicago", vec![]), ("LA", vec![])];
+
+    for (ds_idx, (ds_name, data)) in ctx.datasets().into_iter().enumerate() {
+        let slots = data.slots(Split::Test);
+        for (row, &layers) in depths.iter().enumerate() {
+            eprintln!("[fig8] {ds_name}: fitting {layers} FCG layer(s)…");
+            let mut config = scale.stgnn_config();
+            config.fcg_layers = layers;
+            let mut model = StgnnDjd::new(config, data.n_stations()).expect("valid config");
+            let outcome = run_fit_eval(&mut model, data, &slots).expect("fit");
+            let (rmse, mae) = outcome.metrics.cells();
+            eprintln!("[fig8] {ds_name}: layers={layers} → RMSE {rmse}, MAE {mae}");
+            series[ds_idx].1.push((layers as f32, outcome.metrics.rmse_mean));
+            cells[row].push(rmse);
+            cells[row].push(mae);
+        }
+    }
+    for row in cells {
+        table.row(&row);
+    }
+    table.finish("fig8_fcg_layers");
+    println!("{}", ascii_chart("RMSE vs FCG layer count", &series));
+}

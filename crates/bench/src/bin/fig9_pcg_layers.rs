@@ -1,0 +1,46 @@
+//! Figure 9 — impact of the PCG layer count (§VII-H).
+//!
+//! Sweeps PCG depth 1..=5. The paper's shape: best at 3 layers.
+//!
+//! ```text
+//! cargo run -p stgnn-bench --release --bin fig9_pcg_layers
+//! ```
+
+use stgnn_bench::{ascii_chart, run_fit_eval, ExperimentContext, Scale, TableWriter};
+use stgnn_core::StgnnDjd;
+use stgnn_data::Split;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("[fig9] building synthetic cities at {scale:?} scale…");
+    let ctx = ExperimentContext::new(scale).expect("context");
+
+    let mut table = TableWriter::new(
+        "Figure 9: PCG layer count vs error (RMSE / MAE, mean±std)",
+        &["PCG layers", "Chicago RMSE", "Chicago MAE", "LA RMSE", "LA MAE"],
+    );
+    let depths: Vec<usize> = (1..=5).collect();
+    let mut cells: Vec<Vec<String>> = depths.iter().map(|l| vec![l.to_string()]).collect();
+    let mut series: Vec<(&str, Vec<(f32, f32)>)> = vec![("Chicago", vec![]), ("LA", vec![])];
+
+    for (ds_idx, (ds_name, data)) in ctx.datasets().into_iter().enumerate() {
+        let slots = data.slots(Split::Test);
+        for (row, &layers) in depths.iter().enumerate() {
+            eprintln!("[fig9] {ds_name}: fitting {layers} PCG layer(s)…");
+            let mut config = scale.stgnn_config();
+            config.pcg_layers = layers;
+            let mut model = StgnnDjd::new(config, data.n_stations()).expect("valid config");
+            let outcome = run_fit_eval(&mut model, data, &slots).expect("fit");
+            let (rmse, mae) = outcome.metrics.cells();
+            eprintln!("[fig9] {ds_name}: layers={layers} → RMSE {rmse}, MAE {mae}");
+            series[ds_idx].1.push((layers as f32, outcome.metrics.rmse_mean));
+            cells[row].push(rmse);
+            cells[row].push(mae);
+        }
+    }
+    for row in cells {
+        table.row(&row);
+    }
+    table.finish("fig9_pcg_layers");
+    println!("{}", ascii_chart("RMSE vs PCG layer count", &series));
+}

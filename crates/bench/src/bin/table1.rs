@@ -1,0 +1,47 @@
+//! Table I — overall comparison with the state of the art.
+//!
+//! Trains every Table I model on both synthetic cities and reports
+//! RMSE/MAE (mean±std across test slots, zero-station exclusion).
+//!
+//! ```text
+//! cargo run -p stgnn-bench --release --bin table1            # quick scale
+//! STGNN_SCALE=full cargo run -p stgnn-bench --release --bin table1
+//! ```
+
+use stgnn_bench::{run_fit_eval, zoo, ExperimentContext, Scale, TableWriter};
+use stgnn_data::Split;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("[table1] building synthetic cities at {scale:?} scale…");
+    let ctx = ExperimentContext::new(scale).expect("context");
+
+    let mut table = TableWriter::new(
+        "Table I: comparison with SOTA (RMSE / MAE, mean±std over test slots)",
+        &["Method", "Chicago RMSE", "Chicago MAE", "LA RMSE", "LA MAE"],
+    );
+
+    // Evaluate column-major (per dataset) so each dataset's slots are
+    // computed once, but accumulate rows per method to match the paper.
+    let mut cells: Vec<Vec<String>> =
+        zoo::all().iter().map(|(name, _)| vec![name.to_string()]).collect();
+    for (ds_name, data) in ctx.datasets() {
+        let slots = data.slots(Split::Test);
+        for (row, (name, make)) in zoo::all().iter().enumerate() {
+            eprintln!("[table1] {ds_name}: fitting {name}…");
+            let mut model = make(data, scale);
+            let outcome = run_fit_eval(model.as_mut(), data, &slots).expect("fit");
+            let (rmse, mae) = outcome.metrics.cells();
+            eprintln!(
+                "[table1] {ds_name}: {name} → RMSE {rmse}, MAE {mae} (fit {:.1?}, predict {:.1?})",
+                outcome.fit_time, outcome.predict_time
+            );
+            cells[row].push(rmse);
+            cells[row].push(mae);
+        }
+    }
+    for row in cells {
+        table.row(&row);
+    }
+    table.finish("table1");
+}

@@ -1,0 +1,52 @@
+//! Table II — performance at rush hours (§VII-E).
+//!
+//! The deep-learning subset, evaluated only on morning (07:00–10:00) and
+//! evening (17:00–20:00) test slots. The paper's observation: STGNN-DJD's
+//! margin *widens* at rush hours because denser flow feeds the FCG.
+//!
+//! ```text
+//! cargo run -p stgnn-bench --release --bin table2_rush_hours
+//! ```
+
+use stgnn_data::Split;
+use stgnn_bench::{run_fit_eval, zoo, ExperimentContext, Scale, TableWriter};
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("[table2] building synthetic cities at {scale:?} scale…");
+    let ctx = ExperimentContext::new(scale).expect("context");
+
+    let mut table = TableWriter::new(
+        "Table II: performance at rush hours (RMSE / MAE, mean±std)",
+        &[
+            "Window",
+            "Method",
+            "Chicago RMSE",
+            "Chicago MAE",
+            "LA RMSE",
+            "LA MAE",
+        ],
+    );
+
+    for (window, morning) in [("Morning", true), ("Evening", false)] {
+        let mut cells: Vec<Vec<String>> = zoo::deep()
+            .iter()
+            .map(|(name, _)| vec![window.to_string(), name.to_string()])
+            .collect();
+        for (ds_name, data) in ctx.datasets() {
+            let slots = data.rush_slots(Split::Test, morning);
+            for (row, (name, make)) in zoo::deep().iter().enumerate() {
+                eprintln!("[table2] {window}/{ds_name}: fitting {name}…");
+                let mut model = make(data, scale);
+                let outcome = run_fit_eval(model.as_mut(), data, &slots).expect("fit");
+                let (rmse, mae) = outcome.metrics.cells();
+                cells[row].push(rmse);
+                cells[row].push(mae);
+            }
+        }
+        for row in cells {
+            table.row(&row);
+        }
+    }
+    table.finish("table2_rush_hours");
+}

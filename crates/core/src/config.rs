@@ -1,0 +1,241 @@
+//! Model configuration: the §VII-C hyperparameters plus the ablation and
+//! aggregator switches exercised in §VII-F and §VII-G.
+
+use stgnn_data::error::{Error, Result};
+
+/// Aggregator choice for the flow-convoluted graph (§VII-G, Fig 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FcgAggregator {
+    /// The paper's flow-based aggregator (Eq 14): neighbours weighted by
+    /// normalised fused flow.
+    Flow,
+    /// GraphSAGE mean aggregator over the flow graph's neighbourhoods.
+    Mean,
+    /// GraphSAGE max aggregator (shared FC + elementwise max-pool).
+    Max,
+}
+
+/// Aggregator choice for the pattern correlation graph (§VII-G, Fig 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PcgAggregator {
+    /// The paper's data-driven multi-head attention aggregator (Eqs 15–18).
+    Attention,
+    /// Mean over all stations (the PCG is fully connected).
+    Mean,
+    /// Max-pool over all stations after a shared FC.
+    Max,
+}
+
+/// Full STGNN-DJD configuration.
+#[derive(Debug, Clone)]
+pub struct StgnnConfig {
+    /// Short-term window in slots (paper: 96 = one day of 15-min slots).
+    pub k: usize,
+    /// Long-term window in days (paper: 7).
+    pub d: usize,
+    /// FCG GNN depth (paper: 2; swept in Fig 8).
+    pub fcg_layers: usize,
+    /// PCG GNN depth (paper: 3; swept in Fig 9).
+    pub pcg_layers: usize,
+    /// PCG attention heads (paper: 4; swept in Fig 7).
+    pub heads: usize,
+    /// Dropout rate between GNN layers during training (paper: 0.2).
+    pub dropout: f32,
+    /// Adam learning rate (paper: 0.01).
+    pub learning_rate: f32,
+    /// Slots per gradient step (paper: 32).
+    pub batch_size: usize,
+    /// Maximum training epochs.
+    pub epochs: usize,
+    /// Early-stopping patience in epochs without validation improvement.
+    pub patience: usize,
+    /// Optional cap on batches per epoch (subsampled training for the
+    /// quick experiment scale); `None` = full epoch.
+    pub max_batches_per_epoch: Option<usize>,
+    /// RNG seed for initialisation, shuffling and dropout.
+    pub seed: u64,
+    /// §VII-F "No FC": replace the flow convolution by free node features.
+    pub use_flow_conv: bool,
+    /// §VII-F "No FCG": drop the flow-convoluted graph branch.
+    pub use_fcg: bool,
+    /// §VII-F "No PCG": drop the pattern correlation graph branch.
+    pub use_pcg: bool,
+    /// FCG aggregator (Fig 5).
+    pub fcg_aggregator: FcgAggregator,
+    /// PCG aggregator (Fig 6).
+    pub pcg_aggregator: PcgAggregator,
+    /// Hidden width of the demand–supply predictor head. §III-B describes
+    /// "fully connected neural networks"; Eq 20 prints the final linear
+    /// layer. `None` reduces the head to exactly Eq 20.
+    pub predictor_hidden: Option<usize>,
+    /// Prediction horizon in slots. 1 is the paper's task; values > 1
+    /// implement the §IX future-work extension ("replacing the model output
+    /// {O^t, I^t} with {O^t..O^{t+k}, I^t..I^{t+k}} in both training and
+    /// prediction phases").
+    pub horizon: usize,
+}
+
+impl StgnnConfig {
+    /// The paper's hyperparameters (§VII-C). Pair with
+    /// `DatasetConfig::paper()` and a 96-slot day.
+    pub fn paper() -> Self {
+        StgnnConfig {
+            k: 96,
+            d: 7,
+            fcg_layers: 2,
+            pcg_layers: 3,
+            heads: 4,
+            dropout: 0.2,
+            learning_rate: 0.01,
+            batch_size: 32,
+            epochs: 50,
+            patience: 5,
+            max_batches_per_epoch: None,
+            seed: 42,
+            use_flow_conv: true,
+            use_fcg: true,
+            use_pcg: true,
+            fcg_aggregator: FcgAggregator::Flow,
+            pcg_aggregator: PcgAggregator::Attention,
+            predictor_hidden: Some(64),
+            horizon: 1,
+        }
+    }
+
+    /// A scaled-down configuration for CPU-friendly experiments: same
+    /// architecture (2 FCG / 3 PCG layers, 4 heads), shorter windows and
+    /// fewer epochs.
+    pub fn quick(k: usize, d: usize) -> Self {
+        StgnnConfig {
+            k,
+            d,
+            epochs: 40,
+            patience: 10,
+            batch_size: 8,
+            learning_rate: 0.003,
+            max_batches_per_epoch: None,
+            ..Self::paper()
+        }
+    }
+
+    /// A deliberately tiny configuration for unit tests.
+    pub fn test_tiny(k: usize, d: usize) -> Self {
+        StgnnConfig {
+            k,
+            d,
+            fcg_layers: 1,
+            pcg_layers: 1,
+            heads: 2,
+            dropout: 0.0,
+            epochs: 6,
+            patience: 6,
+            batch_size: 8,
+            learning_rate: 0.005,
+            max_batches_per_epoch: Some(12),
+            ..Self::paper()
+        }
+    }
+
+    /// §VII-F ablation: without flow convolution (free node features).
+    pub fn without_flow_conv(mut self) -> Self {
+        self.use_flow_conv = false;
+        self
+    }
+
+    /// §VII-F ablation: without the flow-convoluted graph.
+    pub fn without_fcg(mut self) -> Self {
+        self.use_fcg = false;
+        self
+    }
+
+    /// §VII-F ablation: without the pattern correlation graph.
+    pub fn without_pcg(mut self) -> Self {
+        self.use_pcg = false;
+        self
+    }
+
+    /// Validates internal consistency before model construction.
+    pub fn validate(&self) -> Result<()> {
+        if self.k == 0 || self.d == 0 {
+            return Err(Error::InvalidConfig("k and d must be positive".into()));
+        }
+        if self.heads == 0 {
+            return Err(Error::InvalidConfig("at least one attention head".into()));
+        }
+        if self.fcg_layers == 0 && self.use_fcg {
+            return Err(Error::InvalidConfig("use_fcg requires fcg_layers ≥ 1".into()));
+        }
+        if self.pcg_layers == 0 && self.use_pcg {
+            return Err(Error::InvalidConfig("use_pcg requires pcg_layers ≥ 1".into()));
+        }
+        if !self.use_fcg && !self.use_pcg {
+            return Err(Error::InvalidConfig(
+                "at least one of FCG/PCG must be enabled (the paper ablates one at a time)".into(),
+            ));
+        }
+        if !(0.0..1.0).contains(&self.dropout) {
+            return Err(Error::InvalidConfig(format!("dropout {} outside [0,1)", self.dropout)));
+        }
+        if self.batch_size == 0 || self.epochs == 0 {
+            return Err(Error::InvalidConfig("batch_size and epochs must be positive".into()));
+        }
+        if self.horizon == 0 {
+            return Err(Error::InvalidConfig("horizon must be at least 1".into()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_section_vii_c() {
+        let c = StgnnConfig::paper();
+        assert_eq!(c.k, 96);
+        assert_eq!(c.d, 7);
+        assert_eq!(c.fcg_layers, 2);
+        assert_eq!(c.pcg_layers, 3);
+        assert_eq!(c.heads, 4);
+        assert_eq!(c.batch_size, 32);
+        assert!((c.learning_rate - 0.01).abs() < 1e-9);
+        assert!((c.dropout - 0.2).abs() < 1e-9);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn ablation_builders_flip_flags() {
+        assert!(!StgnnConfig::paper().without_flow_conv().use_flow_conv);
+        assert!(!StgnnConfig::paper().without_fcg().use_fcg);
+        assert!(!StgnnConfig::paper().without_pcg().use_pcg);
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let mut c = StgnnConfig::paper();
+        c.k = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = StgnnConfig::paper();
+        c.heads = 0;
+        assert!(c.validate().is_err());
+
+        let c = StgnnConfig::paper().without_fcg().without_pcg();
+        assert!(c.validate().is_err());
+
+        let mut c = StgnnConfig::paper();
+        c.dropout = 1.0;
+        assert!(c.validate().is_err());
+
+        let mut c = StgnnConfig::paper();
+        c.fcg_layers = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn quick_and_tiny_validate() {
+        assert!(StgnnConfig::quick(24, 3).validate().is_ok());
+        assert!(StgnnConfig::test_tiny(6, 2).validate().is_ok());
+    }
+}

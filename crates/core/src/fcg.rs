@@ -1,0 +1,276 @@
+//! The flow-convoluted graph and its aggregator stack (§IV-B1, §V-B).
+//!
+//! Edges follow Definition 2: station `j` influences `i` when the fused
+//! inflow `Î[i][j]` or fused outflow `Ô[j][i]` is positive; edge weights are
+//! the row-normalised station features (Eq 10), so each aggregation step
+//! (Eq 14) takes a convex combination of neighbour embeddings weighted by
+//! flow. A layer then applies `F^k = σ(Aggr(F^{k-1}) · W^k)` (Eq 13; we
+//! right-multiply because node features are rows).
+//!
+//! ### Interpretation notes (documented in DESIGN.md)
+//!
+//! Eq 10 normalises rows of `T`, but `T` from Eq 9 is unconstrained, so raw
+//! normalisation could produce negative or unbounded "probabilities". We
+//! apply `ReLU` before normalising and ε-guard the row sums, keeping weights
+//! a convex combination as the flow-aggregation intuition requires. The
+//! structural mask (positive fused flow) is computed from forward *values*
+//! and does not carry gradient — it is graph structure, not a parameter.
+//!
+//! Eq 14 aggregates over `{F_i} ∪ {F_j : j ∈ N(i)}` — the node itself is
+//! explicitly in the set — but Eq 10's weight for the self edge is the
+//! normalised *self-flow* `T_ii`, which is ≈ 0 (nobody rides a bike from a
+//! dock to itself). Taken literally, that erases every station's own
+//! embedding in one layer and measurably cripples training. We therefore
+//! give the self-loop a unit weight before row-normalising
+//! (`D⁻¹(ReLU(T)⊙M + I)`, the same convention GCN uses), which realises the
+//! "{F_i} ∪ neighbours" set faithfully.
+
+use crate::config::{FcgAggregator, StgnnConfig};
+use rand::rngs::StdRng;
+use rand::Rng;
+use stgnn_tensor::autograd::{Graph, Param, ParamSet, Var};
+use stgnn_tensor::nn::{he_uniform, Linear};
+use stgnn_tensor::{Shape, Tensor};
+use std::rc::Rc;
+
+enum LayerKind {
+    /// Eq 14: weights from the normalised feature matrix.
+    Flow { w: Rc<Param> },
+    /// §VII-G mean aggregator over the same dynamic neighbourhoods.
+    Mean { w: Rc<Param> },
+    /// §VII-G max aggregator: shared FC then elementwise max-pool.
+    Max { fc: Linear, w: Rc<Param> },
+}
+
+/// The FCG branch: `fcg_layers` aggregation layers over the dynamic flow
+/// graph, producing the flow-side station embedding `F^f`.
+pub struct FcgNetwork {
+    layers: Vec<LayerKind>,
+    dropout: f32,
+}
+
+impl FcgNetwork {
+    /// Builds the branch per the configuration (depth and aggregator).
+    pub fn new(params: &mut ParamSet, rng: &mut impl Rng, config: &StgnnConfig, n: usize) -> Self {
+        let layers = (0..config.fcg_layers)
+            .map(|k| match config.fcg_aggregator {
+                FcgAggregator::Flow => LayerKind::Flow {
+                    w: params.add(format!("fcg.{k}.w"), he_uniform(rng, n, n)),
+                },
+                FcgAggregator::Mean => LayerKind::Mean {
+                    w: params.add(format!("fcg.{k}.w"), he_uniform(rng, n, n)),
+                },
+                FcgAggregator::Max => LayerKind::Max {
+                    fc: Linear::new(params, rng, &format!("fcg.{k}.fc"), n, n, true),
+                    w: params.add(format!("fcg.{k}.w"), he_uniform(rng, n, n)),
+                },
+            })
+            .collect();
+        FcgNetwork { layers, dropout: config.dropout }
+    }
+
+    /// Runs the branch. `t` is the feature matrix from the flow convolution,
+    /// `mask` the structural mask from [`crate::flow_conv::fcg_mask`].
+    /// `train_rng` enables dropout between layers.
+    ///
+    /// Returns the final embedding `F^f ∈ R^{n×n}`.
+    pub fn forward(&self, g: &Graph, t: &Var, mask: &Tensor, mut train_rng: Option<&mut StdRng>) -> Var {
+        let n = mask.shape().rows();
+        // Eq 10 edge weights, shared by all layers of this forward pass:
+        // row-normalised ReLU(T) restricted to the structural mask, plus a
+        // unit self-loop (the `{F_i} ∪ …` of Eq 14 — see the module docs).
+        let mask_leaf = g.leaf(mask.clone());
+        let eye = g.leaf(Tensor::eye(n));
+        let raw = t.relu().mul(&mask_leaf).add(&eye);
+        let sums = raw.sum_cols().add_scalar(1e-6);
+        let inv = g.leaf(Tensor::ones(Shape::matrix(n, 1))).div(&sums);
+        let weights = raw.mul_col_broadcast(&inv);
+
+        // Precompute structures the non-flow aggregators need.
+        let groups: Vec<Vec<usize>> = (0..n)
+            .map(|i| {
+                mask.row(i)
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &m)| m > 0.0)
+                    .map(|(j, _)| j)
+                    .collect()
+            })
+            .collect();
+        let mean_adj = {
+            let mut a = Tensor::zeros(Shape::matrix(n, n));
+            let buf = a.data_mut();
+            for (i, group) in groups.iter().enumerate() {
+                let w = 1.0 / group.len() as f32;
+                for &j in group {
+                    buf[i * n + j] = w;
+                }
+            }
+            a
+        };
+
+        let mut f = t.clone();
+        for (idx, layer) in self.layers.iter().enumerate() {
+            let aggregated = match layer {
+                LayerKind::Flow { .. } => weights.matmul(&f),
+                LayerKind::Mean { .. } => g.leaf(mean_adj.clone()).matmul(&f),
+                LayerKind::Max { fc, .. } => fc.forward(g, &f).relu().rows_max_pool(&groups),
+            };
+            let w = match layer {
+                LayerKind::Flow { w } | LayerKind::Mean { w } | LayerKind::Max { w, .. } => w,
+            };
+            f = aggregated.matmul(&g.param(w)).relu();
+            // Dropout between layers (not after the last — its output feeds
+            // the predictor through the concat of Eq 19).
+            if idx + 1 < self.layers.len() {
+                if let Some(rng) = train_rng.as_deref_mut() {
+                    f = f.dropout(self.dropout, rng);
+                }
+            }
+        }
+        f
+    }
+
+    /// Number of layers.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+}
+
+/// The Eq 10 edge-weight matrix as plain values (for inspection and the
+/// flow-dependency case study): row-normalised `ReLU(T) ⊙ mask`.
+pub fn fcg_edge_weights(t: &Tensor, mask: &Tensor) -> Tensor {
+    let (n, _) = t.shape().as_matrix("fcg_edge_weights").expect("square T");
+    let mut out = t.relu().mul(mask).expect("mask shape");
+    let buf = out.data_mut();
+    for i in 0..n {
+        let sum: f32 = buf[i * n..(i + 1) * n].iter().sum::<f32>() + 1e-6;
+        for v in &mut buf[i * n..(i + 1) * n] {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    const N: usize = 5;
+
+    fn config(agg: FcgAggregator) -> StgnnConfig {
+        let mut c = StgnnConfig::test_tiny(4, 2);
+        c.fcg_layers = 2;
+        c.fcg_aggregator = agg;
+        c
+    }
+
+    fn dense_mask() -> Tensor {
+        Tensor::ones(Shape::matrix(N, N))
+    }
+
+    fn feature_matrix(seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<f32> = (0..N * N).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        Tensor::from_vec(Shape::matrix(N, N), data).unwrap()
+    }
+
+    #[test]
+    fn forward_shapes_for_every_aggregator() {
+        for agg in [FcgAggregator::Flow, FcgAggregator::Mean, FcgAggregator::Max] {
+            let mut ps = ParamSet::new();
+            let mut rng = StdRng::seed_from_u64(1);
+            let net = FcgNetwork::new(&mut ps, &mut rng, &config(agg), N);
+            assert_eq!(net.depth(), 2);
+            let g = Graph::new();
+            let t = g.leaf(feature_matrix(2));
+            let out = net.forward(&g, &t, &dense_mask(), None);
+            assert_eq!(out.value().shape().dims(), &[N, N], "{agg:?}");
+        }
+    }
+
+    #[test]
+    fn edge_weights_are_row_stochastic_on_mask() {
+        let t = feature_matrix(3);
+        let mask = dense_mask();
+        let w = fcg_edge_weights(&t, &mask);
+        for i in 0..N {
+            let sum: f32 = w.row(i).iter().sum();
+            assert!(sum <= 1.0 + 1e-4, "row {i} overshoots: {sum}");
+            assert!(w.row(i).iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn masked_edges_get_zero_weight() {
+        let t = Tensor::ones(Shape::matrix(2, 2));
+        let mask = Tensor::from_rows(&[&[1.0, 0.0], &[1.0, 1.0]]);
+        let w = fcg_edge_weights(&t, &mask);
+        assert_eq!(w.get2(0, 1), 0.0);
+        assert!((w.get2(0, 0) - 1.0).abs() < 1e-4);
+        assert!((w.get2(1, 0) - 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn gradients_flow_through_each_aggregator() {
+        for agg in [FcgAggregator::Flow, FcgAggregator::Mean, FcgAggregator::Max] {
+            let mut ps = ParamSet::new();
+            let mut rng = StdRng::seed_from_u64(7);
+            let net = FcgNetwork::new(&mut ps, &mut rng, &config(agg), N);
+            let g = Graph::new();
+            let p = Param::new("t", feature_matrix(8).relu().add_scalar(0.1));
+            let t = g.param(&p);
+            net.forward(&g, &t, &dense_mask(), None).square().sum_all().backward();
+            assert!(ps.grad_norm() > 0.0, "{agg:?}: no gradient to layer weights");
+            assert!(p.grad().frobenius_norm() > 0.0, "{agg:?}: no gradient to features");
+        }
+    }
+
+    #[test]
+    fn flow_aggregation_respects_mask_structure() {
+        // Node 1 is isolated (only self-loop): its aggregated value must not
+        // depend on node 0's features.
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut c = config(FcgAggregator::Flow);
+        c.fcg_layers = 1;
+        let net = FcgNetwork::new(&mut ps, &mut rng, &c, 2);
+        // Identity layer weight isolates the aggregation itself.
+        ps.params()[0].set_value(Tensor::eye(2));
+        let mask = Tensor::from_rows(&[&[1.0, 1.0], &[0.0, 1.0]]);
+        let g = Graph::new();
+        let t_a = g.leaf(Tensor::from_rows(&[&[1.0, 1.0], &[0.3, 0.7]]));
+        let t_b = g.leaf(Tensor::from_rows(&[&[9.0, 9.0], &[0.3, 0.7]]));
+        let out_a = net.forward(&g, &t_a, &mask, None).value();
+        let out_b = net.forward(&g, &t_b, &mask, None).value();
+        assert!(
+            out_a.row(1).iter().zip(out_b.row(1)).all(|(a, b)| (a - b).abs() < 1e-6),
+            "isolated node leaked neighbour features"
+        );
+        assert!(
+            out_a.row(0).iter().zip(out_b.row(0)).any(|(a, b)| (a - b).abs() > 1e-3),
+            "connected node ignored neighbour features"
+        );
+    }
+
+    #[test]
+    fn dropout_only_in_training_mode() {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut c = config(FcgAggregator::Flow);
+        c.dropout = 0.5;
+        c.fcg_layers = 3;
+        let net = FcgNetwork::new(&mut ps, &mut rng, &c, N);
+        let g = Graph::new();
+        let t = g.leaf(feature_matrix(12).relu());
+        let eval1 = net.forward(&g, &t, &dense_mask(), None).value();
+        let eval2 = net.forward(&g, &t, &dense_mask(), None).value();
+        assert!(eval1.approx_eq(&eval2, 0.0), "eval mode must be deterministic");
+        let mut rng1 = StdRng::seed_from_u64(1);
+        let mut rng2 = StdRng::seed_from_u64(2);
+        let tr1 = net.forward(&g, &t, &dense_mask(), Some(&mut rng1)).value();
+        let tr2 = net.forward(&g, &t, &dense_mask(), Some(&mut rng2)).value();
+        assert!(!tr1.approx_eq(&tr2, 1e-9), "dropout masks should differ across rngs");
+    }
+}

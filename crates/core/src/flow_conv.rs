@@ -1,0 +1,258 @@
+//! Flow convolution: node feature learning from historical flows (§IV-A).
+//!
+//! Four 1×1 convolutions fuse the time channels of the short-term window
+//! (`k` slots, Eqs 1–2) and the long-term window (`d` days, Eqs 3–4), per
+//! direction. An attentive gate then mixes short- and long-term embeddings
+//! (Eqs 5–8), and a final projection fuses inflow and outflow into the
+//! per-station spatial-temporal feature matrix `T` (Eq 9).
+//!
+//! ### Numerical note on Eqs 6–7
+//!
+//! The paper computes `β^S = exp(W₅·Î^S) / (exp(W₅·Î^S) + exp(W₅·Î^L))`
+//! elementwise. That is exactly `σ(W₅·Î^S − W₅·Î^L)` with `σ` the logistic
+//! sigmoid, and `β^L = 1 − β^S`. We evaluate the sigmoid form: it is
+//! algebraically identical but immune to `exp` overflow in `f32`.
+
+use crate::config::StgnnConfig;
+use rand::Rng;
+use stgnn_tensor::autograd::{Graph, Param, ParamSet, Var};
+use stgnn_tensor::nn::{xavier_uniform, Conv1x1};
+use stgnn_tensor::{Shape, Tensor};
+use std::rc::Rc;
+
+/// Output of the flow convolution at one target slot.
+pub struct FlowConvOutput {
+    /// The fused station feature matrix `T ∈ R^{n×n}` (Eq 9).
+    pub t: Var,
+    /// The temporal inflow embedding `Î` (Eq 5); drives FCG edges.
+    pub i_hat: Var,
+    /// The temporal outflow embedding `Ô` (Eq 8); drives FCG edges.
+    pub o_hat: Var,
+}
+
+/// The flow-convolution module (learnable parameters of Eqs 1–9).
+pub struct FlowConvolution {
+    conv_in_short: Conv1x1,
+    conv_out_short: Conv1x1,
+    conv_in_long: Conv1x1,
+    conv_out_long: Conv1x1,
+    /// `W₅` — inflow fusion gate weights.
+    w5: Rc<Param>,
+    /// `W₆` — outflow fusion gate weights.
+    w6: Rc<Param>,
+    /// `W₇ ∈ R^{2n×n}` — inflow‖outflow projection.
+    w7: Rc<Param>,
+}
+
+impl FlowConvolution {
+    /// Builds the module for `n` stations and the configured windows.
+    pub fn new(params: &mut ParamSet, rng: &mut impl Rng, config: &StgnnConfig, n: usize) -> Self {
+        FlowConvolution {
+            conv_in_short: Conv1x1::new(params, rng, "fc.in_short", config.k, n, n, true),
+            conv_out_short: Conv1x1::new(params, rng, "fc.out_short", config.k, n, n, true),
+            conv_in_long: Conv1x1::new(params, rng, "fc.in_long", config.d, n, n, true),
+            conv_out_long: Conv1x1::new(params, rng, "fc.out_long", config.d, n, n, true),
+            w5: params.add("fc.w5", xavier_uniform(rng, n, n)),
+            w6: params.add("fc.w6", xavier_uniform(rng, n, n)),
+            w7: params.add("fc.w7", xavier_uniform(rng, 2 * n, n)),
+        }
+    }
+
+    /// Runs Eqs 1–9 on one slot's flattened input stacks
+    /// (`short_*: (k, n·n)`, `long_*: (d, n·n)`).
+    pub fn forward(
+        &self,
+        g: &Graph,
+        short_in: &Tensor,
+        short_out: &Tensor,
+        long_in: &Tensor,
+        long_out: &Tensor,
+    ) -> FlowConvOutput {
+        // Eqs 1–4: per-direction, per-horizon channel fusion.
+        let i_s = self.conv_in_short.forward(g, &g.leaf(short_in.clone()));
+        let o_s = self.conv_out_short.forward(g, &g.leaf(short_out.clone()));
+        let i_l = self.conv_in_long.forward(g, &g.leaf(long_in.clone()));
+        let o_l = self.conv_out_long.forward(g, &g.leaf(long_out.clone()));
+
+        // Eqs 5–8: attentive short/long fusion per direction.
+        let i_hat = Self::fuse(g, &self.w5, &i_s, &i_l);
+        let o_hat = Self::fuse(g, &self.w6, &o_s, &o_l);
+
+        // Eq 9: T = (Î ‖ Ô) · W₇.
+        let t = g.concat_cols(&[&i_hat, &o_hat]).matmul(&g.param(&self.w7));
+        FlowConvOutput { t, i_hat, o_hat }
+    }
+
+    /// `β^S ⊙ short + (1 − β^S) ⊙ long` with `β^S = σ(W·short − W·long)`.
+    fn fuse(g: &Graph, w: &Rc<Param>, short: &Var, long: &Var) -> Var {
+        let wv = g.param(w);
+        let beta_s = wv.matmul(short).sub(&wv.matmul(long)).sigmoid();
+        let n = short.shape();
+        let ones = g.leaf(Tensor::ones(n));
+        let beta_l = ones.sub(&beta_s);
+        beta_s.mul(short).add(&beta_l.mul(long))
+    }
+}
+
+/// The §VII-F "No FC" ablation: the station feature matrix is a free
+/// learnable parameter, ignoring the flow history entirely.
+pub struct FreeNodeFeatures {
+    t: Rc<Param>,
+}
+
+impl FreeNodeFeatures {
+    /// Creates an `n×n` learnable feature table.
+    pub fn new(params: &mut ParamSet, rng: &mut impl Rng, n: usize) -> Self {
+        FreeNodeFeatures { t: params.add("no_fc.t", xavier_uniform(rng, n, n)) }
+    }
+
+    /// Returns the (input-independent) feature matrix on the tape.
+    pub fn forward(&self, g: &Graph) -> Var {
+        g.param(&self.t)
+    }
+}
+
+/// Builds the FCG structural mask from the fused flow embeddings: entry
+/// `(i, j)` is 1 when `Î[i][j] > 0` or `Ô[j][i] > 0` (there was fused flow
+/// between the stations, §IV-B1), plus self-loops. Computed from forward
+/// values — the mask is structure, not a differentiable quantity.
+pub fn fcg_mask(i_hat: &Tensor, o_hat: &Tensor) -> Tensor {
+    let (n, _) = i_hat.shape().as_matrix("fcg_mask").expect("square i_hat");
+    let mut mask = Tensor::zeros(Shape::matrix(n, n));
+    let buf = mask.data_mut();
+    for i in 0..n {
+        buf[i * n + i] = 1.0;
+        for j in 0..n {
+            if i_hat.get2(i, j) > 0.0 || o_hat.get2(j, i) > 0.0 {
+                buf[i * n + j] = 1.0;
+            }
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use stgnn_tensor::optim::{Adam, Optimizer};
+
+    const N: usize = 4;
+    const K: usize = 3;
+    const D: usize = 2;
+
+    fn config() -> StgnnConfig {
+        StgnnConfig::test_tiny(K, D)
+    }
+
+    fn stacks(seed: u64) -> (Tensor, Tensor, Tensor, Tensor) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut mk = |rows: usize| {
+            let data: Vec<f32> = (0..rows * N * N).map(|_| rng.gen_range(0.0..1.0)).collect();
+            Tensor::from_vec(Shape::matrix(rows, N * N), data).unwrap()
+        };
+        (mk(K), mk(K), mk(D), mk(D))
+    }
+
+    #[test]
+    fn output_shapes_are_n_by_n() {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let fc = FlowConvolution::new(&mut ps, &mut rng, &config(), N);
+        let (si, so, li, lo) = stacks(2);
+        let g = Graph::new();
+        let out = fc.forward(&g, &si, &so, &li, &lo);
+        assert_eq!(out.t.value().shape().dims(), &[N, N]);
+        assert_eq!(out.i_hat.value().shape().dims(), &[N, N]);
+        assert_eq!(out.o_hat.value().shape().dims(), &[N, N]);
+    }
+
+    #[test]
+    fn fusion_is_convex_combination() {
+        // Î must lie elementwise between Î^S and Î^L, because β ∈ (0,1).
+        let g = Graph::new();
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = ps.add("w", xavier_uniform(&mut rng, N, N));
+        let short = g.leaf(Tensor::full(Shape::matrix(N, N), 2.0));
+        let long = g.leaf(Tensor::full(Shape::matrix(N, N), 5.0));
+        let fused = FlowConvolution::fuse(&g, &w, &short, &long).value();
+        assert!(fused.data().iter().all(|&v| (2.0..=5.0).contains(&v)), "{fused:?}");
+    }
+
+    #[test]
+    fn gate_prefers_short_term_when_w_pushes_positive() {
+        // With a large positive gate matrix and short > long, β^S → 1.
+        let g = Graph::new();
+        let mut ps = ParamSet::new();
+        let w = ps.add("w", Tensor::full(Shape::matrix(N, N), 10.0));
+        let short = g.leaf(Tensor::full(Shape::matrix(N, N), 1.0));
+        let long = g.leaf(Tensor::zeros(Shape::matrix(N, N)));
+        let fused = FlowConvolution::fuse(&g, &w, &short, &long).value();
+        assert!(fused.data().iter().all(|&v| v > 0.99), "{fused:?}");
+    }
+
+    #[test]
+    fn gradients_reach_every_parameter() {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let fc = FlowConvolution::new(&mut ps, &mut rng, &config(), N);
+        let (si, so, li, lo) = stacks(6);
+        let g = Graph::new();
+        let out = fc.forward(&g, &si, &so, &li, &lo);
+        out.t.square().sum_all().backward();
+        for p in ps.params() {
+            assert!(
+                p.grad().frobenius_norm() > 0.0,
+                "parameter {} received no gradient",
+                p.name()
+            );
+        }
+    }
+
+    #[test]
+    fn learns_to_reproduce_a_target_feature_map() {
+        // Sanity: the module can fit T to a fixed target from fixed inputs.
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let fc = FlowConvolution::new(&mut ps, &mut rng, &config(), N);
+        let (si, so, li, lo) = stacks(8);
+        let target = Tensor::eye(N);
+        let mut opt = Adam::new(0.02);
+        let mut last = f32::INFINITY;
+        for _ in 0..300 {
+            let g = Graph::new();
+            let out = fc.forward(&g, &si, &so, &li, &lo);
+            let loss = out.t.sub(&g.leaf(target.clone())).square().mean_all();
+            last = loss.value().scalar();
+            ps.zero_grads();
+            loss.backward();
+            opt.step(&ps);
+        }
+        assert!(last < 1e-2, "flow conv failed to fit: {last}");
+    }
+
+    #[test]
+    fn free_node_features_are_input_independent() {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(9);
+        let free = FreeNodeFeatures::new(&mut ps, &mut rng, N);
+        let g = Graph::new();
+        let t1 = free.forward(&g).value();
+        let t2 = free.forward(&g).value();
+        assert!(t1.approx_eq(&t2, 0.0));
+        assert_eq!(ps.len(), 1);
+    }
+
+    #[test]
+    fn fcg_mask_matches_definition() {
+        let i_hat = Tensor::from_rows(&[&[0.0, 1.0], &[0.0, 0.0]]);
+        let o_hat = Tensor::from_rows(&[&[0.0, 0.0], &[0.5, 0.0]]);
+        let m = fcg_mask(&i_hat, &o_hat);
+        assert_eq!(m.get2(0, 0), 1.0); // self-loop
+        assert_eq!(m.get2(1, 1), 1.0);
+        assert_eq!(m.get2(0, 1), 1.0); // Î[0][1] > 0 and Ô[1][0] > 0
+        assert_eq!(m.get2(1, 0), 0.0); // neither condition holds
+    }
+}

@@ -1,0 +1,35 @@
+//! # stgnn-core
+//!
+//! The STGNN-DJD model of *“A Data-Driven Spatial-Temporal Graph Neural
+//! Network for Docked Bike Prediction”* (ICDE 2022), built on the
+//! `stgnn-tensor` autodiff substrate:
+//!
+//! * [`config`] — hyperparameters (§VII-C defaults) plus the ablation and
+//!   aggregator switches of §VII-F/§VII-G, so every paper variant is one
+//!   configuration away.
+//! * [`flow_conv`] — the flow convolution of §IV-A (Eqs 1–9): per-direction
+//!   1×1 channel convolutions over the short-term (`k` slots) and long-term
+//!   (`d` days) windows, attentive short/long fusion, and the inflow‖outflow
+//!   projection producing the station feature matrix `T`.
+//! * [`fcg`] — the flow-convoluted graph (Eq 10) and its flow-based
+//!   aggregator stack (§V-B, Eq 14).
+//! * [`pcg`] — the pattern correlation graph (Eqs 11–12) and its multi-head
+//!   attention aggregator stack (§V-C, Eqs 15–18).
+//! * [`model`] — the assembled network with the Eq 20 predictor and Eq 21
+//!   loss; implements `stgnn_data::DemandSupplyPredictor`.
+//! * [`trainer`] — mini-batch Adam training with validation-based early
+//!   stopping and parameter snapshots.
+//! * [`attention`] — per-slot PCG attention export for the §VIII case study
+//!   (Figures 10–12).
+
+pub mod attention;
+pub mod config;
+pub mod fcg;
+pub mod flow_conv;
+pub mod model;
+pub mod pcg;
+pub mod trainer;
+
+pub use config::{FcgAggregator, PcgAggregator, StgnnConfig};
+pub use model::StgnnDjd;
+pub use trainer::{TrainReport, Trainer};

@@ -1,0 +1,497 @@
+//! The assembled STGNN-DJD network (§III-B overview, §VI predictor).
+//!
+//! Pipeline per target slot `t`:
+//!
+//! 1. Flow convolution (Eqs 1–9) turns the input windows into station
+//!    features `T` (or a free feature table under the "No FC" ablation).
+//! 2. The FCG branch aggregates over the dynamic flow graph (Eqs 10, 13–14).
+//! 3. The PCG branch aggregates with dense multi-head attention (Eqs 11–12,
+//!    15–18).
+//! 4. Branch embeddings concatenate (Eq 19) and a linear head emits demand
+//!    and supply per station (Eq 20).
+//!
+//! ### Dimension correction to Eq 20
+//!
+//! The paper states `W₁₁ ∈ R^{n×2}`, but Eq 19 gives `F_i ∈ R^{1×2n}`
+//! (concatenation of two `1×n` embeddings), so the head must be
+//! `R^{2n×2}`; we use the dimensionally consistent form (see DESIGN.md).
+
+use crate::config::StgnnConfig;
+use crate::fcg::FcgNetwork;
+use crate::flow_conv::{fcg_mask, FlowConvolution, FlowConvOutput, FreeNodeFeatures};
+use crate::pcg::PcgNetwork;
+use crate::trainer::Trainer;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cell::RefCell;
+use std::rc::Rc;
+use stgnn_data::dataset::BikeDataset;
+use stgnn_data::error::{Error, Result};
+use stgnn_data::predictor::{DemandSupplyPredictor, Prediction};
+use stgnn_tensor::autograd::{Graph, Param, ParamSet, Var};
+use stgnn_tensor::loss::joint_demand_supply_loss;
+use stgnn_tensor::nn::xavier_uniform;
+use stgnn_tensor::{Shape, Tensor};
+
+/// One slot's model inputs: flattened flow window stacks.
+pub struct ModelInputs {
+    /// Short-term inflow stack `(k, n·n)`.
+    pub short_in: Tensor,
+    /// Short-term outflow stack `(k, n·n)`.
+    pub short_out: Tensor,
+    /// Long-term inflow stack `(d, n·n)`.
+    pub long_in: Tensor,
+    /// Long-term outflow stack `(d, n·n)`.
+    pub long_out: Tensor,
+}
+
+impl ModelInputs {
+    /// Assembles the inputs for target slot `t` from a dataset.
+    pub fn from_dataset(data: &BikeDataset, t: usize) -> Self {
+        let (short_in, short_out) = data.short_term_stacks(t);
+        let (long_in, long_out) = data.long_term_stacks(t);
+        ModelInputs { short_in, short_out, long_in, long_out }
+    }
+}
+
+/// One forward pass's outputs on the tape.
+pub struct ForwardOutput {
+    /// Normalised demand predictions `x̂ ∈ R^{n×horizon}` (column `h` is
+    /// slot `t + h`; the paper's task is `horizon = 1`).
+    pub demand: Var,
+    /// Normalised supply predictions `ŷ ∈ R^{n×horizon}`.
+    pub supply: Var,
+    /// Per-PCG-layer head-averaged attention matrices (empty when the PCG
+    /// branch is disabled or uses a non-attention aggregator).
+    pub pcg_attention: Vec<Tensor>,
+}
+
+/// The STGNN-DJD model. Construct with [`StgnnDjd::new`], train with
+/// [`Trainer`] (or the [`DemandSupplyPredictor::fit`] shortcut), predict
+/// with [`DemandSupplyPredictor::predict`].
+pub struct StgnnDjd {
+    config: StgnnConfig,
+    n: usize,
+    params: ParamSet,
+    flow_conv: Option<FlowConvolution>,
+    free_features: Option<FreeNodeFeatures>,
+    fcg: Option<FcgNetwork>,
+    pcg: Option<PcgNetwork>,
+    /// Optional hidden predictor layer (weights, bias); see
+    /// [`StgnnConfig::predictor_hidden`].
+    hidden: Option<(Rc<Param>, Rc<Param>)>,
+    /// Eq 20 head.
+    w11: Rc<Param>,
+    /// Dropout / shuffling RNG, owned so `forward` can stay `&self`.
+    rng: RefCell<StdRng>,
+    name: String,
+    trained: bool,
+}
+
+impl StgnnDjd {
+    /// Builds the model for `n` stations. Fails on inconsistent
+    /// configuration (see [`StgnnConfig::validate`]).
+    pub fn new(config: StgnnConfig, n: usize) -> Result<Self> {
+        config.validate()?;
+        if n == 0 {
+            return Err(Error::InvalidConfig("model needs at least one station".into()));
+        }
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut params = ParamSet::new();
+        let flow_conv =
+            config.use_flow_conv.then(|| FlowConvolution::new(&mut params, &mut rng, &config, n));
+        let free_features =
+            (!config.use_flow_conv).then(|| FreeNodeFeatures::new(&mut params, &mut rng, n));
+        let fcg = config.use_fcg.then(|| FcgNetwork::new(&mut params, &mut rng, &config, n));
+        let pcg = config.use_pcg.then(|| PcgNetwork::new(&mut params, &mut rng, &config, n));
+        let branches = usize::from(config.use_fcg) + usize::from(config.use_pcg);
+        let embed = branches * n;
+        let hidden = config.predictor_hidden.map(|h| {
+            (
+                params.add("predictor.wh", xavier_uniform(&mut rng, embed, h)),
+                params.add("predictor.bh", Tensor::zeros(Shape::matrix(1, h))),
+            )
+        });
+        let head_in = config.predictor_hidden.unwrap_or(embed);
+        let w11 =
+            params.add("predictor.w11", xavier_uniform(&mut rng, head_in, 2 * config.horizon));
+        Ok(StgnnDjd {
+            config,
+            n,
+            params,
+            flow_conv,
+            free_features,
+            fcg,
+            pcg,
+            hidden,
+            w11,
+            rng: RefCell::new(rng),
+            name: "STGNN-DJD".into(),
+            trained: false,
+        })
+    }
+
+    /// Overrides the display name (used by ablation variants in tables).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// The model's configuration.
+    pub fn config(&self) -> &StgnnConfig {
+        &self.config
+    }
+
+    /// Number of stations the model was built for.
+    pub fn n_stations(&self) -> usize {
+        self.n
+    }
+
+    /// The learnable parameters (shared with the optimizer).
+    pub fn params(&self) -> &ParamSet {
+        &self.params
+    }
+
+    /// Whether [`DemandSupplyPredictor::fit`] has completed.
+    pub fn is_trained(&self) -> bool {
+        self.trained
+    }
+
+    /// Marks the model trained (used by [`Trainer`]).
+    pub(crate) fn set_trained(&mut self) {
+        self.trained = true;
+    }
+
+    /// Runs one forward pass on a fresh or shared tape. `train` enables
+    /// dropout (drawn from the model's RNG).
+    pub fn forward(&self, g: &Graph, inputs: &ModelInputs, train: bool) -> ForwardOutput {
+        // 1. Node features.
+        let (t, mask) = match (&self.flow_conv, &self.free_features) {
+            (Some(fc), _) => {
+                let FlowConvOutput { t, i_hat, o_hat } =
+                    fc.forward(g, &inputs.short_in, &inputs.short_out, &inputs.long_in, &inputs.long_out);
+                let mask = fcg_mask(&i_hat.value(), &o_hat.value());
+                (t, mask)
+            }
+            (None, Some(free)) => {
+                // "No FC": free features; the FCG mask falls back to raw
+                // observed flow in the short-term window.
+                (free.forward(g), raw_flow_mask(&inputs.short_in, &inputs.short_out, self.n))
+            }
+            (None, None) => unreachable!("constructor guarantees a feature source"),
+        };
+
+        // 2–3. Branch embeddings.
+        let mut rng = self.rng.borrow_mut();
+        let mut branch_embeddings: Vec<Var> = Vec::with_capacity(2);
+        let mut pcg_attention = Vec::new();
+        if let Some(fcg) = &self.fcg {
+            let train_rng = train.then_some(&mut *rng);
+            branch_embeddings.push(fcg.forward(g, &t, &mask, train_rng));
+        }
+        if let Some(pcg) = &self.pcg {
+            let train_rng = train.then_some(&mut *rng);
+            let (f_p, attn) = pcg.forward_with_attention(g, &t, train_rng);
+            pcg_attention = attn;
+            branch_embeddings.push(f_p);
+        }
+
+        // 4. Eq 19 concat + predictor head (optional hidden layer, then the
+        //    Eq 20 linear readout).
+        let refs: Vec<&Var> = branch_embeddings.iter().collect();
+        let mut embedding = if refs.len() == 1 { refs[0].clone() } else { g.concat_cols(&refs) };
+        if let Some((wh, bh)) = &self.hidden {
+            embedding = embedding.matmul(&g.param(wh)).add_row_broadcast(&g.param(bh)).relu();
+        }
+        let h = self.config.horizon;
+        let out = embedding.matmul(&g.param(&self.w11)); // n×2h
+        let out_t = out.transpose(); // 2h×n
+        let demand = out_t.slice_rows(0, h).transpose();
+        let supply = out_t.slice_rows(h, 2 * h).transpose();
+        ForwardOutput { demand, supply, pcg_attention }
+    }
+
+    /// Builds the Eq 21 loss for one slot against normalised targets.
+    pub fn loss(&self, g: &Graph, output: &ForwardOutput, demand_true: &Tensor, supply_true: &Tensor) -> Var {
+        joint_demand_supply_loss(
+            &output.demand,
+            &g.leaf(demand_true.clone()),
+            &output.supply,
+            &g.leaf(supply_true.clone()),
+        )
+    }
+
+    /// The radicand of Eq 21 for one slot: `mse(demand) + mse(supply)`.
+    ///
+    /// The trainer accumulates this across a batch and applies the square
+    /// root once per batch. Applying Eq 21's √ per slot instead would scale
+    /// each slot's gradient by `1/√mse_slot`, systematically down-weighting
+    /// the hardest slots (rush hours) — the opposite of what training needs.
+    pub fn squared_loss(&self, g: &Graph, output: &ForwardOutput, demand_true: &Tensor, supply_true: &Tensor) -> Var {
+        let d = output.demand.sub(&g.leaf(demand_true.clone())).square().mean_all();
+        let s = output.supply.sub(&g.leaf(supply_true.clone())).square().mean_all();
+        d.add(&s)
+    }
+
+    /// Evaluation-mode forward returning the final-layer PCG attention
+    /// matrix (head-averaged), for the §VIII case study. `None` when the
+    /// PCG branch is off or not attention-based.
+    pub fn pcg_attention_at(&self, data: &BikeDataset, t: usize) -> Option<Tensor> {
+        let g = Graph::new();
+        let inputs = ModelInputs::from_dataset(data, t);
+        let out = self.forward(&g, &inputs, false);
+        out.pcg_attention.last().cloned()
+    }
+
+    /// Predicts all `horizon` future slots starting at `t` (the §IX
+    /// multi-step extension). Element `h` of the result forecasts slot
+    /// `t + h`. With the default `horizon = 1` this is exactly
+    /// [`DemandSupplyPredictor::predict`].
+    pub fn predict_horizon(&self, data: &BikeDataset, t: usize) -> Vec<Prediction> {
+        let g = Graph::new();
+        let inputs = ModelInputs::from_dataset(data, t);
+        let out = self.forward(&g, &inputs, false);
+        let (dv, sv) = (out.demand.value(), out.supply.value());
+        let n = self.n;
+        (0..self.config.horizon)
+            .map(|h| {
+                let col = |m: &Tensor| -> Vec<f32> {
+                    (0..n).map(|i| (m.get2(i, h) * data.target_scale()).max(0.0)).collect()
+                };
+                Prediction { demand: col(&dv), supply: col(&sv) }
+            })
+            .collect()
+    }
+
+    /// Saves the trained weights to `path` (see `stgnn_tensor::serialize`).
+    pub fn save_weights(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        stgnn_tensor::serialize::save_params(&self.params, std::fs::File::create(path)?)
+    }
+
+    /// Loads weights from `path` into a model built with the *same
+    /// configuration* (names and shapes must match exactly) and marks it
+    /// trained.
+    pub fn load_weights(&mut self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        stgnn_tensor::serialize::load_params(&self.params, std::fs::File::open(path)?)?;
+        self.trained = true;
+        Ok(())
+    }
+
+    /// Validates that the dataset's windows match the model's.
+    pub fn check_compatible(&self, data: &BikeDataset) -> Result<()> {
+        if data.n_stations() != self.n {
+            return Err(Error::InvalidConfig(format!(
+                "model built for {} stations, dataset has {}",
+                self.n,
+                data.n_stations()
+            )));
+        }
+        if data.config().k != self.config.k || data.config().d != self.config.d {
+            return Err(Error::InvalidConfig(format!(
+                "window mismatch: model (k={}, d={}) vs dataset (k={}, d={})",
+                self.config.k,
+                self.config.d,
+                data.config().k,
+                data.config().d
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Fallback FCG mask for the "No FC" ablation: raw observed flow in the
+/// short-term window (any `i←j` inflow or `j→i` outflow), plus self-loops.
+fn raw_flow_mask(short_in: &Tensor, short_out: &Tensor, n: usize) -> Tensor {
+    let mut mask = Tensor::zeros(Shape::matrix(n, n));
+    let buf = mask.data_mut();
+    let k = short_in.shape().rows();
+    for i in 0..n {
+        buf[i * n + i] = 1.0;
+    }
+    for c in 0..k {
+        let in_row = short_in.row(c);
+        let out_row = short_out.row(c);
+        for i in 0..n {
+            for j in 0..n {
+                if in_row[i * n + j] > 0.0 || out_row[j * n + i] > 0.0 {
+                    buf[i * n + j] = 1.0;
+                }
+            }
+        }
+    }
+    mask
+}
+
+impl DemandSupplyPredictor for StgnnDjd {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn fit(&mut self, data: &BikeDataset) -> Result<()> {
+        Trainer::new(self.config.clone()).train(self, data).map(|_| ())
+    }
+
+    fn predict(&self, data: &BikeDataset, t: usize) -> Prediction {
+        self.predict_horizon(data, t)
+            .into_iter()
+            .next()
+            .expect("horizon ≥ 1 guaranteed by config validation")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stgnn_data::dataset::DatasetConfig;
+    use stgnn_data::synthetic::{CityConfig, SyntheticCity};
+
+    fn dataset() -> BikeDataset {
+        let city = SyntheticCity::generate(CityConfig::test_tiny(41));
+        BikeDataset::from_city(&city, DatasetConfig::small(6, 2)).unwrap()
+    }
+
+    fn model(data: &BikeDataset) -> StgnnDjd {
+        StgnnDjd::new(StgnnConfig::test_tiny(6, 2), data.n_stations()).unwrap()
+    }
+
+    #[test]
+    fn forward_output_shapes() {
+        let data = dataset();
+        let m = model(&data);
+        let t = data.slots(stgnn_data::Split::Train)[0];
+        let g = Graph::new();
+        let out = m.forward(&g, &ModelInputs::from_dataset(&data, t), false);
+        assert_eq!(out.demand.value().shape().dims(), &[data.n_stations(), 1]);
+        assert_eq!(out.supply.value().shape().dims(), &[data.n_stations(), 1]);
+        assert_eq!(out.pcg_attention.len(), 1); // 1 PCG layer in test_tiny
+    }
+
+    #[test]
+    fn loss_backward_reaches_all_params() {
+        let data = dataset();
+        let m = model(&data);
+        let t = data.slots(stgnn_data::Split::Train)[0];
+        let g = Graph::new();
+        let out = m.forward(&g, &ModelInputs::from_dataset(&data, t), true);
+        let (dt, st) = data.targets(t);
+        m.loss(&g, &out, &dt, &st).backward();
+        let with_grad = m
+            .params()
+            .params()
+            .iter()
+            .filter(|p| p.grad().frobenius_norm() > 0.0)
+            .count();
+        // Dropout or dead ReLUs can starve a few parameters on one sample,
+        // but the vast majority must receive gradient.
+        assert!(
+            with_grad * 10 >= m.params().len() * 8,
+            "only {with_grad}/{} params got gradient",
+            m.params().len()
+        );
+    }
+
+    #[test]
+    fn variants_construct_and_forward() {
+        let data = dataset();
+        let t = data.slots(stgnn_data::Split::Train)[0];
+        let configs = [
+            StgnnConfig::test_tiny(6, 2).without_flow_conv(),
+            StgnnConfig::test_tiny(6, 2).without_fcg(),
+            StgnnConfig::test_tiny(6, 2).without_pcg(),
+        ];
+        for c in configs {
+            let m = StgnnDjd::new(c, data.n_stations()).unwrap();
+            let g = Graph::new();
+            let out = m.forward(&g, &ModelInputs::from_dataset(&data, t), false);
+            assert_eq!(out.demand.value().len(), data.n_stations());
+        }
+    }
+
+    #[test]
+    fn predictions_are_nonnegative_counts() {
+        let data = dataset();
+        let m = model(&data);
+        let t = data.slots(stgnn_data::Split::Test)[0];
+        let pred = m.predict(&data, t);
+        assert_eq!(pred.demand.len(), data.n_stations());
+        assert!(pred.demand.iter().chain(&pred.supply).all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn eval_forward_is_deterministic() {
+        let data = dataset();
+        let m = model(&data);
+        let t = data.slots(stgnn_data::Split::Test)[0];
+        let p1 = m.predict(&data, t);
+        let p2 = m.predict(&data, t);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn attention_export_present_only_with_attention_pcg() {
+        let data = dataset();
+        let m = model(&data);
+        let t = data.slots(stgnn_data::Split::Test)[0];
+        assert!(m.pcg_attention_at(&data, t).is_some());
+
+        let m2 = StgnnDjd::new(StgnnConfig::test_tiny(6, 2).without_pcg(), data.n_stations()).unwrap();
+        assert!(m2.pcg_attention_at(&data, t).is_none());
+    }
+
+    #[test]
+    fn compatibility_checks() {
+        let data = dataset();
+        let m = model(&data);
+        assert!(m.check_compatible(&data).is_ok());
+        let wrong_n = StgnnDjd::new(StgnnConfig::test_tiny(6, 2), 3).unwrap();
+        assert!(wrong_n.check_compatible(&data).is_err());
+        let wrong_k = StgnnDjd::new(StgnnConfig::test_tiny(7, 2), data.n_stations()).unwrap();
+        assert!(wrong_k.check_compatible(&data).is_err());
+    }
+
+    #[test]
+    fn multi_step_horizon_shapes_and_first_step_consistency() {
+        let data = dataset();
+        let mut config = StgnnConfig::test_tiny(6, 2);
+        config.horizon = 3;
+        let m = StgnnDjd::new(config, data.n_stations()).unwrap();
+        let slots = data.slots(stgnn_data::Split::Test);
+        let t = slots[0];
+        let g = Graph::new();
+        let out = m.forward(&g, &ModelInputs::from_dataset(&data, t), false);
+        assert_eq!(out.demand.value().shape().dims(), &[data.n_stations(), 3]);
+        let multi = m.predict_horizon(&data, t);
+        assert_eq!(multi.len(), 3);
+        // the single-step trait prediction equals step 0 of the horizon
+        let single = m.predict(&data, t);
+        assert_eq!(single, multi[0]);
+        assert!(multi.iter().all(|p| p.demand.iter().all(|&v| v >= 0.0)));
+    }
+
+    #[test]
+    fn multi_step_model_trains_end_to_end() {
+        let data = dataset();
+        let mut config = StgnnConfig::test_tiny(6, 2);
+        config.horizon = 2;
+        config.epochs = 3;
+        let mut m = StgnnDjd::new(config, data.n_stations()).unwrap();
+        m.fit(&data).expect("multi-step training");
+        assert!(m.is_trained());
+        let t = data.slots(stgnn_data::Split::Test)[0];
+        let preds = m.predict_horizon(&data, t);
+        assert_eq!(preds.len(), 2);
+        assert!(preds[1].supply.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn raw_flow_mask_includes_self_loops_and_flows() {
+        let n = 2;
+        let short_in = Tensor::from_rows(&[&[0.0, 1.0, 0.0, 0.0]]); // I[0][1] > 0
+        let short_out = Tensor::zeros(Shape::matrix(1, 4));
+        let m = raw_flow_mask(&short_in, &short_out, n);
+        assert_eq!(m.get2(0, 0), 1.0);
+        assert_eq!(m.get2(1, 1), 1.0);
+        assert_eq!(m.get2(0, 1), 1.0);
+        assert_eq!(m.get2(1, 0), 0.0);
+    }
+}

@@ -1,0 +1,262 @@
+//! Mini-batch training with validation-based early stopping (§VII-C).
+//!
+//! One gradient step averages the Eq 21 loss over `batch_size` target slots
+//! (each slot traces its own tape; gradients accumulate in the shared
+//! parameter cells, which is mathematically identical to a batched tape).
+//! After each epoch the validation loss decides early stopping, and the best
+//! parameter snapshot is restored at the end — the standard protocol the
+//! paper's "set hyperparameters on the validation set" implies.
+
+use crate::config::StgnnConfig;
+use crate::model::{ModelInputs, StgnnDjd};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use stgnn_data::dataset::{BikeDataset, Split};
+use stgnn_data::error::{Error, Result};
+use stgnn_tensor::autograd::Graph;
+use stgnn_tensor::optim::{Adam, Optimizer};
+use stgnn_tensor::Tensor;
+
+/// Summary of one training run.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Epochs actually run (≤ configured epochs under early stopping).
+    pub epochs_run: usize,
+    /// Best validation loss seen.
+    pub best_val_loss: f32,
+    /// Mean training loss per epoch.
+    pub train_losses: Vec<f32>,
+    /// Validation loss per epoch.
+    pub val_losses: Vec<f32>,
+}
+
+/// Trains an [`StgnnDjd`] on a [`BikeDataset`].
+pub struct Trainer {
+    config: StgnnConfig,
+    /// Cap on validation slots per evaluation (validation is forward-only
+    /// but still costs a full graph trace per slot).
+    max_val_slots: usize,
+}
+
+impl Trainer {
+    /// A trainer with the model's own configuration.
+    pub fn new(config: StgnnConfig) -> Self {
+        Trainer { config, max_val_slots: 48 }
+    }
+
+    /// Overrides the validation subsample cap.
+    pub fn with_max_val_slots(mut self, cap: usize) -> Self {
+        self.max_val_slots = cap.max(1);
+        self
+    }
+
+    /// Runs training to completion (or early stop), leaving the model with
+    /// its best-validation parameters.
+    pub fn train(&self, model: &mut StgnnDjd, data: &BikeDataset) -> Result<TrainReport> {
+        model.check_compatible(data)?;
+        let horizon = self.config.horizon;
+        let max_slot = data.flows().num_slots().saturating_sub(horizon);
+        let train_slots: Vec<usize> =
+            data.slots(Split::Train).into_iter().filter(|&t| t <= max_slot).collect();
+        if train_slots.is_empty() {
+            return Err(Error::InvalidConfig("no valid training slots".into()));
+        }
+        let val_slots = {
+            let all: Vec<usize> =
+                data.slots(Split::Val).into_iter().filter(|&t| t <= max_slot).collect();
+            subsample(&all, self.max_val_slots)
+        };
+
+        let mut shuffle_rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(1));
+        let mut opt = Adam::new(self.config.learning_rate).with_clip(5.0);
+        let mut report = TrainReport {
+            epochs_run: 0,
+            best_val_loss: f32::INFINITY,
+            train_losses: Vec::new(),
+            val_losses: Vec::new(),
+        };
+        let mut best_snapshot: Option<Vec<Tensor>> = None;
+        let mut epochs_since_best = 0usize;
+
+        for _epoch in 0..self.config.epochs {
+            let mut slots = train_slots.clone();
+            slots.shuffle(&mut shuffle_rng);
+            if let Some(cap) = self.config.max_batches_per_epoch {
+                slots.truncate(cap * self.config.batch_size);
+            }
+
+            let mut epoch_loss = 0.0f64;
+            let mut batches = 0usize;
+            for batch in slots.chunks(self.config.batch_size) {
+                model.params().zero_grads();
+                // Eq 21 over the batch: L = sqrt(mean_b (mse_d + mse_s)).
+                // Each slot traces its own tape; the batch-level √ factors
+                // into a shared scalar 1/(2·B·L) applied to each slot's
+                // radicand before its backward sweep.
+                let mut slot_losses = Vec::with_capacity(batch.len());
+                let mut radicand = 0.0f64;
+                for &t in batch {
+                    let g = Graph::new();
+                    let inputs = ModelInputs::from_dataset(data, t);
+                    let out = model.forward(&g, &inputs, true);
+                    let (dt, st) = data.targets_horizon(t, horizon)?;
+                    let sq = model.squared_loss(&g, &out, &dt, &st);
+                    radicand += sq.value().scalar() as f64 / batch.len() as f64;
+                    slot_losses.push(sq);
+                }
+                let batch_loss = (radicand.max(0.0)).sqrt() as f32;
+                let grad_scale = 1.0 / (2.0 * batch.len() as f32 * batch_loss.max(1e-6));
+                for sq in slot_losses {
+                    sq.mul_scalar(grad_scale).backward();
+                }
+                opt.step(model.params());
+                epoch_loss += batch_loss as f64;
+                batches += 1;
+            }
+            report.train_losses.push((epoch_loss / batches.max(1) as f64) as f32);
+
+            let val_loss = if val_slots.is_empty() {
+                *report.train_losses.last().expect("≥1 epoch")
+            } else {
+                self.mean_loss(model, data, &val_slots)
+            };
+            report.val_losses.push(val_loss);
+            report.epochs_run += 1;
+
+            if val_loss < report.best_val_loss {
+                report.best_val_loss = val_loss;
+                best_snapshot = Some(model.params().params().iter().map(|p| p.value()).collect());
+                epochs_since_best = 0;
+            } else {
+                epochs_since_best += 1;
+                if epochs_since_best >= self.config.patience {
+                    break;
+                }
+            }
+        }
+
+        if let Some(snapshot) = best_snapshot {
+            for (p, v) in model.params().params().iter().zip(snapshot) {
+                p.set_value(v);
+            }
+        }
+        model.set_trained();
+        Ok(report)
+    }
+
+    /// Mean Eq 21 loss over `slots`, evaluation mode.
+    pub fn mean_loss(&self, model: &StgnnDjd, data: &BikeDataset, slots: &[usize]) -> f32 {
+        let mut total = 0.0f64;
+        for &t in slots {
+            let g = Graph::new();
+            let inputs = ModelInputs::from_dataset(data, t);
+            let out = model.forward(&g, &inputs, false);
+            let (dt, st) = data
+                .targets_horizon(t, self.config.horizon)
+                .expect("mean_loss slots must leave room for the horizon");
+            total += model.loss(&g, &out, &dt, &st).value().scalar() as f64;
+        }
+        (total / slots.len().max(1) as f64) as f32
+    }
+}
+
+/// Evenly subsamples `slots` down to at most `cap` entries.
+fn subsample(slots: &[usize], cap: usize) -> Vec<usize> {
+    if slots.len() <= cap {
+        return slots.to_vec();
+    }
+    let stride = slots.len() as f64 / cap as f64;
+    (0..cap).map(|i| slots[(i as f64 * stride) as usize]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stgnn_data::dataset::DatasetConfig;
+    use stgnn_data::predictor::{evaluate, DemandSupplyPredictor};
+    use stgnn_data::synthetic::{CityConfig, SyntheticCity};
+
+    fn dataset(seed: u64) -> BikeDataset {
+        let city = SyntheticCity::generate(CityConfig::test_tiny(seed));
+        BikeDataset::from_city(&city, DatasetConfig::small(6, 2)).unwrap()
+    }
+
+    #[test]
+    fn subsample_caps_and_preserves_order() {
+        let slots: Vec<usize> = (0..100).collect();
+        let s = subsample(&slots, 10);
+        assert_eq!(s.len(), 10);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(subsample(&slots, 200), slots);
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let data = dataset(43);
+        let mut config = StgnnConfig::test_tiny(6, 2);
+        config.epochs = 6;
+        config.max_batches_per_epoch = Some(8);
+        let mut model = StgnnDjd::new(config.clone(), data.n_stations()).unwrap();
+        let report = Trainer::new(config).train(&mut model, &data).unwrap();
+        assert!(report.epochs_run >= 2);
+        let first = report.train_losses[0];
+        let last = *report.train_losses.last().unwrap();
+        assert!(last < first, "loss did not decrease: {first} → {last}");
+        assert!(model.is_trained());
+    }
+
+    #[test]
+    fn early_stopping_respects_patience() {
+        let data = dataset(44);
+        let mut config = StgnnConfig::test_tiny(6, 2);
+        config.epochs = 50;
+        config.patience = 1;
+        config.learning_rate = 10.0; // diverges ⇒ validation worsens fast
+        let mut model = StgnnDjd::new(config.clone(), data.n_stations()).unwrap();
+        let report = Trainer::new(config).train(&mut model, &data).unwrap();
+        assert!(report.epochs_run < 50, "never stopped: {} epochs", report.epochs_run);
+    }
+
+    #[test]
+    fn best_snapshot_is_restored() {
+        let data = dataset(45);
+        let mut config = StgnnConfig::test_tiny(6, 2);
+        config.epochs = 5;
+        let mut model = StgnnDjd::new(config.clone(), data.n_stations()).unwrap();
+        let trainer = Trainer::new(config);
+        let report = trainer.train(&mut model, &data).unwrap();
+        // The restored parameters must reproduce the best validation loss.
+        let val = data.slots(Split::Val);
+        let val = subsample(&val, 48);
+        let loss_now = trainer.mean_loss(&model, &data, &val);
+        assert!(
+            (loss_now - report.best_val_loss).abs() < 1e-4,
+            "restored loss {loss_now} ≠ best {}",
+            report.best_val_loss
+        );
+    }
+
+    #[test]
+    fn trained_model_beats_predicting_zero() {
+        let data = dataset(46);
+        let mut model = StgnnDjd::new(StgnnConfig::test_tiny(6, 2), data.n_stations()).unwrap();
+        model.fit(&data).unwrap();
+        let slots = data.slots(Split::Test);
+        let row = evaluate(&model, &data, &slots);
+        // "Predict 0 bikes" has RMSE ≈ RMS of the true counts; the model
+        // must do clearly better.
+        let mut zero_acc = stgnn_data::MetricsAccumulator::new();
+        for &t in &slots {
+            let (d, s) = data.raw_targets(t);
+            zero_acc.add_slot(&vec![0.0; d.len()], &vec![0.0; s.len()], d, s);
+        }
+        let zero = zero_acc.finalize();
+        assert!(
+            row.rmse_mean < zero.rmse_mean,
+            "model {} not better than zero {}",
+            row.rmse_mean,
+            zero.rmse_mean
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! Error type for the data substrate.
+
+use std::fmt;
+
+/// Errors produced while loading, generating or slicing datasets.
+#[derive(Debug)]
+pub enum Error {
+    /// Underlying I/O failure (CSV files).
+    Io(std::io::Error),
+    /// A malformed CSV line or field.
+    Parse { line: usize, message: String },
+    /// Inconsistent configuration (e.g. window longer than history).
+    InvalidConfig(String),
+    /// A slot/station index outside the dataset.
+    OutOfRange(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "io error: {e}"),
+            Error::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            Error::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+            Error::OutOfRange(m) => write!(f, "out of range: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_carry_context() {
+        let e = Error::Parse { line: 12, message: "bad station id".into() };
+        assert!(e.to_string().contains("line 12"));
+        let e = Error::InvalidConfig("k > history".into());
+        assert!(e.to_string().contains("k > history"));
+    }
+
+    #[test]
+    fn io_source_is_preserved() {
+        let inner = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e: Error = inner.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,40 @@
+//! # stgnn-data
+//!
+//! The bike-sharing data substrate for the STGNN-DJD (ICDE 2022)
+//! reproduction. It covers everything between "raw trip logs" and "tensors
+//! ready for the model":
+//!
+//! * [`station`] — stations with coordinates and functional archetypes,
+//!   plus a registry with haversine distances.
+//! * [`trip`] — the paper's trip-record schema (§III-A), the §VII-A
+//!   cleansing rules, and a minimal CSV reader/writer for the fixed
+//!   5-column schema.
+//! * [`synthetic`] — a calibrated synthetic city generator standing in for
+//!   the (non-redistributable) Divvy/Metro datasets; presets
+//!   [`synthetic::CityConfig::chicago_like`] and
+//!   [`synthetic::CityConfig::los_angeles_like`].
+//! * [`flow`] — slot aggregation of trips into the paper's inflow/outflow
+//!   matrices `I^t, O^t ∈ R^{n×n}` and the derived demand/supply series.
+//! * [`dataset`] — train/validation/test splits by days (70/10/20),
+//!   min–max normalisation, model input windows (last `k` slots + same
+//!   slot of last `d` days) and rush-hour slot selection.
+//! * [`metrics`] — the paper's RMSE/MAE (Eqs 22–23) with its
+//!   zero-station exclusion rule, and mean±std aggregation across slots.
+
+pub mod dataset;
+pub mod error;
+pub mod flow;
+pub mod metrics;
+pub mod predictor;
+pub mod station;
+pub mod synthetic;
+pub mod trip;
+
+pub use dataset::{BikeDataset, DatasetConfig, Split};
+pub use error::{Error, Result};
+pub use flow::FlowSeries;
+pub use metrics::{MetricsAccumulator, MetricsRow};
+pub use predictor::{evaluate, DemandSupplyPredictor, Prediction};
+pub use station::{Archetype, Station, StationRegistry};
+pub use synthetic::{CityConfig, SyntheticCity};
+pub use trip::{CleansingReport, RawTripRecord, TripRecord};

@@ -1,0 +1,242 @@
+//! Evaluation metrics (Eqs 22–23) with the paper's station-exclusion rule.
+//!
+//! The paper computes RMSE and MAE jointly over demand and supply:
+//!
+//! ```text
+//! RMSE = sqrt( (Σᵢ (xᵢ−x̂ᵢ)² + Σᵢ (yᵢ−ŷᵢ)²) / 2n )
+//! MAE  =       (Σᵢ |xᵢ−x̂ᵢ| + Σᵢ |yᵢ−ŷᵢ|) / 2n
+//! ```
+//!
+//! and "exclude\[s\] the results of those stations which had no demand or
+//! supply" (§VII-A). We read that as: a station is excluded from a slot's
+//! metric when its ground-truth demand **and** supply are both zero at that
+//! slot (an idle station — the common industry convention the paper cites).
+//! Eq 23 is printed without absolute values in the paper; we use `|·|` as
+//! every cited baseline does.
+//!
+//! Tables report `mean±std`; we aggregate per-slot metrics across the test
+//! slots and report their mean and population standard deviation.
+
+/// Aggregated metric results for one (model, dataset, slot-filter) cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricsRow {
+    /// Mean per-slot RMSE.
+    pub rmse_mean: f32,
+    /// Standard deviation of per-slot RMSE.
+    pub rmse_std: f32,
+    /// Mean per-slot MAE.
+    pub mae_mean: f32,
+    /// Standard deviation of per-slot MAE.
+    pub mae_std: f32,
+    /// Number of slots that contributed (slots with every station excluded
+    /// are skipped).
+    pub n_slots: usize,
+}
+
+impl MetricsRow {
+    /// Formats as the paper's `R.RR±S.SS` cell pair (RMSE, MAE).
+    pub fn cells(&self) -> (String, String) {
+        (
+            format!("{:.2}±{:.2}", self.rmse_mean, self.rmse_std),
+            format!("{:.2}±{:.2}", self.mae_mean, self.mae_std),
+        )
+    }
+}
+
+/// Streaming accumulator of per-slot RMSE/MAE.
+#[derive(Debug, Default, Clone)]
+pub struct MetricsAccumulator {
+    per_slot_rmse: Vec<f32>,
+    per_slot_mae: Vec<f32>,
+}
+
+impl MetricsAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one slot's predictions (all in raw bike counts).
+    ///
+    /// Stations whose true demand and supply are both zero are excluded; if
+    /// that excludes every station, the slot is skipped entirely.
+    ///
+    /// # Panics
+    /// Panics when the four slices differ in length.
+    pub fn add_slot(
+        &mut self,
+        pred_demand: &[f32],
+        pred_supply: &[f32],
+        true_demand: &[f32],
+        true_supply: &[f32],
+    ) {
+        let n = true_demand.len();
+        assert!(
+            pred_demand.len() == n && pred_supply.len() == n && true_supply.len() == n,
+            "metric slice length mismatch"
+        );
+        let mut se = 0.0f64;
+        let mut ae = 0.0f64;
+        let mut included = 0usize;
+        for i in 0..n {
+            if true_demand[i] == 0.0 && true_supply[i] == 0.0 {
+                continue;
+            }
+            let dd = (true_demand[i] - pred_demand[i]) as f64;
+            let ds = (true_supply[i] - pred_supply[i]) as f64;
+            se += dd * dd + ds * ds;
+            ae += dd.abs() + ds.abs();
+            included += 1;
+        }
+        if included == 0 {
+            return;
+        }
+        let denom = 2.0 * included as f64;
+        self.per_slot_rmse.push((se / denom).sqrt() as f32);
+        self.per_slot_mae.push((ae / denom) as f32);
+    }
+
+    /// Number of slots accumulated so far.
+    pub fn n_slots(&self) -> usize {
+        self.per_slot_rmse.len()
+    }
+
+    /// Finalises into a [`MetricsRow`]. Returns zeros when no slot
+    /// contributed (callers should treat `n_slots == 0` as "no data").
+    pub fn finalize(&self) -> MetricsRow {
+        let n = self.per_slot_rmse.len();
+        if n == 0 {
+            return MetricsRow { rmse_mean: 0.0, rmse_std: 0.0, mae_mean: 0.0, mae_std: 0.0, n_slots: 0 };
+        }
+        let (rmse_mean, rmse_std) = mean_std(&self.per_slot_rmse);
+        let (mae_mean, mae_std) = mean_std(&self.per_slot_mae);
+        MetricsRow { rmse_mean, rmse_std, mae_mean, mae_std, n_slots: n }
+    }
+}
+
+/// Mean absolute percentage error over one slot, with the same idle-station
+/// exclusion as RMSE/MAE plus the standard guard that a term only counts
+/// when its own ground truth is nonzero (MAPE is undefined at 0). The paper
+/// mentions MAPE alongside RMSE in §VII-H; it is exposed for completeness.
+///
+/// Returns `None` when no term qualifies.
+pub fn slot_mape(
+    pred_demand: &[f32],
+    pred_supply: &[f32],
+    true_demand: &[f32],
+    true_supply: &[f32],
+) -> Option<f32> {
+    let mut total = 0.0f64;
+    let mut count = 0usize;
+    for i in 0..true_demand.len() {
+        if true_demand[i] == 0.0 && true_supply[i] == 0.0 {
+            continue;
+        }
+        for (p, t) in [(pred_demand[i], true_demand[i]), (pred_supply[i], true_supply[i])] {
+            if t != 0.0 {
+                total += ((t - p) / t).abs() as f64;
+                count += 1;
+            }
+        }
+    }
+    (count > 0).then(|| (total / count as f64) as f32)
+}
+
+fn mean_std(xs: &[f32]) -> (f32, f32) {
+    let n = xs.len() as f64;
+    let mean = xs.iter().map(|&x| x as f64).sum::<f64>() / n;
+    let var = xs.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n;
+    (mean as f32, var.sqrt() as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_is_zero() {
+        let mut acc = MetricsAccumulator::new();
+        acc.add_slot(&[1.0, 2.0], &[3.0, 4.0], &[1.0, 2.0], &[3.0, 4.0]);
+        let row = acc.finalize();
+        assert_eq!(row.rmse_mean, 0.0);
+        assert_eq!(row.mae_mean, 0.0);
+        assert_eq!(row.n_slots, 1);
+    }
+
+    #[test]
+    fn single_slot_known_values() {
+        let mut acc = MetricsAccumulator::new();
+        // station 0: demand err 2, supply err 0; station 1: errs 1 and 1.
+        acc.add_slot(&[3.0, 1.0], &[1.0, 2.0], &[1.0, 2.0], &[1.0, 1.0]);
+        let row = acc.finalize();
+        // SE = 4 + 0 + 1 + 1 = 6; RMSE = sqrt(6/4)
+        assert!((row.rmse_mean - (6.0f32 / 4.0).sqrt()).abs() < 1e-6);
+        // AE = 2 + 0 + 1 + 1 = 4; MAE = 4/4 = 1
+        assert!((row.mae_mean - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn idle_stations_are_excluded() {
+        let mut acc = MetricsAccumulator::new();
+        // Station 1 is idle (0 demand, 0 supply) but the model predicted 5 —
+        // the paper's rule excludes it rather than punishing it.
+        acc.add_slot(&[1.0, 5.0], &[1.0, 5.0], &[1.0, 0.0], &[1.0, 0.0]);
+        let row = acc.finalize();
+        assert_eq!(row.rmse_mean, 0.0);
+    }
+
+    #[test]
+    fn station_with_only_demand_is_included() {
+        let mut acc = MetricsAccumulator::new();
+        acc.add_slot(&[2.0], &[0.0], &[1.0], &[0.0]);
+        let row = acc.finalize();
+        assert!(row.rmse_mean > 0.0);
+    }
+
+    #[test]
+    fn fully_idle_slot_is_skipped() {
+        let mut acc = MetricsAccumulator::new();
+        acc.add_slot(&[9.0], &[9.0], &[0.0], &[0.0]);
+        assert_eq!(acc.n_slots(), 0);
+        assert_eq!(acc.finalize().n_slots, 0);
+    }
+
+    #[test]
+    fn mean_and_std_across_slots() {
+        let mut acc = MetricsAccumulator::new();
+        // slot 1: RMSE = 1 (errors of 1 on demand and supply of 1 station)
+        acc.add_slot(&[2.0], &[2.0], &[1.0], &[1.0]);
+        // slot 2: RMSE = 3
+        acc.add_slot(&[4.0], &[4.0], &[1.0], &[1.0]);
+        let row = acc.finalize();
+        assert!((row.rmse_mean - 2.0).abs() < 1e-6);
+        assert!((row.rmse_std - 1.0).abs() < 1e-6);
+        assert_eq!(row.n_slots, 2);
+    }
+
+    #[test]
+    fn cells_format_like_the_paper() {
+        let row = MetricsRow { rmse_mean: 1.18, rmse_std: 0.37, mae_mean: 1.1, mae_std: 0.43, n_slots: 5 };
+        let (r, m) = row.cells();
+        assert_eq!(r, "1.18±0.37");
+        assert_eq!(m, "1.10±0.43");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_slices_panic() {
+        MetricsAccumulator::new().add_slot(&[1.0], &[1.0, 2.0], &[1.0], &[1.0]);
+    }
+
+    #[test]
+    fn mape_known_values_and_guards() {
+        // demand: |2-1|/2 = 0.5 ; supply: |4-3|/4 = 0.25 → mean 0.375
+        let m = slot_mape(&[1.0], &[3.0], &[2.0], &[4.0]).unwrap();
+        assert!((m - 0.375).abs() < 1e-6);
+        // zero-truth terms are skipped, not divided by
+        let m = slot_mape(&[1.0], &[9.0], &[2.0], &[0.0]).unwrap();
+        assert!((m - 0.5).abs() < 1e-6);
+        // fully idle slot yields None
+        assert!(slot_mape(&[1.0], &[1.0], &[0.0], &[0.0]).is_none());
+    }
+}

@@ -1,0 +1,100 @@
+//! The prediction interface shared by STGNN-DJD and every baseline.
+//!
+//! All of Table I's models — from Historical Average to the full model —
+//! implement [`DemandSupplyPredictor`] over a [`BikeDataset`], so the
+//! experiment harness can train and score them uniformly.
+
+use crate::dataset::BikeDataset;
+use crate::error::Result;
+use crate::metrics::{MetricsAccumulator, MetricsRow};
+
+/// One slot's prediction: per-station demand and supply in raw bike counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// Predicted demand `x̂_i^t` per station.
+    pub demand: Vec<f32>,
+    /// Predicted supply `ŷ_i^t` per station.
+    pub supply: Vec<f32>,
+}
+
+/// A model that predicts docked-bike demand and supply for the next slot
+/// (Definition 1 in the paper).
+pub trait DemandSupplyPredictor {
+    /// Model name as it appears in the paper's tables.
+    fn name(&self) -> &str;
+
+    /// Trains on the dataset's training split (validating on the validation
+    /// split where the model supports it).
+    fn fit(&mut self, data: &BikeDataset) -> Result<()>;
+
+    /// Predicts demand and supply at target slot `t` using only information
+    /// available before `t` (the online-prediction setting of §III-A).
+    fn predict(&self, data: &BikeDataset, t: usize) -> Prediction;
+}
+
+/// Evaluates a fitted predictor over `slots`, returning the paper's
+/// mean±std RMSE/MAE row.
+pub fn evaluate(
+    predictor: &dyn DemandSupplyPredictor,
+    data: &BikeDataset,
+    slots: &[usize],
+) -> MetricsRow {
+    let mut acc = MetricsAccumulator::new();
+    for &t in slots {
+        let pred = predictor.predict(data, t);
+        let (true_d, true_s) = data.raw_targets(t);
+        acc.add_slot(&pred.demand, &pred.supply, true_d, true_s);
+    }
+    acc.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{DatasetConfig, Split};
+    use crate::synthetic::{CityConfig, SyntheticCity};
+
+    /// A trivially wrong predictor for exercising the harness.
+    struct ZeroPredictor;
+
+    impl DemandSupplyPredictor for ZeroPredictor {
+        fn name(&self) -> &str {
+            "Zero"
+        }
+        fn fit(&mut self, _data: &BikeDataset) -> Result<()> {
+            Ok(())
+        }
+        fn predict(&self, data: &BikeDataset, _t: usize) -> Prediction {
+            Prediction { demand: vec![0.0; data.n_stations()], supply: vec![0.0; data.n_stations()] }
+        }
+    }
+
+    /// An oracle that reads the answer (sanity upper bound).
+    struct OraclePredictor;
+
+    impl DemandSupplyPredictor for OraclePredictor {
+        fn name(&self) -> &str {
+            "Oracle"
+        }
+        fn fit(&mut self, _data: &BikeDataset) -> Result<()> {
+            Ok(())
+        }
+        fn predict(&self, data: &BikeDataset, t: usize) -> Prediction {
+            let (d, s) = data.raw_targets(t);
+            Prediction { demand: d.to_vec(), supply: s.to_vec() }
+        }
+    }
+
+    #[test]
+    fn evaluate_ranks_oracle_above_zero() {
+        let city = SyntheticCity::generate(CityConfig::test_tiny(31));
+        let data = BikeDataset::from_city(&city, DatasetConfig::small(6, 2)).unwrap();
+        let slots = data.slots(Split::Test);
+        let zero = evaluate(&ZeroPredictor, &data, &slots);
+        let oracle = evaluate(&OraclePredictor, &data, &slots);
+        assert_eq!(oracle.rmse_mean, 0.0);
+        assert!(zero.rmse_mean > 0.0);
+        assert!(zero.mae_mean > 0.0);
+        assert!(zero.n_slots > 0);
+    }
+}

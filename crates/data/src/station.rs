@@ -1,0 +1,205 @@
+//! Stations and the station registry.
+
+use std::fmt;
+
+/// Functional archetype of the area around a station.
+///
+/// Archetypes drive the synthetic demand model: the paper's motivating
+/// observation is that stations near facilities with similar operating hours
+/// (two schools, two office districts) share demand–supply patterns even
+/// when they are far apart and exchange no bikes (§I, Fig 3b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Archetype {
+    /// Dense housing; sources of morning commuters, sinks in the evening.
+    Residential,
+    /// Office districts; morning sinks, evening sources.
+    Office,
+    /// Schools; sharp peaks around opening/closing bells.
+    School,
+    /// Rail/bus interchanges; bidirectional rush-hour traffic.
+    Transit,
+    /// Parks, waterfronts; weekend and midday leisure traffic.
+    Leisure,
+    /// No dominant function; background traffic only.
+    Mixed,
+}
+
+impl Archetype {
+    /// All archetypes, for enumeration in generators and tests.
+    pub const ALL: [Archetype; 6] = [
+        Archetype::Residential,
+        Archetype::Office,
+        Archetype::School,
+        Archetype::Transit,
+        Archetype::Leisure,
+        Archetype::Mixed,
+    ];
+}
+
+impl fmt::Display for Archetype {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Archetype::Residential => "residential",
+            Archetype::Office => "office",
+            Archetype::School => "school",
+            Archetype::Transit => "transit",
+            Archetype::Leisure => "leisure",
+            Archetype::Mixed => "mixed",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A docked bike station.
+#[derive(Debug, Clone)]
+pub struct Station {
+    /// Dense station index `0..n`.
+    pub id: usize,
+    /// Human-readable name.
+    pub name: String,
+    /// Longitude in degrees.
+    pub lon: f64,
+    /// Latitude in degrees.
+    pub lat: f64,
+    /// Functional archetype (synthetic data only; `Mixed` when unknown).
+    pub archetype: Archetype,
+}
+
+/// An immutable set of stations with precomputed pairwise distances.
+#[derive(Debug, Clone)]
+pub struct StationRegistry {
+    stations: Vec<Station>,
+    /// Row-major `n×n` distances in kilometres.
+    distances_km: Vec<f64>,
+}
+
+impl StationRegistry {
+    /// Builds the registry, computing all pairwise haversine distances.
+    pub fn new(stations: Vec<Station>) -> Self {
+        let n = stations.len();
+        let mut distances_km = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = haversine_km(stations[i].lat, stations[i].lon, stations[j].lat, stations[j].lon);
+                distances_km[i * n + j] = d;
+                distances_km[j * n + i] = d;
+            }
+        }
+        StationRegistry { stations, distances_km }
+    }
+
+    /// Number of stations.
+    pub fn len(&self) -> usize {
+        self.stations.len()
+    }
+
+    /// True when the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.stations.is_empty()
+    }
+
+    /// The stations, ordered by id.
+    pub fn stations(&self) -> &[Station] {
+        &self.stations
+    }
+
+    /// Station by id.
+    pub fn get(&self, id: usize) -> &Station {
+        &self.stations[id]
+    }
+
+    /// Distance between two stations in kilometres.
+    pub fn distance_km(&self, a: usize, b: usize) -> f64 {
+        self.distances_km[a * self.len() + b]
+    }
+
+    /// Ids of the `k` nearest stations to `id` (excluding itself), ordered by
+    /// ascending distance — the layout of the paper's case-study figures.
+    pub fn nearest(&self, id: usize, k: usize) -> Vec<usize> {
+        let mut others: Vec<usize> = (0..self.len()).filter(|&j| j != id).collect();
+        others.sort_by(|&a, &b| {
+            self.distance_km(id, a).partial_cmp(&self.distance_km(id, b)).expect("NaN distance")
+        });
+        others.truncate(k);
+        others
+    }
+
+    /// Ids of stations with a given archetype.
+    pub fn with_archetype(&self, a: Archetype) -> Vec<usize> {
+        self.stations.iter().filter(|s| s.archetype == a).map(|s| s.id).collect()
+    }
+}
+
+/// Great-circle distance between two WGS84 points, in kilometres.
+pub fn haversine_km(lat1: f64, lon1: f64, lat2: f64, lon2: f64) -> f64 {
+    const R_EARTH_KM: f64 = 6371.0;
+    let (p1, p2) = (lat1.to_radians(), lat2.to_radians());
+    let dp = (lat2 - lat1).to_radians();
+    let dl = (lon2 - lon1).to_radians();
+    let a = (dp / 2.0).sin().powi(2) + p1.cos() * p2.cos() * (dl / 2.0).sin().powi(2);
+    2.0 * R_EARTH_KM * a.sqrt().asin()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn station(id: usize, lat: f64, lon: f64) -> Station {
+        Station { id, name: format!("s{id}"), lon, lat, archetype: Archetype::Mixed }
+    }
+
+    #[test]
+    fn haversine_known_distance() {
+        // Chicago Loop to O'Hare is roughly 25 km.
+        let d = haversine_km(41.8781, -87.6298, 41.9742, -87.9073);
+        assert!((20.0..30.0).contains(&d), "got {d}");
+        // zero distance to self
+        assert_eq!(haversine_km(41.9, -87.6, 41.9, -87.6), 0.0);
+    }
+
+    #[test]
+    fn registry_distances_symmetric() {
+        let reg = StationRegistry::new(vec![
+            station(0, 41.88, -87.63),
+            station(1, 41.90, -87.62),
+            station(2, 41.95, -87.65),
+        ]);
+        assert_eq!(reg.len(), 3);
+        for i in 0..3 {
+            assert_eq!(reg.distance_km(i, i), 0.0);
+            for j in 0..3 {
+                assert_eq!(reg.distance_km(i, j), reg.distance_km(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_orders_by_distance() {
+        let reg = StationRegistry::new(vec![
+            station(0, 41.880, -87.63),
+            station(1, 41.881, -87.63), // closest to 0
+            station(2, 41.980, -87.63), // farthest
+            station(3, 41.890, -87.63),
+        ]);
+        assert_eq!(reg.nearest(0, 3), vec![1, 3, 2]);
+        assert_eq!(reg.nearest(0, 10).len(), 3); // capped at n-1
+        assert!(!reg.nearest(0, 2).contains(&0));
+    }
+
+    #[test]
+    fn with_archetype_filters() {
+        let mut s1 = station(0, 41.0, -87.0);
+        s1.archetype = Archetype::School;
+        let s2 = station(1, 41.1, -87.1);
+        let reg = StationRegistry::new(vec![s1, s2]);
+        assert_eq!(reg.with_archetype(Archetype::School), vec![0]);
+        assert_eq!(reg.with_archetype(Archetype::Mixed), vec![1]);
+        assert!(reg.with_archetype(Archetype::Office).is_empty());
+    }
+
+    #[test]
+    fn archetype_display_and_all() {
+        assert_eq!(Archetype::School.to_string(), "school");
+        assert_eq!(Archetype::ALL.len(), 6);
+    }
+}

@@ -1,0 +1,923 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Graph`] records every operation of one forward pass as a node on a
+//! tape. [`Var`] handles are cheap (an `Rc` plus an index) and mirror the
+//! [`Tensor`] API. Calling [`Var::backward`] seeds the output gradient with
+//! ones and sweeps the tape in reverse insertion order — insertion order is a
+//! topological order by construction, so no explicit sort is needed.
+//!
+//! Model parameters live *outside* the tape in [`Param`] cells; registering
+//! one with [`Graph::param`] links the tape node back to the cell so the
+//! backward sweep can deposit gradients where the optimizer will find them.
+//! A fresh graph is built per training step (define-by-run), which keeps
+//! memory proportional to one step and makes control flow (layer counts,
+//! head counts from configuration) trivial.
+//!
+//! # Panics
+//!
+//! Unlike the raw [`Tensor`] API, `Var` operations **panic** on shape
+//! mismatches. A mismatch on the tape is a model-construction bug — the
+//! shapes are fully determined by configuration validated up front — and
+//! threading `Result` through every arithmetic expression would bury the
+//! model equations. The panic messages carry the op name and both shapes.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// Gradient contributions flowing to parent nodes: `(parent_id, grad)`.
+type Contribs = Vec<(usize, Tensor)>;
+
+/// Backward function of one tape node. Receives the node's output gradient
+/// and returns the contributions to each parent. Captured tensors are cheap
+/// `Arc` clones of forward values.
+type BackwardFn = Box<dyn Fn(&Tensor) -> Contribs>;
+
+struct Node {
+    value: Tensor,
+    grad: Option<Tensor>,
+    backward: Option<BackwardFn>,
+}
+
+/// A learnable parameter: a tensor value plus a gradient accumulator,
+/// shared between the model (which reads it into each tape) and the
+/// optimizer (which updates it from the accumulated gradient).
+pub struct Param {
+    name: String,
+    value: RefCell<Tensor>,
+    grad: RefCell<Tensor>,
+}
+
+impl Param {
+    /// Creates a named parameter with zeroed gradient accumulator.
+    pub fn new(name: impl Into<String>, value: Tensor) -> Rc<Self> {
+        let grad = Tensor::zeros(value.shape().clone());
+        Rc::new(Param { name: name.into(), value: RefCell::new(value), grad: RefCell::new(grad) })
+    }
+
+    /// The parameter's name (used in diagnostics and serialization).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// A snapshot of the current value (cheap COW clone).
+    pub fn value(&self) -> Tensor {
+        self.value.borrow().clone()
+    }
+
+    /// A snapshot of the accumulated gradient.
+    pub fn grad(&self) -> Tensor {
+        self.grad.borrow().clone()
+    }
+
+    /// Replaces the value (used by optimizers).
+    pub fn set_value(&self, v: Tensor) {
+        debug_assert_eq!(v.shape(), self.value.borrow().shape(), "param {} shape change", self.name);
+        *self.value.borrow_mut() = v;
+    }
+
+    /// Adds `g` into the gradient accumulator.
+    pub fn accumulate_grad(&self, g: &Tensor) {
+        let mut cur = self.grad.borrow_mut();
+        *cur = cur.add(g).expect("gradient shape mismatch");
+    }
+
+    /// Resets the gradient accumulator to zero.
+    pub fn zero_grad(&self) {
+        let shape = self.grad.borrow().shape().clone();
+        *self.grad.borrow_mut() = Tensor::zeros(shape);
+    }
+
+    /// Number of scalar elements in this parameter.
+    pub fn num_elements(&self) -> usize {
+        self.value.borrow().len()
+    }
+}
+
+impl fmt::Debug for Param {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Param({}, shape={})", self.name, self.value.borrow().shape())
+    }
+}
+
+/// An ordered collection of parameters, shared by a model and its optimizer.
+#[derive(Default, Clone)]
+pub struct ParamSet {
+    params: Vec<Rc<Param>>,
+}
+
+impl ParamSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates, registers and returns a new parameter.
+    pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> Rc<Param> {
+        let p = Param::new(name, value);
+        self.params.push(Rc::clone(&p));
+        p
+    }
+
+    /// Registers an existing parameter.
+    pub fn push(&mut self, p: Rc<Param>) {
+        self.params.push(p);
+    }
+
+    /// Absorbs all parameters of another set (module composition).
+    pub fn extend(&mut self, other: &ParamSet) {
+        self.params.extend(other.params.iter().cloned());
+    }
+
+    /// The registered parameters, in registration order.
+    pub fn params(&self) -> &[Rc<Param>] {
+        &self.params
+    }
+
+    /// Number of parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total number of learnable scalars.
+    pub fn num_elements(&self) -> usize {
+        self.params.iter().map(|p| p.num_elements()).sum()
+    }
+
+    /// Zeroes every gradient accumulator.
+    pub fn zero_grads(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    /// Global L2 norm of all gradients (for clipping / diagnostics).
+    pub fn grad_norm(&self) -> f32 {
+        self.params
+            .iter()
+            .map(|p| {
+                let g = p.grad();
+                g.data().iter().map(|x| x * x).sum::<f32>()
+            })
+            .sum::<f32>()
+            .sqrt()
+    }
+}
+
+struct GraphInner {
+    nodes: Vec<Node>,
+    /// `(node_id, param)` links for gradient writeback.
+    param_links: Vec<(usize, Rc<Param>)>,
+}
+
+/// A single forward pass's autodiff tape.
+#[derive(Clone)]
+pub struct Graph {
+    inner: Rc<RefCell<GraphInner>>,
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Graph {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Graph { inner: Rc::new(RefCell::new(GraphInner { nodes: Vec::new(), param_links: Vec::new() })) }
+    }
+
+    fn push(&self, value: Tensor, backward: Option<BackwardFn>) -> Var {
+        let mut inner = self.inner.borrow_mut();
+        let id = inner.nodes.len();
+        inner.nodes.push(Node { value, grad: None, backward });
+        Var { graph: Rc::clone(&self.inner), id }
+    }
+
+    /// Records a constant leaf. Gradients flow *through* ops into leaves but
+    /// are not written back anywhere.
+    pub fn leaf(&self, value: Tensor) -> Var {
+        self.push(value, None)
+    }
+
+    /// Records a parameter leaf; after [`Var::backward`], the gradient at
+    /// this node is accumulated into the parameter's grad cell.
+    pub fn param(&self, p: &Rc<Param>) -> Var {
+        let v = self.push(p.value(), None);
+        self.inner.borrow_mut().param_links.push((v.id, Rc::clone(p)));
+        v
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn num_nodes(&self) -> usize {
+        self.inner.borrow().nodes.len()
+    }
+
+    /// Horizontal concatenation of matrix vars.
+    pub fn concat_cols(&self, parts: &[&Var]) -> Var {
+        assert!(!parts.is_empty(), "concat_cols of zero vars");
+        let values: Vec<Tensor> = parts.iter().map(|p| p.value()).collect();
+        let refs: Vec<&Tensor> = values.iter().collect();
+        let out = Tensor::concat_cols(&refs).unwrap_or_else(|e| panic!("{e}"));
+        let ids: Vec<usize> = parts.iter().map(|p| p.id).collect();
+        let widths: Vec<usize> = values.iter().map(|v| v.shape().cols()).collect();
+        let rows = values[0].shape().rows();
+        self.push(
+            out,
+            Some(Box::new(move |g: &Tensor| {
+                let mut contribs = Vec::with_capacity(ids.len());
+                let mut col = 0;
+                for (&id, &w) in ids.iter().zip(&widths) {
+                    let mut part = vec![0.0f32; rows * w];
+                    for r in 0..rows {
+                        let src = &g.row(r)[col..col + w];
+                        part[r * w..(r + 1) * w].copy_from_slice(src);
+                    }
+                    contribs.push((id, Tensor::from_vec(Shape::matrix(rows, w), part).unwrap()));
+                    col += w;
+                }
+                contribs
+            })),
+        )
+    }
+}
+
+/// A handle to one node of a [`Graph`] tape.
+#[derive(Clone)]
+pub struct Var {
+    graph: Rc<RefCell<GraphInner>>,
+    id: usize,
+}
+
+impl Var {
+    fn graph(&self) -> Graph {
+        Graph { inner: Rc::clone(&self.graph) }
+    }
+
+    /// The node's forward value (cheap COW clone).
+    pub fn value(&self) -> Tensor {
+        self.graph.borrow().nodes[self.id].value.clone()
+    }
+
+    /// The node's gradient, if `backward` has reached it.
+    pub fn grad(&self) -> Option<Tensor> {
+        self.graph.borrow().nodes[self.id].grad.clone()
+    }
+
+    /// The node's shape.
+    pub fn shape(&self) -> Shape {
+        self.graph.borrow().nodes[self.id].value.shape().clone()
+    }
+
+    fn unary(&self, out: Tensor, backward: impl Fn(&Tensor) -> Tensor + 'static) -> Var {
+        let id = self.id;
+        self.graph().push(out, Some(Box::new(move |g| vec![(id, backward(g))])))
+    }
+
+    fn binary(
+        &self,
+        rhs: &Var,
+        out: Tensor,
+        backward: impl Fn(&Tensor) -> (Tensor, Tensor) + 'static,
+    ) -> Var {
+        let (a, b) = (self.id, rhs.id);
+        self.graph().push(
+            out,
+            Some(Box::new(move |g| {
+                let (ga, gb) = backward(g);
+                vec![(a, ga), (b, gb)]
+            })),
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Arithmetic
+    // ------------------------------------------------------------------
+
+    /// Elementwise sum.
+    pub fn add(&self, rhs: &Var) -> Var {
+        let out = self.value().add(&rhs.value()).unwrap_or_else(|e| panic!("{e}"));
+        self.binary(rhs, out, |g| (g.clone(), g.clone()))
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&self, rhs: &Var) -> Var {
+        let out = self.value().sub(&rhs.value()).unwrap_or_else(|e| panic!("{e}"));
+        self.binary(rhs, out, |g| (g.clone(), g.neg()))
+    }
+
+    /// Elementwise product.
+    pub fn mul(&self, rhs: &Var) -> Var {
+        let (av, bv) = (self.value(), rhs.value());
+        let out = av.mul(&bv).unwrap_or_else(|e| panic!("{e}"));
+        self.binary(rhs, out, move |g| (g.mul(&bv).unwrap(), g.mul(&av).unwrap()))
+    }
+
+    /// Elementwise quotient.
+    pub fn div(&self, rhs: &Var) -> Var {
+        let (av, bv) = (self.value(), rhs.value());
+        let out = av.div(&bv).unwrap_or_else(|e| panic!("{e}"));
+        self.binary(rhs, out, move |g| {
+            let ga = g.div(&bv).unwrap();
+            // d(a/b)/db = -a / b²
+            let gb = g.mul(&av).unwrap().div(&bv.square()).unwrap().neg();
+            (ga, gb)
+        })
+    }
+
+    /// Adds a scalar.
+    pub fn add_scalar(&self, s: f32) -> Var {
+        self.unary(self.value().add_scalar(s), |g| g.clone())
+    }
+
+    /// Scales by a scalar.
+    pub fn mul_scalar(&self, s: f32) -> Var {
+        self.unary(self.value().mul_scalar(s), move |g| g.mul_scalar(s))
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&self) -> Var {
+        self.unary(self.value().neg(), |g| g.neg())
+    }
+
+    // ------------------------------------------------------------------
+    // Matrix ops
+    // ------------------------------------------------------------------
+
+    /// Matrix product.
+    pub fn matmul(&self, rhs: &Var) -> Var {
+        let (av, bv) = (self.value(), rhs.value());
+        let out = av.matmul(&bv).unwrap_or_else(|e| panic!("{e}"));
+        self.binary(rhs, out, move |g| {
+            let ga = g.matmul(&bv.transpose().unwrap()).unwrap();
+            let gb = av.transpose().unwrap().matmul(g).unwrap();
+            (ga, gb)
+        })
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Var {
+        let out = self.value().transpose().unwrap_or_else(|e| panic!("{e}"));
+        self.unary(out, |g| g.transpose().unwrap())
+    }
+
+    /// Reinterprets under a new shape of equal length.
+    pub fn reshape(&self, shape: Shape) -> Var {
+        let orig = self.shape();
+        let out = self.value().reshape(shape).unwrap_or_else(|e| panic!("{e}"));
+        self.unary(out, move |g| g.reshape(orig.clone()).unwrap())
+    }
+
+    /// Extracts rows `[start, end)`; gradient zero-pads back.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Var {
+        let v = self.value();
+        let (rows, cols) = v.shape().as_matrix("slice_rows").unwrap_or_else(|e| panic!("{e}"));
+        let out = v.slice_rows(start, end).unwrap_or_else(|e| panic!("{e}"));
+        self.unary(out, move |g| {
+            let mut full = Tensor::zeros(Shape::matrix(rows, cols));
+            let dst = full.data_mut();
+            dst[start * cols..end * cols].copy_from_slice(g.data());
+            full
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Activations and pointwise nonlinearities
+    // ------------------------------------------------------------------
+
+    /// ReLU.
+    pub fn relu(&self) -> Var {
+        let x = self.value();
+        self.unary(x.relu(), move |g| {
+            g.zip_map(&x, "relu_bw", |gv, xv| if xv > 0.0 { gv } else { 0.0 }).unwrap()
+        })
+    }
+
+    /// ELU with α = 1.
+    pub fn elu(&self) -> Var {
+        let x = self.value();
+        let out = x.elu();
+        let out_bw = out.clone();
+        self.unary(out, move |g| {
+            // f'(x) = 1 for x > 0, e^x = f(x) + 1 otherwise.
+            g.zip_map(&out_bw, "elu_bw", |gv, ov| if ov > 0.0 { gv } else { gv * (ov + 1.0) })
+                .unwrap()
+        })
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&self) -> Var {
+        let out = self.value().sigmoid();
+        let s = out.clone();
+        self.unary(out, move |g| {
+            g.zip_map(&s, "sigmoid_bw", |gv, sv| gv * sv * (1.0 - sv)).unwrap()
+        })
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&self) -> Var {
+        let out = self.value().tanh();
+        let t = out.clone();
+        self.unary(out, move |g| g.zip_map(&t, "tanh_bw", |gv, tv| gv * (1.0 - tv * tv)).unwrap())
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&self) -> Var {
+        let out = self.value().exp();
+        let e = out.clone();
+        self.unary(out, move |g| g.mul(&e).unwrap())
+    }
+
+    /// Elementwise square.
+    pub fn square(&self) -> Var {
+        let x = self.value();
+        self.unary(x.square(), move |g| g.zip_map(&x, "square_bw", |gv, xv| gv * 2.0 * xv).unwrap())
+    }
+
+    /// Elementwise absolute value (subgradient 0 at 0).
+    pub fn abs(&self) -> Var {
+        let x = self.value();
+        self.unary(x.abs(), move |g| {
+            g.zip_map(&x, "abs_bw", |gv, xv| if xv == 0.0 { 0.0 } else { gv * xv.signum() })
+                .unwrap()
+        })
+    }
+
+    /// Elementwise square root with a derivative guard at 0.
+    pub fn sqrt(&self) -> Var {
+        let out = self.value().sqrt();
+        let s = out.clone();
+        self.unary(out, move |g| {
+            g.zip_map(&s, "sqrt_bw", |gv, sv| gv * 0.5 / sv.max(1e-8)).unwrap()
+        })
+    }
+
+    /// Numerically-stable row-wise softmax.
+    pub fn softmax_rows(&self) -> Var {
+        let out = self.value().softmax_rows().unwrap_or_else(|e| panic!("{e}"));
+        let s = out.clone();
+        self.unary(out, move |g| {
+            // dx_j = s_j (g_j − Σ_k g_k s_k), per row.
+            let (r, c) = s.shape().as_matrix("softmax_bw").unwrap();
+            let mut dx = vec![0.0f32; r * c];
+            for i in 0..r {
+                let srow = s.row(i);
+                let grow = g.row(i);
+                let dot: f32 = srow.iter().zip(grow).map(|(&sv, &gv)| sv * gv).sum();
+                for j in 0..c {
+                    dx[i * c + j] = srow[j] * (grow[j] - dot);
+                }
+            }
+            Tensor::from_vec(Shape::matrix(r, c), dx).unwrap()
+        })
+    }
+
+    /// Inverted dropout: zeroes elements with probability `p` and scales the
+    /// survivors by `1/(1−p)` so the expectation is unchanged. Identity when
+    /// `p == 0`. The mask is sampled from `rng` at trace time.
+    pub fn dropout(&self, p: f32, rng: &mut impl rand::Rng) -> Var {
+        assert!((0.0..1.0).contains(&p), "dropout rate must be in [0,1), got {p}");
+        if p == 0.0 {
+            return self.clone();
+        }
+        let keep = 1.0 - p;
+        let shape = self.shape();
+        let mask_data: Vec<f32> =
+            (0..shape.len()).map(|_| if rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 }).collect();
+        let mask = Tensor::from_vec(shape, mask_data).unwrap();
+        let out = self.value().mul(&mask).unwrap();
+        let m = mask;
+        self.unary(out, move |g| g.mul(&m).unwrap())
+    }
+
+    // ------------------------------------------------------------------
+    // Broadcasts
+    // ------------------------------------------------------------------
+
+    /// Adds a `1×c` row vector to every row.
+    pub fn add_row_broadcast(&self, row: &Var) -> Var {
+        let out = self.value().add_row_broadcast(&row.value()).unwrap_or_else(|e| panic!("{e}"));
+        self.binary(row, out, |g| (g.clone(), g.sum_rows().unwrap()))
+    }
+
+    /// Adds an `r×1` column vector to every column.
+    pub fn add_col_broadcast(&self, col: &Var) -> Var {
+        let out = self.value().add_col_broadcast(&col.value()).unwrap_or_else(|e| panic!("{e}"));
+        self.binary(col, out, |g| (g.clone(), g.sum_cols().unwrap()))
+    }
+
+    /// Scales row `i` by element `i` of an `r×1` column vector.
+    pub fn mul_col_broadcast(&self, col: &Var) -> Var {
+        let (av, cv) = (self.value(), col.value());
+        let out = av.mul_col_broadcast(&cv).unwrap_or_else(|e| panic!("{e}"));
+        self.binary(col, out, move |g| {
+            let ga = g.mul_col_broadcast(&cv).unwrap();
+            let gc = g.mul(&av).unwrap().sum_cols().unwrap();
+            (ga, gc)
+        })
+    }
+
+    /// Grouped elementwise max-pooling over rows: output row `i` is the
+    /// elementwise maximum of the input rows listed in `groups[i]`.
+    ///
+    /// This is the "max aggregator" of GraphSAGE-style GNNs (the paper's
+    /// §VII-G comparison): `groups[i]` lists node `i`'s neighbourhood
+    /// (usually including `i` itself). Gradients route to the argmax row per
+    /// element, ties resolved to the first listed row.
+    ///
+    /// # Panics
+    /// Panics when the input is not a matrix or a group is empty.
+    pub fn rows_max_pool(&self, groups: &[Vec<usize>]) -> Var {
+        let v = self.value();
+        let (rows, cols) = v.shape().as_matrix("rows_max_pool").unwrap_or_else(|e| panic!("{e}"));
+        let out_rows = groups.len();
+        let mut out = vec![f32::NEG_INFINITY; out_rows * cols];
+        let mut argmax = vec![0usize; out_rows * cols];
+        for (i, group) in groups.iter().enumerate() {
+            assert!(!group.is_empty(), "rows_max_pool: empty group {i}");
+            for &r in group {
+                assert!(r < rows, "rows_max_pool: row {r} out of {rows}");
+                for c in 0..cols {
+                    let val = v.data()[r * cols + c];
+                    if val > out[i * cols + c] {
+                        out[i * cols + c] = val;
+                        argmax[i * cols + c] = r;
+                    }
+                }
+            }
+        }
+        let out_t = Tensor::from_vec(Shape::matrix(out_rows, cols), out).unwrap();
+        self.unary(out_t, move |g| {
+            let mut dx = Tensor::zeros(Shape::matrix(rows, cols));
+            let buf = dx.data_mut();
+            for i in 0..out_rows {
+                for c in 0..cols {
+                    buf[argmax[i * cols + c] * cols + c] += g.data()[i * cols + c];
+                }
+            }
+            dx
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Reductions
+    // ------------------------------------------------------------------
+
+    /// Sum of all elements (scalar output).
+    pub fn sum_all(&self) -> Var {
+        let shape = self.shape();
+        self.unary(self.value().sum_all(), move |g| Tensor::full(shape.clone(), g.scalar()))
+    }
+
+    /// Mean of all elements (scalar output).
+    pub fn mean_all(&self) -> Var {
+        let shape = self.shape();
+        let inv = 1.0 / shape.len() as f32;
+        self.unary(self.value().mean_all(), move |g| {
+            Tensor::full(shape.clone(), g.scalar() * inv)
+        })
+    }
+
+    /// Per-row sums, `r×c → r×1`.
+    pub fn sum_cols(&self) -> Var {
+        let v = self.value();
+        let (r, c) = v.shape().as_matrix("sum_cols").unwrap_or_else(|e| panic!("{e}"));
+        self.unary(v.sum_cols().unwrap(), move |g| {
+            let mut out = vec![0.0f32; r * c];
+            for i in 0..r {
+                let gv = g.data()[i];
+                out[i * c..(i + 1) * c].fill(gv);
+            }
+            Tensor::from_vec(Shape::matrix(r, c), out).unwrap()
+        })
+    }
+
+    /// Per-column sums, `r×c → 1×c`.
+    pub fn sum_rows(&self) -> Var {
+        let v = self.value();
+        let (r, c) = v.shape().as_matrix("sum_rows").unwrap_or_else(|e| panic!("{e}"));
+        self.unary(v.sum_rows().unwrap(), move |g| {
+            let mut out = vec![0.0f32; r * c];
+            for i in 0..r {
+                out[i * c..(i + 1) * c].copy_from_slice(g.data());
+            }
+            Tensor::from_vec(Shape::matrix(r, c), out).unwrap()
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Backward
+    // ------------------------------------------------------------------
+
+    /// Runs the reverse sweep from this node, accumulating gradients into
+    /// every ancestor and depositing them into linked [`Param`]s.
+    ///
+    /// Each tape supports one backward pass: backward closures are consumed
+    /// as the sweep visits them (they hold saved tensors that are then
+    /// freed). Build a fresh graph per training step.
+    pub fn backward(&self) {
+        let mut inner = self.graph.borrow_mut();
+        let seed = Tensor::ones(inner.nodes[self.id].value.shape().clone());
+        accumulate(&mut inner.nodes[self.id].grad, seed);
+        for id in (0..=self.id).rev() {
+            let Some(grad) = inner.nodes[id].grad.clone() else { continue };
+            let Some(bw) = inner.nodes[id].backward.take() else { continue };
+            for (pid, g) in bw(&grad) {
+                debug_assert!(pid < id, "tape order violated: node {id} feeds {pid}");
+                accumulate(&mut inner.nodes[pid].grad, g);
+            }
+        }
+        // Deposit leaf gradients into parameter cells.
+        for (node_id, param) in &inner.param_links {
+            if let Some(g) = &inner.nodes[*node_id].grad {
+                param.accumulate_grad(g);
+            }
+        }
+    }
+}
+
+fn accumulate(slot: &mut Option<Tensor>, g: Tensor) {
+    match slot {
+        Some(cur) => *cur = cur.add(&g).expect("gradient accumulation shape mismatch"),
+        None => *slot = Some(g),
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Var(id={}, value={:?})", self.id, self.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn t(rows: &[&[f32]]) -> Tensor {
+        Tensor::from_rows(rows)
+    }
+
+    /// Central finite-difference gradient of `f` w.r.t. `x`, evaluated at `x`.
+    fn numeric_grad(x: &Tensor, f: impl Fn(&Tensor) -> f32) -> Tensor {
+        let eps = 1e-2f32; // f32 precision: large eps + central differences
+        let mut grad = Tensor::zeros(x.shape().clone());
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            grad.data_mut()[i] = (f(&xp) - f(&xm)) / (2.0 * eps);
+        }
+        grad
+    }
+
+    /// Asserts autodiff and finite-difference gradients agree for a scalar
+    /// function built on the tape from a single input matrix.
+    fn check_grad(x0: Tensor, build: impl Fn(&Graph, &Var) -> Var, tol: f32) {
+        let g = Graph::new();
+        let p = Param::new("x", x0.clone());
+        let x = g.param(&p);
+        let y = build(&g, &x);
+        assert_eq!(y.value().len(), 1, "check_grad requires a scalar output");
+        y.backward();
+        let auto = p.grad();
+        let num = numeric_grad(&x0, |xv| {
+            let g2 = Graph::new();
+            let x2 = g2.leaf(xv.clone());
+            build(&g2, &x2).value().scalar()
+        });
+        for i in 0..auto.len() {
+            let (a, n) = (auto.data()[i], num.data()[i]);
+            assert!(
+                (a - n).abs() <= tol * (1.0 + n.abs()),
+                "grad mismatch at {i}: autodiff {a} vs numeric {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn forward_values_match_tensor_ops() {
+        let g = Graph::new();
+        let a = g.leaf(t(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let b = g.leaf(t(&[&[5.0, 6.0], &[7.0, 8.0]]));
+        assert_eq!(a.add(&b).value().data(), &[6.0, 8.0, 10.0, 12.0]);
+        assert_eq!(a.matmul(&b).value().data(), &[19.0, 22.0, 43.0, 50.0]);
+        assert_eq!(a.sum_all().value().scalar(), 10.0);
+        assert_eq!(a.transpose().value().data(), &[1.0, 3.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn simple_chain_backward() {
+        // y = sum(a ⊙ a) → dy/da = 2a
+        let g = Graph::new();
+        let p = Param::new("a", t(&[&[1.0, -2.0], &[3.0, 0.5]]));
+        let a = g.param(&p);
+        a.mul(&a).sum_all().backward();
+        assert!(p.grad().approx_eq(&t(&[&[2.0, -4.0], &[6.0, 1.0]]), 1e-6));
+    }
+
+    #[test]
+    fn grad_accumulates_across_multiple_uses() {
+        // y = sum(a) + sum(a) → dy/da = 2
+        let g = Graph::new();
+        let p = Param::new("a", t(&[&[1.0, 2.0]]));
+        let a = g.param(&p);
+        a.sum_all().add(&a.sum_all()).backward();
+        assert!(p.grad().approx_eq(&t(&[&[2.0, 2.0]]), 1e-6));
+    }
+
+    #[test]
+    fn matmul_gradcheck() {
+        let b = t(&[&[0.5, -1.0, 2.0], &[1.5, 0.3, -0.7]]);
+        check_grad(t(&[&[1.0, 2.0], &[3.0, -4.0], &[0.1, 0.2]]), move |g, x| {
+            let bv = g.leaf(b.clone());
+            x.matmul(&bv).square().sum_all()
+        }, 2e-2);
+    }
+
+    #[test]
+    fn activation_gradchecks() {
+        let x0 = t(&[&[0.5, -1.3], &[2.1, -0.4]]);
+        check_grad(x0.clone(), |_, x| x.relu().sum_all(), 1e-2);
+        check_grad(x0.clone(), |_, x| x.elu().square().sum_all(), 2e-2);
+        check_grad(x0.clone(), |_, x| x.sigmoid().sum_all(), 1e-2);
+        check_grad(x0.clone(), |_, x| x.tanh().sum_all(), 1e-2);
+        check_grad(x0.clone(), |_, x| x.exp().sum_all(), 2e-2);
+        check_grad(x0, |_, x| x.square().mean_all(), 1e-2);
+    }
+
+    #[test]
+    fn softmax_gradcheck() {
+        check_grad(t(&[&[0.2, -0.8, 1.4], &[2.0, 0.0, -1.0]]), |g, x| {
+            // weight rows so the gradient is non-trivial
+            let w = g.leaf(t(&[&[1.0, -2.0, 0.5], &[0.3, 0.9, -1.1]]));
+            x.softmax_rows().mul(&w).sum_all()
+        }, 2e-2);
+    }
+
+    #[test]
+    fn div_and_broadcast_gradchecks() {
+        let x0 = t(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        check_grad(x0.clone(), |g, x| {
+            let d = g.leaf(t(&[&[2.0, 4.0], &[5.0, 8.0]]));
+            x.div(&d).sum_all()
+        }, 1e-2);
+        // gradient w.r.t. the divisor
+        check_grad(x0.clone(), |g, x| {
+            let n = g.leaf(t(&[&[2.0, 4.0], &[5.0, 8.0]]));
+            n.div(&x.add_scalar(5.0)).sum_all()
+        }, 1e-2);
+        check_grad(x0.clone(), |g, x| {
+            let row = g.leaf(t(&[&[1.0, -1.0]]));
+            x.add_row_broadcast(&row).square().sum_all()
+        }, 2e-2);
+        check_grad(x0.clone(), |g, x| {
+            let col = g.leaf(t(&[&[2.0], &[-1.0]]));
+            x.mul_col_broadcast(&col).square().sum_all()
+        }, 2e-2);
+        // gradient w.r.t. the broadcast operand itself
+        check_grad(t(&[&[2.0], &[-1.0]]), move |g, c| {
+            let a = g.leaf(t(&[&[1.0, 2.0], &[3.0, 4.0]]));
+            a.mul_col_broadcast(c).square().sum_all()
+        }, 2e-2);
+    }
+
+    #[test]
+    fn reduction_gradchecks() {
+        let x0 = t(&[&[1.0, -2.0, 0.5], &[3.0, 4.0, -1.5]]);
+        check_grad(x0.clone(), |g, x| {
+            let w = g.leaf(t(&[&[1.0], &[2.0]]));
+            x.sum_cols().mul(&w).sum_all()
+        }, 1e-2);
+        check_grad(x0.clone(), |g, x| {
+            let w = g.leaf(t(&[&[1.0, -1.0, 2.0]]));
+            x.sum_rows().mul(&w).sum_all()
+        }, 1e-2);
+        check_grad(x0, |_, x| x.mean_all(), 1e-2);
+    }
+
+    #[test]
+    fn concat_and_slice_gradchecks() {
+        let x0 = t(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        check_grad(x0.clone(), |g, x| {
+            let other = g.leaf(t(&[&[5.0], &[6.0]]));
+            let cat = g.concat_cols(&[x, &other]);
+            cat.square().sum_all()
+        }, 2e-2);
+        check_grad(x0.clone(), |_, x| x.slice_rows(1, 2).square().sum_all(), 2e-2);
+        check_grad(x0, |_, x| x.transpose().square().sum_all(), 2e-2);
+    }
+
+    #[test]
+    fn rows_max_pool_forward_and_backward() {
+        let g = Graph::new();
+        let p = Param::new("x", t(&[&[1.0, 5.0], &[3.0, 2.0], &[0.0, 9.0]]));
+        let x = g.param(&p);
+        // node 0 pools {0,1}, node 1 pools {1,2}
+        let y = x.rows_max_pool(&[vec![0, 1], vec![1, 2]]);
+        assert_eq!(y.value().data(), &[3.0, 5.0, 3.0, 9.0]);
+        y.sum_all().backward();
+        // grads route to argmax entries; row1 col0 wins twice.
+        assert!(p.grad().approx_eq(&t(&[&[0.0, 1.0], &[2.0, 0.0], &[0.0, 1.0]]), 1e-6));
+    }
+
+    #[test]
+    fn rows_max_pool_gradcheck() {
+        check_grad(t(&[&[1.0, 5.0], &[3.0, 2.0], &[0.5, 9.0]]), |_, x| {
+            x.rows_max_pool(&[vec![0, 1], vec![1, 2], vec![0, 2]]).square().sum_all()
+        }, 2e-2);
+    }
+
+    #[test]
+    fn sqrt_and_abs_gradchecks() {
+        check_grad(t(&[&[4.0, 9.0], &[1.0, 16.0]]), |_, x| x.sqrt().sum_all(), 1e-2);
+        check_grad(t(&[&[2.0, -3.0], &[1.0, -0.5]]), |_, x| x.abs().sum_all(), 1e-2);
+    }
+
+    #[test]
+    fn reshape_gradcheck() {
+        check_grad(t(&[&[1.0, 2.0, 3.0, 4.0]]), |g, x| {
+            let w = g.leaf(t(&[&[1.0, -1.0], &[2.0, 0.5]]));
+            x.reshape(Shape::matrix(2, 2)).mul(&w).sum_all()
+        }, 1e-2);
+    }
+
+    #[test]
+    fn dropout_zero_rate_is_identity() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = Graph::new();
+        let x = g.leaf(t(&[&[1.0, 2.0]]));
+        let y = x.dropout(0.0, &mut rng);
+        assert_eq!(y.value().data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn dropout_scales_survivors_and_routes_grads() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let g = Graph::new();
+        let p = Param::new("x", Tensor::ones(Shape::matrix(4, 4)));
+        let x = g.param(&p);
+        let y = x.dropout(0.5, &mut rng);
+        // survivors are exactly 2.0, dropped exactly 0.0
+        assert!(y.value().data().iter().all(|&v| v == 0.0 || v == 2.0));
+        y.sum_all().backward();
+        // gradient equals the mask
+        assert!(p.grad().approx_eq(&y.value(), 1e-6));
+    }
+
+    #[test]
+    fn param_writeback_and_zero() {
+        let p = Param::new("w", t(&[&[1.0, 2.0]]));
+        let g = Graph::new();
+        let w = g.param(&p);
+        w.mul_scalar(3.0).sum_all().backward();
+        assert!(p.grad().approx_eq(&t(&[&[3.0, 3.0]]), 1e-6));
+        p.zero_grad();
+        assert!(p.grad().approx_eq(&t(&[&[0.0, 0.0]]), 0.0));
+    }
+
+    #[test]
+    fn paramset_bookkeeping() {
+        let mut ps = ParamSet::new();
+        let a = ps.add("a", Tensor::zeros(Shape::matrix(2, 3)));
+        ps.add("b", Tensor::zeros(Shape::vector(4)));
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps.num_elements(), 10);
+        assert_eq!(a.name(), "a");
+        assert!(!ps.is_empty());
+
+        let mut other = ParamSet::new();
+        other.extend(&ps);
+        assert_eq!(other.len(), 2);
+    }
+
+    #[test]
+    fn grad_norm_matches_manual() {
+        let mut ps = ParamSet::new();
+        let p = ps.add("p", t(&[&[1.0, 1.0]]));
+        p.accumulate_grad(&t(&[&[3.0, 4.0]]));
+        assert!((ps.grad_norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn two_layer_network_gradcheck() {
+        // A composite block close to the real model: relu(x·W1)·W2 softmaxed.
+        let w1 = t(&[&[0.3, -0.2, 0.5], &[0.1, 0.4, -0.6]]);
+        let w2 = t(&[&[0.7, -0.3], &[0.2, 0.9], &[-0.5, 0.1]]);
+        check_grad(t(&[&[1.0, -1.5], &[0.5, 2.0]]), move |g, x| {
+            let w1v = g.leaf(w1.clone());
+            let w2v = g.leaf(w2.clone());
+            x.matmul(&w1v).relu().matmul(&w2v).softmax_rows().square().sum_all()
+        }, 3e-2);
+    }
+}

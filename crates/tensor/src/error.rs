@@ -1,0 +1,76 @@
+//! Error type shared across the tensor crate.
+//!
+//! Shape mismatches are programming errors in model construction, but model
+//! code is built dynamically from configuration (layer counts, head counts,
+//! station counts), so they are surfaced as recoverable errors rather than
+//! panics wherever a fallible signature is practical.
+
+use std::fmt;
+
+/// Errors produced by tensor and autograd operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Operand shapes are incompatible for the attempted operation.
+    ShapeMismatch {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Shape of the left-hand operand.
+        lhs: Vec<usize>,
+        /// Shape of the right-hand operand (empty for unary ops).
+        rhs: Vec<usize>,
+    },
+    /// A tensor with an unexpected rank was supplied.
+    RankMismatch {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Expected rank.
+        expected: usize,
+        /// Actual rank.
+        actual: usize,
+    },
+    /// An invalid argument (e.g. empty concat list, zero dimension).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "{op}: incompatible shapes {lhs:?} and {rhs:?}")
+            }
+            Error::RankMismatch { op, expected, actual } => {
+                write!(f, "{op}: expected rank {expected}, got {actual}")
+            }
+            Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = Error::ShapeMismatch { op: "matmul", lhs: vec![2, 3], rhs: vec![2, 3] };
+        assert!(e.to_string().contains("matmul"));
+        assert!(e.to_string().contains("[2, 3]"));
+
+        let e = Error::RankMismatch { op: "transpose", expected: 2, actual: 3 };
+        assert!(e.to_string().contains("expected rank 2"));
+
+        let e = Error::InvalidArgument("empty concat".into());
+        assert!(e.to_string().contains("empty concat"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Error::InvalidArgument("x".into()));
+    }
+}

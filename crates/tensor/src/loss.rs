@@ -1,0 +1,84 @@
+//! Loss functions, including the paper's joint demand–supply loss (Eq 21).
+
+use crate::autograd::Var;
+
+/// Mean squared error between two same-shape vars.
+pub fn mse(pred: &Var, target: &Var) -> Var {
+    pred.sub(target).square().mean_all()
+}
+
+/// Mean absolute error between two same-shape vars.
+pub fn mae(pred: &Var, target: &Var) -> Var {
+    pred.sub(target).abs().mean_all()
+}
+
+/// The paper's training loss (Eq 21):
+///
+/// ```text
+/// L = sqrt( (1/n) Σᵢ (xᵢ − x̂ᵢ)²  +  (1/n) Σᵢ (yᵢ − ŷᵢ)² )
+/// ```
+///
+/// where `x` is demand and `y` is supply. Both operands are `n×1` columns
+/// (or any equal shapes; `n` is taken from the element count).
+pub fn joint_demand_supply_loss(
+    demand_pred: &Var,
+    demand_true: &Var,
+    supply_pred: &Var,
+    supply_true: &Var,
+) -> Var {
+    let d = demand_pred.sub(demand_true).square().mean_all();
+    let s = supply_pred.sub(supply_true).square().mean_all();
+    d.add(&s).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::autograd::{Graph, Param};
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn mse_and_mae_known_values() {
+        let g = Graph::new();
+        let p = g.leaf(Tensor::from_rows(&[&[1.0, 3.0]]));
+        let t = g.leaf(Tensor::from_rows(&[&[0.0, 1.0]]));
+        assert!((mse(&p, &t).value().scalar() - 2.5).abs() < 1e-6);
+        assert!((mae(&p, &t).value().scalar() - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn joint_loss_matches_eq21() {
+        let g = Graph::new();
+        let xp = g.leaf(Tensor::from_rows(&[&[2.0], &[0.0]]));
+        let xt = g.leaf(Tensor::from_rows(&[&[0.0], &[0.0]]));
+        let yp = g.leaf(Tensor::from_rows(&[&[1.0], &[1.0]]));
+        let yt = g.leaf(Tensor::from_rows(&[&[0.0], &[0.0]]));
+        // (1/2)(4+0) + (1/2)(1+1) = 2 + 1 = 3 → sqrt(3)
+        let l = joint_demand_supply_loss(&xp, &xt, &yp, &yt);
+        assert!((l.value().scalar() - 3.0f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn joint_loss_zero_at_perfect_prediction() {
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_rows(&[&[1.0], &[2.0]]));
+        let y = g.leaf(Tensor::from_rows(&[&[3.0], &[4.0]]));
+        let l = joint_demand_supply_loss(&x, &x, &y, &y);
+        assert_eq!(l.value().scalar(), 0.0);
+    }
+
+    #[test]
+    fn joint_loss_is_differentiable() {
+        let p = Param::new("xp", Tensor::from_rows(&[&[2.0], &[1.0]]));
+        let g = Graph::new();
+        let xp = g.param(&p);
+        let xt = g.leaf(Tensor::from_rows(&[&[0.0], &[0.0]]));
+        let y = g.leaf(Tensor::from_rows(&[&[0.0], &[0.0]]));
+        joint_demand_supply_loss(&xp, &xt, &y, &y).backward();
+        let grad = p.grad();
+        // dL/dx = x/(n·L); L = sqrt(2.5), n = 2
+        let l = 2.5f32.sqrt();
+        assert!((grad.data()[0] - 2.0 / (2.0 * l)).abs() < 1e-5);
+        assert!((grad.data()[1] - 1.0 / (2.0 * l)).abs() < 1e-5);
+    }
+}

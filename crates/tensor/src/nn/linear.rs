@@ -1,0 +1,109 @@
+//! Fully-connected layer.
+
+use crate::autograd::{Graph, ParamSet, Var};
+use crate::nn::init::xavier_uniform;
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use rand::Rng;
+use std::rc::Rc;
+
+use crate::autograd::Param;
+
+/// A dense layer `y = x·W (+ b)` for row-major batches (`x: batch×in`).
+pub struct Linear {
+    w: Rc<Param>,
+    b: Option<Rc<Param>>,
+}
+
+impl Linear {
+    /// Creates a layer with Xavier-uniform weights and zero bias, registering
+    /// its parameters in `params` under `name.w` / `name.b`.
+    pub fn new(
+        params: &mut ParamSet,
+        rng: &mut impl Rng,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        bias: bool,
+    ) -> Self {
+        let w = params.add(format!("{name}.w"), xavier_uniform(rng, in_dim, out_dim));
+        let b = bias.then(|| params.add(format!("{name}.b"), Tensor::zeros(Shape::matrix(1, out_dim))));
+        Linear { w, b }
+    }
+
+    /// Applies the layer on the tape.
+    pub fn forward(&self, g: &Graph, x: &Var) -> Var {
+        let w = g.param(&self.w);
+        let y = x.matmul(&w);
+        match &self.b {
+            Some(b) => y.add_row_broadcast(&g.param(b)),
+            None => y,
+        }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.w.value().shape().rows()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.w.value().shape().cols()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::{Optimizer, Sgd};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let layer = Linear::new(&mut ps, &mut rng, "fc", 4, 2, true);
+        assert_eq!(layer.in_dim(), 4);
+        assert_eq!(layer.out_dim(), 2);
+        assert_eq!(ps.len(), 2);
+
+        let g = Graph::new();
+        let x = g.leaf(Tensor::ones(Shape::matrix(3, 4)));
+        let y = layer.forward(&g, &x);
+        assert_eq!(y.value().shape().dims(), &[3, 2]);
+    }
+
+    #[test]
+    fn no_bias_registers_one_param() {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = Linear::new(&mut ps, &mut rng, "fc", 4, 2, false);
+        assert_eq!(ps.len(), 1);
+    }
+
+    #[test]
+    fn learns_a_linear_map() {
+        // y = x·W* with W* fixed; SGD on MSE should drive the loss near zero.
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let layer = Linear::new(&mut ps, &mut rng, "fc", 2, 1, true);
+        let w_star = Tensor::from_rows(&[&[2.0], &[-3.0]]);
+        let xs = Tensor::from_rows(&[&[1.0, 0.5], &[0.2, -1.0], &[-0.7, 0.3], &[1.5, 1.5]]);
+        let ys = xs.matmul(&w_star).unwrap().add_scalar(0.5);
+
+        let mut opt = Sgd::new(0.1);
+        let mut last = f32::INFINITY;
+        for _ in 0..300 {
+            let g = Graph::new();
+            let x = g.leaf(xs.clone());
+            let t = g.leaf(ys.clone());
+            let loss = layer.forward(&g, &x).sub(&t).square().mean_all();
+            last = loss.value().scalar();
+            ps.zero_grads();
+            loss.backward();
+            opt.step(&ps);
+        }
+        assert!(last < 1e-4, "linear layer failed to fit: loss {last}");
+    }
+}

@@ -1,0 +1,18 @@
+//! Neural-network building blocks on top of the autodiff tape.
+//!
+//! Modules own [`crate::autograd::Param`]s registered in a shared
+//! [`crate::autograd::ParamSet`]; their `forward` methods take a
+//! [`crate::autograd::Graph`] and [`crate::autograd::Var`] inputs so each
+//! training step traces a fresh tape (define-by-run).
+
+mod conv1x1;
+mod init;
+mod linear;
+mod recurrent;
+
+pub use conv1x1::Conv1x1;
+pub use init::{he_uniform, identity_xavier, xavier_uniform};
+pub use linear::Linear;
+pub use recurrent::{LstmCell, RnnCell};
+
+pub use crate::autograd::{Param, ParamSet};

@@ -1,0 +1,182 @@
+//! Parameter persistence: a small, versioned, human-readable text format.
+//!
+//! A trained model's [`ParamSet`] round-trips through any `Write`/`Read`
+//! pair (files, buffers). The format is line-oriented:
+//!
+//! ```text
+//! stgnn-params v1
+//! <param count>
+//! <name> <dim0> <dim1> …
+//! <v0> <v1> … (row-major, one line)
+//! …
+//! ```
+//!
+//! Loading matches parameters **by name** against an already-constructed
+//! `ParamSet` (build the model with the same configuration first, then load
+//! weights into it), and fails loudly on unknown names, missing parameters
+//! or shape mismatches rather than silently mis-assigning weights.
+
+use crate::autograd::ParamSet;
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+
+const MAGIC: &str = "stgnn-params v1";
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Writes every parameter of `params` to `writer`.
+pub fn save_params<W: Write>(params: &ParamSet, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "{MAGIC}")?;
+    writeln!(w, "{}", params.len())?;
+    for p in params.params() {
+        let value = p.value();
+        write!(w, "{}", p.name())?;
+        for d in value.shape().dims() {
+            write!(w, " {d}")?;
+        }
+        writeln!(w)?;
+        let mut first = true;
+        for v in value.data() {
+            if !first {
+                write!(w, " ")?;
+            }
+            // `{:e}` keeps full f32 precision and round-trips exactly.
+            write!(w, "{v:e}")?;
+            first = false;
+        }
+        writeln!(w)?;
+    }
+    w.flush()
+}
+
+/// Loads parameters from `reader` into `params`, matching by name.
+///
+/// Every stored parameter must exist in `params` with the same shape, and
+/// every parameter of `params` must be present in the stream.
+pub fn load_params<R: Read>(params: &ParamSet, reader: R) -> io::Result<()> {
+    let mut lines = BufReader::new(reader).lines();
+    let mut next = || lines.next().ok_or_else(|| bad("unexpected end of stream"))?;
+    if next()? != MAGIC {
+        return Err(bad("not a stgnn-params v1 stream"));
+    }
+    let count: usize = next()?.trim().parse().map_err(|_| bad("bad parameter count"))?;
+
+    let by_name: HashMap<String, _> =
+        params.params().iter().map(|p| (p.name().to_string(), p.clone())).collect();
+    if count != by_name.len() {
+        return Err(bad(format!("stream has {count} params, model has {}", by_name.len())));
+    }
+
+    let mut seen = 0usize;
+    for _ in 0..count {
+        let header = next()?;
+        let mut fields = header.split_whitespace();
+        let name = fields.next().ok_or_else(|| bad("empty parameter header"))?.to_string();
+        let dims: Vec<usize> = fields
+            .map(|f| f.parse().map_err(|_| bad(format!("bad dimension in {name}"))))
+            .collect::<io::Result<_>>()?;
+        let shape = Shape::from_dims(&dims);
+
+        let param = by_name
+            .get(&name)
+            .ok_or_else(|| bad(format!("stream parameter {name} not in the model")))?;
+        if param.value().shape() != &shape {
+            return Err(bad(format!(
+                "shape mismatch for {name}: stream {shape} vs model {}",
+                param.value().shape()
+            )));
+        }
+
+        let values_line = next()?;
+        let data: Vec<f32> = values_line
+            .split_whitespace()
+            .map(|f| f.parse().map_err(|_| bad(format!("bad value in {name}"))))
+            .collect::<io::Result<_>>()?;
+        if data.len() != shape.len() {
+            return Err(bad(format!(
+                "{name}: expected {} values, got {}",
+                shape.len(),
+                data.len()
+            )));
+        }
+        param.set_value(Tensor::from_vec(shape, data).map_err(|e| bad(e.to_string()))?);
+        seen += 1;
+    }
+    if seen != by_name.len() {
+        return Err(bad("stream ended before every model parameter was loaded"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nn::xavier_uniform;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn params(seed: u64) -> ParamSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ps = ParamSet::new();
+        ps.add("layer.w", xavier_uniform(&mut rng, 3, 4));
+        ps.add("layer.b", Tensor::from_rows(&[&[0.5, -1.25e-7, 3.0]]));
+        ps
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let original = params(1);
+        let mut buf = Vec::new();
+        save_params(&original, &mut buf).unwrap();
+
+        let target = params(2); // different values, same structure
+        assert!(!target.params()[0].value().approx_eq(&original.params()[0].value(), 1e-9));
+        load_params(&target, buf.as_slice()).unwrap();
+        for (a, b) in original.params().iter().zip(target.params()) {
+            assert!(a.value().approx_eq(&b.value(), 0.0), "param {} not exact", a.name());
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_magic_and_truncation() {
+        let ps = params(1);
+        assert!(load_params(&ps, "garbage\n".as_bytes()).is_err());
+
+        let mut buf = Vec::new();
+        save_params(&ps, &mut buf).unwrap();
+        let truncated = &buf[..buf.len() / 2];
+        assert!(load_params(&params(1), truncated).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_and_missing_params() {
+        let mut buf = Vec::new();
+        save_params(&params(1), &mut buf).unwrap();
+
+        // A model with a different parameter name must refuse the stream.
+        let mut other = ParamSet::new();
+        other.add("different.w", Tensor::zeros(Shape::matrix(3, 4)));
+        other.add("layer.b", Tensor::zeros(Shape::matrix(1, 3)));
+        assert!(load_params(&other, buf.as_slice()).is_err());
+
+        // A model with fewer parameters must refuse too.
+        let mut fewer = ParamSet::new();
+        fewer.add("layer.w", Tensor::zeros(Shape::matrix(3, 4)));
+        assert!(load_params(&fewer, buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_shape_mismatch() {
+        let mut buf = Vec::new();
+        save_params(&params(1), &mut buf).unwrap();
+        let mut wrong = ParamSet::new();
+        wrong.add("layer.w", Tensor::zeros(Shape::matrix(4, 3))); // transposed
+        wrong.add("layer.b", Tensor::zeros(Shape::matrix(1, 3)));
+        assert!(load_params(&wrong, buf.as_slice()).is_err());
+    }
+}

@@ -1,0 +1,715 @@
+//! Dense row-major `f32` tensors with copy-on-write storage.
+//!
+//! `Tensor` clones are O(1) (an `Arc` bump); mutation goes through
+//! [`Tensor::data_mut`], which clones the buffer only when shared. This keeps
+//! the autodiff tape cheap: saved-for-backward tensors share storage with the
+//! forward values instead of duplicating every `n×n` matrix.
+
+use crate::error::{Error, Result};
+use crate::shape::Shape;
+use std::fmt;
+use std::sync::Arc;
+
+/// A dense, row-major `f32` tensor.
+#[derive(Clone)]
+pub struct Tensor {
+    data: Arc<Vec<f32>>,
+    shape: Shape,
+}
+
+impl Tensor {
+    // ------------------------------------------------------------------
+    // Constructors
+    // ------------------------------------------------------------------
+
+    /// Builds a tensor from a flat row-major buffer.
+    ///
+    /// Returns [`Error::InvalidArgument`] when the buffer length does not
+    /// match the shape.
+    pub fn from_vec(shape: Shape, data: Vec<f32>) -> Result<Self> {
+        if data.len() != shape.len() {
+            return Err(Error::InvalidArgument(format!(
+                "buffer of {} elements cannot fill shape {shape}",
+                data.len()
+            )));
+        }
+        Ok(Tensor { data: Arc::new(data), shape })
+    }
+
+    /// A scalar tensor.
+    pub fn from_scalar(v: f32) -> Self {
+        Tensor { data: Arc::new(vec![v]), shape: Shape::scalar() }
+    }
+
+    /// A rank-1 tensor from a slice.
+    pub fn from_slice(v: &[f32]) -> Self {
+        Tensor { data: Arc::new(v.to_vec()), shape: Shape::vector(v.len()) }
+    }
+
+    /// A rank-2 tensor from row slices.
+    ///
+    /// # Panics
+    /// Panics when rows have unequal lengths; this constructor exists for
+    /// literals in tests and examples where that is a typo.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows in Tensor::from_rows");
+            data.extend_from_slice(row);
+        }
+        Tensor { data: Arc::new(data), shape: Shape::matrix(r, c) }
+    }
+
+    /// A tensor of zeros.
+    pub fn zeros(shape: Shape) -> Self {
+        let len = shape.len();
+        Tensor { data: Arc::new(vec![0.0; len]), shape }
+    }
+
+    /// A tensor of ones.
+    pub fn ones(shape: Shape) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// A tensor filled with `v`.
+    pub fn full(shape: Shape, v: f32) -> Self {
+        let len = shape.len();
+        Tensor { data: Arc::new(vec![v; len]), shape }
+    }
+
+    /// The `n×n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut data = vec![0.0; n * n];
+        for i in 0..n {
+            data[i * n + i] = 1.0;
+        }
+        Tensor { data: Arc::new(data), shape: Shape::matrix(n, n) }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// True when the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.shape.is_empty()
+    }
+
+    /// The flat row-major buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the buffer, cloning it first if shared (COW).
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        Arc::make_mut(&mut self.data).as_mut_slice()
+    }
+
+    /// Element at a multi-dimensional index.
+    pub fn at(&self, index: &[usize]) -> f32 {
+        self.data[self.shape.offset(index)]
+    }
+
+    /// Element `(r, c)` of a rank-2 tensor.
+    pub fn get2(&self, r: usize, c: usize) -> f32 {
+        debug_assert_eq!(self.shape.rank(), 2);
+        self.data[r * self.shape.cols() + c]
+    }
+
+    /// Sets element `(r, c)` of a rank-2 tensor.
+    pub fn set2(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert_eq!(self.shape.rank(), 2);
+        let cols = self.shape.cols();
+        self.data_mut()[r * cols + c] = v;
+    }
+
+    /// The single value of a one-element tensor.
+    ///
+    /// # Panics
+    /// Panics when the tensor has more than one element.
+    pub fn scalar(&self) -> f32 {
+        assert_eq!(self.len(), 1, "scalar() on tensor of shape {}", self.shape);
+        self.data[0]
+    }
+
+    /// Row `r` of a rank-2 tensor as a slice.
+    pub fn row(&self, r: usize) -> &[f32] {
+        let c = self.shape.cols();
+        &self.data[r * c..(r + 1) * c]
+    }
+
+    // ------------------------------------------------------------------
+    // Elementwise operations
+    // ------------------------------------------------------------------
+
+    /// Applies `f` to every element.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        let data = self.data.iter().map(|&x| f(x)).collect();
+        Tensor { data: Arc::new(data), shape: self.shape.clone() }
+    }
+
+    /// Combines two same-shape tensors elementwise.
+    pub fn zip_map(&self, rhs: &Tensor, op: &'static str, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
+        if self.shape != rhs.shape {
+            return Err(Error::ShapeMismatch {
+                op,
+                lhs: self.shape.dims().to_vec(),
+                rhs: rhs.shape.dims().to_vec(),
+            });
+        }
+        let data = self.data.iter().zip(rhs.data.iter()).map(|(&a, &b)| f(a, b)).collect();
+        Ok(Tensor { data: Arc::new(data), shape: self.shape.clone() })
+    }
+
+    /// Elementwise sum.
+    pub fn add(&self, rhs: &Tensor) -> Result<Tensor> {
+        self.zip_map(rhs, "add", |a, b| a + b)
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&self, rhs: &Tensor) -> Result<Tensor> {
+        self.zip_map(rhs, "sub", |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&self, rhs: &Tensor) -> Result<Tensor> {
+        self.zip_map(rhs, "mul", |a, b| a * b)
+    }
+
+    /// Elementwise quotient.
+    pub fn div(&self, rhs: &Tensor) -> Result<Tensor> {
+        self.zip_map(rhs, "div", |a, b| a / b)
+    }
+
+    /// Adds a scalar to every element.
+    pub fn add_scalar(&self, s: f32) -> Tensor {
+        self.map(|x| x + s)
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn mul_scalar(&self, s: f32) -> Tensor {
+        self.map(|x| x * s)
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&self) -> Tensor {
+        self.map(|x| -x)
+    }
+
+    /// Elementwise `max(x, 0)`.
+    pub fn relu(&self) -> Tensor {
+        self.map(|x| x.max(0.0))
+    }
+
+    /// Elementwise ELU with α = 1 (the paper's σ₂, following GAT).
+    pub fn elu(&self) -> Tensor {
+        self.map(|x| if x > 0.0 { x } else { x.exp_m1() })
+    }
+
+    /// Elementwise logistic sigmoid, numerically stable on both tails.
+    pub fn sigmoid(&self) -> Tensor {
+        self.map(stable_sigmoid)
+    }
+
+    /// Elementwise hyperbolic tangent.
+    pub fn tanh(&self) -> Tensor {
+        self.map(f32::tanh)
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&self) -> Tensor {
+        self.map(f32::exp)
+    }
+
+    /// Elementwise square.
+    pub fn square(&self) -> Tensor {
+        self.map(|x| x * x)
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(&self) -> Tensor {
+        self.map(f32::sqrt)
+    }
+
+    /// Elementwise absolute value.
+    pub fn abs(&self) -> Tensor {
+        self.map(f32::abs)
+    }
+
+    // ------------------------------------------------------------------
+    // Matrix operations
+    // ------------------------------------------------------------------
+
+    /// Matrix product of two rank-2 tensors.
+    ///
+    /// Uses an i-k-j loop order so the inner loop streams rows of both the
+    /// output and `rhs` — cache friendly without blocking at the `n ≤ ~1000`
+    /// sizes this reproduction works at.
+    pub fn matmul(&self, rhs: &Tensor) -> Result<Tensor> {
+        let (m, k) = self.shape.as_matrix("matmul")?;
+        let (k2, n) = rhs.shape.as_matrix("matmul")?;
+        if k != k2 {
+            return Err(Error::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape.dims().to_vec(),
+                rhs: rhs.shape.dims().to_vec(),
+            });
+        }
+        let a = self.data();
+        let b = rhs.data();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let o_row = &mut out[i * n..(i + 1) * n];
+            for (p, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue; // flow matrices are sparse; skipping zeros is a real win
+                }
+                let b_row = &b[p * n..(p + 1) * n];
+                for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+            }
+        }
+        Tensor::from_vec(Shape::matrix(m, n), out)
+    }
+
+    /// Transpose of a rank-2 tensor.
+    pub fn transpose(&self) -> Result<Tensor> {
+        let (r, c) = self.shape.as_matrix("transpose")?;
+        let mut out = vec![0.0f32; r * c];
+        for i in 0..r {
+            for j in 0..c {
+                out[j * r + i] = self.data[i * c + j];
+            }
+        }
+        Tensor::from_vec(Shape::matrix(c, r), out)
+    }
+
+    /// Reinterprets the buffer under a new shape of equal length.
+    pub fn reshape(&self, shape: Shape) -> Result<Tensor> {
+        if shape.len() != self.len() {
+            return Err(Error::InvalidArgument(format!(
+                "cannot reshape {} ({} elems) into {shape} ({} elems)",
+                self.shape,
+                self.len(),
+                shape.len()
+            )));
+        }
+        Ok(Tensor { data: Arc::clone(&self.data), shape })
+    }
+
+    /// Horizontal concatenation of rank-2 tensors with equal row counts.
+    pub fn concat_cols(parts: &[&Tensor]) -> Result<Tensor> {
+        if parts.is_empty() {
+            return Err(Error::InvalidArgument("concat_cols of zero tensors".into()));
+        }
+        let (rows, _) = parts[0].shape.as_matrix("concat_cols")?;
+        let mut total_cols = 0;
+        for p in parts {
+            let (r, c) = p.shape.as_matrix("concat_cols")?;
+            if r != rows {
+                return Err(Error::ShapeMismatch {
+                    op: "concat_cols",
+                    lhs: parts[0].shape.dims().to_vec(),
+                    rhs: p.shape.dims().to_vec(),
+                });
+            }
+            total_cols += c;
+        }
+        let mut out = Vec::with_capacity(rows * total_cols);
+        for i in 0..rows {
+            for p in parts {
+                out.extend_from_slice(p.row(i));
+            }
+        }
+        Tensor::from_vec(Shape::matrix(rows, total_cols), out)
+    }
+
+    /// Vertical concatenation of rank-2 tensors with equal column counts.
+    pub fn concat_rows(parts: &[&Tensor]) -> Result<Tensor> {
+        if parts.is_empty() {
+            return Err(Error::InvalidArgument("concat_rows of zero tensors".into()));
+        }
+        let (_, cols) = parts[0].shape.as_matrix("concat_rows")?;
+        let mut total_rows = 0;
+        let mut out = Vec::new();
+        for p in parts {
+            let (r, c) = p.shape.as_matrix("concat_rows")?;
+            if c != cols {
+                return Err(Error::ShapeMismatch {
+                    op: "concat_rows",
+                    lhs: parts[0].shape.dims().to_vec(),
+                    rhs: p.shape.dims().to_vec(),
+                });
+            }
+            total_rows += r;
+            out.extend_from_slice(p.data());
+        }
+        Tensor::from_vec(Shape::matrix(total_rows, cols), out)
+    }
+
+    /// Extracts rows `[start, end)` of a rank-2 tensor.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Result<Tensor> {
+        let (r, c) = self.shape.as_matrix("slice_rows")?;
+        if start > end || end > r {
+            return Err(Error::InvalidArgument(format!(
+                "slice_rows {start}..{end} out of bounds for {r} rows"
+            )));
+        }
+        Tensor::from_vec(Shape::matrix(end - start, c), self.data[start * c..end * c].to_vec())
+    }
+
+    // ------------------------------------------------------------------
+    // Broadcast helpers (bias adds, row/column scaling)
+    // ------------------------------------------------------------------
+
+    /// Adds a `1×c` row vector to every row of an `r×c` matrix.
+    pub fn add_row_broadcast(&self, row: &Tensor) -> Result<Tensor> {
+        let (r, c) = self.shape.as_matrix("add_row_broadcast")?;
+        let (rr, rc) = row.shape.as_matrix("add_row_broadcast")?;
+        if rr != 1 || rc != c {
+            return Err(Error::ShapeMismatch {
+                op: "add_row_broadcast",
+                lhs: self.shape.dims().to_vec(),
+                rhs: row.shape.dims().to_vec(),
+            });
+        }
+        let mut out = self.data.as_ref().clone();
+        for i in 0..r {
+            for j in 0..c {
+                out[i * c + j] += row.data[j];
+            }
+        }
+        Tensor::from_vec(Shape::matrix(r, c), out)
+    }
+
+    /// Adds an `r×1` column vector to every column of an `r×c` matrix.
+    pub fn add_col_broadcast(&self, col: &Tensor) -> Result<Tensor> {
+        let (r, c) = self.shape.as_matrix("add_col_broadcast")?;
+        let (cr, cc) = col.shape.as_matrix("add_col_broadcast")?;
+        if cc != 1 || cr != r {
+            return Err(Error::ShapeMismatch {
+                op: "add_col_broadcast",
+                lhs: self.shape.dims().to_vec(),
+                rhs: col.shape.dims().to_vec(),
+            });
+        }
+        let mut out = self.data.as_ref().clone();
+        for i in 0..r {
+            let v = col.data[i];
+            for j in 0..c {
+                out[i * c + j] += v;
+            }
+        }
+        Tensor::from_vec(Shape::matrix(r, c), out)
+    }
+
+    /// Multiplies row `i` of an `r×c` matrix by element `i` of an `r×1` column.
+    pub fn mul_col_broadcast(&self, col: &Tensor) -> Result<Tensor> {
+        let (r, c) = self.shape.as_matrix("mul_col_broadcast")?;
+        let (cr, cc) = col.shape.as_matrix("mul_col_broadcast")?;
+        if cc != 1 || cr != r {
+            return Err(Error::ShapeMismatch {
+                op: "mul_col_broadcast",
+                lhs: self.shape.dims().to_vec(),
+                rhs: col.shape.dims().to_vec(),
+            });
+        }
+        let mut out = self.data.as_ref().clone();
+        for i in 0..r {
+            let v = col.data[i];
+            for j in 0..c {
+                out[i * c + j] *= v;
+            }
+        }
+        Tensor::from_vec(Shape::matrix(r, c), out)
+    }
+
+    // ------------------------------------------------------------------
+    // Reductions
+    // ------------------------------------------------------------------
+
+    /// Sum of all elements, as a scalar tensor.
+    pub fn sum_all(&self) -> Tensor {
+        Tensor::from_scalar(self.data.iter().sum())
+    }
+
+    /// Mean of all elements, as a scalar tensor.
+    pub fn mean_all(&self) -> Tensor {
+        Tensor::from_scalar(self.data.iter().sum::<f32>() / self.len() as f32)
+    }
+
+    /// Per-row sums of a rank-2 tensor, as an `r×1` column.
+    pub fn sum_cols(&self) -> Result<Tensor> {
+        let (r, c) = self.shape.as_matrix("sum_cols")?;
+        let out: Vec<f32> = (0..r).map(|i| self.data[i * c..(i + 1) * c].iter().sum()).collect();
+        Tensor::from_vec(Shape::matrix(r, 1), out)
+    }
+
+    /// Per-column sums of a rank-2 tensor, as a `1×c` row.
+    pub fn sum_rows(&self) -> Result<Tensor> {
+        let (r, c) = self.shape.as_matrix("sum_rows")?;
+        let mut out = vec![0.0f32; c];
+        for i in 0..r {
+            for (o, &v) in out.iter_mut().zip(&self.data[i * c..(i + 1) * c]) {
+                *o += v;
+            }
+        }
+        Tensor::from_vec(Shape::matrix(1, c), out)
+    }
+
+    /// Maximum element (NaN-free inputs assumed); 0.0 for empty tensors.
+    pub fn max_all(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        }
+    }
+
+    /// Minimum element; 0.0 for empty tensors.
+    pub fn min_all(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.data.iter().copied().fold(f32::INFINITY, f32::min)
+        }
+    }
+
+    /// Numerically-stable row-wise softmax of a rank-2 tensor.
+    pub fn softmax_rows(&self) -> Result<Tensor> {
+        let (r, c) = self.shape.as_matrix("softmax_rows")?;
+        let mut out = vec![0.0f32; r * c];
+        for i in 0..r {
+            let row = self.row(i);
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0f32;
+            for (o, &x) in out[i * c..(i + 1) * c].iter_mut().zip(row) {
+                let e = (x - m).exp();
+                *o = e;
+                sum += e;
+            }
+            for o in &mut out[i * c..(i + 1) * c] {
+                *o /= sum;
+            }
+        }
+        Tensor::from_vec(Shape::matrix(r, c), out)
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// True when every pair of elements differs by at most `tol`.
+    pub fn approx_eq(&self, rhs: &Tensor, tol: f32) -> bool {
+        self.shape == rhs.shape
+            && self.data.iter().zip(rhs.data.iter()).all(|(&a, &b)| (a - b).abs() <= tol)
+    }
+}
+
+/// Logistic sigmoid that avoids `exp` overflow on large negative inputs.
+pub(crate) fn stable_sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor(shape={}, ", self.shape)?;
+        if self.len() <= 16 {
+            write!(f, "data={:?})", self.data.as_ref())
+        } else {
+            write!(f, "data=[{:.4}, {:.4}, .. {} elems])", self.data[0], self.data[1], self.len())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(rows: &[&[f32]]) -> Tensor {
+        Tensor::from_rows(rows)
+    }
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Tensor::zeros(Shape::matrix(2, 3)).data(), &[0.0; 6]);
+        assert_eq!(Tensor::ones(Shape::vector(2)).data(), &[1.0, 1.0]);
+        assert_eq!(Tensor::eye(2).data(), &[1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(Tensor::from_scalar(3.5).scalar(), 3.5);
+        assert!(Tensor::from_vec(Shape::matrix(2, 2), vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn clone_is_cow() {
+        let a = t(&[&[1.0, 2.0]]);
+        let mut b = a.clone();
+        b.data_mut()[0] = 9.0;
+        assert_eq!(a.data()[0], 1.0);
+        assert_eq!(b.data()[0], 9.0);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = t(&[&[1.0, -2.0], &[3.0, 4.0]]);
+        let b = t(&[&[2.0, 2.0], &[2.0, 2.0]]);
+        assert_eq!(a.add(&b).unwrap().data(), &[3.0, 0.0, 5.0, 6.0]);
+        assert_eq!(a.sub(&b).unwrap().data(), &[-1.0, -4.0, 1.0, 2.0]);
+        assert_eq!(a.mul(&b).unwrap().data(), &[2.0, -4.0, 6.0, 8.0]);
+        assert_eq!(a.div(&b).unwrap().data(), &[0.5, -1.0, 1.5, 2.0]);
+        assert_eq!(a.neg().data(), &[-1.0, 2.0, -3.0, -4.0]);
+        assert_eq!(a.relu().data(), &[1.0, 0.0, 3.0, 4.0]);
+        assert_eq!(a.abs().data(), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a.square().data(), &[1.0, 4.0, 9.0, 16.0]);
+        assert_eq!(a.add_scalar(1.0).data(), &[2.0, -1.0, 4.0, 5.0]);
+        assert_eq!(a.mul_scalar(2.0).data(), &[2.0, -4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn elementwise_shape_mismatch() {
+        let a = t(&[&[1.0, 2.0]]);
+        let b = t(&[&[1.0], &[2.0]]);
+        assert!(a.add(&b).is_err());
+    }
+
+    #[test]
+    fn elu_matches_definition() {
+        let a = Tensor::from_slice(&[-1.0, 0.0, 2.0]);
+        let e = a.elu();
+        assert!((e.data()[0] - ((-1.0f32).exp() - 1.0)).abs() < 1e-6);
+        assert_eq!(e.data()[1], 0.0);
+        assert_eq!(e.data()[2], 2.0);
+    }
+
+    #[test]
+    fn sigmoid_is_stable_on_tails() {
+        let a = Tensor::from_slice(&[-100.0, 0.0, 100.0]);
+        let s = a.sigmoid();
+        assert!(s.data()[0] >= 0.0 && s.data()[0] < 1e-6);
+        assert!((s.data()[1] - 0.5).abs() < 1e-6);
+        assert!(s.data()[2] > 1.0 - 1e-6 && s.data()[2] <= 1.0);
+        assert!(s.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = t(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = t(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity_and_mismatch() {
+        let a = t(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert!(a.matmul(&Tensor::eye(2)).unwrap().approx_eq(&a, 1e-6));
+        assert!(a.matmul(&t(&[&[1.0, 2.0, 3.0]])).is_err());
+    }
+
+    #[test]
+    fn matmul_skips_zero_rows_correctly() {
+        // The zero-skip fast path must not change results.
+        let a = t(&[&[0.0, 1.0], &[2.0, 0.0]]);
+        let b = t(&[&[3.0, 4.0], &[5.0, 6.0]]);
+        assert_eq!(a.matmul(&b).unwrap().data(), &[5.0, 6.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let a = t(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let tt = a.transpose().unwrap();
+        assert_eq!(tt.shape().dims(), &[3, 2]);
+        assert_eq!(tt.data(), &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+        assert!(tt.transpose().unwrap().approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn reshape_shares_data() {
+        let a = t(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let r = a.reshape(Shape::vector(4)).unwrap();
+        assert_eq!(r.data(), a.data());
+        assert!(a.reshape(Shape::vector(5)).is_err());
+    }
+
+    #[test]
+    fn concat_cols_and_rows() {
+        let a = t(&[&[1.0], &[2.0]]);
+        let b = t(&[&[3.0, 4.0], &[5.0, 6.0]]);
+        let c = Tensor::concat_cols(&[&a, &b]).unwrap();
+        assert_eq!(c.shape().dims(), &[2, 3]);
+        assert_eq!(c.data(), &[1.0, 3.0, 4.0, 2.0, 5.0, 6.0]);
+
+        let d = Tensor::concat_rows(&[&b, &b]).unwrap();
+        assert_eq!(d.shape().dims(), &[4, 2]);
+
+        assert!(Tensor::concat_cols(&[]).is_err());
+        let bad = t(&[&[1.0]]);
+        assert!(Tensor::concat_cols(&[&a, &bad]).is_err());
+    }
+
+    #[test]
+    fn slice_rows_bounds() {
+        let a = t(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let s = a.slice_rows(1, 3).unwrap();
+        assert_eq!(s.data(), &[3.0, 4.0, 5.0, 6.0]);
+        assert!(a.slice_rows(2, 4).is_err());
+    }
+
+    #[test]
+    fn broadcast_ops() {
+        let a = t(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let row = t(&[&[10.0, 20.0]]);
+        let col = t(&[&[1.0], &[2.0]]);
+        assert_eq!(a.add_row_broadcast(&row).unwrap().data(), &[11.0, 22.0, 13.0, 24.0]);
+        assert_eq!(a.add_col_broadcast(&col).unwrap().data(), &[2.0, 3.0, 5.0, 6.0]);
+        assert_eq!(a.mul_col_broadcast(&col).unwrap().data(), &[1.0, 2.0, 6.0, 8.0]);
+        assert!(a.add_row_broadcast(&col).is_err());
+        assert!(a.add_col_broadcast(&row).is_err());
+    }
+
+    #[test]
+    fn reductions() {
+        let a = t(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(a.sum_all().scalar(), 10.0);
+        assert_eq!(a.mean_all().scalar(), 2.5);
+        assert_eq!(a.sum_cols().unwrap().data(), &[3.0, 7.0]);
+        assert_eq!(a.sum_rows().unwrap().data(), &[4.0, 6.0]);
+        assert_eq!(a.max_all(), 4.0);
+        assert_eq!(a.min_all(), 1.0);
+    }
+
+    #[test]
+    fn softmax_rows_sums_to_one_and_is_stable() {
+        let a = t(&[&[1000.0, 1000.0], &[0.0, f32::ln(3.0)]]);
+        let s = a.softmax_rows().unwrap();
+        assert!((s.row(0).iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!((s.get2(0, 0) - 0.5).abs() < 1e-6);
+        assert!((s.get2(1, 1) - 0.75).abs() < 1e-5);
+        assert!(s.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn frobenius_norm_known() {
+        let a = t(&[&[3.0, 4.0]]);
+        assert!((a.frobenius_norm() - 5.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,174 @@
+//! Property-based tests for the tensor and autodiff substrate.
+//!
+//! These check algebraic invariants on randomly-shaped, randomly-filled
+//! tensors — the kind of structural guarantees the model layers above lean
+//! on without re-checking.
+
+use proptest::prelude::*;
+use stgnn_tensor::autograd::{Graph, Param};
+use stgnn_tensor::{Shape, Tensor};
+
+/// Strategy: a matrix with dims in [1, 6] and elements in [-10, 10].
+fn matrix() -> impl Strategy<Value = Tensor> {
+    (1usize..=6, 1usize..=6).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f32..10.0, r * c)
+            .prop_map(move |data| Tensor::from_vec(Shape::matrix(r, c), data).unwrap())
+    })
+}
+
+/// Strategy: two same-shape matrices.
+fn matrix_pair() -> impl Strategy<Value = (Tensor, Tensor)> {
+    (1usize..=6, 1usize..=6).prop_flat_map(|(r, c)| {
+        let n = r * c;
+        (
+            proptest::collection::vec(-10.0f32..10.0, n),
+            proptest::collection::vec(-10.0f32..10.0, n),
+        )
+            .prop_map(move |(a, b)| {
+                (
+                    Tensor::from_vec(Shape::matrix(r, c), a).unwrap(),
+                    Tensor::from_vec(Shape::matrix(r, c), b).unwrap(),
+                )
+            })
+    })
+}
+
+/// Strategy: a compatible matmul pair (m×k, k×n).
+fn matmul_pair() -> impl Strategy<Value = (Tensor, Tensor)> {
+    (1usize..=5, 1usize..=5, 1usize..=5).prop_flat_map(|(m, k, n)| {
+        (
+            proptest::collection::vec(-5.0f32..5.0, m * k),
+            proptest::collection::vec(-5.0f32..5.0, k * n),
+        )
+            .prop_map(move |(a, b)| {
+                (
+                    Tensor::from_vec(Shape::matrix(m, k), a).unwrap(),
+                    Tensor::from_vec(Shape::matrix(k, n), b).unwrap(),
+                )
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn add_commutes((a, b) in matrix_pair()) {
+        let ab = a.add(&b).unwrap();
+        let ba = b.add(&a).unwrap();
+        prop_assert!(ab.approx_eq(&ba, 1e-5));
+    }
+
+    #[test]
+    fn transpose_involutes(a in matrix()) {
+        let tt = a.transpose().unwrap().transpose().unwrap();
+        prop_assert!(tt.approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn matmul_transpose_identity((a, b) in matmul_pair()) {
+        // (AB)ᵀ = BᵀAᵀ
+        let lhs = a.matmul(&b).unwrap().transpose().unwrap();
+        let rhs = b.transpose().unwrap().matmul(&a.transpose().unwrap()).unwrap();
+        prop_assert!(lhs.approx_eq(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn matmul_identity_is_noop(a in matrix()) {
+        let n = a.shape().cols();
+        let out = a.matmul(&Tensor::eye(n)).unwrap();
+        prop_assert!(out.approx_eq(&a, 1e-5));
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(a in matrix()) {
+        let s = a.softmax_rows().unwrap();
+        for i in 0..s.shape().rows() {
+            let sum: f32 = s.row(i).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-5, "row {i} sums to {sum}");
+            prop_assert!(s.row(i).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant(a in matrix()) {
+        let s1 = a.softmax_rows().unwrap();
+        let s2 = a.add_scalar(7.5).softmax_rows().unwrap();
+        prop_assert!(s1.approx_eq(&s2, 1e-5));
+    }
+
+    #[test]
+    fn sum_cols_plus_rows_consistent(a in matrix()) {
+        // Total mass is the same whichever axis reduces first.
+        let by_cols = a.sum_cols().unwrap().sum_all().scalar();
+        let by_rows = a.sum_rows().unwrap().sum_all().scalar();
+        prop_assert!((by_cols - by_rows).abs() < 1e-3 * (1.0 + by_cols.abs()));
+    }
+
+    #[test]
+    fn relu_is_idempotent_and_nonnegative(a in matrix()) {
+        let r = a.relu();
+        prop_assert!(r.data().iter().all(|&v| v >= 0.0));
+        prop_assert!(r.relu().approx_eq(&r, 0.0));
+    }
+
+    #[test]
+    fn sigmoid_bounded_and_monotone(a in matrix()) {
+        let s = a.sigmoid();
+        prop_assert!(s.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        let s2 = a.add_scalar(1.0).sigmoid();
+        for (v1, v2) in s.data().iter().zip(s2.data()) {
+            prop_assert!(v2 >= v1);
+        }
+    }
+
+    #[test]
+    fn reshape_preserves_data(a in matrix()) {
+        let flat = a.reshape(Shape::vector(a.len())).unwrap();
+        prop_assert_eq!(flat.data(), a.data());
+    }
+
+    #[test]
+    fn concat_then_slice_round_trips((a, b) in matrix_pair()) {
+        let cat = Tensor::concat_rows(&[&a, &b]).unwrap();
+        let r = a.shape().rows();
+        let a2 = cat.slice_rows(0, r).unwrap();
+        let b2 = cat.slice_rows(r, 2 * r).unwrap();
+        prop_assert!(a2.approx_eq(&a, 0.0));
+        prop_assert!(b2.approx_eq(&b, 0.0));
+    }
+
+    #[test]
+    fn autodiff_linear_combination_gradient((a, b) in matrix_pair()) {
+        // y = Σ (2a + 3b) ⇒ dy/da = 2, dy/db = 3, everywhere, always.
+        let g = Graph::new();
+        let pa = Param::new("a", a.clone());
+        let pb = Param::new("b", b.clone());
+        let va = g.param(&pa);
+        let vb = g.param(&pb);
+        va.mul_scalar(2.0).add(&vb.mul_scalar(3.0)).sum_all().backward();
+        prop_assert!(pa.grad().approx_eq(&Tensor::full(a.shape().clone(), 2.0), 1e-5));
+        prop_assert!(pb.grad().approx_eq(&Tensor::full(b.shape().clone(), 3.0), 1e-5));
+    }
+
+    #[test]
+    fn autodiff_matmul_grad_matches_formula((a, b) in matmul_pair()) {
+        // y = Σ AB ⇒ dA = 1·Bᵀ (ones matrix times Bᵀ), dB = Aᵀ·1.
+        let g = Graph::new();
+        let pa = Param::new("a", a.clone());
+        let pb = Param::new("b", b.clone());
+        let y = g.param(&pa).matmul(&g.param(&pb)).sum_all();
+        y.backward();
+        let ones = Tensor::ones(Shape::matrix(a.shape().rows(), b.shape().cols()));
+        let expect_da = ones.matmul(&b.transpose().unwrap()).unwrap();
+        let expect_db = a.transpose().unwrap().matmul(&ones).unwrap();
+        prop_assert!(pa.grad().approx_eq(&expect_da, 1e-3));
+        prop_assert!(pb.grad().approx_eq(&expect_db, 1e-3));
+    }
+
+    #[test]
+    fn gradient_of_sum_is_ones(a in matrix()) {
+        let g = Graph::new();
+        let p = Param::new("a", a.clone());
+        g.param(&p).sum_all().backward();
+        prop_assert!(p.grad().approx_eq(&Tensor::ones(a.shape().clone()), 1e-6));
+    }
+}

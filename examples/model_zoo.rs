@@ -1,0 +1,57 @@
+//! Model zoo: run every Table I predictor on one small synthetic city and
+//! print a mini comparison table. A compact tour of the whole public API.
+//!
+//! ```text
+//! cargo run --release --example model_zoo
+//! ```
+
+use stgnn_djd::baselines::{
+    Arima, Astgcn, BaselineConfig, GBike, Gcnn, GradientBoostedTrees, HistoricalAverage,
+    LstmPredictor, Mgnn, Mlp, RnnPredictor, Stsgcn,
+};
+use stgnn_djd::data::dataset::{BikeDataset, DatasetConfig, Split};
+use stgnn_djd::data::predictor::{evaluate, DemandSupplyPredictor};
+use stgnn_djd::data::synthetic::{CityConfig, SyntheticCity};
+use stgnn_djd::model::{StgnnConfig, StgnnDjd};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let city = SyntheticCity::generate(CityConfig::test_small(555));
+    let data = BikeDataset::from_city(&city, DatasetConfig::small(24, 2))?;
+    let slots = data.slots(Split::Test);
+    println!(
+        "{} stations, {} trips, {} test slots\n",
+        data.n_stations(),
+        city.trips.len(),
+        slots.len()
+    );
+
+    let bc = BaselineConfig { n_lags: 6, n_days: 2, epochs: 8, ..BaselineConfig::default() };
+    let mut sc = StgnnConfig::quick(24, 2);
+    sc.epochs = 25;
+
+    let mut models: Vec<Box<dyn DemandSupplyPredictor>> = vec![
+        Box::new(HistoricalAverage::new()),
+        Box::new(Arima::paper()),
+        Box::new(GradientBoostedTrees::new(bc.clone(), Default::default())),
+        Box::new(Mlp::new(bc.clone())),
+        Box::new(RnnPredictor::new(bc.clone())),
+        Box::new(LstmPredictor::new(bc.clone())),
+        Box::new(Gcnn::new(bc.clone())),
+        Box::new(Mgnn::new(bc.clone())),
+        Box::new(Astgcn::new(bc.clone())),
+        Box::new(Stsgcn::new(bc.clone())),
+        Box::new(GBike::new(bc)),
+        Box::new(StgnnDjd::new(sc, data.n_stations())?),
+    ];
+
+    println!("{:<12} {:>14} {:>14} {:>10}", "method", "RMSE", "MAE", "fit (s)");
+    for model in &mut models {
+        let t0 = std::time::Instant::now();
+        model.fit(&data)?;
+        let fit_s = t0.elapsed().as_secs_f32();
+        let row = evaluate(model.as_ref(), &data, &slots);
+        let (rmse, mae) = row.cells();
+        println!("{:<12} {rmse:>14} {mae:>14} {fit_s:>10.1}", model.name());
+    }
+    Ok(())
+}

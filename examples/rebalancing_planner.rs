@@ -1,0 +1,115 @@
+//! Rebalancing planner: the provider scenario from the paper's introduction.
+//!
+//! "It is in the provider's interest to predict the demand and supply of
+//! docked bikes at stations (so that bikes can be dispatched in advance to
+//! meet the demand and supply)." This example trains STGNN-DJD, forecasts
+//! the next slot, converts the forecast into per-station net pressure
+//! (demand − supply), and greedily plans truck moves from surplus stations
+//! to deficit stations, nearest pairs first.
+//!
+//! ```text
+//! cargo run --release --example rebalancing_planner
+//! ```
+
+use stgnn_djd::data::dataset::{BikeDataset, DatasetConfig, Split};
+use stgnn_djd::data::predictor::DemandSupplyPredictor;
+use stgnn_djd::data::synthetic::{CityConfig, SyntheticCity};
+use stgnn_djd::model::{StgnnConfig, StgnnDjd};
+
+/// One planned dispatch move.
+struct Move {
+    from: usize,
+    to: usize,
+    bikes: u32,
+    distance_km: f64,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let city = SyntheticCity::generate(CityConfig::test_small(99));
+    let data = BikeDataset::from_city(&city, DatasetConfig::small(24, 2))?;
+
+    let mut config = StgnnConfig::quick(24, 2);
+    config.epochs = 25;
+    let mut model = StgnnDjd::new(config, data.n_stations())?;
+    println!("training STGNN-DJD…");
+    model.fit(&data)?;
+
+    // Forecast a morning rush-hour slot on a held-out day.
+    let t = *data
+        .rush_slots(Split::Test, true)
+        .first()
+        .expect("test split contains a morning slot");
+    let pred = model.predict(&data, t);
+    let spd = data.slots_per_day();
+    println!(
+        "\nforecast for day {}, {:02}:{:02} (slot {t}):",
+        t / spd,
+        (t % spd) * 24 / spd,
+        ((t % spd) * 1440 / spd) % 60
+    );
+
+    // Net pressure per station: positive ⇒ more pickups than returns
+    // expected ⇒ the station needs bikes delivered beforehand.
+    let mut surplus: Vec<(usize, f32)> = Vec::new(); // returns exceed pickups
+    let mut deficit: Vec<(usize, f32)> = Vec::new();
+    for i in 0..data.n_stations() {
+        let net = pred.demand[i] - pred.supply[i];
+        if net > 0.5 {
+            deficit.push((i, net));
+        } else if net < -0.5 {
+            surplus.push((i, -net));
+        }
+    }
+    deficit.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    surplus.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    println!("{} stations need bikes, {} have spare bikes", deficit.len(), surplus.len());
+
+    // Greedy plan: serve the largest deficit from the nearest surplus.
+    let registry = data.registry();
+    let mut moves: Vec<Move> = Vec::new();
+    let mut surplus_left: Vec<f32> = surplus.iter().map(|&(_, v)| v).collect();
+    for &(station, need) in &deficit {
+        let mut remaining = need;
+        // nearest surplus stations first
+        let mut order: Vec<usize> = (0..surplus.len()).collect();
+        order.sort_by(|&a, &b| {
+            registry
+                .distance_km(station, surplus[a].0)
+                .partial_cmp(&registry.distance_km(station, surplus[b].0))
+                .expect("finite")
+        });
+        for idx in order {
+            if remaining < 0.5 {
+                break;
+            }
+            let take = remaining.min(surplus_left[idx]);
+            if take >= 0.5 {
+                surplus_left[idx] -= take;
+                remaining -= take;
+                moves.push(Move {
+                    from: surplus[idx].0,
+                    to: station,
+                    bikes: take.round() as u32,
+                    distance_km: registry.distance_km(station, surplus[idx].0),
+                });
+            }
+        }
+    }
+
+    println!("\ndispatch plan ({} moves):", moves.len());
+    println!("{:<6} {:<28} {:<28} {:>5} {:>8}", "move", "from", "to", "bikes", "km");
+    for (i, m) in moves.iter().enumerate() {
+        println!(
+            "{:<6} {:<28} {:<28} {:>5} {:>8.2}",
+            i + 1,
+            registry.get(m.from).name,
+            registry.get(m.to).name,
+            m.bikes,
+            m.distance_km
+        );
+    }
+    let total_bikes: u32 = moves.iter().map(|m| m.bikes).sum();
+    let total_km: f64 = moves.iter().map(|m| m.distance_km).sum();
+    println!("\ntotal: {total_bikes} bikes over {total_km:.1} truck-km");
+    Ok(())
+}

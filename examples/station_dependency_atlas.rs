@@ -1,0 +1,73 @@
+//! Station dependency atlas: the paper's §VIII case study as a scenario.
+//!
+//! Trains STGNN-DJD, then inspects the learned PCG attention for a target
+//! station against its ten nearest neighbours over morning and afternoon
+//! windows, printing the heatmaps of Figures 11–12 and contrasting them
+//! with the static locality prior of Figure 10 (the "existing approach").
+//!
+//! ```text
+//! cargo run --release --example station_dependency_atlas
+//! ```
+
+use stgnn_djd::baselines::gbike::locality_dependency;
+use stgnn_djd::data::dataset::{BikeDataset, DatasetConfig, Split};
+use stgnn_djd::data::predictor::DemandSupplyPredictor;
+use stgnn_djd::data::synthetic::{CityConfig, SyntheticCity};
+use stgnn_djd::model::attention::dependency_vs_nearest;
+use stgnn_djd::model::{StgnnConfig, StgnnDjd};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let city = SyntheticCity::generate(CityConfig::test_small(7));
+    let data = BikeDataset::from_city(&city, DatasetConfig::small(24, 2))?;
+
+    let mut config = StgnnConfig::quick(24, 2);
+    config.epochs = 25;
+    let mut model = StgnnDjd::new(config, data.n_stations())?;
+    println!("training STGNN-DJD…");
+    model.fit(&data)?;
+
+    let target = 0usize; // a school station by construction
+    let registry = data.registry();
+    println!(
+        "\ntarget station: {} ({})",
+        registry.get(target).name,
+        registry.get(target).archetype
+    );
+
+    // The existing approach (Fig 10): static, monotone in distance.
+    let prior = locality_dependency(registry, target, 10);
+    println!("\n[existing approach] locality-prior dependency on the 10 nearest:");
+    println!("  {:?}", prior.iter().map(|v| (v * 1000.0).round() / 1000.0).collect::<Vec<_>>());
+    println!("  (identical at every time slot, strictly decreasing with distance)");
+
+    // STGNN-DJD (Figs 11–12): dynamic, data-driven.
+    let spd = data.slots_per_day();
+    for (label, lo_h, hi_h) in [("morning 07:00–10:00", 7, 10), ("afternoon 15:00–18:00", 15, 18)] {
+        let slots: Vec<usize> = data
+            .slots(Split::Test)
+            .into_iter()
+            .filter(|&t| {
+                let tod = data.flows().tod_of_slot(t);
+                (lo_h * spd / 24..hi_h * spd / 24).contains(&tod)
+            })
+            .take(8)
+            .collect();
+        let dep = dependency_vs_nearest(&model, &data, target, 10, &slots)?;
+        println!("\n[STGNN-DJD] {label}: influence from neighbours to the target");
+        println!("columns = 10 nearest stations (closest first), darker = stronger:");
+        print!("{}", dep.ascii_heatmap(false));
+        println!("locality violated at some slot: {}", dep.violates_locality());
+
+        // Quantify: correlation between distance and mean attention.
+        let mean_per_neighbor: Vec<f32> = (0..dep.neighbors.len())
+            .map(|j| dep.to_target.iter().map(|row| row[j]).sum::<f32>() / dep.to_target.len() as f32)
+            .collect();
+        println!("mean attention by distance rank: {:?}",
+            mean_per_neighbor.iter().map(|v| (v * 1000.0).round() / 1000.0).collect::<Vec<_>>());
+    }
+    println!(
+        "\nTakeaway (matches §VIII): the learned dependency varies over time and across\n\
+         pairs, and does not decrease monotonically with distance — unlike the prior."
+    );
+    Ok(())
+}

@@ -1,0 +1,23 @@
+//! # stgnn-djd — umbrella crate
+//!
+//! A from-scratch Rust reproduction of *“A Data-Driven Spatial-Temporal Graph
+//! Neural Network for Docked Bike Prediction”* (STGNN-DJD, ICDE 2022).
+//!
+//! This crate re-exports the workspace members so examples and downstream
+//! users need a single dependency:
+//!
+//! * [`tensor`] — pure-Rust tensors + reverse-mode autodiff + NN layers.
+//! * [`data`] — trip records, synthetic city generator, flow matrices,
+//!   datasets and metrics.
+//! * [`graph`] — graph structures and generic GNN layers (GCN/GAT).
+//! * [`model`] — the STGNN-DJD model, trainer and ablation variants.
+//! * [`baselines`] — the eleven comparison models of the paper's Table I.
+//!
+//! See `examples/quickstart.rs` for an end-to-end walkthrough and
+//! `DESIGN.md` / `EXPERIMENTS.md` for the reproduction methodology.
+
+pub use stgnn_baselines as baselines;
+pub use stgnn_core as model;
+pub use stgnn_data as data;
+pub use stgnn_graph as graph;
+pub use stgnn_tensor as tensor;

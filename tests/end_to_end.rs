@@ -1,0 +1,83 @@
+//! Cross-crate integration: raw trips → cleansing → flows → dataset →
+//! training → prediction, end to end.
+
+use stgnn_djd::data::dataset::{BikeDataset, DatasetConfig, Split};
+use stgnn_djd::data::predictor::{evaluate, DemandSupplyPredictor};
+use stgnn_djd::data::synthetic::{CityConfig, SyntheticCity};
+use stgnn_djd::data::trip::cleanse;
+use stgnn_djd::data::MetricsAccumulator;
+use stgnn_djd::model::{StgnnConfig, StgnnDjd};
+
+fn tiny_city(seed: u64) -> SyntheticCity {
+    SyntheticCity::generate(CityConfig::test_tiny(seed))
+}
+
+#[test]
+fn dirty_export_pipeline_round_trips() {
+    let city = tiny_city(1001);
+    // Simulate an operator export with 15% corrupted records.
+    let raw = city.to_raw(0.15, 3);
+    let (clean, report) = cleanse(&raw, city.registry.len());
+    assert!(report.dropped() > 0);
+    assert_eq!(report.total(), city.trips.len());
+
+    // The surviving records still build a working dataset.
+    let flows = stgnn_djd::data::flow::FlowSeries::from_trips(
+        &clean,
+        city.registry.len(),
+        city.config.days,
+        city.config.slots_per_day,
+    )
+    .expect("flows");
+    let data = BikeDataset::new(flows, city.registry.clone(), DatasetConfig::small(6, 2)).expect("dataset");
+    assert!(!data.slots(Split::Test).is_empty());
+}
+
+#[test]
+fn training_is_deterministic_under_a_seed() {
+    let city = tiny_city(1002);
+    let data = BikeDataset::from_city(&city, DatasetConfig::small(6, 2)).expect("dataset");
+    let t = data.slots(Split::Test)[0];
+
+    let run = || {
+        let mut model =
+            StgnnDjd::new(StgnnConfig::test_tiny(6, 2), data.n_stations()).expect("model");
+        model.fit(&data).expect("fit");
+        model.predict(&data, t)
+    };
+    let p1 = run();
+    let p2 = run();
+    assert_eq!(p1, p2, "same seed must give identical trained predictions");
+}
+
+#[test]
+fn stgnn_beats_the_zero_predictor_end_to_end() {
+    let city = tiny_city(1003);
+    let data = BikeDataset::from_city(&city, DatasetConfig::small(6, 2)).expect("dataset");
+    let mut model = StgnnDjd::new(StgnnConfig::test_tiny(6, 2), data.n_stations()).expect("model");
+    model.fit(&data).expect("fit");
+    let slots = data.slots(Split::Test);
+    let row = evaluate(&model, &data, &slots);
+
+    let mut zero = MetricsAccumulator::new();
+    for &t in &slots {
+        let (d, s) = data.raw_targets(t);
+        zero.add_slot(&vec![0.0; d.len()], &vec![0.0; s.len()], d, s);
+    }
+    let zero = zero.finalize();
+    assert!(row.rmse_mean < zero.rmse_mean);
+    assert!(row.mae_mean < zero.mae_mean);
+}
+
+#[test]
+fn rush_hour_evaluation_uses_a_subset_of_test_slots() {
+    let city = SyntheticCity::generate(CityConfig::test_small(1004));
+    let data = BikeDataset::from_city(&city, DatasetConfig::small(12, 2)).expect("dataset");
+    let all = data.slots(Split::Test);
+    let morning = data.rush_slots(Split::Test, true);
+    let evening = data.rush_slots(Split::Test, false);
+    assert!(!morning.is_empty() && !evening.is_empty());
+    assert!(morning.len() + evening.len() < all.len());
+    assert!(morning.iter().all(|t| all.contains(t)));
+    assert!(morning.iter().all(|t| !evening.contains(t)));
+}

@@ -1,0 +1,58 @@
+//! Every Table I predictor runs through the shared harness on one dataset.
+
+use stgnn_djd::baselines::{
+    Arima, Astgcn, BaselineConfig, GBike, Gcnn, GradientBoostedTrees, HistoricalAverage,
+    LstmPredictor, Mgnn, Mlp, RnnPredictor, Stsgcn,
+};
+use stgnn_djd::data::dataset::{BikeDataset, DatasetConfig, Split};
+use stgnn_djd::data::predictor::{evaluate, DemandSupplyPredictor};
+use stgnn_djd::data::synthetic::{CityConfig, SyntheticCity};
+use stgnn_djd::model::{StgnnConfig, StgnnDjd};
+
+fn dataset() -> BikeDataset {
+    let city = SyntheticCity::generate(CityConfig::test_tiny(2001));
+    BikeDataset::from_city(&city, DatasetConfig::small(6, 2)).expect("dataset")
+}
+
+#[test]
+fn every_paper_model_fits_and_scores() {
+    let data = dataset();
+    let bc = BaselineConfig::test_tiny(1);
+    let mut models: Vec<Box<dyn DemandSupplyPredictor>> = vec![
+        Box::new(HistoricalAverage::new()),
+        Box::new(Arima::new(4, 0)),
+        Box::new(GradientBoostedTrees::new(bc.clone(), Default::default())),
+        Box::new(Mlp::new(bc.clone())),
+        Box::new(RnnPredictor::new(bc.clone())),
+        Box::new(LstmPredictor::new(bc.clone())),
+        Box::new(Gcnn::new(bc.clone())),
+        Box::new(Mgnn::new(bc.clone())),
+        Box::new(Astgcn::new(bc.clone())),
+        Box::new(Stsgcn::new(bc.clone())),
+        Box::new(GBike::new(bc)),
+        Box::new(StgnnDjd::new(StgnnConfig::test_tiny(6, 2), data.n_stations()).expect("model")),
+    ];
+    let slots: Vec<usize> = data.slots(Split::Test).into_iter().take(12).collect();
+    let mut seen = std::collections::HashSet::new();
+    for model in &mut models {
+        model.fit(&data).unwrap_or_else(|e| panic!("{} failed to fit: {e}", model.name()));
+        let row = evaluate(model.as_ref(), &data, &slots);
+        assert!(row.n_slots > 0, "{} evaluated no slots", model.name());
+        assert!(row.rmse_mean.is_finite(), "{} produced NaN", model.name());
+        assert!(row.rmse_mean >= row.mae_mean - 1e-4, "{}: RMSE < MAE", model.name());
+        assert!(seen.insert(model.name().to_string()), "duplicate model name {}", model.name());
+    }
+    assert_eq!(seen.len(), 12);
+}
+
+#[test]
+fn predictions_have_station_dimension_and_are_counts() {
+    let data = dataset();
+    let mut ha = HistoricalAverage::new();
+    ha.fit(&data).expect("fit");
+    let t = data.slots(Split::Test)[0];
+    let p = ha.predict(&data, t);
+    assert_eq!(p.demand.len(), data.n_stations());
+    assert_eq!(p.supply.len(), data.n_stations());
+    assert!(p.demand.iter().chain(&p.supply).all(|&v| v >= 0.0 && v.is_finite()));
+}
