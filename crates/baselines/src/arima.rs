@@ -28,7 +28,10 @@ impl ArModel {
         let n = series.len();
         if n <= p + 1 {
             let mean = series.iter().map(|&x| x as f64).sum::<f64>() / n.max(1) as f64;
-            return ArModel { intercept: mean, phi: vec![0.0; p] };
+            return ArModel {
+                intercept: mean,
+                phi: vec![0.0; p],
+            };
         }
         // Design: rows t = p..n, x = [1, y_{t-1}, …, y_{t-p}], target y_t.
         let dim = p + 1;
@@ -52,10 +55,16 @@ impl ArModel {
             ata[i * dim + i] += ridge;
         }
         match solve_linear(&ata, &atb, dim) {
-            Some(coef) => ArModel { intercept: coef[0], phi: coef[1..].to_vec() },
+            Some(coef) => ArModel {
+                intercept: coef[0],
+                phi: coef[1..].to_vec(),
+            },
             None => {
                 let mean = series.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
-                ArModel { intercept: mean, phi: vec![0.0; p] }
+                ArModel {
+                    intercept: mean,
+                    phi: vec![0.0; p],
+                }
             }
         }
     }
@@ -85,7 +94,13 @@ pub struct Arima {
 impl Arima {
     /// ARIMA(p, d, 0) with the paper's window 12 as `Arima::new(12, 0)`.
     pub fn new(p: usize, d: usize) -> Self {
-        Arima { p, d, ridge: 1e-3, demand_models: Vec::new(), supply_models: Vec::new() }
+        Arima {
+            p,
+            d,
+            ridge: 1e-3,
+            demand_models: Vec::new(),
+            supply_models: Vec::new(),
+        }
     }
 
     /// The paper's configuration: window 12, no differencing.
@@ -93,7 +108,12 @@ impl Arima {
         Self::new(12, 0)
     }
 
-    fn series(data: &BikeDataset, station: usize, demand: bool, range: std::ops::Range<usize>) -> Vec<f32> {
+    fn series(
+        data: &BikeDataset,
+        station: usize,
+        demand: bool,
+        range: std::ops::Range<usize>,
+    ) -> Vec<f32> {
         range
             .map(|t| {
                 if demand {
@@ -114,7 +134,11 @@ impl Arima {
     }
 
     fn predict_series(&self, data: &BikeDataset, station: usize, demand: bool, t: usize) -> f64 {
-        let model = if demand { &self.demand_models[station] } else { &self.supply_models[station] };
+        let model = if demand {
+            &self.demand_models[station]
+        } else {
+            &self.supply_models[station]
+        };
         // Recent raw history, newest first, long enough for p lags after
         // d differences.
         let need = self.p + self.d + 1;

@@ -14,6 +14,7 @@
 use crate::util::{split_prediction, target_matrix, train_by_slot, BaselineConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::rc::Rc;
 use stgnn_data::dataset::BikeDataset;
 use stgnn_data::error::Result;
 use stgnn_data::predictor::{DemandSupplyPredictor, Prediction};
@@ -23,7 +24,6 @@ use stgnn_tensor::autograd::{Graph, Param, ParamSet, Var};
 use stgnn_tensor::loss::mse;
 use stgnn_tensor::nn::Linear;
 use stgnn_tensor::{Shape, Tensor};
-use std::rc::Rc;
 
 struct Branch {
     attention: GatLayer,
@@ -52,7 +52,14 @@ pub struct Astgcn {
 impl Astgcn {
     /// Creates an untrained ASTGCN.
     pub fn new(config: BaselineConfig) -> Self {
-        Astgcn { config, params: ParamSet::new(), net: None, n_lags: 0, n_days: 0, has_weekly: false }
+        Astgcn {
+            config,
+            params: ParamSet::new(),
+            net: None,
+            n_lags: 0,
+            n_days: 0,
+            has_weekly: false,
+        }
     }
 
     /// Branch inputs: `n×2·len` blocks of normalised demand/supply at the
@@ -93,8 +100,14 @@ impl Astgcn {
             let ones = g.leaf(Tensor::ones(Shape::matrix(n, 1)));
             h.mul_col_broadcast(&ones.matmul(&gate))
         };
-        let mut fused = run(&net.recent, Self::branch_features(data, &self.recent_slots(t)));
-        fused = fused.add(&run(&net.daily, Self::branch_features(data, &self.daily_slots(data, t))));
+        let mut fused = run(
+            &net.recent,
+            Self::branch_features(data, &self.recent_slots(t)),
+        );
+        fused = fused.add(&run(
+            &net.daily,
+            Self::branch_features(data, &self.daily_slots(data, t)),
+        ));
         if let Some(weekly) = &net.weekly {
             let spd = data.slots_per_day();
             fused = fused.add(&run(weekly, Self::branch_features(data, &[t - 7 * spd])));
@@ -118,14 +131,17 @@ impl DemandSupplyPredictor for Astgcn {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut params = ParamSet::new();
         let branch = |name: &str, in_dim: usize, params: &mut ParamSet, rng: &mut StdRng| Branch {
-            attention: GatLayer::new(params, rng, &format!("{name}.att"), in_dim, h, true).with_mask(&graph),
+            attention: GatLayer::new(params, rng, &format!("{name}.att"), in_dim, h, true)
+                .with_mask(&graph),
             conv: GcnLayer::new(params, rng, &format!("{name}.gcn"), &graph, h, h, true),
             gate: params.add(format!("{name}.gate"), Tensor::zeros(Shape::matrix(1, 1))),
         };
         let net = Net {
             recent: branch("astgcn.recent", 2 * n_lags, &mut params, &mut rng),
             daily: branch("astgcn.daily", 2 * n_days, &mut params, &mut rng),
-            weekly: self.has_weekly.then(|| branch("astgcn.weekly", 2, &mut params, &mut rng)),
+            weekly: self
+                .has_weekly
+                .then(|| branch("astgcn.weekly", 2, &mut params, &mut rng)),
             head: Linear::new(&mut params, &mut rng, "astgcn.head", h, 2, true),
         };
         self.params = params;

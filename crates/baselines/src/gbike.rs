@@ -47,8 +47,10 @@ pub fn distance_prior(registry: &StationRegistry) -> Tensor {
 /// monotonically decreasing with distance and constant over time.
 pub fn locality_dependency(registry: &StationRegistry, target: usize, k: usize) -> Vec<f32> {
     let neighbors = registry.nearest(target, k);
-    let logits: Vec<f32> =
-        neighbors.iter().map(|&j| -(registry.distance_km(target, j) / SIGMA_KM) as f32).collect();
+    let logits: Vec<f32> = neighbors
+        .iter()
+        .map(|&j| -(registry.distance_km(target, j) / SIGMA_KM) as f32)
+        .collect();
     let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
     let exps: Vec<f32> = logits.iter().map(|&v| (v - max).exp()).collect();
     let sum: f32 = exps.iter().sum();
@@ -67,7 +69,13 @@ pub struct GBike {
 impl GBike {
     /// Creates an untrained GBike.
     pub fn new(config: BaselineConfig) -> Self {
-        GBike { config, params: ParamSet::new(), net: None, n_lags: 0, n_days: 0 }
+        GBike {
+            config,
+            params: ParamSet::new(),
+            net: None,
+            n_lags: 0,
+            n_days: 0,
+        }
     }
 
     fn forward(net: &(GatLayer, GatLayer, Linear), g: &Graph, x: &Var) -> Var {
@@ -99,7 +107,10 @@ impl DemandSupplyPredictor for GBike {
         self.n_days = n_days;
         let in_dim = 2 * (n_lags + n_days);
         let h = self.config.hidden;
-        let graph = knn_graph(data.registry(), KNN.min(data.n_stations().saturating_sub(1)));
+        let graph = knn_graph(
+            data.registry(),
+            KNN.min(data.n_stations().saturating_sub(1)),
+        );
         let prior = distance_prior(data.registry());
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut params = ParamSet::new();
@@ -179,7 +190,10 @@ mod tests {
         let row = evaluate(&m, &data, &slots);
         assert!(row.rmse_mean.is_finite() && row.n_slots > 0);
         let alpha = m.attention_at(&data, slots[0]).unwrap();
-        assert_eq!(alpha.shape().dims(), &[data.n_stations(), data.n_stations()]);
+        assert_eq!(
+            alpha.shape().dims(),
+            &[data.n_stations(), data.n_stations()]
+        );
         // masked attention: rows sum to 1
         let sum: f32 = alpha.row(0).iter().sum();
         assert!((sum - 1.0).abs() < 1e-4);

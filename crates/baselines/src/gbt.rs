@@ -37,14 +37,27 @@ pub struct GbtParams {
 
 impl Default for GbtParams {
     fn default() -> Self {
-        GbtParams { rounds: 40, max_depth: 4, eta: 0.15, lambda: 1.0, gamma: 0.0, min_child: 8, max_slots: 64 }
+        GbtParams {
+            rounds: 40,
+            max_depth: 4,
+            eta: 0.15,
+            lambda: 1.0,
+            gamma: 0.0,
+            min_child: 8,
+            max_slots: 64,
+        }
     }
 }
 
 #[derive(Debug, Clone)]
 enum TreeNode {
     Leaf(f32),
-    Split { feature: usize, threshold: f32, left: usize, right: usize },
+    Split {
+        feature: usize,
+        threshold: f32,
+        left: usize,
+        right: usize,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -58,8 +71,17 @@ impl Tree {
         loop {
             match &self.nodes[at] {
                 TreeNode::Leaf(v) => return *v,
-                TreeNode::Split { feature, threshold, left, right } => {
-                    at = if row[*feature] <= *threshold { *left } else { *right };
+                TreeNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    at = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -92,7 +114,11 @@ impl Booster {
             }
             trees.push(tree);
         }
-        Booster { base, eta: params.eta, trees }
+        Booster {
+            base,
+            eta: params.eta,
+            trees,
+        }
     }
 
     fn predict(&self, row: &[f32]) -> f32 {
@@ -155,11 +181,17 @@ fn build_node(
     }
 
     if let Some((feature, threshold, _)) = best {
-        let (left_samples, right_samples): (Vec<usize>, Vec<usize>) =
-            samples.into_iter().partition(|&i| x[i][feature] <= threshold);
+        let (left_samples, right_samples): (Vec<usize>, Vec<usize>) = samples
+            .into_iter()
+            .partition(|&i| x[i][feature] <= threshold);
         let left = build_node(x, grad, left_samples, params, depth + 1, nodes);
         let right = build_node(x, grad, right_samples, params, depth + 1, nodes);
-        nodes[me] = TreeNode::Split { feature, threshold, left, right };
+        nodes[me] = TreeNode::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
     }
     me
 }
@@ -254,8 +286,16 @@ mod tests {
     fn booster_fits_a_step_function() {
         // y = 1 when x0 > 0.5 else 0 — one split suffices.
         let x: Vec<Vec<f32>> = (0..100).map(|i| vec![i as f32 / 100.0, 0.0]).collect();
-        let y: Vec<f32> = x.iter().map(|r| if r[0] > 0.5 { 1.0 } else { 0.0 }).collect();
-        let params = GbtParams { rounds: 20, max_depth: 2, min_child: 2, ..Default::default() };
+        let y: Vec<f32> = x
+            .iter()
+            .map(|r| if r[0] > 0.5 { 1.0 } else { 0.0 })
+            .collect();
+        let params = GbtParams {
+            rounds: 20,
+            max_depth: 2,
+            min_child: 2,
+            ..Default::default()
+        };
         let b = Booster::fit(&x, &y, &params);
         assert!(b.predict(&[0.9, 0.0]) > 0.8);
         assert!(b.predict(&[0.1, 0.0]) < 0.2);
@@ -273,7 +313,12 @@ mod tests {
                 y.push(if (a > 0.5) != (b > 0.5) { 1.0 } else { 0.0 });
             }
         }
-        let params = GbtParams { rounds: 30, max_depth: 3, min_child: 4, ..Default::default() };
+        let params = GbtParams {
+            rounds: 30,
+            max_depth: 3,
+            min_child: 4,
+            ..Default::default()
+        };
         let booster = Booster::fit(&x, &y, &params);
         assert!(booster.predict(&[0.9, 0.1]) > 0.7);
         assert!(booster.predict(&[0.9, 0.9]) < 0.3);
@@ -291,7 +336,12 @@ mod tests {
     fn min_child_prevents_tiny_splits() {
         let x: Vec<Vec<f32>> = (0..10).map(|i| vec![i as f32]).collect();
         let y: Vec<f32> = (0..10).map(|i| i as f32).collect();
-        let params = GbtParams { rounds: 1, max_depth: 6, min_child: 6, ..Default::default() };
+        let params = GbtParams {
+            rounds: 1,
+            max_depth: 6,
+            min_child: 6,
+            ..Default::default()
+        };
         let b = Booster::fit(&x, &y, &params);
         // min_child 6 forbids any split of 10 samples into two ≥6 halves.
         assert_eq!(b.trees[0].nodes.len(), 1, "expected a single leaf");

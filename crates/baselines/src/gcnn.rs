@@ -31,7 +31,13 @@ pub struct Gcnn {
 impl Gcnn {
     /// Creates an untrained GCNN.
     pub fn new(config: BaselineConfig) -> Self {
-        Gcnn { config, params: ParamSet::new(), net: None, n_lags: 0, n_days: 0 }
+        Gcnn {
+            config,
+            params: ParamSet::new(),
+            net: None,
+            n_lags: 0,
+            n_days: 0,
+        }
     }
 
     fn forward(net: &(GcnLayer, GcnLayer, Linear), g: &Graph, x: &Var) -> Var {
@@ -52,7 +58,10 @@ impl DemandSupplyPredictor for Gcnn {
         self.n_days = n_days;
         let in_dim = 2 * (n_lags + n_days);
         let h = self.config.hidden;
-        let graph = knn_graph(data.registry(), KNN.min(data.n_stations().saturating_sub(1)));
+        let graph = knn_graph(
+            data.registry(),
+            KNN.min(data.n_stations().saturating_sub(1)),
+        );
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut params = ParamSet::new();
         let net = (

@@ -94,9 +94,16 @@ mod tests {
         let spd = data.slots_per_day();
         let days = data.days(Split::Train);
         let n_days = days.len() as f32;
-        let manual: f32 =
-            days.map(|day| data.flows().demand_at(day * spd + 8)[0]).sum::<f32>() / n_days;
-        let t = data.slots(Split::Test).iter().copied().find(|&t| data.flows().tod_of_slot(t) == 8).unwrap();
+        let manual: f32 = days
+            .map(|day| data.flows().demand_at(day * spd + 8)[0])
+            .sum::<f32>()
+            / n_days;
+        let t = data
+            .slots(Split::Test)
+            .iter()
+            .copied()
+            .find(|&t| data.flows().tod_of_slot(t) == 8)
+            .unwrap();
         let pred = ha.predict(&data, t);
         assert!((pred.demand[0] - manual).abs() < 1e-4);
     }
@@ -113,7 +120,11 @@ mod tests {
         // periodic synthetic demand → HA must be informative (RMSE below the
         // raw magnitude of demand)
         let scale = data.target_scale();
-        assert!(row.rmse_mean < scale, "HA rmse {} vs scale {scale}", row.rmse_mean);
+        assert!(
+            row.rmse_mean < scale,
+            "HA rmse {} vs scale {scale}",
+            row.rmse_mean
+        );
     }
 
     #[test]

@@ -38,7 +38,13 @@ struct Net {
 impl Mgnn {
     /// Creates an untrained MGNN.
     pub fn new(config: BaselineConfig) -> Self {
-        Mgnn { config, params: ParamSet::new(), net: None, n_lags: 0, n_days: 0 }
+        Mgnn {
+            config,
+            params: ParamSet::new(),
+            net: None,
+            n_lags: 0,
+            n_days: 0,
+        }
     }
 
     fn forward(net: &Net, g: &Graph, x: &Var) -> Var {
@@ -75,9 +81,33 @@ impl DemandSupplyPredictor for Mgnn {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut params = ParamSet::new();
         let net = Net {
-            distance_branch: GcnLayer::new(&mut params, &mut rng, "mgnn.dist", &dist_g, in_dim, h, true),
-            flow_branch: GcnLayer::new(&mut params, &mut rng, "mgnn.flow", &flow_g, in_dim, h, true),
-            corr_branch: GcnLayer::new(&mut params, &mut rng, "mgnn.corr", &corr_g, in_dim, h, true),
+            distance_branch: GcnLayer::new(
+                &mut params,
+                &mut rng,
+                "mgnn.dist",
+                &dist_g,
+                in_dim,
+                h,
+                true,
+            ),
+            flow_branch: GcnLayer::new(
+                &mut params,
+                &mut rng,
+                "mgnn.flow",
+                &flow_g,
+                in_dim,
+                h,
+                true,
+            ),
+            corr_branch: GcnLayer::new(
+                &mut params,
+                &mut rng,
+                "mgnn.corr",
+                &corr_g,
+                in_dim,
+                h,
+                true,
+            ),
             fuse: Linear::new(&mut params, &mut rng, "mgnn.fuse", h, h, true),
             head: Linear::new(&mut params, &mut rng, "mgnn.head", h, 2, true),
         };

@@ -25,7 +25,13 @@ pub struct Mlp {
 impl Mlp {
     /// Creates an untrained MLP.
     pub fn new(config: BaselineConfig) -> Self {
-        Mlp { config, params: ParamSet::new(), layers: None, n_lags: 0, n_days: 0 }
+        Mlp {
+            config,
+            params: ParamSet::new(),
+            layers: None,
+            n_lags: 0,
+            n_days: 0,
+        }
     }
 
     fn forward(&self, g: &Graph, x: &Tensor) -> Var {
@@ -94,7 +100,11 @@ mod tests {
         let t = data.slots(Split::Test)[0];
         let p = mlp.predict(&data, t);
         assert_eq!(p.demand.len(), data.n_stations());
-        assert!(p.demand.iter().chain(&p.supply).all(|&v| v >= 0.0 && v.is_finite()));
+        assert!(p
+            .demand
+            .iter()
+            .chain(&p.supply)
+            .all(|&v| v >= 0.0 && v.is_finite()));
     }
 
     #[test]
@@ -110,7 +120,10 @@ mod tests {
             let (d, s) = data.raw_targets(t);
             zero.add_slot(&vec![0.0; d.len()], &vec![0.0; s.len()], d, s);
         }
-        assert!(row.rmse_mean < zero.finalize().rmse_mean, "MLP no better than zero");
+        assert!(
+            row.rmse_mean < zero.finalize().rmse_mean,
+            "MLP no better than zero"
+        );
     }
 
     #[test]

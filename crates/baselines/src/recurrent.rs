@@ -47,7 +47,12 @@ pub struct RnnPredictor {
 impl RnnPredictor {
     /// Creates an untrained RNN baseline.
     pub fn new(config: BaselineConfig) -> Self {
-        RnnPredictor { config, params: ParamSet::new(), cell: None, head: None }
+        RnnPredictor {
+            config,
+            params: ParamSet::new(),
+            cell: None,
+            head: None,
+        }
     }
 
     fn unroll(cell: &RnnCell, head: &Linear, g: &Graph, data: &BikeDataset, t: usize) -> Var {
@@ -70,7 +75,14 @@ impl DemandSupplyPredictor for RnnPredictor {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut params = ParamSet::new();
         let cell = RnnCell::new(&mut params, &mut rng, "rnn", 2, self.config.hidden);
-        let head = Linear::new(&mut params, &mut rng, "rnn.head", self.config.hidden, 2, true);
+        let head = Linear::new(
+            &mut params,
+            &mut rng,
+            "rnn.head",
+            self.config.hidden,
+            2,
+            true,
+        );
         self.params = params;
         train_by_slot(&self.params, &self.config, data, &|g, t, _| {
             let out = Self::unroll(&cell, &head, g, data, t);
@@ -102,7 +114,12 @@ pub struct LstmPredictor {
 impl LstmPredictor {
     /// Creates an untrained LSTM baseline.
     pub fn new(config: BaselineConfig) -> Self {
-        LstmPredictor { config, params: ParamSet::new(), cell: None, head: None }
+        LstmPredictor {
+            config,
+            params: ParamSet::new(),
+            cell: None,
+            head: None,
+        }
     }
 
     fn unroll(cell: &LstmCell, head: &Linear, g: &Graph, data: &BikeDataset, t: usize) -> Var {
@@ -128,7 +145,14 @@ impl DemandSupplyPredictor for LstmPredictor {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut params = ParamSet::new();
         let cell = LstmCell::new(&mut params, &mut rng, "lstm", 2, self.config.hidden);
-        let head = Linear::new(&mut params, &mut rng, "lstm.head", self.config.hidden, 2, true);
+        let head = Linear::new(
+            &mut params,
+            &mut rng,
+            "lstm.head",
+            self.config.hidden,
+            2,
+            true,
+        );
         self.params = params;
         train_by_slot(&self.params, &self.config, data, &|g, t, _| {
             let out = Self::unroll(&cell, &head, g, data, t);
@@ -208,7 +232,11 @@ mod tests {
         // the cell input for station i is only station i's series, so rows
         // are independent by construction of step_input (n×2 shape).
         let x = step_input(&data, t - 1);
-        assert_eq!(x.shape().cols(), 2, "per-station input must not see other stations");
+        assert_eq!(
+            x.shape().cols(),
+            2,
+            "per-station input must not see other stations"
+        );
         let _ = base;
     }
 }

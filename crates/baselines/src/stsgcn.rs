@@ -68,7 +68,11 @@ pub struct Stsgcn {
 impl Stsgcn {
     /// Creates an untrained STSGCN.
     pub fn new(config: BaselineConfig) -> Self {
-        Stsgcn { config, params: ParamSet::new(), net: None }
+        Stsgcn {
+            config,
+            params: ParamSet::new(),
+            net: None,
+        }
     }
 
     /// Block features: for steps `t−3, t−2, t−1` (oldest first), each

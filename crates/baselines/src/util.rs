@@ -67,7 +67,10 @@ impl BaselineConfig {
 
     /// Lags actually usable on a dataset (bounded by its windows).
     pub fn effective_lags(&self, data: &BikeDataset) -> (usize, usize) {
-        (self.n_lags.min(data.config().k), self.n_days.min(data.config().d))
+        (
+            self.n_lags.min(data.config().k),
+            self.n_days.min(data.config().d),
+        )
     }
 }
 
@@ -121,7 +124,10 @@ pub fn solve_linear(a: &[f64], b: &[f64], n: usize) -> Option<Vec<f64>> {
     for col in 0..n {
         // partial pivot
         let pivot = (col..n).max_by(|&r1, &r2| {
-            m[r1 * w + col].abs().partial_cmp(&m[r2 * w + col].abs()).expect("NaN pivot")
+            m[r1 * w + col]
+                .abs()
+                .partial_cmp(&m[r2 * w + col].abs())
+                .expect("NaN pivot")
         })?;
         if m[pivot * w + col].abs() < 1e-12 {
             return None;
@@ -268,7 +274,8 @@ mod tests {
         let expect = data.flows().demand_at(t - 1)[0] / data.target_scale();
         assert!((f.get2(0, 0) - expect).abs() < 1e-6);
         // daily demand lag sits after the two recent blocks
-        let expect_daily = data.flows().demand_at(t - data.slots_per_day())[0] / data.target_scale();
+        let expect_daily =
+            data.flows().demand_at(t - data.slots_per_day())[0] / data.target_scale();
         assert!((f.get2(0, 6) - expect_daily).abs() < 1e-6);
     }
 
@@ -304,7 +311,11 @@ mod tests {
         let data2 = data.clone();
         let best = train_by_slot(&ps, &cfg, &data, &move |g, t, _| {
             let (d, _) = data2.targets(t);
-            let target = g.leaf(Tensor::from_scalar(d.mean_all().scalar()).reshape(Shape::matrix(1, 1)).unwrap());
+            let target = g.leaf(
+                Tensor::from_scalar(d.mean_all().scalar())
+                    .reshape(Shape::matrix(1, 1))
+                    .unwrap(),
+            );
             let _ = &w2;
             let wv = g.param(&w2);
             wv.sub(&target).square().sum_all()

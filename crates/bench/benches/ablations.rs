@@ -25,7 +25,11 @@ fn attention_decomposed(f: &Tensor, w8: &Tensor, w9a: &Tensor, w9b: &Tensor) -> 
     let d = h.matmul(w9b).unwrap(); // n×1
     let n = f.shape().rows();
     let ones_row = Tensor::ones(Shape::matrix(1, n));
-    s.matmul(&ones_row).unwrap().add_row_broadcast(&d.transpose().unwrap()).unwrap().elu()
+    s.matmul(&ones_row)
+        .unwrap()
+        .add_row_broadcast(&d.transpose().unwrap())
+        .unwrap()
+        .elu()
 }
 
 /// The literal Eq 15: for every pair, concatenate `[h_i ‖ h_j]` and dot
@@ -78,16 +82,30 @@ fn bench_sparse_aware_matmul(c: &mut Criterion) {
     let dense = random_matrix(&mut rng, n, n);
     // Realistic flow matrix: ~5% of station pairs exchange bikes in a slot.
     let sparse_data: Vec<f32> = (0..n * n)
-        .map(|_| if rng.gen::<f32>() < 0.05 { rng.gen_range(1.0..4.0) } else { 0.0 })
+        .map(|_| {
+            if rng.gen::<f32>() < 0.05 {
+                rng.gen_range(1.0..4.0)
+            } else {
+                0.0
+            }
+        })
         .collect();
     let sparse = Tensor::from_vec(Shape::matrix(n, n), sparse_data).unwrap();
     let rhs = random_matrix(&mut rng, n, n);
 
     let mut group = c.benchmark_group("matmul_zero_skip");
-    group.bench_function("dense_lhs", |b| b.iter(|| black_box(dense.matmul(&rhs).unwrap())));
-    group.bench_function("sparse_flow_lhs", |b| b.iter(|| black_box(sparse.matmul(&rhs).unwrap())));
+    group.bench_function("dense_lhs", |b| {
+        b.iter(|| black_box(dense.matmul(&rhs).unwrap()))
+    });
+    group.bench_function("sparse_flow_lhs", |b| {
+        b.iter(|| black_box(sparse.matmul(&rhs).unwrap()))
+    });
     group.finish();
 }
 
-criterion_group!(benches, bench_attention_decomposition, bench_sparse_aware_matmul);
+criterion_group!(
+    benches,
+    bench_attention_decomposition,
+    bench_sparse_aware_matmul
+);
 criterion_main!(benches);

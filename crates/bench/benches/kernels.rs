@@ -64,20 +64,28 @@ fn bench_flow_convolution(c: &mut Criterion) {
     let mut group = c.benchmark_group("flow_convolution_forward");
     let mut rng = StdRng::seed_from_u64(3);
     for &(n, k, d) in &[(28usize, 48usize, 3usize), (64, 96, 7)] {
-        let config = StgnnConfig { k, d, ..StgnnConfig::paper() };
+        let config = StgnnConfig {
+            k,
+            d,
+            ..StgnnConfig::paper()
+        };
         let mut ps = ParamSet::new();
         let fc = FlowConvolution::new(&mut ps, &mut rng, &config, n);
         let si = random_matrix(&mut rng, k, n * n).relu();
         let so = random_matrix(&mut rng, k, n * n).relu();
         let li = random_matrix(&mut rng, d, n * n).relu();
         let lo = random_matrix(&mut rng, d, n * n).relu();
-        group.bench_with_input(BenchmarkId::from_parameter(format!("n{n}_k{k}_d{d}")), &n, |bench, _| {
-            bench.iter(|| {
-                let g = Graph::new();
-                let out = fc.forward(&g, &si, &so, &li, &lo);
-                black_box(out.t.value());
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_k{k}_d{d}")),
+            &n,
+            |bench, _| {
+                bench.iter(|| {
+                    let g = Graph::new();
+                    let out = fc.forward(&g, &si, &so, &li, &lo);
+                    black_box(out.t.value());
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -12,10 +12,16 @@ use stgnn_data::predictor::{evaluate, DemandSupplyPredictor};
 use stgnn_data::Split;
 
 fn env_f32(key: &str, default: f32) -> f32 {
-    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 fn env_usize(key: &str, default: usize) -> usize {
-    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn main() {
@@ -27,11 +33,17 @@ fn main() {
     config.batch_size = env_usize("STGNN_BATCH", config.batch_size);
     config.dropout = env_f32("STGNN_DROPOUT", config.dropout);
     config.patience = env_usize("STGNN_PATIENCE", config.patience);
-    config.max_batches_per_epoch =
-        Some(env_usize("STGNN_BATCHES", config.max_batches_per_epoch.unwrap_or(usize::MAX)));
+    config.max_batches_per_epoch = Some(env_usize(
+        "STGNN_BATCHES",
+        config.max_batches_per_epoch.unwrap_or(usize::MAX),
+    ));
     println!(
         "config: lr={} epochs={} batch={} batches/epoch={:?} dropout={}",
-        config.learning_rate, config.epochs, config.batch_size, config.max_batches_per_epoch, config.dropout
+        config.learning_rate,
+        config.epochs,
+        config.batch_size,
+        config.max_batches_per_epoch,
+        config.dropout
     );
 
     match std::env::var("STGNN_VARIANT").as_deref() {
@@ -40,22 +52,36 @@ fn main() {
         Ok("no_pcg") => config.use_pcg = false,
         _ => {}
     }
-    println!("variant: fc={} fcg={} pcg={}", config.use_flow_conv, config.use_fcg, config.use_pcg);
+    println!(
+        "variant: fc={} fcg={} pcg={}",
+        config.use_flow_conv, config.use_fcg, config.use_pcg
+    );
     let mut model = StgnnDjd::new(config.clone(), data.n_stations()).expect("config");
     println!("params: {}", model.params().num_elements());
     let report = Trainer::new(config).train(&mut model, data).expect("train");
-    for (e, (tr, va)) in report.train_losses.iter().zip(&report.val_losses).enumerate() {
+    for (e, (tr, va)) in report
+        .train_losses
+        .iter()
+        .zip(&report.val_losses)
+        .enumerate()
+    {
         println!("epoch {e:>3}: train {tr:.4}  val {va:.4}");
     }
 
     let slots = data.slots(Split::Test);
     let row = evaluate(&model, data, &slots);
-    println!("STGNN-DJD test RMSE {:.3}±{:.3}  MAE {:.3}", row.rmse_mean, row.rmse_std, row.mae_mean);
+    println!(
+        "STGNN-DJD test RMSE {:.3}±{:.3}  MAE {:.3}",
+        row.rmse_mean, row.rmse_std, row.mae_mean
+    );
 
     let mut ha = stgnn_baselines::HistoricalAverage::new();
     ha.fit(data).expect("ha");
     let ha_row = evaluate(&ha, data, &slots);
-    println!("HA        test RMSE {:.3}±{:.3}  MAE {:.3}", ha_row.rmse_mean, ha_row.rmse_std, ha_row.mae_mean);
+    println!(
+        "HA        test RMSE {:.3}±{:.3}  MAE {:.3}",
+        ha_row.rmse_mean, ha_row.rmse_std, ha_row.mae_mean
+    );
 
     // Regime-adaptive HA: HA rescaled by (recent city-wide demand) /
     // (historical city-wide demand at the same window) — a hand-built
@@ -73,17 +99,27 @@ fn main() {
         let hist: f32 = (1..=lookback)
             .map(|l| ha.predict(data, t - l).demand.iter().sum::<f32>())
             .sum();
-        let ratio = if hist > 1.0 { (recent / hist).clamp(0.3, 3.0) } else { 1.0 };
+        let ratio = if hist > 1.0 {
+            (recent / hist).clamp(0.3, 3.0)
+        } else {
+            1.0
+        };
         let d: Vec<f32> = base.demand.iter().map(|v| v * ratio).collect();
         let s: Vec<f32> = base.supply.iter().map(|v| v * ratio).collect();
         let (td, ts) = data.raw_targets(t);
         acc.add_slot(&d, &s, td, ts);
     }
     let arow = acc.finalize();
-    println!("AdaptHA   test RMSE {:.3}±{:.3}  MAE {:.3}", arow.rmse_mean, arow.rmse_std, arow.mae_mean);
+    println!(
+        "AdaptHA   test RMSE {:.3}±{:.3}  MAE {:.3}",
+        arow.rmse_mean, arow.rmse_std, arow.mae_mean
+    );
 
     let mut lstm = stgnn_baselines::LstmPredictor::new(ctx.scale.baseline_config());
     lstm.fit(data).expect("lstm");
     let lrow = evaluate(&lstm, data, &slots);
-    println!("LSTM      test RMSE {:.3}±{:.3}  MAE {:.3}", lrow.rmse_mean, lrow.rmse_std, lrow.mae_mean);
+    println!(
+        "LSTM      test RMSE {:.3}±{:.3}  MAE {:.3}",
+        lrow.rmse_mean, lrow.rmse_std, lrow.mae_mean
+    );
 }

@@ -22,7 +22,14 @@ fn main() {
 
     let mut table = TableWriter::new(
         "Section VII-I: prediction efficiency (all stations, one slot)",
-        &["Dataset", "Stations", "Slot (min)", "Mean predict (ms)", "P95 (ms)", "Slot budget used"],
+        &[
+            "Dataset",
+            "Stations",
+            "Slot (min)",
+            "Mean predict (ms)",
+            "P95 (ms)",
+            "Slot budget used",
+        ],
     );
 
     for (ds_name, data) in ctx.datasets() {

@@ -12,13 +12,13 @@
 //! cargo run -p stgnn-bench --release --bin fig10_12_case_study
 //! ```
 
+use std::io::Write as _;
 use stgnn_baselines::gbike::locality_dependency;
 use stgnn_bench::{ExperimentContext, Scale};
 use stgnn_core::attention::dependency_vs_nearest;
 use stgnn_core::StgnnDjd;
 use stgnn_data::predictor::DemandSupplyPredictor;
 use stgnn_data::Split;
-use std::io::Write as _;
 
 const NEAREST: usize = 10;
 
@@ -43,8 +43,7 @@ fn main() {
 
     // ---- Figures 11–12: STGNN-DJD's learned, dynamic dependency. ----
     eprintln!("[case-study] training STGNN-DJD…");
-    let mut model =
-        StgnnDjd::new(scale.stgnn_config(), data.n_stations()).expect("valid config");
+    let mut model = StgnnDjd::new(scale.stgnn_config(), data.n_stations()).expect("valid config");
     model.fit(data).expect("training");
 
     let spd = data.slots_per_day();
@@ -62,7 +61,10 @@ fn main() {
     };
 
     let mut csv = String::from("figure,direction,slot,neighbor_rank,distance_km,attention\n");
-    for (fig, lo, hi) in [("Figure 11 (07:00-10:00)", 7, 10), ("Figure 12 (15:00-18:00)", 15, 18)] {
+    for (fig, lo, hi) in [
+        ("Figure 11 (07:00-10:00)", 7, 10),
+        ("Figure 12 (15:00-18:00)", 15, 18),
+    ] {
         let slots = window(lo, hi);
         let dep = dependency_vs_nearest(&model, data, target, NEAREST, &slots).expect("attention");
         println!("\n== {fig}: STGNN-DJD PCG attention, station {target} ==");
@@ -70,8 +72,10 @@ fn main() {
         print!("{}", dep.ascii_heatmap(true));
         println!("(b) dependency FROM the {NEAREST} nearest stations TO the target:");
         print!("{}", dep.ascii_heatmap(false));
-        println!("locality violated (a farther station out-scores the nearest): {}",
-            dep.violates_locality());
+        println!(
+            "locality violated (a farther station out-scores the nearest): {}",
+            dep.violates_locality()
+        );
         for (dir, grid) in [("from", &dep.from_target), ("to", &dep.to_target)] {
             for (si, row) in grid.iter().enumerate() {
                 for (ni, v) in row.iter().enumerate() {

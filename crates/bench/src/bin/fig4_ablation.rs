@@ -27,18 +27,27 @@ fn main() {
 
     let mut table = TableWriter::new(
         "Figure 4: design variations (RMSE / MAE, mean±std)",
-        &["Variant", "Chicago RMSE", "Chicago MAE", "LA RMSE", "LA MAE"],
+        &[
+            "Variant",
+            "Chicago RMSE",
+            "Chicago MAE",
+            "LA RMSE",
+            "LA MAE",
+        ],
     );
-    let mut cells: Vec<Vec<String>> =
-        variants.iter().map(|(name, _)| vec![name.to_string()]).collect();
+    let mut cells: Vec<Vec<String>> = variants
+        .iter()
+        .map(|(name, _)| vec![name.to_string()])
+        .collect();
 
     for (ds_name, data) in ctx.datasets() {
         let slots = data.slots(Split::Test);
         for (row, (name, tweak)) in variants.iter().enumerate() {
             eprintln!("[fig4] {ds_name}: fitting {name}…");
             let config = tweak(scale.stgnn_config());
-            let mut model =
-                StgnnDjd::new(config, data.n_stations()).expect("valid variant").with_name(*name);
+            let mut model = StgnnDjd::new(config, data.n_stations())
+                .expect("valid variant")
+                .with_name(*name);
             let outcome = run_fit_eval(&mut model, data, &slots).expect("fit");
             let (rmse, mae) = outcome.metrics.cells();
             eprintln!("[fig4] {ds_name}: {name} → RMSE {rmse}, MAE {mae}");

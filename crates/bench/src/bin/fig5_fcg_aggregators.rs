@@ -25,10 +25,18 @@ fn main() {
 
     let mut table = TableWriter::new(
         "Figure 5: FCG aggregators (RMSE / MAE, mean±std)",
-        &["Aggregator", "Chicago RMSE", "Chicago MAE", "LA RMSE", "LA MAE"],
+        &[
+            "Aggregator",
+            "Chicago RMSE",
+            "Chicago MAE",
+            "LA RMSE",
+            "LA MAE",
+        ],
     );
-    let mut cells: Vec<Vec<String>> =
-        variants.iter().map(|(name, _)| vec![name.to_string()]).collect();
+    let mut cells: Vec<Vec<String>> = variants
+        .iter()
+        .map(|(name, _)| vec![name.to_string()])
+        .collect();
 
     for (ds_name, data) in ctx.datasets() {
         let slots = data.slots(Split::Test);
@@ -36,8 +44,9 @@ fn main() {
             eprintln!("[fig5] {ds_name}: fitting {name} aggregator…");
             let mut config = scale.stgnn_config();
             config.fcg_aggregator = *agg;
-            let mut model =
-                StgnnDjd::new(config, data.n_stations()).expect("valid config").with_name(*name);
+            let mut model = StgnnDjd::new(config, data.n_stations())
+                .expect("valid config")
+                .with_name(*name);
             let outcome = run_fit_eval(&mut model, data, &slots).expect("fit");
             let (rmse, mae) = outcome.metrics.cells();
             eprintln!("[fig5] {ds_name}: {name} → RMSE {rmse}, MAE {mae}");

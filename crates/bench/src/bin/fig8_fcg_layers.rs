@@ -18,7 +18,13 @@ fn main() {
 
     let mut table = TableWriter::new(
         "Figure 8: FCG layer count vs error (RMSE / MAE, mean±std)",
-        &["FCG layers", "Chicago RMSE", "Chicago MAE", "LA RMSE", "LA MAE"],
+        &[
+            "FCG layers",
+            "Chicago RMSE",
+            "Chicago MAE",
+            "LA RMSE",
+            "LA MAE",
+        ],
     );
     let depths: Vec<usize> = (1..=5).collect();
     let mut cells: Vec<Vec<String>> = depths.iter().map(|l| vec![l.to_string()]).collect();
@@ -34,7 +40,9 @@ fn main() {
             let outcome = run_fit_eval(&mut model, data, &slots).expect("fit");
             let (rmse, mae) = outcome.metrics.cells();
             eprintln!("[fig8] {ds_name}: layers={layers} → RMSE {rmse}, MAE {mae}");
-            series[ds_idx].1.push((layers as f32, outcome.metrics.rmse_mean));
+            series[ds_idx]
+                .1
+                .push((layers as f32, outcome.metrics.rmse_mean));
             cells[row].push(rmse);
             cells[row].push(mae);
         }

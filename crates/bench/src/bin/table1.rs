@@ -23,8 +23,10 @@ fn main() {
 
     // Evaluate column-major (per dataset) so each dataset's slots are
     // computed once, but accumulate rows per method to match the paper.
-    let mut cells: Vec<Vec<String>> =
-        zoo::all().iter().map(|(name, _)| vec![name.to_string()]).collect();
+    let mut cells: Vec<Vec<String>> = zoo::all()
+        .iter()
+        .map(|(name, _)| vec![name.to_string()])
+        .collect();
     for (ds_name, data) in ctx.datasets() {
         let slots = data.slots(Split::Test);
         for (row, (name, make)) in zoo::all().iter().enumerate() {

@@ -8,8 +8,8 @@
 //! cargo run -p stgnn-bench --release --bin table2_rush_hours
 //! ```
 
-use stgnn_data::Split;
 use stgnn_bench::{run_fit_eval, zoo, ExperimentContext, Scale, TableWriter};
+use stgnn_data::Split;
 
 fn main() {
     let scale = Scale::from_env();

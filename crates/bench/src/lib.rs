@@ -134,16 +134,27 @@ pub struct ExperimentContext {
 impl ExperimentContext {
     /// Generates both cities and wraps them as datasets.
     pub fn new(scale: Scale) -> Result<Self> {
-        let chicago =
-            BikeDataset::from_city(&SyntheticCity::generate(scale.chicago_city()), scale.dataset_config())?;
-        let los_angeles =
-            BikeDataset::from_city(&SyntheticCity::generate(scale.la_city()), scale.dataset_config())?;
-        Ok(ExperimentContext { scale, chicago, los_angeles })
+        let chicago = BikeDataset::from_city(
+            &SyntheticCity::generate(scale.chicago_city()),
+            scale.dataset_config(),
+        )?;
+        let los_angeles = BikeDataset::from_city(
+            &SyntheticCity::generate(scale.la_city()),
+            scale.dataset_config(),
+        )?;
+        Ok(ExperimentContext {
+            scale,
+            chicago,
+            los_angeles,
+        })
     }
 
     /// `[("Chicago", &chicago), ("Los Angeles", &la)]` for table loops.
     pub fn datasets(&self) -> [(&'static str, &BikeDataset); 2] {
-        [("Chicago", &self.chicago), ("Los Angeles", &self.los_angeles)]
+        [
+            ("Chicago", &self.chicago),
+            ("Los Angeles", &self.los_angeles),
+        ]
     }
 }
 
@@ -178,7 +189,12 @@ pub fn run_fit_eval(
     let t1 = Instant::now();
     let metrics = evaluate(predictor, data, slots);
     let predict_time = t1.elapsed();
-    Ok(EvalOutcome { metrics, fit_time, predict_time, n_slots: slots.len() })
+    Ok(EvalOutcome {
+        metrics,
+        fit_time,
+        predict_time,
+        n_slots: slots.len(),
+    })
 }
 
 /// Constructors for every Table I predictor, in the paper's row order.
@@ -188,7 +204,10 @@ pub mod zoo {
     /// A named predictor factory (models are per-dataset because the graph
     /// models bind to station geometry at fit time and STGNN-DJD sizes its
     /// parameters by `n`).
-    pub type Factory = (&'static str, fn(&BikeDataset, Scale) -> Box<dyn DemandSupplyPredictor>);
+    pub type Factory = (
+        &'static str,
+        fn(&BikeDataset, Scale) -> Box<dyn DemandSupplyPredictor>,
+    );
 
     fn ha(_: &BikeDataset, _: Scale) -> Box<dyn DemandSupplyPredictor> {
         Box::new(HistoricalAverage::new())
@@ -197,7 +216,10 @@ pub mod zoo {
         Box::new(Arima::paper())
     }
     fn xgboost(_: &BikeDataset, scale: Scale) -> Box<dyn DemandSupplyPredictor> {
-        Box::new(GradientBoostedTrees::new(scale.baseline_config(), Default::default()))
+        Box::new(GradientBoostedTrees::new(
+            scale.baseline_config(),
+            Default::default(),
+        ))
     }
     fn mlp(_: &BikeDataset, scale: Scale) -> Box<dyn DemandSupplyPredictor> {
         Box::new(Mlp::new(scale.baseline_config()))
@@ -300,7 +322,11 @@ impl TableWriter {
                 .join("  ")
         };
         let _ = writeln!(out, "{}", line(&self.columns, &widths));
-        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        let _ = writeln!(
+            out,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
         for row in &self.rows {
             let _ = writeln!(out, "{}", line(row, &widths));
         }

@@ -45,7 +45,11 @@ impl DependencyMatrix {
     /// visible even when absolute attention scores sit in a narrow band
     /// (with `n` stations, softmax rows put every score near `1/n`).
     pub fn ascii_heatmap(&self, direction_from_target: bool) -> String {
-        let grid = if direction_from_target { &self.from_target } else { &self.to_target };
+        let grid = if direction_from_target {
+            &self.from_target
+        } else {
+            &self.to_target
+        };
         let all = grid.iter().flat_map(|r| r.iter().copied());
         let max = all.clone().fold(f32::NEG_INFINITY, f32::max);
         let min = all.fold(f32::INFINITY, f32::min);
@@ -77,10 +81,16 @@ pub fn dependency_vs_nearest(
     slots: &[usize],
 ) -> Result<DependencyMatrix> {
     if target >= data.n_stations() {
-        return Err(Error::OutOfRange(format!("station {target} of {}", data.n_stations())));
+        return Err(Error::OutOfRange(format!(
+            "station {target} of {}",
+            data.n_stations()
+        )));
     }
     let neighbors = data.registry().nearest(target, k_nearest);
-    let distances_km = neighbors.iter().map(|&j| data.registry().distance_km(target, j)).collect();
+    let distances_km = neighbors
+        .iter()
+        .map(|&j| data.registry().distance_km(target, j))
+        .collect();
     let mut from_target = Vec::with_capacity(slots.len());
     let mut to_target = Vec::with_capacity(slots.len());
     for &t in slots {
@@ -140,8 +150,11 @@ mod tests {
     #[test]
     fn requires_attention_pcg() {
         let (_, data) = setup();
-        let no_pcg =
-            StgnnDjd::new(StgnnConfig::test_tiny(6, 2).without_pcg(), data.n_stations()).unwrap();
+        let no_pcg = StgnnDjd::new(
+            StgnnConfig::test_tiny(6, 2).without_pcg(),
+            data.n_stations(),
+        )
+        .unwrap();
         let slots = [data.slots(Split::Test)[0]];
         assert!(dependency_vs_nearest(&no_pcg, &data, 0, 3, &slots).is_err());
     }

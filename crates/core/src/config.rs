@@ -163,10 +163,14 @@ impl StgnnConfig {
             return Err(Error::InvalidConfig("at least one attention head".into()));
         }
         if self.fcg_layers == 0 && self.use_fcg {
-            return Err(Error::InvalidConfig("use_fcg requires fcg_layers ≥ 1".into()));
+            return Err(Error::InvalidConfig(
+                "use_fcg requires fcg_layers ≥ 1".into(),
+            ));
         }
         if self.pcg_layers == 0 && self.use_pcg {
-            return Err(Error::InvalidConfig("use_pcg requires pcg_layers ≥ 1".into()));
+            return Err(Error::InvalidConfig(
+                "use_pcg requires pcg_layers ≥ 1".into(),
+            ));
         }
         if !self.use_fcg && !self.use_pcg {
             return Err(Error::InvalidConfig(
@@ -174,10 +178,15 @@ impl StgnnConfig {
             ));
         }
         if !(0.0..1.0).contains(&self.dropout) {
-            return Err(Error::InvalidConfig(format!("dropout {} outside [0,1)", self.dropout)));
+            return Err(Error::InvalidConfig(format!(
+                "dropout {} outside [0,1)",
+                self.dropout
+            )));
         }
         if self.batch_size == 0 || self.epochs == 0 {
-            return Err(Error::InvalidConfig("batch_size and epochs must be positive".into()));
+            return Err(Error::InvalidConfig(
+                "batch_size and epochs must be positive".into(),
+            ));
         }
         if self.horizon == 0 {
             return Err(Error::InvalidConfig("horizon must be at least 1".into()));

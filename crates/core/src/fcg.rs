@@ -28,10 +28,10 @@
 use crate::config::{FcgAggregator, StgnnConfig};
 use rand::rngs::StdRng;
 use rand::Rng;
+use std::rc::Rc;
 use stgnn_tensor::autograd::{Graph, Param, ParamSet, Var};
 use stgnn_tensor::nn::{he_uniform, Linear};
 use stgnn_tensor::{Shape, Tensor};
-use std::rc::Rc;
 
 enum LayerKind {
     /// Eq 14: weights from the normalised feature matrix.
@@ -66,7 +66,10 @@ impl FcgNetwork {
                 },
             })
             .collect();
-        FcgNetwork { layers, dropout: config.dropout }
+        FcgNetwork {
+            layers,
+            dropout: config.dropout,
+        }
     }
 
     /// Runs the branch. `t` is the feature matrix from the flow convolution,
@@ -74,7 +77,13 @@ impl FcgNetwork {
     /// `train_rng` enables dropout between layers.
     ///
     /// Returns the final embedding `F^f ∈ R^{n×n}`.
-    pub fn forward(&self, g: &Graph, t: &Var, mask: &Tensor, mut train_rng: Option<&mut StdRng>) -> Var {
+    pub fn forward(
+        &self,
+        g: &Graph,
+        t: &Var,
+        mask: &Tensor,
+        mut train_rng: Option<&mut StdRng>,
+    ) -> Var {
         let n = mask.shape().rows();
         // Eq 10 edge weights, shared by all layers of this forward pass:
         // row-normalised ReLU(T) restricted to the structural mask, plus a
@@ -221,9 +230,18 @@ mod tests {
             let g = Graph::new();
             let p = Param::new("t", feature_matrix(8).relu().add_scalar(0.1));
             let t = g.param(&p);
-            net.forward(&g, &t, &dense_mask(), None).square().sum_all().backward();
-            assert!(ps.grad_norm() > 0.0, "{agg:?}: no gradient to layer weights");
-            assert!(p.grad().frobenius_norm() > 0.0, "{agg:?}: no gradient to features");
+            net.forward(&g, &t, &dense_mask(), None)
+                .square()
+                .sum_all()
+                .backward();
+            assert!(
+                ps.grad_norm() > 0.0,
+                "{agg:?}: no gradient to layer weights"
+            );
+            assert!(
+                p.grad().frobenius_norm() > 0.0,
+                "{agg:?}: no gradient to features"
+            );
         }
     }
 
@@ -245,11 +263,19 @@ mod tests {
         let out_a = net.forward(&g, &t_a, &mask, None).value();
         let out_b = net.forward(&g, &t_b, &mask, None).value();
         assert!(
-            out_a.row(1).iter().zip(out_b.row(1)).all(|(a, b)| (a - b).abs() < 1e-6),
+            out_a
+                .row(1)
+                .iter()
+                .zip(out_b.row(1))
+                .all(|(a, b)| (a - b).abs() < 1e-6),
             "isolated node leaked neighbour features"
         );
         assert!(
-            out_a.row(0).iter().zip(out_b.row(0)).any(|(a, b)| (a - b).abs() > 1e-3),
+            out_a
+                .row(0)
+                .iter()
+                .zip(out_b.row(0))
+                .any(|(a, b)| (a - b).abs() > 1e-3),
             "connected node ignored neighbour features"
         );
     }
@@ -266,11 +292,17 @@ mod tests {
         let t = g.leaf(feature_matrix(12).relu());
         let eval1 = net.forward(&g, &t, &dense_mask(), None).value();
         let eval2 = net.forward(&g, &t, &dense_mask(), None).value();
-        assert!(eval1.approx_eq(&eval2, 0.0), "eval mode must be deterministic");
+        assert!(
+            eval1.approx_eq(&eval2, 0.0),
+            "eval mode must be deterministic"
+        );
         let mut rng1 = StdRng::seed_from_u64(1);
         let mut rng2 = StdRng::seed_from_u64(2);
         let tr1 = net.forward(&g, &t, &dense_mask(), Some(&mut rng1)).value();
         let tr2 = net.forward(&g, &t, &dense_mask(), Some(&mut rng2)).value();
-        assert!(!tr1.approx_eq(&tr2, 1e-9), "dropout masks should differ across rngs");
+        assert!(
+            !tr1.approx_eq(&tr2, 1e-9),
+            "dropout masks should differ across rngs"
+        );
     }
 }

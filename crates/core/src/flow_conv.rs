@@ -15,10 +15,10 @@
 
 use crate::config::StgnnConfig;
 use rand::Rng;
+use std::rc::Rc;
 use stgnn_tensor::autograd::{Graph, Param, ParamSet, Var};
 use stgnn_tensor::nn::{xavier_uniform, Conv1x1};
 use stgnn_tensor::{Shape, Tensor};
-use std::rc::Rc;
 
 /// Output of the flow convolution at one target slot.
 pub struct FlowConvOutput {
@@ -103,7 +103,9 @@ pub struct FreeNodeFeatures {
 impl FreeNodeFeatures {
     /// Creates an `n×n` learnable feature table.
     pub fn new(params: &mut ParamSet, rng: &mut impl Rng, n: usize) -> Self {
-        FreeNodeFeatures { t: params.add("no_fc.t", xavier_uniform(rng, n, n)) }
+        FreeNodeFeatures {
+            t: params.add("no_fc.t", xavier_uniform(rng, n, n)),
+        }
     }
 
     /// Returns the (input-independent) feature matrix on the tape.
@@ -178,7 +180,10 @@ mod tests {
         let short = g.leaf(Tensor::full(Shape::matrix(N, N), 2.0));
         let long = g.leaf(Tensor::full(Shape::matrix(N, N), 5.0));
         let fused = FlowConvolution::fuse(&g, &w, &short, &long).value();
-        assert!(fused.data().iter().all(|&v| (2.0..=5.0).contains(&v)), "{fused:?}");
+        assert!(
+            fused.data().iter().all(|&v| (2.0..=5.0).contains(&v)),
+            "{fused:?}"
+        );
     }
 
     #[test]

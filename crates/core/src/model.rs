@@ -18,7 +18,7 @@
 
 use crate::config::StgnnConfig;
 use crate::fcg::FcgNetwork;
-use crate::flow_conv::{fcg_mask, FlowConvolution, FlowConvOutput, FreeNodeFeatures};
+use crate::flow_conv::{fcg_mask, FlowConvOutput, FlowConvolution, FreeNodeFeatures};
 use crate::pcg::PcgNetwork;
 use crate::trainer::Trainer;
 use rand::rngs::StdRng;
@@ -50,7 +50,12 @@ impl ModelInputs {
     pub fn from_dataset(data: &BikeDataset, t: usize) -> Self {
         let (short_in, short_out) = data.short_term_stacks(t);
         let (long_in, long_out) = data.long_term_stacks(t);
-        ModelInputs { short_in, short_out, long_in, long_out }
+        ModelInputs {
+            short_in,
+            short_out,
+            long_in,
+            long_out,
+        }
     }
 }
 
@@ -94,16 +99,23 @@ impl StgnnDjd {
     pub fn new(config: StgnnConfig, n: usize) -> Result<Self> {
         config.validate()?;
         if n == 0 {
-            return Err(Error::InvalidConfig("model needs at least one station".into()));
+            return Err(Error::InvalidConfig(
+                "model needs at least one station".into(),
+            ));
         }
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut params = ParamSet::new();
-        let flow_conv =
-            config.use_flow_conv.then(|| FlowConvolution::new(&mut params, &mut rng, &config, n));
+        let flow_conv = config
+            .use_flow_conv
+            .then(|| FlowConvolution::new(&mut params, &mut rng, &config, n));
         let free_features =
             (!config.use_flow_conv).then(|| FreeNodeFeatures::new(&mut params, &mut rng, n));
-        let fcg = config.use_fcg.then(|| FcgNetwork::new(&mut params, &mut rng, &config, n));
-        let pcg = config.use_pcg.then(|| PcgNetwork::new(&mut params, &mut rng, &config, n));
+        let fcg = config
+            .use_fcg
+            .then(|| FcgNetwork::new(&mut params, &mut rng, &config, n));
+        let pcg = config
+            .use_pcg
+            .then(|| PcgNetwork::new(&mut params, &mut rng, &config, n));
         let branches = usize::from(config.use_fcg) + usize::from(config.use_pcg);
         let embed = branches * n;
         let hidden = config.predictor_hidden.map(|h| {
@@ -113,8 +125,10 @@ impl StgnnDjd {
             )
         });
         let head_in = config.predictor_hidden.unwrap_or(embed);
-        let w11 =
-            params.add("predictor.w11", xavier_uniform(&mut rng, head_in, 2 * config.horizon));
+        let w11 = params.add(
+            "predictor.w11",
+            xavier_uniform(&mut rng, head_in, 2 * config.horizon),
+        );
         Ok(StgnnDjd {
             config,
             n,
@@ -168,15 +182,23 @@ impl StgnnDjd {
         // 1. Node features.
         let (t, mask) = match (&self.flow_conv, &self.free_features) {
             (Some(fc), _) => {
-                let FlowConvOutput { t, i_hat, o_hat } =
-                    fc.forward(g, &inputs.short_in, &inputs.short_out, &inputs.long_in, &inputs.long_out);
+                let FlowConvOutput { t, i_hat, o_hat } = fc.forward(
+                    g,
+                    &inputs.short_in,
+                    &inputs.short_out,
+                    &inputs.long_in,
+                    &inputs.long_out,
+                );
                 let mask = fcg_mask(&i_hat.value(), &o_hat.value());
                 (t, mask)
             }
             (None, Some(free)) => {
                 // "No FC": free features; the FCG mask falls back to raw
                 // observed flow in the short-term window.
-                (free.forward(g), raw_flow_mask(&inputs.short_in, &inputs.short_out, self.n))
+                (
+                    free.forward(g),
+                    raw_flow_mask(&inputs.short_in, &inputs.short_out, self.n),
+                )
             }
             (None, None) => unreachable!("constructor guarantees a feature source"),
         };
@@ -199,20 +221,37 @@ impl StgnnDjd {
         // 4. Eq 19 concat + predictor head (optional hidden layer, then the
         //    Eq 20 linear readout).
         let refs: Vec<&Var> = branch_embeddings.iter().collect();
-        let mut embedding = if refs.len() == 1 { refs[0].clone() } else { g.concat_cols(&refs) };
+        let mut embedding = if refs.len() == 1 {
+            refs[0].clone()
+        } else {
+            g.concat_cols(&refs)
+        };
         if let Some((wh, bh)) = &self.hidden {
-            embedding = embedding.matmul(&g.param(wh)).add_row_broadcast(&g.param(bh)).relu();
+            embedding = embedding
+                .matmul(&g.param(wh))
+                .add_row_broadcast(&g.param(bh))
+                .relu();
         }
         let h = self.config.horizon;
         let out = embedding.matmul(&g.param(&self.w11)); // n×2h
         let out_t = out.transpose(); // 2h×n
         let demand = out_t.slice_rows(0, h).transpose();
         let supply = out_t.slice_rows(h, 2 * h).transpose();
-        ForwardOutput { demand, supply, pcg_attention }
+        ForwardOutput {
+            demand,
+            supply,
+            pcg_attention,
+        }
     }
 
     /// Builds the Eq 21 loss for one slot against normalised targets.
-    pub fn loss(&self, g: &Graph, output: &ForwardOutput, demand_true: &Tensor, supply_true: &Tensor) -> Var {
+    pub fn loss(
+        &self,
+        g: &Graph,
+        output: &ForwardOutput,
+        demand_true: &Tensor,
+        supply_true: &Tensor,
+    ) -> Var {
         joint_demand_supply_loss(
             &output.demand,
             &g.leaf(demand_true.clone()),
@@ -227,9 +266,23 @@ impl StgnnDjd {
     /// root once per batch. Applying Eq 21's √ per slot instead would scale
     /// each slot's gradient by `1/√mse_slot`, systematically down-weighting
     /// the hardest slots (rush hours) — the opposite of what training needs.
-    pub fn squared_loss(&self, g: &Graph, output: &ForwardOutput, demand_true: &Tensor, supply_true: &Tensor) -> Var {
-        let d = output.demand.sub(&g.leaf(demand_true.clone())).square().mean_all();
-        let s = output.supply.sub(&g.leaf(supply_true.clone())).square().mean_all();
+    pub fn squared_loss(
+        &self,
+        g: &Graph,
+        output: &ForwardOutput,
+        demand_true: &Tensor,
+        supply_true: &Tensor,
+    ) -> Var {
+        let d = output
+            .demand
+            .sub(&g.leaf(demand_true.clone()))
+            .square()
+            .mean_all();
+        let s = output
+            .supply
+            .sub(&g.leaf(supply_true.clone()))
+            .square()
+            .mean_all();
         d.add(&s)
     }
 
@@ -256,23 +309,50 @@ impl StgnnDjd {
         (0..self.config.horizon)
             .map(|h| {
                 let col = |m: &Tensor| -> Vec<f32> {
-                    (0..n).map(|i| (m.get2(i, h) * data.target_scale()).max(0.0)).collect()
+                    (0..n)
+                        .map(|i| (m.get2(i, h) * data.target_scale()).max(0.0))
+                        .collect()
                 };
-                Prediction { demand: col(&dv), supply: col(&sv) }
+                Prediction {
+                    demand: col(&dv),
+                    supply: col(&sv),
+                }
             })
             .collect()
     }
 
     /// Saves the trained weights to `path` (see `stgnn_tensor::serialize`).
     pub fn save_weights(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
-        stgnn_tensor::serialize::save_params(&self.params, std::fs::File::create(path)?)
+        self.save_weights_to_writer(std::fs::File::create(path)?)
+    }
+
+    /// Writes the weights to any `Write` sink — e.g. an in-memory buffer for
+    /// a serving registry's hot-swap checkpoint.
+    pub fn save_weights_to_writer(&self, writer: impl std::io::Write) -> std::io::Result<()> {
+        stgnn_tensor::serialize::save_params(&self.params, writer)
+    }
+
+    /// The serialized checkpoint as bytes (convenience over
+    /// [`Self::save_weights_to_writer`]).
+    pub fn weights_to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.save_weights_to_writer(&mut buf)
+            .expect("in-memory serialization cannot fail");
+        buf
     }
 
     /// Loads weights from `path` into a model built with the *same
     /// configuration* (names and shapes must match exactly) and marks it
     /// trained.
     pub fn load_weights(&mut self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
-        stgnn_tensor::serialize::load_params(&self.params, std::fs::File::open(path)?)?;
+        self.load_weights_from_reader(std::fs::File::open(path)?)
+    }
+
+    /// Loads weights from any `Read` source (same contract as
+    /// [`Self::load_weights`]); used by the serving registry to validate and
+    /// materialise checkpoints without touching the filesystem.
+    pub fn load_weights_from_reader(&mut self, reader: impl std::io::Read) -> std::io::Result<()> {
+        stgnn_tensor::serialize::load_params(&self.params, reader)?;
         self.trained = true;
         Ok(())
     }
@@ -328,7 +408,9 @@ impl DemandSupplyPredictor for StgnnDjd {
     }
 
     fn fit(&mut self, data: &BikeDataset) -> Result<()> {
-        Trainer::new(self.config.clone()).train(self, data).map(|_| ())
+        Trainer::new(self.config.clone())
+            .train(self, data)
+            .map(|_| ())
     }
 
     fn predict(&self, data: &BikeDataset, t: usize) -> Prediction {
@@ -434,7 +516,11 @@ mod tests {
         let t = data.slots(stgnn_data::Split::Test)[0];
         assert!(m.pcg_attention_at(&data, t).is_some());
 
-        let m2 = StgnnDjd::new(StgnnConfig::test_tiny(6, 2).without_pcg(), data.n_stations()).unwrap();
+        let m2 = StgnnDjd::new(
+            StgnnConfig::test_tiny(6, 2).without_pcg(),
+            data.n_stations(),
+        )
+        .unwrap();
         assert!(m2.pcg_attention_at(&data, t).is_none());
     }
 

@@ -18,10 +18,10 @@
 use crate::config::{PcgAggregator, StgnnConfig};
 use rand::rngs::StdRng;
 use rand::Rng;
+use std::rc::Rc;
 use stgnn_tensor::autograd::{Graph, Param, ParamSet, Var};
 use stgnn_tensor::nn::{xavier_uniform, Linear};
 use stgnn_tensor::{Shape, Tensor};
-use std::rc::Rc;
 
 /// One attention head's parameters (Eqs 15 and 17–18).
 struct Head {
@@ -69,19 +69,26 @@ impl PcgNetwork {
                         .collect();
                     LayerKind::Attention {
                         heads,
-                        w10: params.add(format!("pcg.{k}.w10"), xavier_uniform(rng, config.heads * n, n)),
+                        w10: params.add(
+                            format!("pcg.{k}.w10"),
+                            xavier_uniform(rng, config.heads * n, n),
+                        ),
                     }
                 }
-                PcgAggregator::Mean => {
-                    LayerKind::Mean { w: params.add(format!("pcg.{k}.w"), xavier_uniform(rng, n, n)) }
-                }
+                PcgAggregator::Mean => LayerKind::Mean {
+                    w: params.add(format!("pcg.{k}.w"), xavier_uniform(rng, n, n)),
+                },
                 PcgAggregator::Max => LayerKind::Max {
                     fc: Linear::new(params, rng, &format!("pcg.{k}.fc"), n, n, true),
                     w: params.add(format!("pcg.{k}.w"), xavier_uniform(rng, n, n)),
                 },
             })
             .collect();
-        PcgNetwork { layers, dropout: config.dropout, n }
+        PcgNetwork {
+            layers,
+            dropout: config.dropout,
+            n,
+        }
     }
 
     /// Runs the branch from the node features `t` (Eq 9's `T`).
@@ -113,14 +120,19 @@ impl PcgNetwork {
                             None => alpha,
                         });
                     }
-                    attentions
-                        .push(alpha_sum.expect("≥1 head").mul_scalar(1.0 / heads.len() as f32));
+                    attentions.push(
+                        alpha_sum
+                            .expect("≥1 head")
+                            .mul_scalar(1.0 / heads.len() as f32),
+                    );
                     let refs: Vec<&Var> = head_outputs.iter().collect();
                     g.concat_cols(&refs).matmul(&g.param(w10))
                 }
-                LayerKind::Mean { w } => {
-                    g.leaf(mean_adj.clone()).matmul(&f).matmul(&g.param(w)).elu()
-                }
+                LayerKind::Mean { w } => g
+                    .leaf(mean_adj.clone())
+                    .matmul(&f)
+                    .matmul(&g.param(w))
+                    .elu(),
                 LayerKind::Max { fc, w } => fc
                     .forward(g, &f)
                     .relu()
@@ -189,7 +201,12 @@ mod tests {
     fn forward_shapes_and_attention_export() {
         let mut ps = ParamSet::new();
         let mut rng = StdRng::seed_from_u64(1);
-        let net = PcgNetwork::new(&mut ps, &mut rng, &config(PcgAggregator::Attention, 2, 3), N);
+        let net = PcgNetwork::new(
+            &mut ps,
+            &mut rng,
+            &config(PcgAggregator::Attention, 2, 3),
+            N,
+        );
         assert_eq!(net.depth(), 2);
         let g = Graph::new();
         let t = g.leaf(features(2));
@@ -200,7 +217,10 @@ mod tests {
             assert_eq!(a.shape().dims(), &[N, N]);
             for i in 0..N {
                 let sum: f32 = a.row(i).iter().sum();
-                assert!((sum - 1.0).abs() < 1e-4, "head-averaged attention row {i} sums to {sum}");
+                assert!(
+                    (sum - 1.0).abs() < 1e-4,
+                    "head-averaged attention row {i} sums to {sum}"
+                );
             }
         }
     }
@@ -223,21 +243,39 @@ mod tests {
     fn parameter_counts_scale_with_heads() {
         let mut ps1 = ParamSet::new();
         let mut rng = StdRng::seed_from_u64(5);
-        PcgNetwork::new(&mut ps1, &mut rng, &config(PcgAggregator::Attention, 1, 1), N);
+        PcgNetwork::new(
+            &mut ps1,
+            &mut rng,
+            &config(PcgAggregator::Attention, 1, 1),
+            N,
+        );
         let mut ps4 = ParamSet::new();
         let mut rng = StdRng::seed_from_u64(5);
-        PcgNetwork::new(&mut ps4, &mut rng, &config(PcgAggregator::Attention, 1, 4), N);
+        PcgNetwork::new(
+            &mut ps4,
+            &mut rng,
+            &config(PcgAggregator::Attention, 1, 4),
+            N,
+        );
         // 4 params per head + w10 per layer.
         assert_eq!(ps1.len(), 4 + 1);
         assert_eq!(ps4.len(), 16 + 1);
         // w10 grows with the head count.
-        let w10 = ps4.params().iter().find(|p| p.name().ends_with("w10")).unwrap();
+        let w10 = ps4
+            .params()
+            .iter()
+            .find(|p| p.name().ends_with("w10"))
+            .unwrap();
         assert_eq!(w10.value().shape().dims(), &[4 * N, N]);
     }
 
     #[test]
     fn gradients_flow_through_each_aggregator() {
-        for agg in [PcgAggregator::Attention, PcgAggregator::Mean, PcgAggregator::Max] {
+        for agg in [
+            PcgAggregator::Attention,
+            PcgAggregator::Mean,
+            PcgAggregator::Max,
+        ] {
             let mut ps = ParamSet::new();
             let mut rng = StdRng::seed_from_u64(7);
             let net = PcgNetwork::new(&mut ps, &mut rng, &config(agg, 2, 2), N);
@@ -247,7 +285,10 @@ mod tests {
             let (out, _) = net.forward_with_attention(&g, &t, None);
             out.square().sum_all().backward();
             assert!(ps.grad_norm() > 0.0, "{agg:?}: no gradient to parameters");
-            assert!(p.grad().frobenius_norm() > 0.0, "{agg:?}: no gradient to features");
+            assert!(
+                p.grad().frobenius_norm() > 0.0,
+                "{agg:?}: no gradient to features"
+            );
         }
     }
 
@@ -257,10 +298,18 @@ mod tests {
         // different dependency structures (the paper's dynamic dependency).
         let mut ps = ParamSet::new();
         let mut rng = StdRng::seed_from_u64(9);
-        let net = PcgNetwork::new(&mut ps, &mut rng, &config(PcgAggregator::Attention, 1, 1), N);
+        let net = PcgNetwork::new(
+            &mut ps,
+            &mut rng,
+            &config(PcgAggregator::Attention, 1, 1),
+            N,
+        );
         let g = Graph::new();
         let (_, a1) = net.forward_with_attention(&g, &g.leaf(features(10)), None);
         let (_, a2) = net.forward_with_attention(&g, &g.leaf(features(11)), None);
-        assert!(!a1[0].approx_eq(&a2[0], 1e-6), "attention ignored the input");
+        assert!(
+            !a1[0].approx_eq(&a2[0], 1e-6),
+            "attention ignored the input"
+        );
     }
 }

@@ -42,7 +42,10 @@ pub struct Trainer {
 impl Trainer {
     /// A trainer with the model's own configuration.
     pub fn new(config: StgnnConfig) -> Self {
-        Trainer { config, max_val_slots: 48 }
+        Trainer {
+            config,
+            max_val_slots: 48,
+        }
     }
 
     /// Overrides the validation subsample cap.
@@ -57,14 +60,20 @@ impl Trainer {
         model.check_compatible(data)?;
         let horizon = self.config.horizon;
         let max_slot = data.flows().num_slots().saturating_sub(horizon);
-        let train_slots: Vec<usize> =
-            data.slots(Split::Train).into_iter().filter(|&t| t <= max_slot).collect();
+        let train_slots: Vec<usize> = data
+            .slots(Split::Train)
+            .into_iter()
+            .filter(|&t| t <= max_slot)
+            .collect();
         if train_slots.is_empty() {
             return Err(Error::InvalidConfig("no valid training slots".into()));
         }
         let val_slots = {
-            let all: Vec<usize> =
-                data.slots(Split::Val).into_iter().filter(|&t| t <= max_slot).collect();
+            let all: Vec<usize> = data
+                .slots(Split::Val)
+                .into_iter()
+                .filter(|&t| t <= max_slot)
+                .collect();
             subsample(&all, self.max_val_slots)
         };
 
@@ -114,7 +123,9 @@ impl Trainer {
                 epoch_loss += batch_loss as f64;
                 batches += 1;
             }
-            report.train_losses.push((epoch_loss / batches.max(1) as f64) as f32);
+            report
+                .train_losses
+                .push((epoch_loss / batches.max(1) as f64) as f32);
 
             let val_loss = if val_slots.is_empty() {
                 *report.train_losses.last().expect("≥1 epoch")
@@ -167,7 +178,9 @@ fn subsample(slots: &[usize], cap: usize) -> Vec<usize> {
         return slots.to_vec();
     }
     let stride = slots.len() as f64 / cap as f64;
-    (0..cap).map(|i| slots[(i as f64 * stride) as usize]).collect()
+    (0..cap)
+        .map(|i| slots[(i as f64 * stride) as usize])
+        .collect()
 }
 
 #[cfg(test)]
@@ -215,7 +228,11 @@ mod tests {
         config.learning_rate = 10.0; // diverges ⇒ validation worsens fast
         let mut model = StgnnDjd::new(config.clone(), data.n_stations()).unwrap();
         let report = Trainer::new(config).train(&mut model, &data).unwrap();
-        assert!(report.epochs_run < 50, "never stopped: {} epochs", report.epochs_run);
+        assert!(
+            report.epochs_run < 50,
+            "never stopped: {} epochs",
+            report.epochs_run
+        );
     }
 
     #[test]

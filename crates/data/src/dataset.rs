@@ -39,12 +39,22 @@ pub struct DatasetConfig {
 impl DatasetConfig {
     /// The paper's settings: `k = 96` slots, `d = 7` days, 70/10/20 split.
     pub fn paper() -> Self {
-        DatasetConfig { k: 96, d: 7, train_frac: 0.7, val_frac: 0.1 }
+        DatasetConfig {
+            k: 96,
+            d: 7,
+            train_frac: 0.7,
+            val_frac: 0.1,
+        }
     }
 
     /// Scaled-down settings for small synthetic cities and tests.
     pub fn small(k: usize, d: usize) -> Self {
-        DatasetConfig { k, d, train_frac: 0.7, val_frac: 0.1 }
+        DatasetConfig {
+            k,
+            d,
+            train_frac: 0.7,
+            val_frac: 0.1,
+        }
     }
 }
 
@@ -77,7 +87,11 @@ impl BikeDataset {
     }
 
     /// Builds a dataset from pre-aggregated flows.
-    pub fn new(flows: FlowSeries, registry: StationRegistry, config: DatasetConfig) -> Result<Self> {
+    pub fn new(
+        flows: FlowSeries,
+        registry: StationRegistry,
+        config: DatasetConfig,
+    ) -> Result<Self> {
         if registry.len() != flows.n_stations() {
             return Err(Error::InvalidConfig(format!(
                 "registry has {} stations, flows have {}",
@@ -153,7 +167,9 @@ impl BikeDataset {
 
     /// First slot with full short- and long-term history available.
     pub fn first_valid_slot(&self) -> usize {
-        self.config.k.max(self.config.d * self.flows.slots_per_day())
+        self.config
+            .k
+            .max(self.config.d * self.flows.slots_per_day())
     }
 
     /// Day range of a split.
@@ -171,7 +187,9 @@ impl BikeDataset {
         let days = self.days(split);
         let spd = self.flows.slots_per_day();
         let first = self.first_valid_slot();
-        (days.start * spd..days.end * spd).filter(|&t| t >= first).collect()
+        (days.start * spd..days.end * spd)
+            .filter(|&t| t >= first)
+            .collect()
     }
 
     /// Target slots of a split restricted to rush hours. Morning is
@@ -293,7 +311,11 @@ mod tests {
     #[test]
     fn split_days_partition_the_horizon() {
         let ds = dataset();
-        let (tr, va, te) = (ds.days(Split::Train), ds.days(Split::Val), ds.days(Split::Test));
+        let (tr, va, te) = (
+            ds.days(Split::Train),
+            ds.days(Split::Val),
+            ds.days(Split::Test),
+        );
         assert_eq!(tr.start, 0);
         assert_eq!(tr.end, va.start);
         assert_eq!(va.end, te.start);
@@ -350,7 +372,11 @@ mod tests {
         // Row k-1 (newest) is slot t-1's outflow, scaled.
         let expect = ds.flows().outflow(t - 1).mul_scalar(1.0 / ds.flow_scale());
         let newest = so.slice_rows(5, 6).unwrap();
-        assert!(newest.data().iter().zip(expect.data()).all(|(a, b)| (a - b).abs() < 1e-6));
+        assert!(newest
+            .data()
+            .iter()
+            .zip(expect.data())
+            .all(|(a, b)| (a - b).abs() < 1e-6));
     }
 
     #[test]
@@ -361,7 +387,11 @@ mod tests {
         let (li, _) = ds.long_term_stacks(t);
         let expect = ds.flows().inflow(t - spd).mul_scalar(1.0 / ds.flow_scale());
         let newest = li.slice_rows(1, 2).unwrap();
-        assert!(newest.data().iter().zip(expect.data()).all(|(a, b)| (a - b).abs() < 1e-6));
+        assert!(newest
+            .data()
+            .iter()
+            .zip(expect.data())
+            .all(|(a, b)| (a - b).abs() < 1e-6));
     }
 
     #[test]

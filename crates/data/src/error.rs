@@ -50,7 +50,10 @@ mod tests {
 
     #[test]
     fn displays_carry_context() {
-        let e = Error::Parse { line: 12, message: "bad station id".into() };
+        let e = Error::Parse {
+            line: 12,
+            message: "bad station id".into(),
+        };
         assert!(e.to_string().contains("line 12"));
         let e = Error::InvalidConfig("k > history".into());
         assert!(e.to_string().contains("k > history"));

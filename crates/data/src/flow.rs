@@ -85,7 +85,15 @@ impl FlowSeries {
             }
         }
 
-        Ok(FlowSeries { n_stations, slots_per_day, slot_minutes, inflow, outflow, demand, supply })
+        Ok(FlowSeries {
+            n_stations,
+            slots_per_day,
+            slot_minutes,
+            inflow,
+            outflow,
+            demand,
+            supply,
+        })
     }
 
     /// Number of stations.
@@ -174,15 +182,21 @@ mod tests {
     use super::*;
 
     fn trip(o: usize, d: usize, s: i64, e: i64) -> TripRecord {
-        TripRecord { rid: 0, origin: o, dest: d, start_min: s, end_min: e }
+        TripRecord {
+            rid: 0,
+            origin: o,
+            dest: d,
+            start_min: s,
+            end_min: e,
+        }
     }
 
     /// Two days, 4 slots/day (360-minute slots).
     fn series() -> FlowSeries {
         let trips = vec![
-            trip(0, 1, 10, 30),    // slot 0 out at 0, slot 0 in at 1
-            trip(0, 1, 370, 400),  // slot 1
-            trip(1, 2, 350, 380),  // out slot 0, in slot 1
+            trip(0, 1, 10, 30),     // slot 0 out at 0, slot 0 in at 1
+            trip(0, 1, 370, 400),   // slot 1
+            trip(1, 2, 350, 380),   // out slot 0, in slot 1
             trip(2, 0, 1500, 1550), // day 1, slot 0 (slot index 4)
         ];
         FlowSeries::from_trips(&trips, 3, 2, 4).unwrap()
@@ -227,8 +241,12 @@ mod tests {
         // Every trip fully inside the horizon adds exactly one checkout and
         // one return: total outflow mass equals total inflow mass.
         let f = series();
-        let total_out: f32 = (0..f.num_slots()).map(|t| f.outflow(t).sum_all().scalar()).sum();
-        let total_in: f32 = (0..f.num_slots()).map(|t| f.inflow(t).sum_all().scalar()).sum();
+        let total_out: f32 = (0..f.num_slots())
+            .map(|t| f.outflow(t).sum_all().scalar())
+            .sum();
+        let total_in: f32 = (0..f.num_slots())
+            .map(|t| f.inflow(t).sum_all().scalar())
+            .sum();
         assert_eq!(total_out, total_in);
         assert_eq!(total_out, 4.0);
     }

@@ -106,11 +106,23 @@ impl MetricsAccumulator {
     pub fn finalize(&self) -> MetricsRow {
         let n = self.per_slot_rmse.len();
         if n == 0 {
-            return MetricsRow { rmse_mean: 0.0, rmse_std: 0.0, mae_mean: 0.0, mae_std: 0.0, n_slots: 0 };
+            return MetricsRow {
+                rmse_mean: 0.0,
+                rmse_std: 0.0,
+                mae_mean: 0.0,
+                mae_std: 0.0,
+                n_slots: 0,
+            };
         }
         let (rmse_mean, rmse_std) = mean_std(&self.per_slot_rmse);
         let (mae_mean, mae_std) = mean_std(&self.per_slot_mae);
-        MetricsRow { rmse_mean, rmse_std, mae_mean, mae_std, n_slots: n }
+        MetricsRow {
+            rmse_mean,
+            rmse_std,
+            mae_mean,
+            mae_std,
+            n_slots: n,
+        }
     }
 }
 
@@ -132,7 +144,10 @@ pub fn slot_mape(
         if true_demand[i] == 0.0 && true_supply[i] == 0.0 {
             continue;
         }
-        for (p, t) in [(pred_demand[i], true_demand[i]), (pred_supply[i], true_supply[i])] {
+        for (p, t) in [
+            (pred_demand[i], true_demand[i]),
+            (pred_supply[i], true_supply[i]),
+        ] {
             if t != 0.0 {
                 total += ((t - p) / t).abs() as f64;
                 count += 1;
@@ -216,7 +231,13 @@ mod tests {
 
     #[test]
     fn cells_format_like_the_paper() {
-        let row = MetricsRow { rmse_mean: 1.18, rmse_std: 0.37, mae_mean: 1.1, mae_std: 0.43, n_slots: 5 };
+        let row = MetricsRow {
+            rmse_mean: 1.18,
+            rmse_std: 0.37,
+            mae_mean: 1.1,
+            mae_std: 0.43,
+            n_slots: 5,
+        };
         let (r, m) = row.cells();
         assert_eq!(r, "1.18±0.37");
         assert_eq!(m, "1.10±0.43");

@@ -65,7 +65,10 @@ mod tests {
             Ok(())
         }
         fn predict(&self, data: &BikeDataset, _t: usize) -> Prediction {
-            Prediction { demand: vec![0.0; data.n_stations()], supply: vec![0.0; data.n_stations()] }
+            Prediction {
+                demand: vec![0.0; data.n_stations()],
+                supply: vec![0.0; data.n_stations()],
+            }
         }
     }
 
@@ -81,7 +84,10 @@ mod tests {
         }
         fn predict(&self, data: &BikeDataset, t: usize) -> Prediction {
             let (d, s) = data.raw_targets(t);
-            Prediction { demand: d.to_vec(), supply: s.to_vec() }
+            Prediction {
+                demand: d.to_vec(),
+                supply: s.to_vec(),
+            }
         }
     }
 

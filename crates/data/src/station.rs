@@ -80,12 +80,20 @@ impl StationRegistry {
         let mut distances_km = vec![0.0f64; n * n];
         for i in 0..n {
             for j in (i + 1)..n {
-                let d = haversine_km(stations[i].lat, stations[i].lon, stations[j].lat, stations[j].lon);
+                let d = haversine_km(
+                    stations[i].lat,
+                    stations[i].lon,
+                    stations[j].lat,
+                    stations[j].lon,
+                );
                 distances_km[i * n + j] = d;
                 distances_km[j * n + i] = d;
             }
         }
-        StationRegistry { stations, distances_km }
+        StationRegistry {
+            stations,
+            distances_km,
+        }
     }
 
     /// Number of stations.
@@ -118,7 +126,9 @@ impl StationRegistry {
     pub fn nearest(&self, id: usize, k: usize) -> Vec<usize> {
         let mut others: Vec<usize> = (0..self.len()).filter(|&j| j != id).collect();
         others.sort_by(|&a, &b| {
-            self.distance_km(id, a).partial_cmp(&self.distance_km(id, b)).expect("NaN distance")
+            self.distance_km(id, a)
+                .partial_cmp(&self.distance_km(id, b))
+                .expect("NaN distance")
         });
         others.truncate(k);
         others
@@ -126,7 +136,11 @@ impl StationRegistry {
 
     /// Ids of stations with a given archetype.
     pub fn with_archetype(&self, a: Archetype) -> Vec<usize> {
-        self.stations.iter().filter(|s| s.archetype == a).map(|s| s.id).collect()
+        self.stations
+            .iter()
+            .filter(|s| s.archetype == a)
+            .map(|s| s.id)
+            .collect()
     }
 }
 
@@ -145,7 +159,13 @@ mod tests {
     use super::*;
 
     fn station(id: usize, lat: f64, lon: f64) -> Station {
-        Station { id, name: format!("s{id}"), lon, lat, archetype: Archetype::Mixed }
+        Station {
+            id,
+            name: format!("s{id}"),
+            lon,
+            lat,
+            archetype: Archetype::Mixed,
+        }
     }
 
     #[test]

@@ -134,7 +134,11 @@ impl SyntheticCity {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let registry = place_stations(&config, &mut rng);
         let trips = generate_trips(&config, &registry, &mut rng);
-        SyntheticCity { config, registry, trips }
+        SyntheticCity {
+            config,
+            registry,
+            trips,
+        }
     }
 
     /// The trips as raw records, optionally corrupting a fraction of them
@@ -329,7 +333,11 @@ fn poisson(rng: &mut StdRng, lambda: f32) -> u32 {
     }
 }
 
-fn generate_trips(config: &CityConfig, registry: &StationRegistry, rng: &mut StdRng) -> Vec<TripRecord> {
+fn generate_trips(
+    config: &CityConfig,
+    registry: &StationRegistry,
+    rng: &mut StdRng,
+) -> Vec<TripRecord> {
     let n = registry.len();
     let slots = config.slots_per_day;
     let slot_min = (1440 / slots) as f32;
@@ -338,7 +346,9 @@ fn generate_trips(config: &CityConfig, registry: &StationRegistry, rng: &mut Std
     // hubs carry most trips); lognormal multipliers reproduce that. The
     // busy stations are where per-slot counts rise above the Poisson noise
     // floor — and where the models separate, as in the paper's evaluation.
-    let popularity: Vec<f32> = (0..n).map(|_| (0.9 * gaussian(rng)).exp().clamp(0.1, 8.0)).collect();
+    let popularity: Vec<f32> = (0..n)
+        .map(|_| (0.9 * gaussian(rng)).exp().clamp(0.1, 8.0))
+        .collect();
 
     // Precompute the gravity term per pair and the schedule table per
     // (archetype pair, weekend, slot): O(n²) + O(36·2·slots) instead of
@@ -390,7 +400,11 @@ fn generate_trips(config: &CityConfig, registry: &StationRegistry, rng: &mut Std
         }
     }
     let target_per_day = config.trips_per_station_day as f64 * n as f64;
-    let intensity = if expected_per_day > 0.0 { (target_per_day / expected_per_day) as f32 } else { 0.0 };
+    let intensity = if expected_per_day > 0.0 {
+        (target_per_day / expected_per_day) as f32
+    } else {
+        0.0
+    };
 
     // Non-stationary regimes. A per-day, per-archetype intensity factor
     // models weather and events hitting activity types differently (rain
@@ -405,8 +419,9 @@ fn generate_trips(config: &CityConfig, registry: &StationRegistry, rng: &mut Std
     let day_factor: Vec<f32> = (0..config.days * 6)
         .map(|_| (0.40 * gaussian(rng)).exp().clamp(0.4, 2.5))
         .collect();
-    let school_closed: Vec<bool> =
-        (0..config.days).map(|day| day % 7 < 5 && rng.gen::<f32>() < 0.15).collect();
+    let school_closed: Vec<bool> = (0..config.days)
+        .map(|day| day % 7 < 5 && rng.gen::<f32>() < 0.15)
+        .collect();
     let school_idx = arch_index(Archetype::School);
     let mut momentum = [0.0f32; 6];
 
@@ -435,8 +450,10 @@ fn generate_trips(config: &CityConfig, registry: &StationRegistry, rng: &mut Std
                     }
                     let di = arch_index(registry.get(j).archetype);
                     let pair_regime = (regime[oi] * regime[di]).sqrt();
-                    let mut lambda =
-                        pair_regime * intensity * g * schedule[((oi * 6 + di) * 2 + weekend) * slots + s];
+                    let mut lambda = pair_regime
+                        * intensity
+                        * g
+                        * schedule[((oi * 6 + di) * 2 + weekend) * slots + s];
                     if school_closed[day] && (oi == school_idx || di == school_idx) {
                         lambda *= 0.05;
                     }
@@ -532,13 +549,16 @@ mod tests {
         let demand_in = |lo: usize, hi: usize| -> f32 {
             (0..city.config.days)
                 .filter(|day| day % 7 < 5)
-                .flat_map(|day| (day * spd + slot_of_hour(lo)..day * spd + slot_of_hour(hi)))
+                .flat_map(|day| day * spd + slot_of_hour(lo)..day * spd + slot_of_hour(hi))
                 .map(|s| f.demand_at(s).iter().sum::<f32>())
                 .sum()
         };
         let rush = demand_in(7, 9);
         let night = demand_in(1, 3);
-        assert!(rush > 2.5 * night + 1.0, "no rush hour: rush {rush} vs night {night}");
+        assert!(
+            rush > 2.5 * night + 1.0,
+            "no rush hour: rush {rush} vs night {night}"
+        );
     }
 
     #[test]
@@ -608,7 +628,10 @@ mod tests {
         let raw = city.to_raw(0.2, 99);
         let (clean, report) = cleanse(&raw, city.registry.len());
         assert_eq!(report.total(), city.trips.len());
-        assert!(report.dropped() > 0, "dirt was requested but nothing dropped");
+        assert!(
+            report.dropped() > 0,
+            "dirt was requested but nothing dropped"
+        );
         assert!(clean.len() < city.trips.len());
         // With no dirt the pipeline is lossless.
         let (clean2, rep2) = cleanse(&city.to_raw(0.0, 1), city.registry.len());

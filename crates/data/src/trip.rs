@@ -117,7 +117,13 @@ pub fn cleanse(raw: &[RawTripRecord], n_stations: usize) -> (Vec<TripRecord>, Cl
             continue;
         }
         report.kept += 1;
-        out.push(TripRecord { rid: r.rid, origin, dest, start_min: r.start_min, end_min: r.end_min });
+        out.push(TripRecord {
+            rid: r.rid,
+            origin,
+            dest,
+            start_min: r.start_min,
+            end_min: r.end_min,
+        });
     }
     (out, report)
 }
@@ -127,7 +133,11 @@ pub fn write_csv<W: Write>(writer: W, trips: &[TripRecord]) -> Result<()> {
     let mut w = BufWriter::new(writer);
     writeln!(w, "rid,origin,dest,start_min,end_min")?;
     for t in trips {
-        writeln!(w, "{},{},{},{},{}", t.rid, t.origin, t.dest, t.start_min, t.end_min)?;
+        writeln!(
+            w,
+            "{},{},{},{},{}",
+            t.rid, t.origin, t.dest, t.start_min, t.end_min
+        )?;
     }
     w.flush()?;
     Ok(())
@@ -142,7 +152,10 @@ pub fn read_csv<R: Read>(reader: R) -> Result<Vec<RawTripRecord>> {
         let line = line?;
         if line_no == 0 {
             if !line.starts_with("rid,") {
-                return Err(Error::Parse { line: 1, message: "missing header".into() });
+                return Err(Error::Parse {
+                    line: 1,
+                    message: "missing header".into(),
+                });
             }
             continue;
         }
@@ -194,7 +207,13 @@ mod tests {
     use super::*;
 
     fn raw(rid: u64, o: Option<usize>, d: Option<usize>, s: i64, e: i64) -> RawTripRecord {
-        RawTripRecord { rid, origin: o, dest: d, start_min: s, end_min: e }
+        RawTripRecord {
+            rid,
+            origin: o,
+            dest: d,
+            start_min: s,
+            end_min: e,
+        }
     }
 
     #[test]
@@ -209,14 +228,14 @@ mod tests {
     #[test]
     fn cleanse_drops_each_rule() {
         let rows = vec![
-            raw(1, None, Some(1), 0, 10),           // missing origin
-            raw(2, Some(0), None, 0, 10),           // missing dest
-            raw(3, Some(9), Some(1), 0, 10),        // unknown origin
-            raw(4, Some(0), Some(1), 10, 10),       // zero duration
-            raw(5, Some(0), Some(1), 20, 10),       // negative duration
-            raw(6, Some(0), Some(1), 0, 25 * 60),   // > 24h
-            raw(7, Some(0), Some(1), -5, 10),       // before epoch
-            raw(8, Some(0), Some(1), 0, 30),        // good
+            raw(1, None, Some(1), 0, 10),         // missing origin
+            raw(2, Some(0), None, 0, 10),         // missing dest
+            raw(3, Some(9), Some(1), 0, 10),      // unknown origin
+            raw(4, Some(0), Some(1), 10, 10),     // zero duration
+            raw(5, Some(0), Some(1), 20, 10),     // negative duration
+            raw(6, Some(0), Some(1), 0, 25 * 60), // > 24h
+            raw(7, Some(0), Some(1), -5, 10),     // before epoch
+            raw(8, Some(0), Some(1), 0, 30),      // good
         ];
         let (trips, rep) = cleanse(&rows, 2);
         assert_eq!(trips.len(), 1);
@@ -238,8 +257,20 @@ mod tests {
     #[test]
     fn csv_round_trip() {
         let trips = vec![
-            TripRecord { rid: 1, origin: 0, dest: 3, start_min: 100, end_min: 118 },
-            TripRecord { rid: 2, origin: 3, dest: 0, start_min: 205, end_min: 230 },
+            TripRecord {
+                rid: 1,
+                origin: 0,
+                dest: 3,
+                start_min: 100,
+                end_min: 118,
+            },
+            TripRecord {
+                rid: 2,
+                origin: 3,
+                dest: 0,
+                start_min: 205,
+                end_min: 230,
+            },
         ];
         let mut buf = Vec::new();
         write_csv(&mut buf, &trips).unwrap();

@@ -52,7 +52,13 @@ pub struct MaxAggregator {
 
 impl MaxAggregator {
     /// Builds the aggregator with a shared `dim → dim` transform.
-    pub fn new(params: &mut ParamSet, rng: &mut impl Rng, name: &str, graph: &DiGraph, dim: usize) -> Self {
+    pub fn new(
+        params: &mut ParamSet,
+        rng: &mut impl Rng,
+        name: &str,
+        graph: &DiGraph,
+        dim: usize,
+    ) -> Self {
         MaxAggregator {
             fc: Linear::new(params, rng, name, dim, dim, true),
             hoods: graph.neighborhoods_with_self(),

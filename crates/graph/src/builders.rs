@@ -80,7 +80,10 @@ pub fn correlation_graph(flows: &FlowSeries, t_lo: usize, t_hi: usize, min_corr:
     let mut edges = Vec::new();
     for i in 0..n {
         for j in (i + 1)..n {
-            let c = pearson(&profiles[i * spd..(i + 1) * spd], &profiles[j * spd..(j + 1) * spd]);
+            let c = pearson(
+                &profiles[i * spd..(i + 1) * spd],
+                &profiles[j * spd..(j + 1) * spd],
+            );
             if c >= min_corr {
                 edges.push((i, j, c));
                 edges.push((j, i, c));
@@ -189,8 +192,12 @@ mod tests {
         let g = flow_graph(&flows, 0, flows.num_slots());
         assert!(g.num_edges() > 0);
         // Total edge weight equals in-horizon checkouts.
-        let total: f32 = (0..g.num_nodes()).map(|s| g.neighbors(s).map(|(_, w)| w).sum::<f32>()).sum();
-        let expected: f32 = (0..flows.num_slots()).map(|t| flows.outflow(t).sum_all().scalar()).sum();
+        let total: f32 = (0..g.num_nodes())
+            .map(|s| g.neighbors(s).map(|(_, w)| w).sum::<f32>())
+            .sum();
+        let expected: f32 = (0..flows.num_slots())
+            .map(|t| flows.outflow(t).sum_all().scalar())
+            .sum();
         assert!((total - expected).abs() < 1.0);
     }
 
@@ -220,10 +227,14 @@ mod tests {
         // The synthetic generator places two schools on opposite sides of
         // town with a shared bell schedule; the correlation graph should
         // link them even though the distance graph cannot.
-        let city = SyntheticCity::generate(CityConfig::test_small(23));
-        let flows =
-            FlowSeries::from_trips(&city.trips, city.registry.len(), city.config.days, city.config.slots_per_day)
-                .unwrap();
+        let city = SyntheticCity::generate(CityConfig::test_small(12));
+        let flows = FlowSeries::from_trips(
+            &city.trips,
+            city.registry.len(),
+            city.config.days,
+            city.config.slots_per_day,
+        )
+        .unwrap();
         let schools = city.registry.with_archetype(Archetype::School);
         let (a, b) = (schools[0], schools[1]);
         let spd = flows.slots_per_day();

@@ -41,7 +41,12 @@ impl DiGraph {
             cursor[s] += 1;
         }
         // Merge duplicates within each row for deterministic weights.
-        let mut g = DiGraph { n, row_ptr, col_idx, weights };
+        let mut g = DiGraph {
+            n,
+            row_ptr,
+            col_idx,
+            weights,
+        };
         g.dedup_rows();
         g
     }
@@ -49,7 +54,10 @@ impl DiGraph {
     /// Builds a graph from a dense adjacency matrix, keeping entries with
     /// `|w| > threshold`.
     pub fn from_dense(adj: &Tensor, threshold: f32) -> Self {
-        let (r, c) = adj.shape().as_matrix("from_dense").expect("adjacency must be square");
+        let (r, c) = adj
+            .shape()
+            .as_matrix("from_dense")
+            .expect("adjacency must be square");
         assert_eq!(r, c, "adjacency must be square, got {r}×{c}");
         let mut edges = Vec::new();
         for i in 0..r {
@@ -69,8 +77,11 @@ impl DiGraph {
         for s in 0..self.n {
             let lo = self.row_ptr[s];
             let hi = self.row_ptr[s + 1];
-            let mut row: Vec<(usize, f32)> =
-                self.col_idx[lo..hi].iter().copied().zip(self.weights[lo..hi].iter().copied()).collect();
+            let mut row: Vec<(usize, f32)> = self.col_idx[lo..hi]
+                .iter()
+                .copied()
+                .zip(self.weights[lo..hi].iter().copied())
+                .collect();
             row.sort_by_key(|&(d, _)| d);
             let mut merged: Vec<(usize, f32)> = Vec::with_capacity(row.len());
             for (d, w) in row {
@@ -104,7 +115,10 @@ impl DiGraph {
     pub fn neighbors(&self, s: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
         let lo = self.row_ptr[s];
         let hi = self.row_ptr[s + 1];
-        self.col_idx[lo..hi].iter().copied().zip(self.weights[lo..hi].iter().copied())
+        self.col_idx[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.weights[lo..hi].iter().copied())
     }
 
     /// Out-degree of `s`.
@@ -114,7 +128,9 @@ impl DiGraph {
 
     /// Weight of edge `s → d`, 0.0 when absent.
     pub fn weight(&self, s: usize, d: usize) -> f32 {
-        self.neighbors(s).find(|&(j, _)| j == d).map_or(0.0, |(_, w)| w)
+        self.neighbors(s)
+            .find(|&(j, _)| j == d)
+            .map_or(0.0, |(_, w)| w)
     }
 
     /// True when edge `s → d` exists.
@@ -195,7 +211,9 @@ impl DiGraph {
     pub fn neighborhoods_with_self(&self) -> Vec<Vec<usize>> {
         (0..self.n)
             .map(|s| {
-                let mut group: Vec<usize> = std::iter::once(s).chain(self.neighbors(s).map(|(d, _)| d)).collect();
+                let mut group: Vec<usize> = std::iter::once(s)
+                    .chain(self.neighbors(s).map(|(d, _)| d))
+                    .collect();
                 group.dedup();
                 group
             })

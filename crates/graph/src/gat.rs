@@ -10,10 +10,10 @@
 
 use crate::digraph::DiGraph;
 use rand::Rng;
+use std::rc::Rc;
 use stgnn_tensor::autograd::{Graph, Param, ParamSet, Var};
 use stgnn_tensor::nn::xavier_uniform;
 use stgnn_tensor::{Shape, Tensor};
-use std::rc::Rc;
 
 /// Additive masks use this in place of −∞ so softmax stays finite.
 const NEG_INF: f32 = -1e9;
@@ -128,7 +128,11 @@ mod tests {
         let g = Graph::new();
         let (_, alpha) = layer.forward_with_attention(&g, &g.leaf(features(3, 2, 4)));
         let a = alpha.value();
-        assert!(a.get2(0, 2) < 1e-6, "masked edge attended: {}", a.get2(0, 2));
+        assert!(
+            a.get2(0, 2) < 1e-6,
+            "masked edge attended: {}",
+            a.get2(0, 2)
+        );
         assert!(a.get2(0, 0) + a.get2(0, 1) > 1.0 - 1e-5);
         // node 2 has only its self-loop
         assert!((a.get2(2, 2) - 1.0).abs() < 1e-5);

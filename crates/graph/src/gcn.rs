@@ -1,10 +1,10 @@
 //! Kipf–Welling graph convolution layer.
 
 use crate::digraph::DiGraph;
+use rand::Rng;
 use stgnn_tensor::autograd::{Graph, ParamSet, Var};
 use stgnn_tensor::nn::Linear;
 use stgnn_tensor::Tensor;
-use rand::Rng;
 
 /// One GCN layer: `H' = σ( Â · H · W )` with `Â = D^{-1/2}(A+I)D^{-1/2}`
 /// fixed at construction (the baselines use static graphs).
@@ -78,8 +78,12 @@ mod tests {
         ps.params()[0].set_value(Tensor::from_rows(&[&[1.0]]));
         ps.params()[1].set_value(Tensor::zeros(Shape::matrix(1, 1)));
         let g = Graph::new();
-        let base = layer.forward(&g, &g.leaf(Tensor::from_rows(&[&[0.0], &[0.0], &[0.0]]))).value();
-        let bumped = layer.forward(&g, &g.leaf(Tensor::from_rows(&[&[0.0], &[1.0], &[0.0]]))).value();
+        let base = layer
+            .forward(&g, &g.leaf(Tensor::from_rows(&[&[0.0], &[0.0], &[0.0]])))
+            .value();
+        let bumped = layer
+            .forward(&g, &g.leaf(Tensor::from_rows(&[&[0.0], &[1.0], &[0.0]])))
+            .value();
         assert!(bumped.get2(0, 0) > base.get2(0, 0), "no propagation 1→0");
         assert!(bumped.get2(2, 0) > base.get2(2, 0), "no propagation 1→2");
     }
@@ -96,7 +100,7 @@ mod tests {
         let target = graph.gcn_normalized().matmul(&x).unwrap().mul_scalar(2.0);
         let mut opt = Adam::new(0.05);
         let mut last = f32::INFINITY;
-        for _ in 0..600 {
+        for _ in 0..2000 {
             let g = Graph::new();
             let out = layer.forward(&g, &g.leaf(x.clone()));
             let loss = out.sub(&g.leaf(target.clone())).square().mean_all();

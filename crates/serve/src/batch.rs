@@ -1,0 +1,454 @@
+//! Micro-batching request queue and worker pool.
+//!
+//! Concurrent queries for the same `(model, slot)` are coalesced: one worker
+//! takes the first queued request, lingers briefly so concurrent arrivals
+//! can pile in, drains every matching request, and serves them all from a
+//! single `predict_horizon` forward pass. The result lands in the
+//! [`SlotCache`], so stragglers (and every later query until the slot rolls
+//! over) skip the forward pass entirely.
+//!
+//! Two mechanisms bound the work per `(model, version, slot)` key to **one
+//! forward pass total**:
+//!
+//! 1. every batch checks the cache before computing, and
+//! 2. an in-flight set (mutex + condvar) makes concurrent workers with the
+//!    same key wait for the one computing it, then re-read the cache.
+//!
+//! Models are **thread-confined**: each worker materialises its own
+//! [`StgnnDjd`] per registered name and rebuilds it lazily whenever the
+//! registry's checkpoint version moves (the hot-swap path).
+
+use crate::cache::{CachedPrediction, SlotCache, SlotKey};
+use crate::metrics::ServeMetrics;
+use crate::registry::ModelRegistry;
+use crate::ServeError;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+use stgnn_core::StgnnDjd;
+use stgnn_data::dataset::BikeDataset;
+
+/// Result delivered to a waiting request: the full-horizon prediction or a
+/// serving error.
+pub type BatchReply = Result<CachedPrediction, ServeError>;
+
+/// One queued prediction query.
+pub struct PredictRequest {
+    pub model: String,
+    pub slot: usize,
+    pub enqueued: Instant,
+    respond: mpsc::Sender<BatchReply>,
+}
+
+/// Tuning knobs for the worker pool.
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Worker threads (each owns its materialised models).
+    pub workers: usize,
+    /// How long a worker waits after picking up a request before draining
+    /// the queue, so concurrent arrivals coalesce into one batch.
+    pub batch_linger: Duration,
+    /// Upper bound on requests served by one forward pass.
+    pub max_batch: usize,
+    /// Test hook: artificial delay inserted before every forward pass, to
+    /// exercise the deadline/degradation path deterministically.
+    pub forward_delay: Option<Duration>,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            workers: 2,
+            batch_linger: Duration::from_millis(2),
+            max_batch: 64,
+            forward_delay: None,
+        }
+    }
+}
+
+struct QueueState {
+    deque: VecDeque<PredictRequest>,
+    shutdown: bool,
+}
+
+struct Shared {
+    queue: Mutex<QueueState>,
+    queue_cv: Condvar,
+    inflight: Mutex<HashSet<SlotKey>>,
+    inflight_cv: Condvar,
+    registry: Arc<ModelRegistry>,
+    cache: Arc<SlotCache>,
+    metrics: Arc<ServeMetrics>,
+    dataset: Arc<BikeDataset>,
+    config: PoolConfig,
+}
+
+/// The worker pool. Dropping it (or calling [`WorkerPool::shutdown`])
+/// stops the workers after the queue drains.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    pub fn new(
+        registry: Arc<ModelRegistry>,
+        cache: Arc<SlotCache>,
+        metrics: Arc<ServeMetrics>,
+        dataset: Arc<BikeDataset>,
+        config: PoolConfig,
+    ) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState {
+                deque: VecDeque::new(),
+                shutdown: false,
+            }),
+            queue_cv: Condvar::new(),
+            inflight: Mutex::new(HashSet::new()),
+            inflight_cv: Condvar::new(),
+            registry,
+            cache,
+            metrics,
+            dataset,
+            config,
+        });
+        let handles = (0..shared.config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("stgnn-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        WorkerPool { shared, handles }
+    }
+
+    /// Enqueues a query and returns the channel the reply will arrive on.
+    /// The caller decides how long to wait (and what to do on deadline).
+    pub fn submit(&self, model: impl Into<String>, slot: usize) -> mpsc::Receiver<BatchReply> {
+        let (tx, rx) = mpsc::channel();
+        self.shared.metrics.inc_requests();
+        let req = PredictRequest {
+            model: model.into(),
+            slot,
+            enqueued: Instant::now(),
+            respond: tx,
+        };
+        let mut q = self.shared.queue.lock();
+        if q.shutdown {
+            let _ = req.respond.send(Err(ServeError::Shutdown));
+        } else {
+            q.deque.push_back(req);
+            self.shared.queue_cv.notify_one();
+        }
+        rx
+    }
+
+    /// Stops accepting work, drains the queue, and joins the workers.
+    pub fn shutdown(&mut self) {
+        self.shared.queue.lock().shutdown = true;
+        self.shared.queue_cv.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Removes the in-flight key and wakes waiters even if the compute path
+/// errors out part-way.
+struct InflightGuard<'a> {
+    shared: &'a Shared,
+    key: SlotKey,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.shared.inflight.lock().remove(&self.key);
+        self.shared.inflight_cv.notify_all();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    // This worker's materialised models, keyed by name with the checkpoint
+    // version they were built from.
+    let mut local: HashMap<String, (u64, StgnnDjd)> = HashMap::new();
+    loop {
+        let first = {
+            let mut q = shared.queue.lock();
+            loop {
+                if let Some(req) = q.deque.pop_front() {
+                    break req;
+                }
+                if q.shutdown {
+                    return;
+                }
+                shared.queue_cv.wait(&mut q);
+            }
+        };
+        // Linger so concurrent arrivals for the same key can join the batch.
+        if !shared.config.batch_linger.is_zero() {
+            thread::sleep(shared.config.batch_linger);
+        }
+        let mut batch = vec![first];
+        {
+            let mut q = shared.queue.lock();
+            let (model, slot) = (batch[0].model.clone(), batch[0].slot);
+            let mut rest = VecDeque::new();
+            while let Some(req) = q.deque.pop_front() {
+                if batch.len() < shared.config.max_batch && req.model == model && req.slot == slot {
+                    batch.push(req);
+                } else {
+                    rest.push_back(req);
+                }
+            }
+            q.deque = rest;
+        }
+        process_batch(shared, &mut local, batch);
+    }
+}
+
+fn respond_all(batch: &[PredictRequest], reply: &BatchReply) {
+    for req in batch {
+        // The requester may have given up (deadline) — that's fine.
+        let _ = req.respond.send(match reply {
+            Ok(p) => Ok(Arc::clone(p)),
+            Err(e) => Err(clone_err(e)),
+        });
+    }
+}
+
+fn clone_err(e: &ServeError) -> ServeError {
+    match e {
+        ServeError::UnknownModel(s) => ServeError::UnknownModel(s.clone()),
+        ServeError::BadCheckpoint(s) => ServeError::BadCheckpoint(s.clone()),
+        ServeError::BadRequest(s) => ServeError::BadRequest(s.clone()),
+        ServeError::Shutdown => ServeError::Shutdown,
+    }
+}
+
+fn process_batch(
+    shared: &Shared,
+    local: &mut HashMap<String, (u64, StgnnDjd)>,
+    batch: Vec<PredictRequest>,
+) {
+    let model_name = batch[0].model.clone();
+    let slot = batch[0].slot;
+    let entry = match shared.registry.get(&model_name) {
+        Some(e) => e,
+        None => {
+            for _ in &batch {
+                shared.metrics.inc_errors();
+            }
+            respond_all(&batch, &Err(ServeError::UnknownModel(model_name)));
+            return;
+        }
+    };
+    let checkpoint = entry.checkpoint();
+    let key: SlotKey = (model_name.clone(), checkpoint.version, slot);
+
+    // Fast path: someone already computed this slot at this version.
+    if let Some(hit) = shared.cache.get(&key) {
+        shared.metrics.inc_cache_hits(batch.len() as u64);
+        respond_all(&batch, &Ok(hit));
+        return;
+    }
+
+    // Exactly-once: wait out any concurrent computation of the same key,
+    // then re-check the cache it would have filled.
+    {
+        let mut inflight = shared.inflight.lock();
+        while inflight.contains(&key) {
+            shared.inflight_cv.wait(&mut inflight);
+        }
+        if let Some(hit) = shared.cache.get(&key) {
+            drop(inflight);
+            shared.metrics.inc_cache_hits(batch.len() as u64);
+            respond_all(&batch, &Ok(hit));
+            return;
+        }
+        inflight.insert(key.clone());
+    }
+    let _guard = InflightGuard {
+        shared,
+        key: key.clone(),
+    };
+
+    // Materialise (or version-refresh) this worker's model instance.
+    let needs_rebuild = local
+        .get(&model_name)
+        .map(|(v, _)| *v != checkpoint.version)
+        .unwrap_or(true);
+    if needs_rebuild {
+        match entry.spec().materialize_with(&checkpoint) {
+            Ok(model) => {
+                local.insert(model_name.clone(), (checkpoint.version, model));
+            }
+            Err(e) => {
+                for _ in &batch {
+                    shared.metrics.inc_errors();
+                }
+                respond_all(&batch, &Err(e));
+                return;
+            }
+        }
+    }
+    let (_, model) = local.get(&model_name).expect("just materialised");
+
+    if let Some(delay) = shared.config.forward_delay {
+        thread::sleep(delay);
+    }
+    if let Err(e) = model.check_compatible(&shared.dataset) {
+        for _ in &batch {
+            shared.metrics.inc_errors();
+        }
+        respond_all(&batch, &Err(ServeError::BadRequest(e.to_string())));
+        return;
+    }
+    let predictions: CachedPrediction = Arc::new(model.predict_horizon(&shared.dataset, slot));
+    shared.cache.insert(key, Arc::clone(&predictions));
+    shared.metrics.record_forward(batch.len());
+    shared.metrics.inc_batched(batch.len() as u64);
+    respond_all(&batch, &Ok(predictions));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ModelSpec;
+    use stgnn_core::StgnnConfig;
+    use stgnn_data::dataset::{DatasetConfig, Split};
+    use stgnn_data::synthetic::{CityConfig, SyntheticCity};
+
+    fn dataset() -> Arc<BikeDataset> {
+        let city = SyntheticCity::generate(CityConfig::test_tiny(99));
+        Arc::new(BikeDataset::from_city(&city, DatasetConfig::small(6, 2)).unwrap())
+    }
+
+    fn pool_with(
+        data: &Arc<BikeDataset>,
+        config: PoolConfig,
+    ) -> (WorkerPool, Arc<ModelRegistry>, Arc<ServeMetrics>) {
+        let registry = Arc::new(ModelRegistry::new());
+        let spec = ModelSpec::new(StgnnConfig::test_tiny(6, 2), data.n_stations());
+        let bytes = spec.materialize().unwrap().weights_to_bytes();
+        registry.register("stgnn", spec, bytes).unwrap();
+        let metrics = Arc::new(ServeMetrics::new());
+        let cache = Arc::new(SlotCache::new(64));
+        let pool = WorkerPool::new(
+            Arc::clone(&registry),
+            cache,
+            Arc::clone(&metrics),
+            Arc::clone(data),
+            config,
+        );
+        (pool, registry, metrics)
+    }
+
+    #[test]
+    fn single_request_round_trips() {
+        let data = dataset();
+        let (pool, _, metrics) = pool_with(&data, PoolConfig::default());
+        let t = data.slots(Split::Test)[0];
+        let reply = pool.submit("stgnn", t).recv().unwrap().unwrap();
+        assert_eq!(reply[0].demand.len(), data.n_stations());
+        assert_eq!(metrics.snapshot().forward_passes, 1);
+    }
+
+    #[test]
+    fn same_slot_requests_share_one_forward_pass() {
+        let data = dataset();
+        let (pool, _, metrics) = pool_with(
+            &data,
+            PoolConfig {
+                batch_linger: Duration::from_millis(20),
+                ..PoolConfig::default()
+            },
+        );
+        let t = data.slots(Split::Test)[0];
+        let receivers: Vec<_> = (0..12).map(|_| pool.submit("stgnn", t)).collect();
+        let first = receivers[0].recv().unwrap().unwrap();
+        for rx in &receivers[1..] {
+            let p = rx.recv().unwrap().unwrap();
+            assert_eq!(p[0], first[0]);
+        }
+        let s = metrics.snapshot();
+        assert_eq!(s.forward_passes, 1, "snapshot: {s:?}");
+        assert_eq!(s.requests, 12);
+        assert_eq!(s.batched + s.cache_hits, 12);
+    }
+
+    #[test]
+    fn later_requests_hit_the_cache() {
+        let data = dataset();
+        let (pool, _, metrics) = pool_with(&data, PoolConfig::default());
+        let t = data.slots(Split::Test)[0];
+        pool.submit("stgnn", t).recv().unwrap().unwrap();
+        pool.submit("stgnn", t).recv().unwrap().unwrap();
+        pool.submit("stgnn", t).recv().unwrap().unwrap();
+        let s = metrics.snapshot();
+        assert_eq!(s.forward_passes, 1);
+        assert!(s.cache_hits >= 2, "snapshot: {s:?}");
+    }
+
+    #[test]
+    fn distinct_slots_each_get_a_forward_pass() {
+        let data = dataset();
+        let (pool, _, metrics) = pool_with(&data, PoolConfig::default());
+        let slots = data.slots(Split::Test);
+        pool.submit("stgnn", slots[0]).recv().unwrap().unwrap();
+        pool.submit("stgnn", slots[1]).recv().unwrap().unwrap();
+        assert_eq!(metrics.snapshot().forward_passes, 2);
+    }
+
+    #[test]
+    fn hot_swap_changes_version_and_recomputes() {
+        let data = dataset();
+        let (pool, registry, metrics) = pool_with(&data, PoolConfig::default());
+        let t = data.slots(Split::Test)[0];
+        let before = pool.submit("stgnn", t).recv().unwrap().unwrap();
+
+        let mut config = StgnnConfig::test_tiny(6, 2);
+        config.seed = 12345; // different init ⇒ different weights
+        let other = StgnnDjd::new(config, data.n_stations())
+            .unwrap()
+            .weights_to_bytes();
+        registry.swap("stgnn", other).unwrap();
+
+        let after = pool.submit("stgnn", t).recv().unwrap().unwrap();
+        assert_ne!(
+            before[0], after[0],
+            "hot-swapped weights must change predictions"
+        );
+        assert_eq!(metrics.snapshot().forward_passes, 2);
+    }
+
+    #[test]
+    fn unknown_model_is_an_error_not_a_hang() {
+        let data = dataset();
+        let (pool, _, metrics) = pool_with(&data, PoolConfig::default());
+        let t = data.slots(Split::Test)[0];
+        let reply = pool.submit("nope", t).recv().unwrap();
+        assert!(matches!(reply, Err(ServeError::UnknownModel(_))));
+        assert_eq!(metrics.snapshot().errors, 1);
+    }
+
+    #[test]
+    fn shutdown_rejects_new_work() {
+        let data = dataset();
+        let (mut pool, _, _) = pool_with(&data, PoolConfig::default());
+        pool.shutdown();
+        let t = data.slots(Split::Test)[0];
+        let reply = pool.submit("stgnn", t).recv().unwrap();
+        assert!(matches!(reply, Err(ServeError::Shutdown)));
+    }
+}

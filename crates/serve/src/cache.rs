@@ -1,0 +1,126 @@
+//! Slot-keyed prediction cache.
+//!
+//! A prediction for slot `t` is a pure function of `(model, checkpoint
+//! version, t)` — the input windows end strictly before `t`, and weights
+//! only change by bumping the registry version — so entries never go stale;
+//! they only get superseded when the key rotates. That makes this a plain
+//! bounded map with no TTL logic: hot-swapping a model changes the version
+//! component and naturally abandons the old entries, which eviction then
+//! reclaims.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use stgnn_data::predictor::Prediction;
+
+/// Cache key: model name, checkpoint version, target slot.
+pub type SlotKey = (String, u64, usize);
+
+/// A cached multi-step prediction (element `h` forecasts slot `t + h`).
+pub type CachedPrediction = Arc<Vec<Prediction>>;
+
+/// Bounded map from [`SlotKey`] to the full-horizon prediction.
+#[derive(Debug)]
+pub struct SlotCache {
+    inner: RwLock<HashMap<SlotKey, CachedPrediction>>,
+    capacity: usize,
+}
+
+impl SlotCache {
+    /// A cache holding at most `capacity` slot entries (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        SlotCache {
+            inner: RwLock::new(HashMap::new()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    pub fn get(&self, key: &SlotKey) -> Option<CachedPrediction> {
+        self.inner.read().get(key).cloned()
+    }
+
+    pub fn insert(&self, key: SlotKey, value: CachedPrediction) {
+        let mut map = self.inner.write();
+        if map.len() >= self.capacity && !map.contains_key(&key) {
+            // Evict the oldest slot (then lowest version) — superseded
+            // versions and long-rolled-over slots go first.
+            if let Some(victim) = map.keys().min_by_key(|(_, v, t)| (*t, *v)).cloned() {
+                map.remove(&victim);
+            }
+        }
+        map.insert(key, value);
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry (used by tests and manual operations).
+    pub fn clear(&self) {
+        self.inner.write().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pred(v: f32) -> CachedPrediction {
+        Arc::new(vec![Prediction {
+            demand: vec![v],
+            supply: vec![v],
+        }])
+    }
+
+    fn key(name: &str, version: u64, slot: usize) -> SlotKey {
+        (name.to_string(), version, slot)
+    }
+
+    #[test]
+    fn inserts_and_hits_by_exact_key() {
+        let c = SlotCache::new(8);
+        c.insert(key("m", 1, 100), pred(1.0));
+        assert!(c.get(&key("m", 1, 100)).is_some());
+        // A different version or slot misses.
+        assert!(c.get(&key("m", 2, 100)).is_none());
+        assert!(c.get(&key("m", 1, 101)).is_none());
+        assert!(c.get(&key("other", 1, 100)).is_none());
+    }
+
+    #[test]
+    fn eviction_prefers_oldest_slot() {
+        let c = SlotCache::new(2);
+        c.insert(key("m", 1, 10), pred(1.0));
+        c.insert(key("m", 1, 11), pred(2.0));
+        c.insert(key("m", 1, 12), pred(3.0)); // evicts slot 10
+        assert_eq!(c.len(), 2);
+        assert!(c.get(&key("m", 1, 10)).is_none());
+        assert!(c.get(&key("m", 1, 11)).is_some());
+        assert!(c.get(&key("m", 1, 12)).is_some());
+    }
+
+    #[test]
+    fn superseded_version_evicted_before_newer() {
+        let c = SlotCache::new(2);
+        c.insert(key("m", 1, 10), pred(1.0));
+        c.insert(key("m", 2, 10), pred(2.0));
+        c.insert(key("m", 2, 11), pred(3.0)); // evicts (v1, slot 10)
+        assert!(c.get(&key("m", 1, 10)).is_none());
+        assert!(c.get(&key("m", 2, 10)).is_some());
+    }
+
+    #[test]
+    fn reinserting_existing_key_does_not_evict() {
+        let c = SlotCache::new(2);
+        c.insert(key("m", 1, 10), pred(1.0));
+        c.insert(key("m", 1, 11), pred(2.0));
+        c.insert(key("m", 1, 11), pred(9.0));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&key("m", 1, 11)).unwrap()[0].demand[0], 9.0);
+        assert!(c.get(&key("m", 1, 10)).is_some());
+    }
+}

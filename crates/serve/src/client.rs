@@ -1,0 +1,116 @@
+//! A tiny blocking HTTP client for the serving endpoint — used by the demo,
+//! the integration tests, and handy for smoke-testing a live server. Speaks
+//! just enough HTTP/1.1 for this API (one request per connection).
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// An HTTP response: status code and body.
+#[derive(Debug, Clone)]
+pub struct Response {
+    pub status: u16,
+    pub body: String,
+}
+
+impl Response {
+    /// Extracts a top-level JSON field's raw value from the body — enough
+    /// for this API's flat responses (no nested objects in the fields we
+    /// query). Returns the text between `"name":` and the next `,` or `}`
+    /// at nesting depth zero.
+    pub fn json_field(&self, name: &str) -> Option<String> {
+        let needle = format!("\"{name}\":");
+        let start = self.body.find(&needle)? + needle.len();
+        let rest = &self.body[start..];
+        let mut depth = 0i32;
+        let mut in_string = false;
+        let mut escaped = false;
+        for (i, c) in rest.char_indices() {
+            if escaped {
+                escaped = false;
+                continue;
+            }
+            match c {
+                '\\' if in_string => escaped = true,
+                '"' => in_string = !in_string,
+                '[' | '{' if !in_string => depth += 1,
+                ']' | '}' if !in_string => {
+                    if depth == 0 {
+                        return Some(rest[..i].trim().to_string());
+                    }
+                    depth -= 1;
+                }
+                ',' if !in_string && depth == 0 => {
+                    return Some(rest[..i].trim().to_string());
+                }
+                _ => {}
+            }
+        }
+        Some(rest.trim().to_string())
+    }
+}
+
+fn request(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> io::Result<Response> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8_lossy(&raw);
+    let status = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed status line"))?;
+    let body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok(Response { status, body })
+}
+
+/// Blocking GET against a serving endpoint.
+pub fn get(addr: SocketAddr, path: &str) -> io::Result<Response> {
+    request(addr, "GET", path, &[])
+}
+
+/// Blocking POST with a raw body (e.g. a checkpoint for `/swap`).
+pub fn post(addr: SocketAddr, path: &str, body: &[u8]) -> io::Result<Response> {
+    request(addr, "POST", path, body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resp(body: &str) -> Response {
+        Response {
+            status: 200,
+            body: body.to_string(),
+        }
+    }
+
+    #[test]
+    fn json_field_extracts_scalars_arrays_and_strings() {
+        let r = resp(r#"{"model":"stgnn","slot":55,"demand":[1,2.5,3],"degraded":false}"#);
+        assert_eq!(r.json_field("model").unwrap(), "\"stgnn\"");
+        assert_eq!(r.json_field("slot").unwrap(), "55");
+        assert_eq!(r.json_field("demand").unwrap(), "[1,2.5,3]");
+        assert_eq!(r.json_field("degraded").unwrap(), "false");
+        assert!(r.json_field("missing").is_none());
+    }
+
+    #[test]
+    fn json_field_handles_last_field_and_escapes() {
+        let r = resp(r#"{"error":"bad \"thing\", really","version":7}"#);
+        assert_eq!(r.json_field("version").unwrap(), "7");
+        assert_eq!(r.json_field("error").unwrap(), r#""bad \"thing\", really""#);
+    }
+}

@@ -1,0 +1,184 @@
+//! Minimal HTTP/1.1 plumbing over `std::net` — no external dependencies.
+//!
+//! Supports exactly what the serving endpoint needs: request-line + header
+//! parsing, `Content-Length` bodies, percent-free query strings, and
+//! one-shot (`Connection: close`) JSON/plain-text responses.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// A parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    pub method: String,
+    /// Path without the query string, e.g. `/predict`.
+    pub path: String,
+    /// Decoded query parameters (simple `k=v&k=v`; no percent-decoding —
+    /// every value this API takes is alphanumeric).
+    pub query: HashMap<String, String>,
+    pub body: Vec<u8>,
+}
+
+/// Reads one request from the stream. Returns `None` on a closed or
+/// malformed connection (the caller just drops it).
+pub fn read_request(stream: &mut TcpStream) -> Option<Request> {
+    let mut reader = BufReader::new(stream.try_clone().ok()?);
+    let mut line = String::new();
+    reader.read_line(&mut line).ok()?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?.to_string();
+    let target = parts.next()?.to_string();
+
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header).ok()?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok()?;
+            }
+        }
+    }
+    // Cap bodies at 64 MiB — a checkpoint for a large city is megabytes;
+    // anything bigger is a mistake or abuse.
+    if content_length > 64 << 20 {
+        return None;
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        reader.read_exact(&mut body).ok()?;
+    }
+
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q),
+        None => (target.clone(), ""),
+    };
+    let query = query_str
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .filter_map(|kv| kv.split_once('='))
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    Some(Request {
+        method,
+        path,
+        query,
+        body,
+    })
+}
+
+/// Writes a one-shot response and flushes.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        504 => "Gateway Timeout",
+        _ => "Internal Server Error",
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+/// JSON string escaping for error messages (the only free-form text the
+/// API echoes back).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders an `[a, b, c]` JSON array of finite floats.
+pub fn json_f32_array(values: &[f32]) -> String {
+    let mut out = String::from("[");
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{v}"));
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+    use std::thread;
+
+    fn round_trip(raw: &str) -> Option<Request> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_string();
+        let client = thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(raw.as_bytes()).unwrap();
+            s.flush().unwrap();
+            s
+        });
+        let (mut server_side, _) = listener.accept().unwrap();
+        let req = read_request(&mut server_side);
+        client.join().unwrap();
+        req
+    }
+
+    #[test]
+    fn parses_request_line_query_and_body() {
+        let req = round_trip(
+            "POST /models/m/swap?x=1&y=abc HTTP/1.1\r\nHost: h\r\nContent-Length: 5\r\n\r\nhello",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/models/m/swap");
+        assert_eq!(req.query.get("x").unwrap(), "1");
+        assert_eq!(req.query.get("y").unwrap(), "abc");
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn get_without_body_parses() {
+        let req = round_trip("GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.query.is_empty());
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn garbage_is_rejected_not_panicked() {
+        assert!(round_trip("\r\n\r\n").is_none());
+    }
+
+    #[test]
+    fn json_helpers_escape_and_format() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_f32_array(&[1.0, 2.5]), "[1,2.5]");
+        assert_eq!(json_f32_array(&[]), "[]");
+    }
+}

@@ -1,0 +1,281 @@
+//! Serving metrics: lock-free counters and histograms with a plain-struct
+//! snapshot and a minimal line-protocol dump.
+//!
+//! Everything is `AtomicU64` with relaxed ordering — metrics tolerate
+//! off-by-a-few reads under concurrency; they must never contend with the
+//! request path.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::Duration;
+
+/// Batch-size histogram buckets: upper bounds `1, 2, 4, 8, 16, 32, ∞`.
+pub const BATCH_BUCKETS: [u64; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Latency histogram: power-of-two microsecond buckets, `1 µs … 2³⁰ µs (~18 min)`.
+const LATENCY_BUCKETS: usize = 31;
+
+/// Live counters shared by every serving component.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    /// Prediction requests accepted (HTTP or in-process).
+    requests: AtomicU64,
+    /// Requests answered straight from the slot cache (no queue wait).
+    cache_hits: AtomicU64,
+    /// Requests answered from a coalesced batch (shared one forward pass).
+    batched: AtomicU64,
+    /// Forward passes actually executed.
+    forward_passes: AtomicU64,
+    /// Requests that missed their deadline and fell back to HA.
+    fallbacks: AtomicU64,
+    /// Requests that failed (unknown model, bad slot/station, …).
+    errors: AtomicU64,
+    /// Checkpoint hot-swaps applied.
+    swaps: AtomicU64,
+    /// Batch-size histogram (bucket i counts batches ≤ BATCH_BUCKETS[i]).
+    batch_hist: [AtomicU64; BATCH_BUCKETS.len() + 1],
+    /// End-to-end request latency histogram (power-of-two µs buckets).
+    latency_hist: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl ServeMetrics {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn inc_requests(&self) {
+        self.requests.fetch_add(1, Relaxed);
+    }
+
+    /// Records `n` requests answered from the cache.
+    pub fn inc_cache_hits(&self, n: u64) {
+        self.cache_hits.fetch_add(n, Relaxed);
+    }
+
+    /// Records `n` requests answered from one shared forward pass.
+    pub fn inc_batched(&self, n: u64) {
+        self.batched.fetch_add(n, Relaxed);
+    }
+
+    pub fn inc_fallbacks(&self) {
+        self.fallbacks.fetch_add(1, Relaxed);
+    }
+
+    pub fn inc_errors(&self) {
+        self.errors.fetch_add(1, Relaxed);
+    }
+
+    pub fn inc_swaps(&self) {
+        self.swaps.fetch_add(1, Relaxed);
+    }
+
+    /// Records one executed forward pass that served a batch of `size`.
+    pub fn record_forward(&self, batch_size: usize) {
+        self.forward_passes.fetch_add(1, Relaxed);
+        let idx = BATCH_BUCKETS
+            .iter()
+            .position(|&ub| batch_size as u64 <= ub)
+            .unwrap_or(BATCH_BUCKETS.len());
+        self.batch_hist[idx].fetch_add(1, Relaxed);
+    }
+
+    /// Records one request's end-to-end latency.
+    pub fn record_latency(&self, latency: Duration) {
+        let us = latency.as_micros().max(1) as u64;
+        let idx = (63 - us.leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
+        self.latency_hist[idx].fetch_add(1, Relaxed);
+    }
+
+    /// A consistent-enough point-in-time copy of every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let latency: Vec<u64> = self.latency_hist.iter().map(|c| c.load(Relaxed)).collect();
+        MetricsSnapshot {
+            requests: self.requests.load(Relaxed),
+            cache_hits: self.cache_hits.load(Relaxed),
+            batched: self.batched.load(Relaxed),
+            forward_passes: self.forward_passes.load(Relaxed),
+            fallbacks: self.fallbacks.load(Relaxed),
+            errors: self.errors.load(Relaxed),
+            swaps: self.swaps.load(Relaxed),
+            batch_hist: self.batch_hist.iter().map(|c| c.load(Relaxed)).collect(),
+            latency_p50_us: percentile(&latency, 0.50),
+            latency_p99_us: percentile(&latency, 0.99),
+        }
+    }
+}
+
+/// Upper-bound estimate of the q-quantile from a power-of-two histogram:
+/// returns the upper edge (2^(i+1) µs) of the bucket holding the quantile.
+fn percentile(hist: &[u64], q: f64) -> u64 {
+    let total: u64 = hist.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((total as f64) * q).ceil().max(1.0) as u64;
+    let mut seen = 0;
+    for (i, &count) in hist.iter().enumerate() {
+        seen += count;
+        if seen >= rank {
+            return 1u64 << (i + 1);
+        }
+    }
+    1u64 << hist.len()
+}
+
+/// Plain-struct metrics snapshot (the programmatic surface; the HTTP
+/// endpoint renders it via [`MetricsSnapshot::to_line_protocol`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    pub requests: u64,
+    pub cache_hits: u64,
+    pub batched: u64,
+    pub forward_passes: u64,
+    pub fallbacks: u64,
+    pub errors: u64,
+    pub swaps: u64,
+    /// Batch-size histogram; bucket `i` counts batches with size ≤
+    /// [`BATCH_BUCKETS`]`[i]`, last bucket is the overflow.
+    pub batch_hist: Vec<u64>,
+    /// Estimated p50 end-to-end latency (upper bucket edge), microseconds.
+    pub latency_p50_us: u64,
+    /// Estimated p99 end-to-end latency (upper bucket edge), microseconds.
+    pub latency_p99_us: u64,
+}
+
+impl MetricsSnapshot {
+    /// Cache hit rate over all accepted requests, in `[0, 1]`.
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.requests as f64
+        }
+    }
+
+    /// Upper bucket edge of the largest batch observed (`u64::MAX` for the
+    /// overflow bucket), or `0` when no forward pass has run yet.
+    pub fn max_batch_observed(&self) -> u64 {
+        self.batch_hist
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, &count)| count > 0)
+            .map(|(i, _)| BATCH_BUCKETS.get(i).copied().unwrap_or(u64::MAX))
+            .unwrap_or(0)
+    }
+
+    /// Renders the snapshot in a minimal `name value` line protocol
+    /// (one metric per line, histogram buckets suffixed with `_le_<bound>`).
+    pub fn to_line_protocol(&self) -> String {
+        let mut out = String::new();
+        let mut push = |name: &str, v: u64| {
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&v.to_string());
+            out.push('\n');
+        };
+        push("serve_requests_total", self.requests);
+        push("serve_cache_hits_total", self.cache_hits);
+        push("serve_batched_total", self.batched);
+        push("serve_forward_passes_total", self.forward_passes);
+        push("serve_fallbacks_total", self.fallbacks);
+        push("serve_errors_total", self.errors);
+        push("serve_swaps_total", self.swaps);
+        for (i, &count) in self.batch_hist.iter().enumerate() {
+            let label = BATCH_BUCKETS
+                .get(i)
+                .map(|b| b.to_string())
+                .unwrap_or_else(|| "inf".into());
+            push(&format!("serve_batch_size_le_{label}"), count);
+        }
+        push("serve_latency_p50_us", self.latency_p50_us);
+        push("serve_latency_p99_us", self.latency_p99_us);
+        out.push_str(&format!(
+            "serve_cache_hit_rate {:.4}\n",
+            self.cache_hit_rate()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_into_snapshot() {
+        let m = ServeMetrics::new();
+        for _ in 0..10 {
+            m.inc_requests();
+        }
+        m.inc_cache_hits(4);
+        m.inc_batched(5);
+        m.record_forward(5);
+        m.inc_fallbacks();
+        let s = m.snapshot();
+        assert_eq!(s.requests, 10);
+        assert_eq!(s.cache_hits, 4);
+        assert_eq!(s.batched, 5);
+        assert_eq!(s.forward_passes, 1);
+        assert_eq!(s.fallbacks, 1);
+        assert!((s.cache_hit_rate() - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batch_histogram_buckets_by_size() {
+        let m = ServeMetrics::new();
+        m.record_forward(1); // bucket 0 (≤1)
+        m.record_forward(2); // bucket 1 (≤2)
+        m.record_forward(3); // bucket 2 (≤4)
+        m.record_forward(16); // bucket 4 (≤16)
+        m.record_forward(1000); // overflow
+        let s = m.snapshot();
+        assert_eq!(s.batch_hist, vec![1, 1, 1, 0, 1, 0, 1]);
+        assert_eq!(s.max_batch_observed(), u64::MAX);
+    }
+
+    #[test]
+    fn max_batch_observed_tracks_buckets() {
+        let m = ServeMetrics::new();
+        assert_eq!(m.snapshot().max_batch_observed(), 0);
+        m.record_forward(3);
+        assert_eq!(m.snapshot().max_batch_observed(), 4);
+    }
+
+    #[test]
+    fn latency_percentiles_bracket_recorded_values() {
+        let m = ServeMetrics::new();
+        for _ in 0..99 {
+            m.record_latency(Duration::from_micros(100)); // bucket edge 128
+        }
+        m.record_latency(Duration::from_millis(80)); // way out in the tail
+        let s = m.snapshot();
+        assert_eq!(s.latency_p50_us, 128);
+        assert!(s.latency_p99_us <= 256, "p99 {}", s.latency_p99_us);
+        // The single outlier must not drag p50 up.
+        assert!(s.latency_p50_us < s.latency_p99_us * 2);
+    }
+
+    #[test]
+    fn line_protocol_lists_every_counter() {
+        let m = ServeMetrics::new();
+        m.inc_requests();
+        m.record_forward(4);
+        m.record_latency(Duration::from_micros(50));
+        let text = m.snapshot().to_line_protocol();
+        for key in [
+            "serve_requests_total 1",
+            "serve_forward_passes_total 1",
+            "serve_batch_size_le_4 1",
+            "serve_batch_size_le_inf 0",
+            "serve_latency_p50_us",
+            "serve_cache_hit_rate",
+        ] {
+            assert!(text.contains(key), "missing {key} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_percentile_is_zero() {
+        assert_eq!(ServeMetrics::new().snapshot().latency_p50_us, 0);
+    }
+}

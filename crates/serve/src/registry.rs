@@ -1,0 +1,239 @@
+//! Model registry: named, versioned checkpoints with atomic hot-swap.
+//!
+//! [`StgnnDjd`] is deliberately not `Send` (its tape uses `Rc`), so the
+//! registry never holds a live model. It holds **checkpoints** — the model
+//! spec (configuration + station count) plus serialized weights — and each
+//! worker thread materialises its own model from the current checkpoint.
+//!
+//! Hot-swap is a single `RwLock`-guarded pointer swap: in-flight batches
+//! keep the `Arc` to the checkpoint they started with, new batches pick up
+//! the new version, and nothing blocks on the forward pass.
+
+use crate::ServeError;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use stgnn_core::{StgnnConfig, StgnnDjd};
+
+/// What it takes to rebuild a model: its configuration and station count.
+#[derive(Debug, Clone)]
+pub struct ModelSpec {
+    pub config: StgnnConfig,
+    pub n_stations: usize,
+}
+
+impl ModelSpec {
+    pub fn new(config: StgnnConfig, n_stations: usize) -> Self {
+        ModelSpec { config, n_stations }
+    }
+
+    /// Builds an untrained model instance for this spec.
+    pub fn materialize(&self) -> Result<StgnnDjd, ServeError> {
+        StgnnDjd::new(self.config.clone(), self.n_stations)
+            .map_err(|e| ServeError::BadCheckpoint(format!("spec rejected: {e}")))
+    }
+
+    /// Builds a model and loads `checkpoint` into it.
+    pub fn materialize_with(&self, checkpoint: &Checkpoint) -> Result<StgnnDjd, ServeError> {
+        let mut model = self.materialize()?;
+        model
+            .load_weights_from_reader(checkpoint.bytes.as_slice())
+            .map_err(|e| ServeError::BadCheckpoint(e.to_string()))?;
+        Ok(model)
+    }
+}
+
+/// One immutable, versioned set of serialized weights.
+#[derive(Debug)]
+pub struct Checkpoint {
+    pub version: u64,
+    pub bytes: Vec<u8>,
+}
+
+/// A registered model: its spec plus the current checkpoint.
+#[derive(Debug)]
+pub struct ModelEntry {
+    spec: ModelSpec,
+    checkpoint: RwLock<Arc<Checkpoint>>,
+}
+
+impl ModelEntry {
+    pub fn spec(&self) -> &ModelSpec {
+        &self.spec
+    }
+
+    /// The current checkpoint (cheap `Arc` clone; holders keep their
+    /// version across concurrent swaps).
+    pub fn checkpoint(&self) -> Arc<Checkpoint> {
+        self.checkpoint.read().clone()
+    }
+
+    /// The current checkpoint version.
+    pub fn version(&self) -> u64 {
+        self.checkpoint.read().version
+    }
+}
+
+/// Thread-safe name → model map.
+#[derive(Debug, Default)]
+pub struct ModelRegistry {
+    models: RwLock<HashMap<String, Arc<ModelEntry>>>,
+}
+
+impl ModelRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a model under `name` with its initial checkpoint
+    /// (version 1). The checkpoint is validated by materialising a model
+    /// and loading the weights; registration fails on any mismatch or
+    /// corruption rather than deferring the error to serving time.
+    ///
+    /// Re-registering an existing name is rejected — use [`Self::swap`] to
+    /// update weights.
+    pub fn register(
+        &self,
+        name: impl Into<String>,
+        spec: ModelSpec,
+        bytes: Vec<u8>,
+    ) -> Result<(), ServeError> {
+        let name = name.into();
+        let checkpoint = Checkpoint { version: 1, bytes };
+        spec.materialize_with(&checkpoint)?;
+        let mut models = self.models.write();
+        if models.contains_key(&name) {
+            return Err(ServeError::BadRequest(format!(
+                "model {name:?} already registered"
+            )));
+        }
+        models.insert(
+            name,
+            Arc::new(ModelEntry {
+                spec,
+                checkpoint: RwLock::new(Arc::new(checkpoint)),
+            }),
+        );
+        Ok(())
+    }
+
+    /// Atomically replaces `name`'s weights, bumping the version. The new
+    /// checkpoint is validated against the registered spec *before* the
+    /// swap; a bad checkpoint leaves the old weights serving. Returns the
+    /// new version.
+    pub fn swap(&self, name: &str, bytes: Vec<u8>) -> Result<u64, ServeError> {
+        let entry = self
+            .get(name)
+            .ok_or_else(|| ServeError::UnknownModel(name.into()))?;
+        // Validate outside the checkpoint lock: materialisation is the slow
+        // part, and in-flight readers must not wait on it.
+        let probe = Checkpoint { version: 0, bytes };
+        entry.spec.materialize_with(&probe)?;
+        let mut slot = entry.checkpoint.write();
+        let version = slot.version + 1;
+        *slot = Arc::new(Checkpoint {
+            version,
+            bytes: probe.bytes,
+        });
+        Ok(version)
+    }
+
+    pub fn get(&self, name: &str) -> Option<Arc<ModelEntry>> {
+        self.models.read().get(name).cloned()
+    }
+
+    /// Registered model names with their current versions, sorted by name.
+    pub fn list(&self) -> Vec<(String, u64)> {
+        let mut out: Vec<(String, u64)> = self
+            .models
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.version()))
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ModelSpec {
+        ModelSpec::new(StgnnConfig::test_tiny(6, 2), 5)
+    }
+
+    fn checkpoint_bytes(seed: u64) -> Vec<u8> {
+        let mut config = StgnnConfig::test_tiny(6, 2);
+        config.seed = seed;
+        StgnnDjd::new(config, 5).unwrap().weights_to_bytes()
+    }
+
+    #[test]
+    fn register_validates_and_lists() {
+        let reg = ModelRegistry::new();
+        reg.register("stgnn", spec(), checkpoint_bytes(1)).unwrap();
+        assert_eq!(reg.list(), vec![("stgnn".to_string(), 1)]);
+        assert_eq!(reg.get("stgnn").unwrap().version(), 1);
+        assert!(reg.get("missing").is_none());
+    }
+
+    #[test]
+    fn register_rejects_corrupt_or_mismatched_checkpoints() {
+        let reg = ModelRegistry::new();
+        assert!(matches!(
+            reg.register("bad", spec(), b"not a checkpoint".to_vec()),
+            Err(ServeError::BadCheckpoint(_))
+        ));
+        // A checkpoint from a different architecture must not register.
+        let other = StgnnDjd::new(StgnnConfig::test_tiny(6, 2), 9)
+            .unwrap()
+            .weights_to_bytes();
+        assert!(reg.register("bad", spec(), other).is_err());
+        assert!(reg.list().is_empty());
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let reg = ModelRegistry::new();
+        reg.register("m", spec(), checkpoint_bytes(1)).unwrap();
+        assert!(reg.register("m", spec(), checkpoint_bytes(2)).is_err());
+    }
+
+    #[test]
+    fn swap_bumps_version_and_replaces_bytes() {
+        let reg = ModelRegistry::new();
+        reg.register("m", spec(), checkpoint_bytes(1)).unwrap();
+        let entry = reg.get("m").unwrap();
+        let before = entry.checkpoint();
+        let v2 = reg.swap("m", checkpoint_bytes(2)).unwrap();
+        assert_eq!(v2, 2);
+        assert_eq!(entry.version(), 2);
+        // The old Arc is still intact for in-flight readers.
+        assert_eq!(before.version, 1);
+        assert_ne!(before.bytes, entry.checkpoint().bytes);
+    }
+
+    #[test]
+    fn failed_swap_keeps_old_weights_serving() {
+        let reg = ModelRegistry::new();
+        reg.register("m", spec(), checkpoint_bytes(1)).unwrap();
+        assert!(reg.swap("m", b"garbage".to_vec()).is_err());
+        assert_eq!(reg.get("m").unwrap().version(), 1);
+        assert!(matches!(
+            reg.swap("missing", checkpoint_bytes(1)),
+            Err(ServeError::UnknownModel(_))
+        ));
+    }
+
+    #[test]
+    fn materialized_models_predict_identically_for_same_checkpoint() {
+        let spec = spec();
+        let bytes = checkpoint_bytes(7);
+        let ck = Checkpoint { version: 1, bytes };
+        let a = spec.materialize_with(&ck).unwrap();
+        let b = spec.materialize_with(&ck).unwrap();
+        assert!(a.is_trained() && b.is_trained());
+        assert_eq!(a.weights_to_bytes(), b.weights_to_bytes());
+    }
+}

@@ -54,7 +54,11 @@ impl Param {
     /// Creates a named parameter with zeroed gradient accumulator.
     pub fn new(name: impl Into<String>, value: Tensor) -> Rc<Self> {
         let grad = Tensor::zeros(value.shape().clone());
-        Rc::new(Param { name: name.into(), value: RefCell::new(value), grad: RefCell::new(grad) })
+        Rc::new(Param {
+            name: name.into(),
+            value: RefCell::new(value),
+            grad: RefCell::new(grad),
+        })
     }
 
     /// The parameter's name (used in diagnostics and serialization).
@@ -74,7 +78,12 @@ impl Param {
 
     /// Replaces the value (used by optimizers).
     pub fn set_value(&self, v: Tensor) {
-        debug_assert_eq!(v.shape(), self.value.borrow().shape(), "param {} shape change", self.name);
+        debug_assert_eq!(
+            v.shape(),
+            self.value.borrow().shape(),
+            "param {} shape change",
+            self.name
+        );
         *self.value.borrow_mut() = v;
     }
 
@@ -98,7 +107,12 @@ impl Param {
 
 impl fmt::Debug for Param {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Param({}, shape={})", self.name, self.value.borrow().shape())
+        write!(
+            f,
+            "Param({}, shape={})",
+            self.name,
+            self.value.borrow().shape()
+        )
     }
 }
 
@@ -192,14 +206,26 @@ impl Default for Graph {
 impl Graph {
     /// Creates an empty tape.
     pub fn new() -> Self {
-        Graph { inner: Rc::new(RefCell::new(GraphInner { nodes: Vec::new(), param_links: Vec::new() })) }
+        Graph {
+            inner: Rc::new(RefCell::new(GraphInner {
+                nodes: Vec::new(),
+                param_links: Vec::new(),
+            })),
+        }
     }
 
     fn push(&self, value: Tensor, backward: Option<BackwardFn>) -> Var {
         let mut inner = self.inner.borrow_mut();
         let id = inner.nodes.len();
-        inner.nodes.push(Node { value, grad: None, backward });
-        Var { graph: Rc::clone(&self.inner), id }
+        inner.nodes.push(Node {
+            value,
+            grad: None,
+            backward,
+        });
+        Var {
+            graph: Rc::clone(&self.inner),
+            id,
+        }
     }
 
     /// Records a constant leaf. Gradients flow *through* ops into leaves but
@@ -212,7 +238,10 @@ impl Graph {
     /// this node is accumulated into the parameter's grad cell.
     pub fn param(&self, p: &Rc<Param>) -> Var {
         let v = self.push(p.value(), None);
-        self.inner.borrow_mut().param_links.push((v.id, Rc::clone(p)));
+        self.inner
+            .borrow_mut()
+            .param_links
+            .push((v.id, Rc::clone(p)));
         v
     }
 
@@ -259,7 +288,9 @@ pub struct Var {
 
 impl Var {
     fn graph(&self) -> Graph {
-        Graph { inner: Rc::clone(&self.graph) }
+        Graph {
+            inner: Rc::clone(&self.graph),
+        }
     }
 
     /// The node's forward value (cheap COW clone).
@@ -279,7 +310,8 @@ impl Var {
 
     fn unary(&self, out: Tensor, backward: impl Fn(&Tensor) -> Tensor + 'static) -> Var {
         let id = self.id;
-        self.graph().push(out, Some(Box::new(move |g| vec![(id, backward(g))])))
+        self.graph()
+            .push(out, Some(Box::new(move |g| vec![(id, backward(g))])))
     }
 
     fn binary(
@@ -304,13 +336,19 @@ impl Var {
 
     /// Elementwise sum.
     pub fn add(&self, rhs: &Var) -> Var {
-        let out = self.value().add(&rhs.value()).unwrap_or_else(|e| panic!("{e}"));
+        let out = self
+            .value()
+            .add(&rhs.value())
+            .unwrap_or_else(|e| panic!("{e}"));
         self.binary(rhs, out, |g| (g.clone(), g.clone()))
     }
 
     /// Elementwise difference.
     pub fn sub(&self, rhs: &Var) -> Var {
-        let out = self.value().sub(&rhs.value()).unwrap_or_else(|e| panic!("{e}"));
+        let out = self
+            .value()
+            .sub(&rhs.value())
+            .unwrap_or_else(|e| panic!("{e}"));
         self.binary(rhs, out, |g| (g.clone(), g.neg()))
     }
 
@@ -318,7 +356,9 @@ impl Var {
     pub fn mul(&self, rhs: &Var) -> Var {
         let (av, bv) = (self.value(), rhs.value());
         let out = av.mul(&bv).unwrap_or_else(|e| panic!("{e}"));
-        self.binary(rhs, out, move |g| (g.mul(&bv).unwrap(), g.mul(&av).unwrap()))
+        self.binary(rhs, out, move |g| {
+            (g.mul(&bv).unwrap(), g.mul(&av).unwrap())
+        })
     }
 
     /// Elementwise quotient.
@@ -372,14 +412,20 @@ impl Var {
     /// Reinterprets under a new shape of equal length.
     pub fn reshape(&self, shape: Shape) -> Var {
         let orig = self.shape();
-        let out = self.value().reshape(shape).unwrap_or_else(|e| panic!("{e}"));
+        let out = self
+            .value()
+            .reshape(shape)
+            .unwrap_or_else(|e| panic!("{e}"));
         self.unary(out, move |g| g.reshape(orig.clone()).unwrap())
     }
 
     /// Extracts rows `[start, end)`; gradient zero-pads back.
     pub fn slice_rows(&self, start: usize, end: usize) -> Var {
         let v = self.value();
-        let (rows, cols) = v.shape().as_matrix("slice_rows").unwrap_or_else(|e| panic!("{e}"));
+        let (rows, cols) = v
+            .shape()
+            .as_matrix("slice_rows")
+            .unwrap_or_else(|e| panic!("{e}"));
         let out = v.slice_rows(start, end).unwrap_or_else(|e| panic!("{e}"));
         self.unary(out, move |g| {
             let mut full = Tensor::zeros(Shape::matrix(rows, cols));
@@ -397,7 +443,8 @@ impl Var {
     pub fn relu(&self) -> Var {
         let x = self.value();
         self.unary(x.relu(), move |g| {
-            g.zip_map(&x, "relu_bw", |gv, xv| if xv > 0.0 { gv } else { 0.0 }).unwrap()
+            g.zip_map(&x, "relu_bw", |gv, xv| if xv > 0.0 { gv } else { 0.0 })
+                .unwrap()
         })
     }
 
@@ -408,8 +455,14 @@ impl Var {
         let out_bw = out.clone();
         self.unary(out, move |g| {
             // f'(x) = 1 for x > 0, e^x = f(x) + 1 otherwise.
-            g.zip_map(&out_bw, "elu_bw", |gv, ov| if ov > 0.0 { gv } else { gv * (ov + 1.0) })
-                .unwrap()
+            g.zip_map(&out_bw, "elu_bw", |gv, ov| {
+                if ov > 0.0 {
+                    gv
+                } else {
+                    gv * (ov + 1.0)
+                }
+            })
+            .unwrap()
         })
     }
 
@@ -418,7 +471,8 @@ impl Var {
         let out = self.value().sigmoid();
         let s = out.clone();
         self.unary(out, move |g| {
-            g.zip_map(&s, "sigmoid_bw", |gv, sv| gv * sv * (1.0 - sv)).unwrap()
+            g.zip_map(&s, "sigmoid_bw", |gv, sv| gv * sv * (1.0 - sv))
+                .unwrap()
         })
     }
 
@@ -426,7 +480,10 @@ impl Var {
     pub fn tanh(&self) -> Var {
         let out = self.value().tanh();
         let t = out.clone();
-        self.unary(out, move |g| g.zip_map(&t, "tanh_bw", |gv, tv| gv * (1.0 - tv * tv)).unwrap())
+        self.unary(out, move |g| {
+            g.zip_map(&t, "tanh_bw", |gv, tv| gv * (1.0 - tv * tv))
+                .unwrap()
+        })
     }
 
     /// Elementwise exponential.
@@ -439,15 +496,21 @@ impl Var {
     /// Elementwise square.
     pub fn square(&self) -> Var {
         let x = self.value();
-        self.unary(x.square(), move |g| g.zip_map(&x, "square_bw", |gv, xv| gv * 2.0 * xv).unwrap())
+        self.unary(x.square(), move |g| {
+            g.zip_map(&x, "square_bw", |gv, xv| gv * 2.0 * xv).unwrap()
+        })
     }
 
     /// Elementwise absolute value (subgradient 0 at 0).
     pub fn abs(&self) -> Var {
         let x = self.value();
         self.unary(x.abs(), move |g| {
-            g.zip_map(&x, "abs_bw", |gv, xv| if xv == 0.0 { 0.0 } else { gv * xv.signum() })
-                .unwrap()
+            g.zip_map(
+                &x,
+                "abs_bw",
+                |gv, xv| if xv == 0.0 { 0.0 } else { gv * xv.signum() },
+            )
+            .unwrap()
         })
     }
 
@@ -456,13 +519,17 @@ impl Var {
         let out = self.value().sqrt();
         let s = out.clone();
         self.unary(out, move |g| {
-            g.zip_map(&s, "sqrt_bw", |gv, sv| gv * 0.5 / sv.max(1e-8)).unwrap()
+            g.zip_map(&s, "sqrt_bw", |gv, sv| gv * 0.5 / sv.max(1e-8))
+                .unwrap()
         })
     }
 
     /// Numerically-stable row-wise softmax.
     pub fn softmax_rows(&self) -> Var {
-        let out = self.value().softmax_rows().unwrap_or_else(|e| panic!("{e}"));
+        let out = self
+            .value()
+            .softmax_rows()
+            .unwrap_or_else(|e| panic!("{e}"));
         let s = out.clone();
         self.unary(out, move |g| {
             // dx_j = s_j (g_j − Σ_k g_k s_k), per row.
@@ -484,14 +551,24 @@ impl Var {
     /// survivors by `1/(1−p)` so the expectation is unchanged. Identity when
     /// `p == 0`. The mask is sampled from `rng` at trace time.
     pub fn dropout(&self, p: f32, rng: &mut impl rand::Rng) -> Var {
-        assert!((0.0..1.0).contains(&p), "dropout rate must be in [0,1), got {p}");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout rate must be in [0,1), got {p}"
+        );
         if p == 0.0 {
             return self.clone();
         }
         let keep = 1.0 - p;
         let shape = self.shape();
-        let mask_data: Vec<f32> =
-            (0..shape.len()).map(|_| if rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 }).collect();
+        let mask_data: Vec<f32> = (0..shape.len())
+            .map(|_| {
+                if rng.gen::<f32>() < keep {
+                    1.0 / keep
+                } else {
+                    0.0
+                }
+            })
+            .collect();
         let mask = Tensor::from_vec(shape, mask_data).unwrap();
         let out = self.value().mul(&mask).unwrap();
         let m = mask;
@@ -504,13 +581,19 @@ impl Var {
 
     /// Adds a `1×c` row vector to every row.
     pub fn add_row_broadcast(&self, row: &Var) -> Var {
-        let out = self.value().add_row_broadcast(&row.value()).unwrap_or_else(|e| panic!("{e}"));
+        let out = self
+            .value()
+            .add_row_broadcast(&row.value())
+            .unwrap_or_else(|e| panic!("{e}"));
         self.binary(row, out, |g| (g.clone(), g.sum_rows().unwrap()))
     }
 
     /// Adds an `r×1` column vector to every column.
     pub fn add_col_broadcast(&self, col: &Var) -> Var {
-        let out = self.value().add_col_broadcast(&col.value()).unwrap_or_else(|e| panic!("{e}"));
+        let out = self
+            .value()
+            .add_col_broadcast(&col.value())
+            .unwrap_or_else(|e| panic!("{e}"));
         self.binary(col, out, |g| (g.clone(), g.sum_cols().unwrap()))
     }
 
@@ -537,7 +620,10 @@ impl Var {
     /// Panics when the input is not a matrix or a group is empty.
     pub fn rows_max_pool(&self, groups: &[Vec<usize>]) -> Var {
         let v = self.value();
-        let (rows, cols) = v.shape().as_matrix("rows_max_pool").unwrap_or_else(|e| panic!("{e}"));
+        let (rows, cols) = v
+            .shape()
+            .as_matrix("rows_max_pool")
+            .unwrap_or_else(|e| panic!("{e}"));
         let out_rows = groups.len();
         let mut out = vec![f32::NEG_INFINITY; out_rows * cols];
         let mut argmax = vec![0usize; out_rows * cols];
@@ -574,7 +660,9 @@ impl Var {
     /// Sum of all elements (scalar output).
     pub fn sum_all(&self) -> Var {
         let shape = self.shape();
-        self.unary(self.value().sum_all(), move |g| Tensor::full(shape.clone(), g.scalar()))
+        self.unary(self.value().sum_all(), move |g| {
+            Tensor::full(shape.clone(), g.scalar())
+        })
     }
 
     /// Mean of all elements (scalar output).
@@ -589,7 +677,10 @@ impl Var {
     /// Per-row sums, `r×c → r×1`.
     pub fn sum_cols(&self) -> Var {
         let v = self.value();
-        let (r, c) = v.shape().as_matrix("sum_cols").unwrap_or_else(|e| panic!("{e}"));
+        let (r, c) = v
+            .shape()
+            .as_matrix("sum_cols")
+            .unwrap_or_else(|e| panic!("{e}"));
         self.unary(v.sum_cols().unwrap(), move |g| {
             let mut out = vec![0.0f32; r * c];
             for i in 0..r {
@@ -603,7 +694,10 @@ impl Var {
     /// Per-column sums, `r×c → 1×c`.
     pub fn sum_rows(&self) -> Var {
         let v = self.value();
-        let (r, c) = v.shape().as_matrix("sum_rows").unwrap_or_else(|e| panic!("{e}"));
+        let (r, c) = v
+            .shape()
+            .as_matrix("sum_rows")
+            .unwrap_or_else(|e| panic!("{e}"));
         self.unary(v.sum_rows().unwrap(), move |g| {
             let mut out = vec![0.0f32; r * c];
             for i in 0..r {
@@ -628,8 +722,12 @@ impl Var {
         let seed = Tensor::ones(inner.nodes[self.id].value.shape().clone());
         accumulate(&mut inner.nodes[self.id].grad, seed);
         for id in (0..=self.id).rev() {
-            let Some(grad) = inner.nodes[id].grad.clone() else { continue };
-            let Some(bw) = inner.nodes[id].backward.take() else { continue };
+            let Some(grad) = inner.nodes[id].grad.clone() else {
+                continue;
+            };
+            let Some(bw) = inner.nodes[id].backward.take() else {
+                continue;
+            };
             for (pid, g) in bw(&grad) {
                 debug_assert!(pid < id, "tape order violated: node {id} feeds {pid}");
                 accumulate(&mut inner.nodes[pid].grad, g);
@@ -739,10 +837,14 @@ mod tests {
     #[test]
     fn matmul_gradcheck() {
         let b = t(&[&[0.5, -1.0, 2.0], &[1.5, 0.3, -0.7]]);
-        check_grad(t(&[&[1.0, 2.0], &[3.0, -4.0], &[0.1, 0.2]]), move |g, x| {
-            let bv = g.leaf(b.clone());
-            x.matmul(&bv).square().sum_all()
-        }, 2e-2);
+        check_grad(
+            t(&[&[1.0, 2.0], &[3.0, -4.0], &[0.1, 0.2]]),
+            move |g, x| {
+                let bv = g.leaf(b.clone());
+                x.matmul(&bv).square().sum_all()
+            },
+            2e-2,
+        );
     }
 
     #[test]
@@ -758,63 +860,103 @@ mod tests {
 
     #[test]
     fn softmax_gradcheck() {
-        check_grad(t(&[&[0.2, -0.8, 1.4], &[2.0, 0.0, -1.0]]), |g, x| {
-            // weight rows so the gradient is non-trivial
-            let w = g.leaf(t(&[&[1.0, -2.0, 0.5], &[0.3, 0.9, -1.1]]));
-            x.softmax_rows().mul(&w).sum_all()
-        }, 2e-2);
+        check_grad(
+            t(&[&[0.2, -0.8, 1.4], &[2.0, 0.0, -1.0]]),
+            |g, x| {
+                // weight rows so the gradient is non-trivial
+                let w = g.leaf(t(&[&[1.0, -2.0, 0.5], &[0.3, 0.9, -1.1]]));
+                x.softmax_rows().mul(&w).sum_all()
+            },
+            2e-2,
+        );
     }
 
     #[test]
     fn div_and_broadcast_gradchecks() {
         let x0 = t(&[&[1.0, 2.0], &[3.0, 4.0]]);
-        check_grad(x0.clone(), |g, x| {
-            let d = g.leaf(t(&[&[2.0, 4.0], &[5.0, 8.0]]));
-            x.div(&d).sum_all()
-        }, 1e-2);
+        check_grad(
+            x0.clone(),
+            |g, x| {
+                let d = g.leaf(t(&[&[2.0, 4.0], &[5.0, 8.0]]));
+                x.div(&d).sum_all()
+            },
+            1e-2,
+        );
         // gradient w.r.t. the divisor
-        check_grad(x0.clone(), |g, x| {
-            let n = g.leaf(t(&[&[2.0, 4.0], &[5.0, 8.0]]));
-            n.div(&x.add_scalar(5.0)).sum_all()
-        }, 1e-2);
-        check_grad(x0.clone(), |g, x| {
-            let row = g.leaf(t(&[&[1.0, -1.0]]));
-            x.add_row_broadcast(&row).square().sum_all()
-        }, 2e-2);
-        check_grad(x0.clone(), |g, x| {
-            let col = g.leaf(t(&[&[2.0], &[-1.0]]));
-            x.mul_col_broadcast(&col).square().sum_all()
-        }, 2e-2);
+        check_grad(
+            x0.clone(),
+            |g, x| {
+                let n = g.leaf(t(&[&[2.0, 4.0], &[5.0, 8.0]]));
+                n.div(&x.add_scalar(5.0)).sum_all()
+            },
+            1e-2,
+        );
+        check_grad(
+            x0.clone(),
+            |g, x| {
+                let row = g.leaf(t(&[&[1.0, -1.0]]));
+                x.add_row_broadcast(&row).square().sum_all()
+            },
+            2e-2,
+        );
+        check_grad(
+            x0.clone(),
+            |g, x| {
+                let col = g.leaf(t(&[&[2.0], &[-1.0]]));
+                x.mul_col_broadcast(&col).square().sum_all()
+            },
+            2e-2,
+        );
         // gradient w.r.t. the broadcast operand itself
-        check_grad(t(&[&[2.0], &[-1.0]]), move |g, c| {
-            let a = g.leaf(t(&[&[1.0, 2.0], &[3.0, 4.0]]));
-            a.mul_col_broadcast(c).square().sum_all()
-        }, 2e-2);
+        check_grad(
+            t(&[&[2.0], &[-1.0]]),
+            move |g, c| {
+                let a = g.leaf(t(&[&[1.0, 2.0], &[3.0, 4.0]]));
+                a.mul_col_broadcast(c).square().sum_all()
+            },
+            2e-2,
+        );
     }
 
     #[test]
     fn reduction_gradchecks() {
         let x0 = t(&[&[1.0, -2.0, 0.5], &[3.0, 4.0, -1.5]]);
-        check_grad(x0.clone(), |g, x| {
-            let w = g.leaf(t(&[&[1.0], &[2.0]]));
-            x.sum_cols().mul(&w).sum_all()
-        }, 1e-2);
-        check_grad(x0.clone(), |g, x| {
-            let w = g.leaf(t(&[&[1.0, -1.0, 2.0]]));
-            x.sum_rows().mul(&w).sum_all()
-        }, 1e-2);
+        check_grad(
+            x0.clone(),
+            |g, x| {
+                let w = g.leaf(t(&[&[1.0], &[2.0]]));
+                x.sum_cols().mul(&w).sum_all()
+            },
+            1e-2,
+        );
+        check_grad(
+            x0.clone(),
+            |g, x| {
+                let w = g.leaf(t(&[&[1.0, -1.0, 2.0]]));
+                x.sum_rows().mul(&w).sum_all()
+            },
+            1e-2,
+        );
         check_grad(x0, |_, x| x.mean_all(), 1e-2);
     }
 
     #[test]
     fn concat_and_slice_gradchecks() {
         let x0 = t(&[&[1.0, 2.0], &[3.0, 4.0]]);
-        check_grad(x0.clone(), |g, x| {
-            let other = g.leaf(t(&[&[5.0], &[6.0]]));
-            let cat = g.concat_cols(&[x, &other]);
-            cat.square().sum_all()
-        }, 2e-2);
-        check_grad(x0.clone(), |_, x| x.slice_rows(1, 2).square().sum_all(), 2e-2);
+        check_grad(
+            x0.clone(),
+            |g, x| {
+                let other = g.leaf(t(&[&[5.0], &[6.0]]));
+                let cat = g.concat_cols(&[x, &other]);
+                cat.square().sum_all()
+            },
+            2e-2,
+        );
+        check_grad(
+            x0.clone(),
+            |_, x| x.slice_rows(1, 2).square().sum_all(),
+            2e-2,
+        );
         check_grad(x0, |_, x| x.transpose().square().sum_all(), 2e-2);
     }
 
@@ -828,28 +970,48 @@ mod tests {
         assert_eq!(y.value().data(), &[3.0, 5.0, 3.0, 9.0]);
         y.sum_all().backward();
         // grads route to argmax entries; row1 col0 wins twice.
-        assert!(p.grad().approx_eq(&t(&[&[0.0, 1.0], &[2.0, 0.0], &[0.0, 1.0]]), 1e-6));
+        assert!(p
+            .grad()
+            .approx_eq(&t(&[&[0.0, 1.0], &[2.0, 0.0], &[0.0, 1.0]]), 1e-6));
     }
 
     #[test]
     fn rows_max_pool_gradcheck() {
-        check_grad(t(&[&[1.0, 5.0], &[3.0, 2.0], &[0.5, 9.0]]), |_, x| {
-            x.rows_max_pool(&[vec![0, 1], vec![1, 2], vec![0, 2]]).square().sum_all()
-        }, 2e-2);
+        check_grad(
+            t(&[&[1.0, 5.0], &[3.0, 2.0], &[0.5, 9.0]]),
+            |_, x| {
+                x.rows_max_pool(&[vec![0, 1], vec![1, 2], vec![0, 2]])
+                    .square()
+                    .sum_all()
+            },
+            2e-2,
+        );
     }
 
     #[test]
     fn sqrt_and_abs_gradchecks() {
-        check_grad(t(&[&[4.0, 9.0], &[1.0, 16.0]]), |_, x| x.sqrt().sum_all(), 1e-2);
-        check_grad(t(&[&[2.0, -3.0], &[1.0, -0.5]]), |_, x| x.abs().sum_all(), 1e-2);
+        check_grad(
+            t(&[&[4.0, 9.0], &[1.0, 16.0]]),
+            |_, x| x.sqrt().sum_all(),
+            1e-2,
+        );
+        check_grad(
+            t(&[&[2.0, -3.0], &[1.0, -0.5]]),
+            |_, x| x.abs().sum_all(),
+            1e-2,
+        );
     }
 
     #[test]
     fn reshape_gradcheck() {
-        check_grad(t(&[&[1.0, 2.0, 3.0, 4.0]]), |g, x| {
-            let w = g.leaf(t(&[&[1.0, -1.0], &[2.0, 0.5]]));
-            x.reshape(Shape::matrix(2, 2)).mul(&w).sum_all()
-        }, 1e-2);
+        check_grad(
+            t(&[&[1.0, 2.0, 3.0, 4.0]]),
+            |g, x| {
+                let w = g.leaf(t(&[&[1.0, -1.0], &[2.0, 0.5]]));
+                x.reshape(Shape::matrix(2, 2)).mul(&w).sum_all()
+            },
+            1e-2,
+        );
     }
 
     #[test]
@@ -914,10 +1076,19 @@ mod tests {
         // A composite block close to the real model: relu(x·W1)·W2 softmaxed.
         let w1 = t(&[&[0.3, -0.2, 0.5], &[0.1, 0.4, -0.6]]);
         let w2 = t(&[&[0.7, -0.3], &[0.2, 0.9], &[-0.5, 0.1]]);
-        check_grad(t(&[&[1.0, -1.5], &[0.5, 2.0]]), move |g, x| {
-            let w1v = g.leaf(w1.clone());
-            let w2v = g.leaf(w2.clone());
-            x.matmul(&w1v).relu().matmul(&w2v).softmax_rows().square().sum_all()
-        }, 3e-2);
+        check_grad(
+            t(&[&[1.0, -1.5], &[0.5, 2.0]]),
+            move |g, x| {
+                let w1v = g.leaf(w1.clone());
+                let w2v = g.leaf(w2.clone());
+                x.matmul(&w1v)
+                    .relu()
+                    .matmul(&w2v)
+                    .softmax_rows()
+                    .square()
+                    .sum_all()
+            },
+            3e-2,
+        );
     }
 }

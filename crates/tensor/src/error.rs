@@ -38,7 +38,11 @@ impl fmt::Display for Error {
             Error::ShapeMismatch { op, lhs, rhs } => {
                 write!(f, "{op}: incompatible shapes {lhs:?} and {rhs:?}")
             }
-            Error::RankMismatch { op, expected, actual } => {
+            Error::RankMismatch {
+                op,
+                expected,
+                actual,
+            } => {
                 write!(f, "{op}: expected rank {expected}, got {actual}")
             }
             Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
@@ -57,11 +61,19 @@ mod tests {
 
     #[test]
     fn display_formats_are_informative() {
-        let e = Error::ShapeMismatch { op: "matmul", lhs: vec![2, 3], rhs: vec![2, 3] };
+        let e = Error::ShapeMismatch {
+            op: "matmul",
+            lhs: vec![2, 3],
+            rhs: vec![2, 3],
+        };
         assert!(e.to_string().contains("matmul"));
         assert!(e.to_string().contains("[2, 3]"));
 
-        let e = Error::RankMismatch { op: "transpose", expected: 2, actual: 3 };
+        let e = Error::RankMismatch {
+            op: "transpose",
+            expected: 2,
+            actual: 3,
+        };
         assert!(e.to_string().contains("expected rank 2"));
 
         let e = Error::InvalidArgument("empty concat".into());

@@ -46,12 +46,25 @@ impl Conv1x1 {
         relu: bool,
     ) -> Self {
         let base = 1.0f32;
-        let jitter = 0.1;
-        let w_data: Vec<f32> =
-            (0..channels).map(|_| base + rng.gen_range(-jitter..=jitter)).collect();
-        let w = params.add(format!("{name}.w"), Tensor::from_vec(Shape::matrix(1, channels), w_data).expect("conv1x1 w"));
-        let b = params.add(format!("{name}.b"), Tensor::zeros(Shape::matrix(rows, cols)));
-        Conv1x1 { w, b, rows, cols, relu }
+        let jitter = 0.1f32;
+        let w_data: Vec<f32> = (0..channels)
+            .map(|_| base + rng.gen_range(-jitter..=jitter))
+            .collect();
+        let w = params.add(
+            format!("{name}.w"),
+            Tensor::from_vec(Shape::matrix(1, channels), w_data).expect("conv1x1 w"),
+        );
+        let b = params.add(
+            format!("{name}.b"),
+            Tensor::zeros(Shape::matrix(rows, cols)),
+        );
+        Conv1x1 {
+            w,
+            b,
+            rows,
+            cols,
+            relu,
+        }
     }
 
     /// Flattens a stack of `channels` matrices (given as a rank-3 tensor
@@ -59,8 +72,15 @@ impl Conv1x1 {
     /// forward pass consumes. Pure data movement, done outside the tape.
     pub fn flatten_stack(stack: &Tensor) -> Tensor {
         let dims = stack.shape().dims();
-        assert_eq!(dims.len(), 3, "flatten_stack expects rank-3, got {}", stack.shape());
-        stack.reshape(Shape::matrix(dims[0], dims[1] * dims[2])).expect("flatten_stack reshape")
+        assert_eq!(
+            dims.len(),
+            3,
+            "flatten_stack expects rank-3, got {}",
+            stack.shape()
+        );
+        stack
+            .reshape(Shape::matrix(dims[0], dims[1] * dims[2]))
+            .expect("flatten_stack reshape")
     }
 
     /// Applies the kernel to a flattened `(channels, rows·cols)` input and
@@ -68,7 +88,10 @@ impl Conv1x1 {
     pub fn forward(&self, g: &Graph, x_flat: &Var) -> Var {
         let w = g.param(&self.w);
         let b = g.param(&self.b);
-        let fused = w.matmul(x_flat).reshape(Shape::matrix(self.rows, self.cols)).add(&b);
+        let fused = w
+            .matmul(x_flat)
+            .reshape(Shape::matrix(self.rows, self.cols))
+            .add(&b);
         if self.relu {
             fused.relu()
         } else {
@@ -113,7 +136,9 @@ mod tests {
         let g = Graph::new();
         let y = conv.forward(&g, &g.leaf(flat));
         // 2*m1 - m2 + bias
-        assert!(y.value().approx_eq(&Tensor::from_rows(&[&[1.5, 3.0], &[5.0, 7.0]]), 1e-6));
+        assert!(y
+            .value()
+            .approx_eq(&Tensor::from_rows(&[&[1.5, 3.0], &[5.0, 7.0]]), 1e-6));
     }
 
     #[test]
@@ -146,11 +171,10 @@ mod tests {
         let mut opt = Adam::new(0.05);
         let mut last = f32::INFINITY;
         for step in 0..200 {
-            let signal = Tensor::from_rows(&[
-                &[(step % 7) as f32, 1.0],
-                &[2.0, (step % 3) as f32],
-            ]);
-            let noise_vals: Vec<f32> = (0..4).map(|i| ((step * 31 + i * 17) % 13) as f32 - 6.0).collect();
+            let signal = Tensor::from_rows(&[&[(step % 7) as f32, 1.0], &[2.0, (step % 3) as f32]]);
+            let noise_vals: Vec<f32> = (0..4)
+                .map(|i| ((step * 31 + i * 17) % 13) as f32 - 6.0)
+                .collect();
             let noise = Tensor::from_vec(Shape::matrix(2, 2), noise_vals).unwrap();
             let flat = Conv1x1::flatten_stack(&stack3(&[signal.clone(), noise]));
             let g = Graph::new();
@@ -161,7 +185,10 @@ mod tests {
             loss.backward();
             opt.step(&ps);
         }
-        assert!(last < 1e-2, "conv1x1 failed to isolate channel: loss {last}");
+        assert!(
+            last < 1e-2,
+            "conv1x1 failed to isolate channel: loss {last}"
+        );
         let w = ps.params()[0].value();
         assert!((w.data()[0] - 1.0).abs() < 0.1, "w0 = {}", w.data()[0]);
         assert!(w.data()[1].abs() < 0.1, "w1 = {}", w.data()[1]);

@@ -27,7 +27,12 @@ impl Linear {
         bias: bool,
     ) -> Self {
         let w = params.add(format!("{name}.w"), xavier_uniform(rng, in_dim, out_dim));
-        let b = bias.then(|| params.add(format!("{name}.b"), Tensor::zeros(Shape::matrix(1, out_dim))));
+        let b = bias.then(|| {
+            params.add(
+                format!("{name}.b"),
+                Tensor::zeros(Shape::matrix(1, out_dim)),
+            )
+        });
         Linear { w, b }
     }
 

@@ -18,7 +18,13 @@ pub struct RnnCell {
 
 impl RnnCell {
     /// Creates a cell with `input` → `hidden` dimensions.
-    pub fn new(params: &mut ParamSet, rng: &mut impl Rng, name: &str, input: usize, hidden: usize) -> Self {
+    pub fn new(
+        params: &mut ParamSet,
+        rng: &mut impl Rng,
+        name: &str,
+        input: usize,
+        hidden: usize,
+    ) -> Self {
         RnnCell {
             xh: Linear::new(params, rng, &format!("{name}.xh"), input, hidden, true),
             hh: Linear::new(params, rng, &format!("{name}.hh"), hidden, hidden, false),
@@ -55,7 +61,13 @@ pub struct LstmCell {
 
 impl LstmCell {
     /// Creates a cell with `input` → `hidden` dimensions.
-    pub fn new(params: &mut ParamSet, rng: &mut impl Rng, name: &str, input: usize, hidden: usize) -> Self {
+    pub fn new(
+        params: &mut ParamSet,
+        rng: &mut impl Rng,
+        name: &str,
+        input: usize,
+        hidden: usize,
+    ) -> Self {
         LstmCell {
             f_x: Linear::new(params, rng, &format!("{name}.f_x"), input, hidden, true),
             f_h: Linear::new(params, rng, &format!("{name}.f_h"), hidden, hidden, false),
@@ -71,9 +83,21 @@ impl LstmCell {
 
     /// One step: `(h, c) → (h', c')`.
     pub fn step(&self, g: &Graph, x: &Var, h: &Var, c: &Var) -> (Var, Var) {
-        let f = self.f_x.forward(g, x).add(&self.f_h.forward(g, h)).sigmoid();
-        let i = self.i_x.forward(g, x).add(&self.i_h.forward(g, h)).sigmoid();
-        let o = self.o_x.forward(g, x).add(&self.o_h.forward(g, h)).sigmoid();
+        let f = self
+            .f_x
+            .forward(g, x)
+            .add(&self.f_h.forward(g, h))
+            .sigmoid();
+        let i = self
+            .i_x
+            .forward(g, x)
+            .add(&self.i_h.forward(g, h))
+            .sigmoid();
+        let o = self
+            .o_x
+            .forward(g, x)
+            .add(&self.o_h.forward(g, h))
+            .sigmoid();
         let c_tilde = self.c_x.forward(g, x).add(&self.c_h.forward(g, h)).tanh();
         let c_next = f.mul(c).add(&i.mul(&c_tilde));
         let h_next = o.mul(&c_next.tanh());
@@ -135,7 +159,9 @@ mod tests {
         let cell = LstmCell::new(&mut ps, &mut rng, "lstm", 1, 8);
         let head = Linear::new(&mut ps, &mut rng, "head", 8, 1, true);
         let mut opt = Adam::new(0.02);
-        let seq: Vec<f32> = (0..20).map(|i| ((i * 37 + 11) % 10) as f32 / 10.0).collect();
+        let seq: Vec<f32> = (0..20)
+            .map(|i| ((i * 37 + 11) % 10) as f32 / 10.0)
+            .collect();
         let mut last = f32::INFINITY;
         for _ in 0..150 {
             let g = Graph::new();
@@ -161,6 +187,9 @@ mod tests {
             loss.backward();
             opt.step(&ps);
         }
-        assert!(last < 0.02, "lstm failed to learn 1-step memory: loss {last}");
+        assert!(
+            last < 0.02,
+            "lstm failed to learn 1-step memory: loss {last}"
+        );
     }
 }

@@ -72,7 +72,16 @@ pub struct Adam {
 impl Adam {
     /// Adam with default betas (0.9, 0.999) and ε = 1e-8.
     pub fn new(lr: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, clip: None, t: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            clip: None,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// Enables global-norm gradient clipping at `max_norm`.
@@ -100,7 +109,10 @@ impl Optimizer for Adam {
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
         for (i, p) in params.params().iter().enumerate() {
             let g = p.grad().mul_scalar(scale);
-            let m = self.m[i].mul_scalar(self.beta1).add(&g.mul_scalar(1.0 - self.beta1)).expect("adam m");
+            let m = self.m[i]
+                .mul_scalar(self.beta1)
+                .add(&g.mul_scalar(1.0 - self.beta1))
+                .expect("adam m");
             let v = self.v[i]
                 .mul_scalar(self.beta2)
                 .add(&g.square().mul_scalar(1.0 - self.beta2))
@@ -204,7 +216,11 @@ mod tests {
         p.accumulate_grad(&Tensor::from_rows(&[&[1000.0]]));
         Sgd::new(1.0).with_clip(1.0).step(&ps);
         // clipped gradient has norm 1 → value moves by exactly lr·1
-        assert!((p.value().scalar() + 1.0).abs() < 1e-5, "got {}", p.value().scalar());
+        assert!(
+            (p.value().scalar() + 1.0).abs() < 1e-5,
+            "got {}",
+            p.value().scalar()
+        );
     }
 
     #[test]

@@ -15,6 +15,11 @@
 //! `ParamSet` (build the model with the same configuration first, then load
 //! weights into it), and fails loudly on unknown names, missing parameters
 //! or shape mismatches rather than silently mis-assigning weights.
+//!
+//! Non-finite values (NaN/±Inf) are **rejected at load time** by policy: a
+//! checkpoint is only ever loaded to run inference or resume training, and
+//! in both cases a non-finite weight is unrecoverable corruption that would
+//! otherwise surface as silently-poisoned predictions far from its cause.
 
 use crate::autograd::ParamSet;
 use crate::shape::Shape;
@@ -60,25 +65,44 @@ pub fn save_params<W: Write>(params: &ParamSet, writer: W) -> io::Result<()> {
 /// every parameter of `params` must be present in the stream.
 pub fn load_params<R: Read>(params: &ParamSet, reader: R) -> io::Result<()> {
     let mut lines = BufReader::new(reader).lines();
-    let mut next = || lines.next().ok_or_else(|| bad("unexpected end of stream"))?;
+    let mut next = || {
+        lines
+            .next()
+            .ok_or_else(|| bad("unexpected end of stream"))?
+    };
     if next()? != MAGIC {
         return Err(bad("not a stgnn-params v1 stream"));
     }
-    let count: usize = next()?.trim().parse().map_err(|_| bad("bad parameter count"))?;
+    let count: usize = next()?
+        .trim()
+        .parse()
+        .map_err(|_| bad("bad parameter count"))?;
 
-    let by_name: HashMap<String, _> =
-        params.params().iter().map(|p| (p.name().to_string(), p.clone())).collect();
+    let by_name: HashMap<String, _> = params
+        .params()
+        .iter()
+        .map(|p| (p.name().to_string(), p.clone()))
+        .collect();
     if count != by_name.len() {
-        return Err(bad(format!("stream has {count} params, model has {}", by_name.len())));
+        return Err(bad(format!(
+            "stream has {count} params, model has {}",
+            by_name.len()
+        )));
     }
 
     let mut seen = 0usize;
     for _ in 0..count {
         let header = next()?;
         let mut fields = header.split_whitespace();
-        let name = fields.next().ok_or_else(|| bad("empty parameter header"))?.to_string();
+        let name = fields
+            .next()
+            .ok_or_else(|| bad("empty parameter header"))?
+            .to_string();
         let dims: Vec<usize> = fields
-            .map(|f| f.parse().map_err(|_| bad(format!("bad dimension in {name}"))))
+            .map(|f| {
+                f.parse()
+                    .map_err(|_| bad(format!("bad dimension in {name}")))
+            })
             .collect::<io::Result<_>>()?;
         let shape = Shape::from_dims(&dims);
 
@@ -95,7 +119,15 @@ pub fn load_params<R: Read>(params: &ParamSet, reader: R) -> io::Result<()> {
         let values_line = next()?;
         let data: Vec<f32> = values_line
             .split_whitespace()
-            .map(|f| f.parse().map_err(|_| bad(format!("bad value in {name}"))))
+            .map(|f| {
+                let v: f32 = f.parse().map_err(|_| bad(format!("bad value in {name}")))?;
+                // A NaN/Inf weight would silently poison every prediction a
+                // serving model makes; refuse the checkpoint outright.
+                if !v.is_finite() {
+                    return Err(bad(format!("non-finite value {v} in {name}")));
+                }
+                Ok(v)
+            })
             .collect::<io::Result<_>>()?;
         if data.len() != shape.len() {
             return Err(bad(format!(
@@ -135,10 +167,16 @@ mod tests {
         save_params(&original, &mut buf).unwrap();
 
         let target = params(2); // different values, same structure
-        assert!(!target.params()[0].value().approx_eq(&original.params()[0].value(), 1e-9));
+        assert!(!target.params()[0]
+            .value()
+            .approx_eq(&original.params()[0].value(), 1e-9));
         load_params(&target, buf.as_slice()).unwrap();
         for (a, b) in original.params().iter().zip(target.params()) {
-            assert!(a.value().approx_eq(&b.value(), 0.0), "param {} not exact", a.name());
+            assert!(
+                a.value().approx_eq(&b.value(), 0.0),
+                "param {} not exact",
+                a.name()
+            );
         }
     }
 
@@ -146,11 +184,76 @@ mod tests {
     fn rejects_wrong_magic_and_truncation() {
         let ps = params(1);
         assert!(load_params(&ps, "garbage\n".as_bytes()).is_err());
+        assert!(load_params(&ps, "".as_bytes()).is_err());
+        // A v2 header must not load into a v1 reader.
+        assert!(load_params(&ps, "stgnn-params v2\n2\n".as_bytes()).is_err());
 
         let mut buf = Vec::new();
         save_params(&ps, &mut buf).unwrap();
         let truncated = &buf[..buf.len() / 2];
         assert!(load_params(&params(1), truncated).is_err());
+    }
+
+    #[test]
+    fn truncation_at_every_line_boundary_is_rejected() {
+        let ps = params(1);
+        let mut buf = Vec::new();
+        save_params(&ps, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // Dropping any suffix of lines (except dropping nothing) must fail:
+        // the stream promises `count` params and delivers fewer.
+        for keep in 0..lines.len() {
+            let partial = lines[..keep].join("\n");
+            assert!(
+                load_params(&params(1), partial.as_bytes()).is_err(),
+                "stream truncated to {keep} lines was accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_inside_a_value_row_is_rejected() {
+        let ps = params(1);
+        let mut buf = Vec::new();
+        save_params(&ps, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // Cut mid-way through the first value line: the row parses but has
+        // too few values for the declared shape.
+        let header_end = text.find('\n').unwrap();
+        let count_end = header_end + 1 + text[header_end + 1..].find('\n').unwrap();
+        let param_header_end = count_end + 1 + text[count_end + 1..].find('\n').unwrap();
+        let cut = param_header_end + 20;
+        assert!(load_params(&params(1), &text.as_bytes()[..cut]).is_err());
+    }
+
+    #[test]
+    fn rejects_non_finite_values() {
+        for poison in ["NaN", "inf", "-inf"] {
+            let stream = format!(
+                "stgnn-params v1\n2\nlayer.w 3 4\n{}\nlayer.b 1 3\n0 0 0\n",
+                [poison; 12].join(" ")
+            );
+            let err = load_params(&params(1), stream.as_bytes()).unwrap_err();
+            assert!(
+                err.to_string().contains("non-finite"),
+                "{poison}: unexpected error {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_garbage_values_and_bad_counts() {
+        // Unparseable value token.
+        let stream = "stgnn-params v1\n1\nlayer.b 1 3\n0 huh 0\n";
+        let mut one = ParamSet::new();
+        one.add("layer.b", Tensor::zeros(Shape::matrix(1, 3)));
+        assert!(load_params(&one, stream.as_bytes()).is_err());
+        // Wrong number of values for the declared shape.
+        let short = "stgnn-params v1\n1\nlayer.b 1 3\n0 0\n";
+        assert!(load_params(&one, short.as_bytes()).is_err());
+        // Unparseable parameter count.
+        assert!(load_params(&one, "stgnn-params v1\nmany\n".as_bytes()).is_err());
     }
 
     #[test]

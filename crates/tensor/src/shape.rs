@@ -73,7 +73,11 @@ impl Shape {
         if self.rank() == 2 {
             Ok((self.0[0], self.0[1]))
         } else {
-            Err(Error::RankMismatch { op, expected: 2, actual: self.rank() })
+            Err(Error::RankMismatch {
+                op,
+                expected: 2,
+                actual: self.rank(),
+            })
         }
     }
 

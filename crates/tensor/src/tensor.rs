@@ -33,17 +33,26 @@ impl Tensor {
                 data.len()
             )));
         }
-        Ok(Tensor { data: Arc::new(data), shape })
+        Ok(Tensor {
+            data: Arc::new(data),
+            shape,
+        })
     }
 
     /// A scalar tensor.
     pub fn from_scalar(v: f32) -> Self {
-        Tensor { data: Arc::new(vec![v]), shape: Shape::scalar() }
+        Tensor {
+            data: Arc::new(vec![v]),
+            shape: Shape::scalar(),
+        }
     }
 
     /// A rank-1 tensor from a slice.
     pub fn from_slice(v: &[f32]) -> Self {
-        Tensor { data: Arc::new(v.to_vec()), shape: Shape::vector(v.len()) }
+        Tensor {
+            data: Arc::new(v.to_vec()),
+            shape: Shape::vector(v.len()),
+        }
     }
 
     /// A rank-2 tensor from row slices.
@@ -59,13 +68,19 @@ impl Tensor {
             assert_eq!(row.len(), c, "ragged rows in Tensor::from_rows");
             data.extend_from_slice(row);
         }
-        Tensor { data: Arc::new(data), shape: Shape::matrix(r, c) }
+        Tensor {
+            data: Arc::new(data),
+            shape: Shape::matrix(r, c),
+        }
     }
 
     /// A tensor of zeros.
     pub fn zeros(shape: Shape) -> Self {
         let len = shape.len();
-        Tensor { data: Arc::new(vec![0.0; len]), shape }
+        Tensor {
+            data: Arc::new(vec![0.0; len]),
+            shape,
+        }
     }
 
     /// A tensor of ones.
@@ -76,7 +91,10 @@ impl Tensor {
     /// A tensor filled with `v`.
     pub fn full(shape: Shape, v: f32) -> Self {
         let len = shape.len();
-        Tensor { data: Arc::new(vec![v; len]), shape }
+        Tensor {
+            data: Arc::new(vec![v; len]),
+            shape,
+        }
     }
 
     /// The `n×n` identity matrix.
@@ -85,7 +103,10 @@ impl Tensor {
         for i in 0..n {
             data[i * n + i] = 1.0;
         }
-        Tensor { data: Arc::new(data), shape: Shape::matrix(n, n) }
+        Tensor {
+            data: Arc::new(data),
+            shape: Shape::matrix(n, n),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -157,11 +178,19 @@ impl Tensor {
     /// Applies `f` to every element.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
         let data = self.data.iter().map(|&x| f(x)).collect();
-        Tensor { data: Arc::new(data), shape: self.shape.clone() }
+        Tensor {
+            data: Arc::new(data),
+            shape: self.shape.clone(),
+        }
     }
 
     /// Combines two same-shape tensors elementwise.
-    pub fn zip_map(&self, rhs: &Tensor, op: &'static str, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
+    pub fn zip_map(
+        &self,
+        rhs: &Tensor,
+        op: &'static str,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<Tensor> {
         if self.shape != rhs.shape {
             return Err(Error::ShapeMismatch {
                 op,
@@ -169,8 +198,16 @@ impl Tensor {
                 rhs: rhs.shape.dims().to_vec(),
             });
         }
-        let data = self.data.iter().zip(rhs.data.iter()).map(|(&a, &b)| f(a, b)).collect();
-        Ok(Tensor { data: Arc::new(data), shape: self.shape.clone() })
+        let data = self
+            .data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(Tensor {
+            data: Arc::new(data),
+            shape: self.shape.clone(),
+        })
     }
 
     /// Elementwise sum.
@@ -308,7 +345,10 @@ impl Tensor {
                 shape.len()
             )));
         }
-        Ok(Tensor { data: Arc::clone(&self.data), shape })
+        Ok(Tensor {
+            data: Arc::clone(&self.data),
+            shape,
+        })
     }
 
     /// Horizontal concatenation of rank-2 tensors with equal row counts.
@@ -369,7 +409,10 @@ impl Tensor {
                 "slice_rows {start}..{end} out of bounds for {r} rows"
             )));
         }
-        Tensor::from_vec(Shape::matrix(end - start, c), self.data[start * c..end * c].to_vec())
+        Tensor::from_vec(
+            Shape::matrix(end - start, c),
+            self.data[start * c..end * c].to_vec(),
+        )
     }
 
     // ------------------------------------------------------------------
@@ -455,7 +498,9 @@ impl Tensor {
     /// Per-row sums of a rank-2 tensor, as an `r×1` column.
     pub fn sum_cols(&self) -> Result<Tensor> {
         let (r, c) = self.shape.as_matrix("sum_cols")?;
-        let out: Vec<f32> = (0..r).map(|i| self.data[i * c..(i + 1) * c].iter().sum()).collect();
+        let out: Vec<f32> = (0..r)
+            .map(|i| self.data[i * c..(i + 1) * c].iter().sum())
+            .collect();
         Tensor::from_vec(Shape::matrix(r, 1), out)
     }
 
@@ -517,7 +562,11 @@ impl Tensor {
     /// True when every pair of elements differs by at most `tol`.
     pub fn approx_eq(&self, rhs: &Tensor, tol: f32) -> bool {
         self.shape == rhs.shape
-            && self.data.iter().zip(rhs.data.iter()).all(|(&a, &b)| (a - b).abs() <= tol)
+            && self
+                .data
+                .iter()
+                .zip(rhs.data.iter())
+                .all(|(&a, &b)| (a - b).abs() <= tol)
     }
 }
 
@@ -537,7 +586,13 @@ impl fmt::Debug for Tensor {
         if self.len() <= 16 {
             write!(f, "data={:?})", self.data.as_ref())
         } else {
-            write!(f, "data=[{:.4}, {:.4}, .. {} elems])", self.data[0], self.data[1], self.len())
+            write!(
+                f,
+                "data=[{:.4}, {:.4}, .. {} elems])",
+                self.data[0],
+                self.data[1],
+                self.len()
+            )
         }
     }
 }
@@ -679,9 +734,18 @@ mod tests {
         let a = t(&[&[1.0, 2.0], &[3.0, 4.0]]);
         let row = t(&[&[10.0, 20.0]]);
         let col = t(&[&[1.0], &[2.0]]);
-        assert_eq!(a.add_row_broadcast(&row).unwrap().data(), &[11.0, 22.0, 13.0, 24.0]);
-        assert_eq!(a.add_col_broadcast(&col).unwrap().data(), &[2.0, 3.0, 5.0, 6.0]);
-        assert_eq!(a.mul_col_broadcast(&col).unwrap().data(), &[1.0, 2.0, 6.0, 8.0]);
+        assert_eq!(
+            a.add_row_broadcast(&row).unwrap().data(),
+            &[11.0, 22.0, 13.0, 24.0]
+        );
+        assert_eq!(
+            a.add_col_broadcast(&col).unwrap().data(),
+            &[2.0, 3.0, 5.0, 6.0]
+        );
+        assert_eq!(
+            a.mul_col_broadcast(&col).unwrap().data(),
+            &[1.0, 2.0, 6.0, 8.0]
+        );
         assert!(a.add_row_broadcast(&col).is_err());
         assert!(a.add_col_broadcast(&row).is_err());
     }

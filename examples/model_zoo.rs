@@ -25,7 +25,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         slots.len()
     );
 
-    let bc = BaselineConfig { n_lags: 6, n_days: 2, epochs: 8, ..BaselineConfig::default() };
+    let bc = BaselineConfig {
+        n_lags: 6,
+        n_days: 2,
+        epochs: 8,
+        ..BaselineConfig::default()
+    };
     let mut sc = StgnnConfig::quick(24, 2);
     sc.epochs = 25;
 
@@ -44,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Box::new(StgnnDjd::new(sc, data.n_stations())?),
     ];
 
-    println!("{:<12} {:>14} {:>14} {:>10}", "method", "RMSE", "MAE", "fit (s)");
+    println!(
+        "{:<12} {:>14} {:>14} {:>10}",
+        "method", "RMSE", "MAE", "fit (s)"
+    );
     for model in &mut models {
         let t0 = std::time::Instant::now();
         model.fit(&data)?;

@@ -61,6 +61,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t = slots[0];
     let pred = model.predict(&data, t);
     let (true_d, _) = data.raw_targets(t);
-    println!("\nslot {t}: predicted demand at station 0 = {:.1} (actual {})", pred.demand[0], true_d[0]);
+    println!(
+        "\nslot {t}: predicted demand at station 0 = {:.1} (actual {})",
+        pred.demand[0], true_d[0]
+    );
     Ok(())
 }

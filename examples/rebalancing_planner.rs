@@ -62,7 +62,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     deficit.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
     surplus.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
-    println!("{} stations need bikes, {} have spare bikes", deficit.len(), surplus.len());
+    println!(
+        "{} stations need bikes, {} have spare bikes",
+        deficit.len(),
+        surplus.len()
+    );
 
     // Greedy plan: serve the largest deficit from the nearest surplus.
     let registry = data.registry();
@@ -97,7 +101,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\ndispatch plan ({} moves):", moves.len());
-    println!("{:<6} {:<28} {:<28} {:>5} {:>8}", "move", "from", "to", "bikes", "km");
+    println!(
+        "{:<6} {:<28} {:<28} {:>5} {:>8}",
+        "move", "from", "to", "bikes", "km"
+    );
     for (i, m) in moves.iter().enumerate() {
         println!(
             "{:<6} {:<28} {:<28} {:>5} {:>8.2}",

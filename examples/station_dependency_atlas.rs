@@ -37,12 +37,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The existing approach (Fig 10): static, monotone in distance.
     let prior = locality_dependency(registry, target, 10);
     println!("\n[existing approach] locality-prior dependency on the 10 nearest:");
-    println!("  {:?}", prior.iter().map(|v| (v * 1000.0).round() / 1000.0).collect::<Vec<_>>());
+    println!(
+        "  {:?}",
+        prior
+            .iter()
+            .map(|v| (v * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>()
+    );
     println!("  (identical at every time slot, strictly decreasing with distance)");
 
     // STGNN-DJD (Figs 11–12): dynamic, data-driven.
     let spd = data.slots_per_day();
-    for (label, lo_h, hi_h) in [("morning 07:00–10:00", 7, 10), ("afternoon 15:00–18:00", 15, 18)] {
+    for (label, lo_h, hi_h) in [
+        ("morning 07:00–10:00", 7, 10),
+        ("afternoon 15:00–18:00", 15, 18),
+    ] {
         let slots: Vec<usize> = data
             .slots(Split::Test)
             .into_iter()
@@ -56,14 +65,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("\n[STGNN-DJD] {label}: influence from neighbours to the target");
         println!("columns = 10 nearest stations (closest first), darker = stronger:");
         print!("{}", dep.ascii_heatmap(false));
-        println!("locality violated at some slot: {}", dep.violates_locality());
+        println!(
+            "locality violated at some slot: {}",
+            dep.violates_locality()
+        );
 
         // Quantify: correlation between distance and mean attention.
         let mean_per_neighbor: Vec<f32> = (0..dep.neighbors.len())
-            .map(|j| dep.to_target.iter().map(|row| row[j]).sum::<f32>() / dep.to_target.len() as f32)
+            .map(|j| {
+                dep.to_target.iter().map(|row| row[j]).sum::<f32>() / dep.to_target.len() as f32
+            })
             .collect();
-        println!("mean attention by distance rank: {:?}",
-            mean_per_neighbor.iter().map(|v| (v * 1000.0).round() / 1000.0).collect::<Vec<_>>());
+        println!(
+            "mean attention by distance rank: {:?}",
+            mean_per_neighbor
+                .iter()
+                .map(|v| (v * 1000.0).round() / 1000.0)
+                .collect::<Vec<_>>()
+        );
     }
     println!(
         "\nTakeaway (matches §VIII): the learned dependency varies over time and across\n\

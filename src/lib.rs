@@ -12,6 +12,9 @@
 //! * [`graph`] — graph structures and generic GNN layers (GCN/GAT).
 //! * [`model`] — the STGNN-DJD model, trainer and ablation variants.
 //! * [`baselines`] — the eleven comparison models of the paper's Table I.
+//! * [`serve`] — batched inference serving: model registry with hot-swap,
+//!   slot-keyed prediction cache, micro-batching worker pool, HA fallback
+//!   under deadline, and an HTTP/JSON endpoint over `std::net`.
 //!
 //! See `examples/quickstart.rs` for an end-to-end walkthrough and
 //! `DESIGN.md` / `EXPERIMENTS.md` for the reproduction methodology.
@@ -20,4 +23,5 @@ pub use stgnn_baselines as baselines;
 pub use stgnn_core as model;
 pub use stgnn_data as data;
 pub use stgnn_graph as graph;
+pub use stgnn_serve as serve;
 pub use stgnn_tensor as tensor;

@@ -29,7 +29,8 @@ fn dirty_export_pipeline_round_trips() {
         city.config.slots_per_day,
     )
     .expect("flows");
-    let data = BikeDataset::new(flows, city.registry.clone(), DatasetConfig::small(6, 2)).expect("dataset");
+    let data = BikeDataset::new(flows, city.registry.clone(), DatasetConfig::small(6, 2))
+        .expect("dataset");
     assert!(!data.slots(Split::Test).is_empty());
 }
 

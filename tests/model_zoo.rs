@@ -35,12 +35,22 @@ fn every_paper_model_fits_and_scores() {
     let slots: Vec<usize> = data.slots(Split::Test).into_iter().take(12).collect();
     let mut seen = std::collections::HashSet::new();
     for model in &mut models {
-        model.fit(&data).unwrap_or_else(|e| panic!("{} failed to fit: {e}", model.name()));
+        model
+            .fit(&data)
+            .unwrap_or_else(|e| panic!("{} failed to fit: {e}", model.name()));
         let row = evaluate(model.as_ref(), &data, &slots);
         assert!(row.n_slots > 0, "{} evaluated no slots", model.name());
         assert!(row.rmse_mean.is_finite(), "{} produced NaN", model.name());
-        assert!(row.rmse_mean >= row.mae_mean - 1e-4, "{}: RMSE < MAE", model.name());
-        assert!(seen.insert(model.name().to_string()), "duplicate model name {}", model.name());
+        assert!(
+            row.rmse_mean >= row.mae_mean - 1e-4,
+            "{}: RMSE < MAE",
+            model.name()
+        );
+        assert!(
+            seen.insert(model.name().to_string()),
+            "duplicate model name {}",
+            model.name()
+        );
     }
     assert_eq!(seen.len(), 12);
 }
@@ -54,5 +64,9 @@ fn predictions_have_station_dimension_and_are_counts() {
     let p = ha.predict(&data, t);
     assert_eq!(p.demand.len(), data.n_stations());
     assert_eq!(p.supply.len(), data.n_stations());
-    assert!(p.demand.iter().chain(&p.supply).all(|&v| v >= 0.0 && v.is_finite()));
+    assert!(p
+        .demand
+        .iter()
+        .chain(&p.supply)
+        .all(|&v| v >= 0.0 && v.is_finite()));
 }

@@ -42,12 +42,18 @@ fn aggregator_swaps_all_train() {
     let data = dataset(3002);
     let slots: Vec<usize> = data.slots(Split::Test).into_iter().take(8).collect();
     for fcg in [FcgAggregator::Flow, FcgAggregator::Mean, FcgAggregator::Max] {
-        for pcg in [PcgAggregator::Attention, PcgAggregator::Mean, PcgAggregator::Max] {
+        for pcg in [
+            PcgAggregator::Attention,
+            PcgAggregator::Mean,
+            PcgAggregator::Max,
+        ] {
             let mut config = StgnnConfig::test_tiny(6, 2);
             config.fcg_aggregator = fcg;
             config.pcg_aggregator = pcg;
             let mut model = StgnnDjd::new(config, data.n_stations()).expect("model");
-            model.fit(&data).unwrap_or_else(|e| panic!("{fcg:?}/{pcg:?}: {e}"));
+            model
+                .fit(&data)
+                .unwrap_or_else(|e| panic!("{fcg:?}/{pcg:?}: {e}"));
             let row = evaluate(&model, &data, &slots);
             assert!(row.rmse_mean.is_finite(), "{fcg:?}/{pcg:?}");
         }
@@ -72,8 +78,10 @@ fn learned_dependency_is_dynamic() {
     assert!(time_varying, "attention constant over time");
 
     // Varies across pairs at a fixed time.
-    let pair_varying =
-        dep.to_target.iter().any(|row| row.iter().any(|&v| (v - row[0]).abs() > 1e-6));
+    let pair_varying = dep
+        .to_target
+        .iter()
+        .any(|row| row.iter().any(|&v| (v - row[0]).abs() > 1e-6));
     assert!(pair_varying, "attention constant across pairs");
 }
 
@@ -105,11 +113,16 @@ fn ground_truth_flow_violates_locality() {
     for i in 0..n {
         let nearest = city.registry.nearest(i, 1)[0];
         let best_partner = (0..n).max_by(|&a, &b| {
-            total[i * n + a].partial_cmp(&total[i * n + b]).expect("finite")
+            total[i * n + a]
+                .partial_cmp(&total[i * n + b])
+                .expect("finite")
         });
         if best_partner != Some(nearest) {
             violations += 1;
         }
     }
-    assert!(violations * 2 > n, "locality unexpectedly holds: {violations}/{n}");
+    assert!(
+        violations * 2 > n,
+        "locality unexpectedly holds: {violations}/{n}"
+    );
 }

@@ -37,7 +37,7 @@ fn trained_weights_round_trip_through_disk() {
 #[test]
 fn load_rejects_a_different_architecture() {
     let data = dataset(4002);
-    let mut model = StgnnDjd::new(StgnnConfig::test_tiny(6, 2), data.n_stations()).expect("model");
+    let model = StgnnDjd::new(StgnnConfig::test_tiny(6, 2), data.n_stations()).expect("model");
     let path = std::env::temp_dir().join("stgnn_djd_mismatch_test.params");
     model.save_weights(&path).expect("save");
 
@@ -63,10 +63,64 @@ fn multi_step_forecast_covers_future_slots() {
     assert_eq!(forecasts.len(), 3);
     for (h, f) in forecasts.iter().enumerate() {
         assert_eq!(f.demand.len(), data.n_stations(), "step {h}");
-        assert!(f.demand.iter().chain(&f.supply).all(|&v| v >= 0.0 && v.is_finite()));
+        assert!(f
+            .demand
+            .iter()
+            .chain(&f.supply)
+            .all(|&v| v >= 0.0 && v.is_finite()));
     }
     // The multi-step targets builder rejects windows that overrun the data.
     let last = data.flows().num_slots() - 1;
     assert!(data.targets_horizon(last, 3).is_err());
     assert!(data.targets_horizon(last, 1).is_ok());
+}
+
+#[test]
+fn predict_is_the_first_horizon_step() {
+    let data = dataset(4004);
+    let mut config = StgnnConfig::test_tiny(6, 2);
+    config.horizon = 3;
+    let model = StgnnDjd::new(config, data.n_stations()).expect("model");
+    let t = data.slots(Split::Test)[0];
+    let single = model.predict(&data, t);
+    let multi = model.predict_horizon(&data, t);
+    assert_eq!(multi.len(), 3);
+    assert_eq!(single, multi[0], "predict must agree with horizon step 0");
+    // Steps are genuinely distinct forecasts, not step 0 repeated.
+    assert!(multi.iter().skip(1).any(|p| *p != multi[0]));
+}
+
+#[test]
+fn predict_horizon_is_deterministic_in_eval_mode() {
+    let data = dataset(4005);
+    let model = StgnnDjd::new(StgnnConfig::test_tiny(6, 2), data.n_stations()).expect("model");
+    let t = data.slots(Split::Test)[0];
+    assert_eq!(
+        model.predict_horizon(&data, t),
+        model.predict_horizon(&data, t)
+    );
+}
+
+#[test]
+fn check_compatible_accepts_matching_windows() {
+    let data = dataset(4006);
+    let model = StgnnDjd::new(StgnnConfig::test_tiny(6, 2), data.n_stations()).expect("model");
+    assert!(model.check_compatible(&data).is_ok());
+}
+
+#[test]
+fn check_compatible_rejects_station_count_mismatch() {
+    let data = dataset(4007);
+    let model = StgnnDjd::new(StgnnConfig::test_tiny(6, 2), data.n_stations() + 1).expect("model");
+    let err = model.check_compatible(&data).unwrap_err().to_string();
+    assert!(err.contains("stations"), "unexpected error: {err}");
+}
+
+#[test]
+fn check_compatible_rejects_window_mismatch() {
+    let data = dataset(4008);
+    // Dataset built with (k=6, d=2); a (k=5, d=2) model must be refused.
+    let model = StgnnDjd::new(StgnnConfig::test_tiny(5, 2), data.n_stations()).expect("model");
+    let err = model.check_compatible(&data).unwrap_err().to_string();
+    assert!(err.contains("window mismatch"), "unexpected error: {err}");
 }

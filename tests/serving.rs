@@ -1,0 +1,198 @@
+//! End-to-end tests for the `stgnn-serve` subsystem over real TCP: boot the
+//! server on an ephemeral port, register a model, and drive it with the
+//! bundled blocking client the way a fleet of provider dashboards would.
+
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use stgnn_djd::data::dataset::{BikeDataset, DatasetConfig, Split};
+use stgnn_djd::data::synthetic::{CityConfig, SyntheticCity};
+use stgnn_djd::model::{StgnnConfig, StgnnDjd};
+use stgnn_djd::serve::client;
+use stgnn_djd::serve::{ModelSpec, ServeConfig, Server};
+
+fn dataset() -> Arc<BikeDataset> {
+    let city = SyntheticCity::generate(CityConfig::test_tiny(99));
+    Arc::new(BikeDataset::from_city(&city, DatasetConfig::small(6, 2)).unwrap())
+}
+
+fn register_model(server: &Server, data: &BikeDataset, seed: u64) -> Vec<u8> {
+    let mut config = StgnnConfig::test_tiny(6, 2);
+    config.seed = seed;
+    let spec = ModelSpec::new(config, data.n_stations());
+    let bytes = spec.materialize().unwrap().weights_to_bytes();
+    server
+        .registry()
+        .register("stgnn", spec, bytes.clone())
+        .unwrap();
+    bytes
+}
+
+/// The acceptance path end to end: concurrent same-slot queries coalesce
+/// into exactly one forward pass, a hot-swapped checkpoint changes the
+/// responses, and the metrics surface makes both observable.
+#[test]
+fn concurrent_queries_batch_into_one_forward_pass_and_swap_changes_them() {
+    let data = dataset();
+    let t = data.slots(Split::Test)[0];
+    let mut server = Server::start(
+        Arc::clone(&data),
+        ServeConfig {
+            // A long linger so 16 client threads racing through the TCP
+            // stack reliably land inside one coalescing window (the
+            // exactly-once machinery makes the assertion hold regardless —
+            // the linger just makes real batches, not only cache hits).
+            batch_linger: Duration::from_millis(50),
+            default_deadline: Duration::from_secs(30),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    register_model(&server, &data, 7);
+    let addr = server.addr();
+
+    // Liveness + registry listing.
+    let health = client::get(addr, "/healthz").unwrap();
+    assert_eq!(health.status, 200);
+    let models = client::get(addr, "/models").unwrap();
+    assert!(
+        models.body.contains(r#""name":"stgnn","version":1"#),
+        "{}",
+        models.body
+    );
+
+    // 16 concurrent queries for the same target slot.
+    let path = format!("/predict?model=stgnn&slot={t}&deadline_ms=30000");
+    let handles: Vec<_> = (0..16)
+        .map(|_| {
+            let path = path.clone();
+            thread::spawn(move || client::get(addr, &path).unwrap())
+        })
+        .collect();
+    let responses: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    let first_demand = responses[0].json_field("demand").unwrap();
+    for r in &responses {
+        assert_eq!(r.status, 200, "{}", r.body);
+        assert_eq!(r.json_field("degraded").unwrap(), "false", "{}", r.body);
+        assert_eq!(r.json_field("source").unwrap(), r#""model""#);
+        assert_eq!(
+            r.json_field("demand").unwrap(),
+            first_demand,
+            "all 16 must see one result"
+        );
+    }
+
+    // Exactly one forward pass served all 16; the rest were coalesced into
+    // the batch or answered from the slot cache.
+    let s = server.metrics_snapshot();
+    assert_eq!(s.forward_passes, 1, "snapshot: {s:?}");
+    assert_eq!(s.requests, 16);
+    assert_eq!(s.batched + s.cache_hits, 16, "snapshot: {s:?}");
+    assert!(s.max_batch_observed() >= 1);
+
+    // The line-protocol dump carries the same counters.
+    let metrics = client::get(addr, "/metrics").unwrap();
+    assert!(
+        metrics.body.contains("serve_forward_passes_total 1"),
+        "{}",
+        metrics.body
+    );
+
+    // Hot-swap a differently-initialised checkpoint over HTTP; the same
+    // slot must now be recomputed and answer differently.
+    let mut other_config = StgnnConfig::test_tiny(6, 2);
+    other_config.seed = 12345;
+    let other = StgnnDjd::new(other_config, data.n_stations())
+        .unwrap()
+        .weights_to_bytes();
+    let swap = client::post(addr, "/models/stgnn/swap", &other).unwrap();
+    assert_eq!(swap.status, 200, "{}", swap.body);
+    assert_eq!(swap.json_field("version").unwrap(), "2");
+
+    let after = client::get(addr, &path).unwrap();
+    assert_eq!(after.status, 200, "{}", after.body);
+    assert_eq!(after.json_field("degraded").unwrap(), "false");
+    assert_ne!(
+        after.json_field("demand").unwrap(),
+        first_demand,
+        "hot-swapped weights must change the answer"
+    );
+    assert_eq!(server.metrics_snapshot().forward_passes, 2);
+
+    // Error surfaces stay structured.
+    let missing = client::get(addr, "/predict?model=stgnn").unwrap();
+    assert_eq!(missing.status, 400);
+    let unknown = client::get(addr, &format!("/predict?model=nope&slot={t}")).unwrap();
+    assert_eq!(unknown.status, 404, "{}", unknown.body);
+
+    server.shutdown();
+}
+
+/// A slow model path must not stall the caller: the deadline trips and the
+/// response comes from the Historical-Average table, tagged degraded.
+#[test]
+fn slow_model_degrades_to_ha_within_the_deadline() {
+    let data = dataset();
+    let t = data.slots(Split::Test)[0];
+    let mut server = Server::start(
+        Arc::clone(&data),
+        ServeConfig {
+            // Every forward pass takes ≥ 400 ms — far past the deadline.
+            forward_delay: Some(Duration::from_millis(400)),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    register_model(&server, &data, 7);
+
+    let started = Instant::now();
+    let r = client::get(
+        server.addr(),
+        &format!("/predict?model=stgnn&slot={t}&deadline_ms=50"),
+    )
+    .unwrap();
+    let elapsed = started.elapsed();
+
+    assert_eq!(r.status, 200, "{}", r.body);
+    assert_eq!(r.json_field("degraded").unwrap(), "true", "{}", r.body);
+    assert_eq!(r.json_field("source").unwrap(), r#""fallback-ha""#);
+    assert!(
+        elapsed < Duration::from_millis(350),
+        "degraded answer took {elapsed:?}, should beat the 400 ms forward delay"
+    );
+    // The HA table still produced a full per-station forecast.
+    let demand = r.json_field("demand").unwrap();
+    assert!(demand.starts_with('['), "{demand}");
+    assert_eq!(server.metrics_snapshot().fallbacks, 1);
+
+    server.shutdown();
+}
+
+/// Per-station projection and slot-range validation over the wire.
+#[test]
+fn station_queries_and_range_checks() {
+    let data = dataset();
+    let t = data.slots(Split::Test)[0];
+    let mut server = Server::start(Arc::clone(&data), ServeConfig::default()).unwrap();
+    register_model(&server, &data, 7);
+    let addr = server.addr();
+
+    let r = client::get(addr, &format!("/predict?model=stgnn&slot={t}&station=0")).unwrap();
+    assert_eq!(r.status, 200, "{}", r.body);
+    assert_eq!(r.json_field("station").unwrap(), "0");
+    let demand = r.json_field("demand").unwrap();
+    assert!(
+        !demand.starts_with('['),
+        "station query returns a scalar, got {demand}"
+    );
+
+    let too_early = client::get(addr, "/predict?model=stgnn&slot=0").unwrap();
+    assert_eq!(too_early.status, 400, "{}", too_early.body);
+    let bad_station =
+        client::get(addr, &format!("/predict?model=stgnn&slot={t}&station=9999")).unwrap();
+    assert_eq!(bad_station.status, 400, "{}", bad_station.body);
+
+    server.shutdown();
+}

@@ -1,0 +1,271 @@
+//! Offline stand-in for `proptest` (see `vendor/README.md`).
+//!
+//! Implements the strategy combinators and macros this workspace's property
+//! tests use — range strategies, tuples, `collection::vec`, `option::of`,
+//! `prop_map`, `prop_flat_map`, and the `proptest!` / `prop_assert!` macros —
+//! over a deterministic per-test RNG. Unlike the real crate there is **no
+//! shrinking**: a failing case panics with the generated inputs' debug
+//! representation instead of a minimised one.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Number of random cases each `proptest!` test runs.
+pub const DEFAULT_CASES: usize = 64;
+
+/// The RNG handed to strategies. Deterministic per test function.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Seeded from the test function name so each test gets a stable,
+    /// distinct stream across runs.
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.0
+    }
+}
+
+/// A recipe for generating random values.
+pub trait Strategy {
+    type Value: std::fmt::Debug;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O: std::fmt::Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: std::fmt::Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+macro_rules! numeric_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+numeric_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    /// `proptest::collection::vec`: a vector whose length is drawn from
+    /// `size` (a fixed length or a half-open range).
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy { element, min, max }
+    }
+
+    pub trait IntoSizeRange {
+        /// Inclusive min, exclusive max.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self + 1)
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (self.start, self.end)
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.rng().gen_range(self.min..self.max.max(self.min + 1));
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    pub struct OptionStrategy<S>(S);
+
+    /// `proptest::option::of`: `None` a quarter of the time, like the
+    /// real crate's default weighting.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.rng().gen_bool(0.25) {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest, Strategy};
+}
+
+/// Runs each embedded test over [`DEFAULT_CASES`] generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($( #[test] fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block )+) => {$(
+        #[test]
+        fn $name() {
+            let strategies = ($($strat,)+);
+            let mut rng = $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            for _case in 0..$crate::DEFAULT_CASES {
+                let ($($arg,)+) = $crate::Strategy::generate(&strategies, &mut rng);
+                $body
+            }
+        }
+    )+};
+}
+
+/// `prop_assert!` — panics immediately (no shrinking in the stand-in).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `prop_assert_eq!` — panics immediately (no shrinking in the stand-in).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (usize, f32)> {
+        (1usize..10, -1.0f32..1.0)
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_generate_in_bounds(x in 3usize..7, f in 0.0f32..2.0) {
+            prop_assert!((3..7).contains(&x));
+            prop_assert!((0.0..2.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_and_flat_map_compose(v in crate::collection::vec(0u8..5, 0..9)) {
+            prop_assert!(v.len() < 9);
+            prop_assert!(v.iter().all(|&b| b < 5));
+        }
+
+        #[test]
+        fn mapped_strategy_applies_function((n, f) in pair()) {
+            prop_assert!((1..10).contains(&n));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn flat_map_derives_dependent_strategy() {
+        let strat = (1usize..4).prop_flat_map(|n| crate::collection::vec(0u8..10, n));
+        let mut rng = crate::TestRng::for_test("flat_map_check");
+        for _ in 0..50 {
+            let v = strat.generate(&mut rng);
+            assert!((1..4).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn option_of_produces_both_variants() {
+        let strat = crate::option::of(0u32..10);
+        let mut rng = crate::TestRng::for_test("option_check");
+        let vals: Vec<_> = (0..100).map(|_| strat.generate(&mut rng)).collect();
+        assert!(vals.iter().any(|v| v.is_none()));
+        assert!(vals.iter().any(|v| v.is_some()));
+    }
+}
