@@ -29,6 +29,9 @@ pub struct TrainReport {
     pub train_losses: Vec<f32>,
     /// Validation loss per epoch.
     pub val_losses: Vec<f32>,
+    /// Threads the tensor kernel pool ran with (`STGNN_THREADS` /
+    /// `available_parallelism()`); results are identical for any value.
+    pub kernel_threads: usize,
 }
 
 /// Trains an [`StgnnDjd`] on a [`BikeDataset`].
@@ -58,6 +61,9 @@ impl Trainer {
     /// its best-validation parameters.
     pub fn train(&self, model: &mut StgnnDjd, data: &BikeDataset) -> Result<TrainReport> {
         model.check_compatible(data)?;
+        // Spin the kernel pool up before the first epoch so worker spawn
+        // cost never lands inside a timed training step.
+        let kernel_threads = stgnn_tensor::par::init();
         let horizon = self.config.horizon;
         let max_slot = data.flows().num_slots().saturating_sub(horizon);
         let train_slots: Vec<usize> = data
@@ -84,6 +90,7 @@ impl Trainer {
             best_val_loss: f32::INFINITY,
             train_losses: Vec::new(),
             val_losses: Vec::new(),
+            kernel_threads,
         };
         let mut best_snapshot: Option<Vec<Tensor>> = None;
         let mut epochs_since_best = 0usize;

@@ -13,7 +13,7 @@ use crate::digraph::DiGraph;
 use rand::Rng;
 use stgnn_tensor::autograd::{Graph, ParamSet, Var};
 use stgnn_tensor::nn::Linear;
-use stgnn_tensor::{Shape, Tensor};
+use stgnn_tensor::{par, Shape, Tensor};
 
 /// Mean aggregator: `Aggr_i = mean({h_i} ∪ {h_j : j ∈ N(i)})`.
 ///
@@ -25,16 +25,20 @@ pub struct MeanAggregator {
 
 impl MeanAggregator {
     /// Builds the averaging matrix from `graph`'s out-neighbourhoods.
+    /// Rows are independent, so the build chunks across the kernel pool.
     pub fn new(graph: &DiGraph) -> Self {
         let n = graph.num_nodes();
+        let hoods = graph.neighborhoods_with_self();
         let mut avg = Tensor::zeros(Shape::matrix(n, n));
-        let buf = avg.data_mut();
-        for (i, hood) in graph.neighborhoods_with_self().iter().enumerate() {
-            let w = 1.0 / hood.len() as f32;
-            for &j in hood {
-                buf[i * n + j] = w;
+        par::for_each_row_chunk_mut(avg.data_mut(), n, 16, |first_row, window| {
+            for (r, row) in window.chunks_mut(n).enumerate() {
+                let hood = &hoods[first_row + r];
+                let w = 1.0 / hood.len() as f32;
+                for &j in hood {
+                    row[j] = w;
+                }
             }
-        }
+        });
         MeanAggregator { avg }
     }
 
@@ -108,6 +112,42 @@ mod tests {
             let expect = fc_out.get2(0, c).max(fc_out.get2(1, c));
             assert!((pooled.get2(0, c) - expect).abs() < 1e-6);
         }
+    }
+
+    /// The graph-layer half of the `tensor::par` determinism contract:
+    /// building and applying the averaging matrix must be bit-for-bit
+    /// identical at 1 thread and 4 threads, even on graphs large enough to
+    /// cross the parallel dispatch thresholds.
+    #[test]
+    fn mean_aggregator_is_bitwise_identical_across_thread_counts() {
+        let n = 80;
+        let edges: Vec<(usize, usize, f32)> = (0..n)
+            .flat_map(|i| {
+                (1..=5usize).map(move |k| (i, (i * 7 + k * 13) % n, 1.0 + (k as f32) * 0.5))
+            })
+            .collect();
+        let graph = DiGraph::from_edges(n, &edges);
+        let h = Tensor::from_vec(
+            Shape::matrix(n, 3),
+            (0..n * 3)
+                .map(|i| (i as f32 * 0.37).sin())
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+
+        let run = || {
+            let agg = MeanAggregator::new(&graph);
+            let g = Graph::new();
+            let out = agg.forward(&g, &g.leaf(h.clone())).value();
+            (agg.avg, out)
+        };
+        stgnn_tensor::par::set_thread_override(Some(1));
+        let (avg1, out1) = run();
+        stgnn_tensor::par::set_thread_override(Some(4));
+        let (avg4, out4) = run();
+        stgnn_tensor::par::set_thread_override(None);
+        assert_eq!(avg1.data(), avg4.data(), "avg matrix differs by threads");
+        assert_eq!(out1.data(), out4.data(), "forward differs by threads");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! A compact weighted digraph in CSR form.
 
-use stgnn_tensor::{Shape, Tensor};
+use stgnn_tensor::{par, Error, Shape, Tensor};
 
 /// A directed weighted graph over nodes `0..n` stored in compressed sparse
 /// row form. Edges are `(src → dst, weight)`; station graphs in this
@@ -166,31 +166,46 @@ impl DiGraph {
             deg[i] = a[i * n..(i + 1) * n].iter().sum::<f32>();
         }
         let inv_sqrt: Vec<f32> = deg.iter().map(|&d| 1.0 / d.sqrt()).collect();
-        for i in 0..n {
-            for j in 0..n {
-                a[i * n + j] *= inv_sqrt[i] * inv_sqrt[j];
+        par::for_each_row_chunk_mut(&mut a, n, 16, |first_row, window| {
+            for (r, row) in window.chunks_mut(n).enumerate() {
+                let si = inv_sqrt[first_row + r];
+                for (v, &sj) in row.iter_mut().zip(&inv_sqrt) {
+                    *v *= si * sj;
+                }
             }
-        }
+        });
         Tensor::from_vec(Shape::matrix(n, n), a).expect("gcn_normalized shape")
     }
 
     /// Row-stochastic adjacency `D^{-1} (A + I)` over edge weights:
     /// each row is a convex combination over the out-neighbourhood plus a
-    /// unit self-loop.
-    pub fn row_normalized(&self) -> Tensor {
+    /// unit self-loop (the paper's Eq 10 normalisation).
+    ///
+    /// Returns [`Error::InvalidArgument`] when any edge weight is negative:
+    /// a fused-flow matrix that skipped its ReLU (Eq 9) would otherwise be
+    /// normalised against a sum that silently dropped the negative mass,
+    /// producing rows that are no longer convex combinations of the visible
+    /// weights. Callers must rectify weights before normalising.
+    pub fn row_normalized(&self) -> stgnn_tensor::Result<Tensor> {
         let n = self.n;
         let mut a = vec![0.0f32; n * n];
         for s in 0..n {
             a[s * n + s] = 1.0;
             for (d, w) in self.neighbors(s) {
-                a[s * n + d] += w.max(0.0);
+                if w < 0.0 {
+                    return Err(Error::InvalidArgument(format!(
+                        "row_normalized: negative weight {w} on edge {s}→{d}; \
+                         rectify weights (Eq 9 ReLU) before normalising"
+                    )));
+                }
+                a[s * n + d] += w;
             }
             let sum: f32 = a[s * n..(s + 1) * n].iter().sum();
             for v in &mut a[s * n..(s + 1) * n] {
                 *v /= sum;
             }
         }
-        Tensor::from_vec(Shape::matrix(n, n), a).expect("row_normalized shape")
+        Tensor::from_vec(Shape::matrix(n, n), a)
     }
 
     /// Binary mask of the adjacency with self-loops: 1.0 where an edge (or
@@ -284,7 +299,7 @@ mod tests {
     #[test]
     fn row_normalized_rows_are_distributions() {
         let g = diamond();
-        let a = g.row_normalized();
+        let a = g.row_normalized().unwrap();
         for i in 0..4 {
             let sum: f32 = a.row(i).iter().sum();
             assert!((sum - 1.0).abs() < 1e-6, "row {i} sums to {sum}");
@@ -294,12 +309,19 @@ mod tests {
         assert_eq!(a.get2(3, 3), 1.0);
     }
 
+    /// Regression: negative weights used to be silently clamped to zero
+    /// *after* the self-loop insert, normalising rows against a sum that no
+    /// longer matched the visible weights. They must be rejected instead.
     #[test]
-    fn negative_weights_clamped_in_row_normalization() {
+    fn negative_weights_rejected_in_row_normalization() {
         let g = DiGraph::from_edges(2, &[(0, 1, -5.0)]);
-        let a = g.row_normalized();
-        assert_eq!(a.get2(0, 1), 0.0);
-        assert_eq!(a.get2(0, 0), 1.0);
+        let err = g.row_normalized().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("negative weight"), "unhelpful error: {msg}");
+        assert!(msg.contains("0→1"), "error must name the edge: {msg}");
+        // Rectified weights normalise fine.
+        let ok = DiGraph::from_edges(2, &[(0, 1, 5.0)]);
+        assert!(ok.row_normalized().is_ok());
     }
 
     #[test]
@@ -318,5 +340,20 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn out_of_bounds_edge_panics() {
         DiGraph::from_edges(2, &[(0, 5, 1.0)]);
+    }
+
+    /// GCN normalisation chunks its row scaling across the kernel pool; the
+    /// output must not depend on the thread count.
+    #[test]
+    fn gcn_normalized_is_bitwise_identical_across_thread_counts() {
+        let n = 64;
+        let edges: Vec<(usize, usize, f32)> = (0..n).map(|i| (i, (i * 31 + 7) % n, 1.0)).collect();
+        let g = DiGraph::from_edges(n, &edges);
+        stgnn_tensor::par::set_thread_override(Some(1));
+        let a1 = g.gcn_normalized();
+        stgnn_tensor::par::set_thread_override(Some(4));
+        let a4 = g.gcn_normalized();
+        stgnn_tensor::par::set_thread_override(None);
+        assert_eq!(a1.data(), a4.data());
     }
 }

@@ -24,12 +24,14 @@ use crate::registry::ModelRegistry;
 use crate::ServeError;
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 use stgnn_core::StgnnDjd;
 use stgnn_data::dataset::BikeDataset;
+use stgnn_tensor::par;
 
 /// Result delivered to a waiting request: the full-horizon prediction or a
 /// serving error.
@@ -101,6 +103,9 @@ impl WorkerPool {
         dataset: Arc<BikeDataset>,
         config: PoolConfig,
     ) -> Self {
+        // Warm the tensor kernel pool before the first timed batch: forward
+        // passes route their matmul/softmax kernels through it.
+        par::init();
         let shared = Arc::new(Shared {
             queue: Mutex::new(QueueState {
                 deque: VecDeque::new(),
@@ -243,6 +248,24 @@ fn process_batch(
 ) {
     let model_name = batch[0].model.clone();
     let slot = batch[0].slot;
+    // Validate the slot at the pool boundary, not just in the HTTP layer:
+    // `submit` is a public API, and an out-of-range slot would otherwise
+    // reach `predict_horizon` and panic inside the window arithmetic,
+    // killing this worker thread.
+    let first = shared.dataset.first_valid_slot();
+    let last = shared.dataset.flows().num_slots();
+    if slot < first || slot > last {
+        for _ in &batch {
+            shared.metrics.inc_errors();
+        }
+        respond_all(
+            &batch,
+            &Err(ServeError::BadRequest(format!(
+                "slot {slot} outside servable range [{first}, {last}]"
+            ))),
+        );
+        return;
+    }
     let entry = match shared.registry.get(&model_name) {
         Some(e) => e,
         None => {
@@ -314,7 +337,34 @@ fn process_batch(
         respond_all(&batch, &Err(ServeError::BadRequest(e.to_string())));
         return;
     }
-    let predictions: CachedPrediction = Arc::new(model.predict_horizon(&shared.dataset, slot));
+    // Defense in depth: a panic in the forward pass (a shape bug the
+    // validation above didn't anticipate) must not take the worker thread
+    // down with the whole queue behind it. Convert it to an error reply and
+    // drop this worker's model copy — it may be mid-mutation.
+    let forward = catch_unwind(AssertUnwindSafe(|| {
+        model.predict_horizon(&shared.dataset, slot)
+    }));
+    let predictions: CachedPrediction = match forward {
+        Ok(p) => Arc::new(p),
+        Err(payload) => {
+            local.remove(&model_name);
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("forward pass panicked");
+            for _ in &batch {
+                shared.metrics.inc_errors();
+            }
+            respond_all(
+                &batch,
+                &Err(ServeError::BadRequest(format!(
+                    "forward pass failed: {msg}"
+                ))),
+            );
+            return;
+        }
+    };
     shared.cache.insert(key, Arc::clone(&predictions));
     shared.metrics.record_forward(batch.len());
     shared.metrics.inc_batched(batch.len() as u64);
@@ -337,7 +387,12 @@ mod tests {
     fn pool_with(
         data: &Arc<BikeDataset>,
         config: PoolConfig,
-    ) -> (WorkerPool, Arc<ModelRegistry>, Arc<ServeMetrics>) {
+    ) -> (
+        WorkerPool,
+        Arc<ModelRegistry>,
+        Arc<ServeMetrics>,
+        Arc<SlotCache>,
+    ) {
         let registry = Arc::new(ModelRegistry::new());
         let spec = ModelSpec::new(StgnnConfig::test_tiny(6, 2), data.n_stations());
         let bytes = spec.materialize().unwrap().weights_to_bytes();
@@ -346,18 +401,18 @@ mod tests {
         let cache = Arc::new(SlotCache::new(64));
         let pool = WorkerPool::new(
             Arc::clone(&registry),
-            cache,
+            Arc::clone(&cache),
             Arc::clone(&metrics),
             Arc::clone(data),
             config,
         );
-        (pool, registry, metrics)
+        (pool, registry, metrics, cache)
     }
 
     #[test]
     fn single_request_round_trips() {
         let data = dataset();
-        let (pool, _, metrics) = pool_with(&data, PoolConfig::default());
+        let (pool, _, metrics, _) = pool_with(&data, PoolConfig::default());
         let t = data.slots(Split::Test)[0];
         let reply = pool.submit("stgnn", t).recv().unwrap().unwrap();
         assert_eq!(reply[0].demand.len(), data.n_stations());
@@ -367,7 +422,7 @@ mod tests {
     #[test]
     fn same_slot_requests_share_one_forward_pass() {
         let data = dataset();
-        let (pool, _, metrics) = pool_with(
+        let (pool, _, metrics, _) = pool_with(
             &data,
             PoolConfig {
                 batch_linger: Duration::from_millis(20),
@@ -390,7 +445,7 @@ mod tests {
     #[test]
     fn later_requests_hit_the_cache() {
         let data = dataset();
-        let (pool, _, metrics) = pool_with(&data, PoolConfig::default());
+        let (pool, _, metrics, _) = pool_with(&data, PoolConfig::default());
         let t = data.slots(Split::Test)[0];
         pool.submit("stgnn", t).recv().unwrap().unwrap();
         pool.submit("stgnn", t).recv().unwrap().unwrap();
@@ -403,7 +458,7 @@ mod tests {
     #[test]
     fn distinct_slots_each_get_a_forward_pass() {
         let data = dataset();
-        let (pool, _, metrics) = pool_with(&data, PoolConfig::default());
+        let (pool, _, metrics, _) = pool_with(&data, PoolConfig::default());
         let slots = data.slots(Split::Test);
         pool.submit("stgnn", slots[0]).recv().unwrap().unwrap();
         pool.submit("stgnn", slots[1]).recv().unwrap().unwrap();
@@ -413,7 +468,7 @@ mod tests {
     #[test]
     fn hot_swap_changes_version_and_recomputes() {
         let data = dataset();
-        let (pool, registry, metrics) = pool_with(&data, PoolConfig::default());
+        let (pool, registry, metrics, _) = pool_with(&data, PoolConfig::default());
         let t = data.slots(Split::Test)[0];
         let before = pool.submit("stgnn", t).recv().unwrap().unwrap();
 
@@ -432,10 +487,81 @@ mod tests {
         assert_eq!(metrics.snapshot().forward_passes, 2);
     }
 
+    /// Regression: an out-of-range slot used to reach `predict_horizon`,
+    /// panic in the window arithmetic, and kill the worker thread — this
+    /// ran with one worker so the pool was then dead. The pool must reply
+    /// with `BadRequest` and keep serving.
+    #[test]
+    fn out_of_range_slot_is_an_error_and_the_worker_survives() {
+        let data = dataset();
+        let (pool, _, metrics, _) = pool_with(
+            &data,
+            PoolConfig {
+                workers: 1,
+                ..PoolConfig::default()
+            },
+        );
+        // Slot 0 has no history window; slot num_slots+1 is past the data.
+        for bad in [0, data.flows().num_slots() + 1] {
+            let reply = pool.submit("stgnn", bad).recv().unwrap();
+            assert!(
+                matches!(reply, Err(ServeError::BadRequest(_))),
+                "slot {bad}: {reply:?}"
+            );
+        }
+        // The lone worker must still be alive and serving.
+        let t = data.slots(Split::Test)[0];
+        let ok = pool.submit("stgnn", t).recv().unwrap().unwrap();
+        assert_eq!(ok[0].demand.len(), data.n_stations());
+        assert_eq!(metrics.snapshot().errors, 2);
+    }
+
+    /// The staleness invariant: once `swap` returns, no response may come
+    /// from a pre-swap cache entry. The cache is keyed by checkpoint
+    /// version, so the stale v1 entry may still *exist* — it must simply
+    /// never be served.
+    #[test]
+    fn hot_swap_never_serves_a_stale_cached_prediction() {
+        let data = dataset();
+        let (pool, registry, _, cache) = pool_with(&data, PoolConfig::default());
+        let t = data.slots(Split::Test)[0];
+        // Prime the v1 cache entry.
+        let v1 = pool.submit("stgnn", t).recv().unwrap().unwrap();
+        let v1_key = ("stgnn".to_string(), 1, t);
+        assert!(cache.get(&v1_key).is_some(), "v1 entry should be cached");
+
+        let mut config = StgnnConfig::test_tiny(6, 2);
+        config.seed = 12345;
+        let swapped = StgnnDjd::new(config, data.n_stations())
+            .unwrap()
+            .weights_to_bytes();
+        registry.swap("stgnn", swapped).unwrap();
+
+        // What v2 must predict, materialised independently of the pool.
+        let entry = registry.get("stgnn").unwrap();
+        let checkpoint = entry.checkpoint();
+        assert_eq!(checkpoint.version, 2);
+        let expected = entry
+            .spec()
+            .materialize_with(&checkpoint)
+            .unwrap()
+            .predict_horizon(&data, t);
+
+        let after = pool.submit("stgnn", t).recv().unwrap().unwrap();
+        assert_eq!(
+            after[0], expected[0],
+            "post-swap response must be the v2 prediction"
+        );
+        assert_ne!(after[0], v1[0], "post-swap response equals the v1 one");
+        // The stale entry still sits in the cache under the v1 key — proof
+        // that correctness comes from version-keying, not eager deletion.
+        assert!(cache.get(&v1_key).is_some());
+    }
+
     #[test]
     fn unknown_model_is_an_error_not_a_hang() {
         let data = dataset();
-        let (pool, _, metrics) = pool_with(&data, PoolConfig::default());
+        let (pool, _, metrics, _) = pool_with(&data, PoolConfig::default());
         let t = data.slots(Split::Test)[0];
         let reply = pool.submit("nope", t).recv().unwrap();
         assert!(matches!(reply, Err(ServeError::UnknownModel(_))));
@@ -445,7 +571,7 @@ mod tests {
     #[test]
     fn shutdown_rejects_new_work() {
         let data = dataset();
-        let (mut pool, _, _) = pool_with(&data, PoolConfig::default());
+        let (mut pool, _, _, _) = pool_with(&data, PoolConfig::default());
         pool.shutdown();
         let t = data.slots(Split::Test)[0];
         let reply = pool.submit("stgnn", t).recv().unwrap();

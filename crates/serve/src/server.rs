@@ -45,6 +45,9 @@ pub struct ServeConfig {
     pub cache_capacity: usize,
     /// Deadline applied when a request doesn't pass `deadline_ms`.
     pub default_deadline: Duration,
+    /// Socket read timeout per connection. A client that connects and then
+    /// stalls mid-request would otherwise pin its handler thread forever.
+    pub read_timeout: Duration,
     /// Test hook: delay every forward pass (exercises degradation).
     pub forward_delay: Option<Duration>,
 }
@@ -58,6 +61,7 @@ impl Default for ServeConfig {
             max_batch: 64,
             cache_capacity: 256,
             default_deadline: Duration::from_millis(250),
+            read_timeout: Duration::from_secs(2),
             forward_delay: None,
         }
     }
@@ -121,6 +125,7 @@ impl Server {
             default_deadline: config.default_deadline,
         });
         let accept_shutdown = Arc::clone(&shutdown);
+        let read_timeout = config.read_timeout;
         let accept_handle = thread::Builder::new()
             .name("stgnn-serve-accept".into())
             .spawn(move || {
@@ -129,6 +134,10 @@ impl Server {
                         break;
                     }
                     let Ok(mut stream) = stream else { continue };
+                    // A stalled client must not pin its handler thread:
+                    // reads give up after the timeout, `read_request`
+                    // returns None, and the connection is dropped.
+                    let _ = stream.set_read_timeout(Some(read_timeout));
                     let ctx = Arc::clone(&ctx);
                     // Thread-per-connection: each handler blocks on its own
                     // deadline, so handlers must not share a thread.

@@ -20,6 +20,12 @@
 //! shapes are fully determined by configuration validated up front — and
 //! threading `Result` through every arithmetic expression would bury the
 //! model equations. The panic messages carry the op name and both shapes.
+//!
+//! Code whose shapes are *not* validated up front — anything fed by an
+//! external request, such as a serving worker — must use the fallible
+//! variants ([`Var::try_matmul`], [`Var::try_transpose`]) which surface the
+//! mismatch as a [`crate::Error`] at graph-build time instead of killing
+//! the thread.
 
 use crate::shape::Shape;
 use crate::tensor::Tensor;
@@ -393,20 +399,43 @@ impl Var {
     // ------------------------------------------------------------------
 
     /// Matrix product.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch — appropriate when shapes come from
+    /// validated configuration. Code whose shapes come from the outside
+    /// (e.g. a serving request) must use [`Var::try_matmul`].
     pub fn matmul(&self, rhs: &Var) -> Var {
+        self.try_matmul(rhs).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Matrix product, surfacing shape mismatches as [`crate::Error`] at
+    /// graph-build time instead of panicking mid-tape. The backward pass
+    /// stays infallible: once the forward shapes check out, the gradient
+    /// shapes are determined.
+    pub fn try_matmul(&self, rhs: &Var) -> crate::Result<Var> {
         let (av, bv) = (self.value(), rhs.value());
-        let out = av.matmul(&bv).unwrap_or_else(|e| panic!("{e}"));
-        self.binary(rhs, out, move |g| {
+        let out = av.matmul(&bv)?;
+        Ok(self.binary(rhs, out, move |g| {
             let ga = g.matmul(&bv.transpose().unwrap()).unwrap();
             let gb = av.transpose().unwrap().matmul(g).unwrap();
             (ga, gb)
-        })
+        }))
     }
 
     /// Matrix transpose.
+    ///
+    /// # Panics
+    /// Panics when the value is not rank-2; see [`Var::try_transpose`] for
+    /// the fallible form.
     pub fn transpose(&self) -> Var {
-        let out = self.value().transpose().unwrap_or_else(|e| panic!("{e}"));
-        self.unary(out, |g| g.transpose().unwrap())
+        self.try_transpose().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Matrix transpose, surfacing rank errors as [`crate::Error`] at
+    /// graph-build time instead of panicking mid-tape.
+    pub fn try_transpose(&self) -> crate::Result<Var> {
+        let out = self.value().transpose()?;
+        Ok(self.unary(out, |g| g.transpose().unwrap()))
     }
 
     /// Reinterprets under a new shape of equal length.
@@ -1069,6 +1098,31 @@ mod tests {
         let p = ps.add("p", t(&[&[1.0, 1.0]]));
         p.accumulate_grad(&t(&[&[3.0, 4.0]]));
         assert!((ps.grad_norm() - 5.0).abs() < 1e-6);
+    }
+
+    /// Regression: shape mismatches used to be unreachable except as a
+    /// `panic!` inside the tape; the `try_` forms must surface them as
+    /// errors at graph-build time and leave the graph usable.
+    #[test]
+    fn try_matmul_and_try_transpose_surface_shape_errors() {
+        let g = Graph::new();
+        let a = g.leaf(t(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let bad = g.leaf(t(&[&[1.0, 2.0, 3.0]])); // 1×3: inner dims clash
+        let err = a.try_matmul(&bad).unwrap_err();
+        assert!(err.to_string().contains("matmul"), "{err}");
+
+        let scalar = g.leaf(Tensor::from_scalar(1.0));
+        assert!(scalar.try_transpose().is_err());
+
+        // The same graph keeps working after a failed build step, and the
+        // fallible path is gradient-equivalent to the panicking one.
+        let b = g.leaf(t(&[&[1.0], &[1.0]]));
+        let y = a.try_matmul(&b).unwrap().sum_all();
+        assert_eq!(y.value().scalar(), 10.0);
+        y.backward();
+
+        let ok = a.try_transpose().unwrap();
+        assert_eq!(ok.value().data(), &[1.0, 3.0, 2.0, 4.0]);
     }
 
     #[test]

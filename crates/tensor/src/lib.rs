@@ -19,6 +19,10 @@
 //! * [`optim`] — SGD and Adam (the paper trains with Adam, §VII-C).
 //! * [`loss`] — MSE/MAE building blocks and the paper's joint
 //!   demand–supply loss (Eq 21).
+//! * [`par`] — a persistent work-chunking thread pool the hot kernels
+//!   (`matmul`, `softmax_rows`, the broadcasts) dispatch through; sized by
+//!   `STGNN_THREADS` / `available_parallelism()`, bit-for-bit deterministic
+//!   in the thread count.
 //!
 //! The engine is deliberately CPU-only and `f32`-only: the model operates on
 //! `n×n` station matrices (n in the tens to hundreds), where a cache-friendly
@@ -41,6 +45,7 @@ pub mod error;
 pub mod loss;
 pub mod nn;
 pub mod optim;
+pub mod par;
 pub mod serialize;
 pub mod shape;
 pub mod tensor;

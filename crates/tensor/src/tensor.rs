@@ -6,9 +6,15 @@
 //! forward values instead of duplicating every `n×n` matrix.
 
 use crate::error::{Error, Result};
+use crate::par;
 use crate::shape::Shape;
 use std::fmt;
 use std::sync::Arc;
+
+/// Minimum per-chunk work (in scalar ops) before a kernel dispatches to the
+/// [`par`] pool. Below this the synchronisation overhead outweighs the loop;
+/// row-grain per kernel is derived as `PAR_GRAIN_OPS / ops-per-row`.
+const PAR_GRAIN_OPS: usize = 4096;
 
 /// A dense, row-major `f32` tensor.
 #[derive(Clone)]
@@ -176,10 +182,17 @@ impl Tensor {
     // ------------------------------------------------------------------
 
     /// Applies `f` to every element.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        let data = self.data.iter().map(|&x| f(x)).collect();
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        let src = self.data();
+        let mut out = vec![0.0f32; src.len()];
+        par::for_each_row_chunk_mut(&mut out, 1, PAR_GRAIN_OPS, |first, window| {
+            let end = first + window.len();
+            for (o, &x) in window.iter_mut().zip(&src[first..end]) {
+                *o = f(x);
+            }
+        });
         Tensor {
-            data: Arc::new(data),
+            data: Arc::new(out),
             shape: self.shape.clone(),
         }
     }
@@ -189,7 +202,7 @@ impl Tensor {
         &self,
         rhs: &Tensor,
         op: &'static str,
-        f: impl Fn(f32, f32) -> f32,
+        f: impl Fn(f32, f32) -> f32 + Sync,
     ) -> Result<Tensor> {
         if self.shape != rhs.shape {
             return Err(Error::ShapeMismatch {
@@ -198,14 +211,16 @@ impl Tensor {
                 rhs: rhs.shape.dims().to_vec(),
             });
         }
-        let data = self
-            .data
-            .iter()
-            .zip(rhs.data.iter())
-            .map(|(&a, &b)| f(a, b))
-            .collect();
+        let (a, b) = (self.data(), rhs.data());
+        let mut out = vec![0.0f32; a.len()];
+        par::for_each_row_chunk_mut(&mut out, 1, PAR_GRAIN_OPS, |first, window| {
+            let end = first + window.len();
+            for ((o, &x), &y) in window.iter_mut().zip(&a[first..end]).zip(&b[first..end]) {
+                *o = f(x, y);
+            }
+        });
         Ok(Tensor {
-            data: Arc::new(data),
+            data: Arc::new(out),
             shape: self.shape.clone(),
         })
     }
@@ -293,7 +308,10 @@ impl Tensor {
     ///
     /// Uses an i-k-j loop order so the inner loop streams rows of both the
     /// output and `rhs` — cache friendly without blocking at the `n ≤ ~1000`
-    /// sizes this reproduction works at.
+    /// sizes this reproduction works at. Output rows are computed in
+    /// parallel chunks; each row accumulates independently in the serial
+    /// loop order, so the result is bit-for-bit identical at any thread
+    /// count.
     pub fn matmul(&self, rhs: &Tensor) -> Result<Tensor> {
         let (m, k) = self.shape.as_matrix("matmul")?;
         let (k2, n) = rhs.shape.as_matrix("matmul")?;
@@ -307,31 +325,41 @@ impl Tensor {
         let a = self.data();
         let b = rhs.data();
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &a[i * k..(i + 1) * k];
-            let o_row = &mut out[i * n..(i + 1) * n];
-            for (p, &av) in a_row.iter().enumerate() {
-                if av == 0.0 {
-                    continue; // flow matrices are sparse; skipping zeros is a real win
-                }
-                let b_row = &b[p * n..(p + 1) * n];
-                for (o, &bv) in o_row.iter_mut().zip(b_row) {
-                    *o += av * bv;
+        let grain = (PAR_GRAIN_OPS / (k * n).max(1)).max(1);
+        par::for_each_row_chunk_mut(&mut out, n, grain, |first_row, window| {
+            for (r, o_row) in window.chunks_mut(n).enumerate() {
+                let i = first_row + r;
+                let a_row = &a[i * k..(i + 1) * k];
+                for (p, &av) in a_row.iter().enumerate() {
+                    if av == 0.0 {
+                        continue; // flow matrices are sparse; skipping zeros is a real win
+                    }
+                    let b_row = &b[p * n..(p + 1) * n];
+                    for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                        *o += av * bv;
+                    }
                 }
             }
-        }
+        });
         Tensor::from_vec(Shape::matrix(m, n), out)
     }
 
     /// Transpose of a rank-2 tensor.
     pub fn transpose(&self) -> Result<Tensor> {
         let (r, c) = self.shape.as_matrix("transpose")?;
+        let data = self.data();
         let mut out = vec![0.0f32; r * c];
-        for i in 0..r {
-            for j in 0..c {
-                out[j * r + i] = self.data[i * c + j];
+        // Parallel over output rows (input columns); each gathers one
+        // strided column of the input.
+        let grain = (PAR_GRAIN_OPS / r.max(1)).max(1);
+        par::for_each_row_chunk_mut(&mut out, r, grain, |first_col, window| {
+            for (jj, o_row) in window.chunks_mut(r).enumerate() {
+                let j = first_col + jj;
+                for (i, o) in o_row.iter_mut().enumerate() {
+                    *o = data[i * c + j];
+                }
             }
-        }
+        });
         Tensor::from_vec(Shape::matrix(c, r), out)
     }
 
@@ -431,11 +459,15 @@ impl Tensor {
             });
         }
         let mut out = self.data.as_ref().clone();
-        for i in 0..r {
-            for j in 0..c {
-                out[i * c + j] += row.data[j];
+        let v = row.data();
+        let grain = (PAR_GRAIN_OPS / c.max(1)).max(1);
+        par::for_each_row_chunk_mut(&mut out, c, grain, |_, window| {
+            for o_row in window.chunks_mut(c) {
+                for (o, &b) in o_row.iter_mut().zip(v) {
+                    *o += b;
+                }
             }
-        }
+        });
         Tensor::from_vec(Shape::matrix(r, c), out)
     }
 
@@ -451,12 +483,16 @@ impl Tensor {
             });
         }
         let mut out = self.data.as_ref().clone();
-        for i in 0..r {
-            let v = col.data[i];
-            for j in 0..c {
-                out[i * c + j] += v;
+        let v = col.data();
+        let grain = (PAR_GRAIN_OPS / c.max(1)).max(1);
+        par::for_each_row_chunk_mut(&mut out, c, grain, |first_row, window| {
+            for (i, o_row) in window.chunks_mut(c).enumerate() {
+                let b = v[first_row + i];
+                for o in o_row.iter_mut() {
+                    *o += b;
+                }
             }
-        }
+        });
         Tensor::from_vec(Shape::matrix(r, c), out)
     }
 
@@ -472,12 +508,16 @@ impl Tensor {
             });
         }
         let mut out = self.data.as_ref().clone();
-        for i in 0..r {
-            let v = col.data[i];
-            for j in 0..c {
-                out[i * c + j] *= v;
+        let v = col.data();
+        let grain = (PAR_GRAIN_OPS / c.max(1)).max(1);
+        par::for_each_row_chunk_mut(&mut out, c, grain, |first_row, window| {
+            for (i, o_row) in window.chunks_mut(c).enumerate() {
+                let b = v[first_row + i];
+                for o in o_row.iter_mut() {
+                    *o *= b;
+                }
             }
-        }
+        });
         Tensor::from_vec(Shape::matrix(r, c), out)
     }
 
@@ -535,22 +575,38 @@ impl Tensor {
     }
 
     /// Numerically-stable row-wise softmax of a rank-2 tensor.
+    ///
+    /// A fully-masked row (every entry `-∞`, e.g. a station whose pairs are
+    /// all masked out of the attention) has no finite maximum; dividing by
+    /// its zero sum would emit NaN and poison the whole backward pass.
+    /// Such rows come back as the uniform distribution `1/c` instead —
+    /// attention spread evenly, matching the softmax limit as a symmetric
+    /// mask lifts.
     pub fn softmax_rows(&self) -> Result<Tensor> {
         let (r, c) = self.shape.as_matrix("softmax_rows")?;
+        let data = self.data();
         let mut out = vec![0.0f32; r * c];
-        for i in 0..r {
-            let row = self.row(i);
-            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut sum = 0.0f32;
-            for (o, &x) in out[i * c..(i + 1) * c].iter_mut().zip(row) {
-                let e = (x - m).exp();
-                *o = e;
-                sum += e;
+        let grain = (PAR_GRAIN_OPS / c.max(1)).max(1);
+        par::for_each_row_chunk_mut(&mut out, c, grain, |first_row, window| {
+            for (rr, o_row) in window.chunks_mut(c).enumerate() {
+                let i = first_row + rr;
+                let row = &data[i * c..(i + 1) * c];
+                let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                if m == f32::NEG_INFINITY {
+                    o_row.fill(1.0 / c as f32);
+                    continue;
+                }
+                let mut sum = 0.0f32;
+                for (o, &x) in o_row.iter_mut().zip(row) {
+                    let e = (x - m).exp();
+                    *o = e;
+                    sum += e;
+                }
+                for o in o_row.iter_mut() {
+                    *o /= sum;
+                }
             }
-            for o in &mut out[i * c..(i + 1) * c] {
-                *o /= sum;
-            }
-        }
+        });
         Tensor::from_vec(Shape::matrix(r, c), out)
     }
 
@@ -775,5 +831,73 @@ mod tests {
     fn frobenius_norm_known() {
         let a = t(&[&[3.0, 4.0]]);
         assert!((a.frobenius_norm() - 5.0).abs() < 1e-6);
+    }
+
+    /// Regression: a fully-masked attention row (all `-inf`) used to divide
+    /// by a zero sum and emit NaN; it must come back uniform instead.
+    #[test]
+    fn softmax_fully_masked_row_is_uniform_not_nan() {
+        let ninf = f32::NEG_INFINITY;
+        let a = t(&[&[ninf, ninf, ninf, ninf], &[0.0, 0.0, ninf, ninf]]);
+        let s = a.softmax_rows().unwrap();
+        assert!(
+            s.data().iter().all(|v| v.is_finite()),
+            "masked row leaked NaN/inf: {s:?}"
+        );
+        assert_eq!(s.row(0), &[0.25; 4], "fully-masked row must be uniform");
+        // Partially-masked rows keep exact softmax semantics.
+        assert!((s.get2(1, 0) - 0.5).abs() < 1e-6);
+        assert_eq!(s.get2(1, 2), 0.0);
+        assert!((s.row(1).iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    /// The determinism contract of `tensor::par`: every parallelised kernel
+    /// must produce bit-for-bit identical buffers at 1 thread and 4 threads.
+    #[test]
+    fn kernels_are_bitwise_identical_across_thread_counts() {
+        // Pseudo-random but deterministic inputs, big enough to cross the
+        // parallel dispatch thresholds.
+        let n = 97;
+        let fill = |seed: u32| -> Tensor {
+            let mut state = seed;
+            let data = (0..n * n)
+                .map(|_| {
+                    state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                    (state >> 8) as f32 / (1 << 24) as f32 - 0.5
+                })
+                .collect();
+            Tensor::from_vec(Shape::matrix(n, n), data).unwrap()
+        };
+        let a = fill(1);
+        let b = fill(2);
+        let col = a.sum_cols().unwrap();
+        let row = a.sum_rows().unwrap();
+
+        let run = || {
+            vec![
+                a.matmul(&b).unwrap(),
+                a.softmax_rows().unwrap(),
+                a.transpose().unwrap(),
+                a.add(&b).unwrap(),
+                a.map(|x| x.tanh()),
+                a.add_row_broadcast(&row).unwrap(),
+                a.add_col_broadcast(&col).unwrap(),
+                a.mul_col_broadcast(&col).unwrap(),
+            ]
+        };
+        par::set_thread_override(Some(1));
+        let serial = run();
+        par::set_thread_override(Some(4));
+        let parallel = run();
+        par::set_thread_override(None);
+
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(
+                s.data(),
+                p.data(),
+                "thread count changed kernel bits (shape {})",
+                s.shape()
+            );
+        }
     }
 }

@@ -2,6 +2,8 @@
 //! server on an ephemeral port, register a model, and drive it with the
 //! bundled blocking client the way a fleet of provider dashboards would.
 
+use std::io::{Read, Write};
+use std::net::TcpStream;
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
@@ -166,6 +168,52 @@ fn slow_model_degrades_to_ha_within_the_deadline() {
     let demand = r.json_field("demand").unwrap();
     assert!(demand.starts_with('['), "{demand}");
     assert_eq!(server.metrics_snapshot().fallbacks, 1);
+
+    server.shutdown();
+}
+
+/// Regression: a client that connects and then stalls mid-request used to
+/// pin its handler thread forever (no socket read timeout). The server must
+/// cut the connection after `read_timeout` and keep serving others.
+#[test]
+fn stalled_client_is_dropped_and_does_not_wedge_the_server() {
+    let data = dataset();
+    let t = data.slots(Split::Test)[0];
+    let mut server = Server::start(
+        Arc::clone(&data),
+        ServeConfig {
+            read_timeout: Duration::from_millis(100),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    register_model(&server, &data, 7);
+    let addr = server.addr();
+
+    // A client that sends half a request line and then goes silent.
+    let mut stalled = TcpStream::connect(addr).unwrap();
+    stalled.write_all(b"GET /pred").unwrap();
+    stalled.flush().unwrap();
+
+    // While it stalls, normal clients are served as usual.
+    let path = format!("/predict?model=stgnn&slot={t}&deadline_ms=30000");
+    let healthy = client::get(addr, &path).unwrap();
+    assert_eq!(healthy.status, 200, "{}", healthy.body);
+
+    // The server hangs up on the stalled connection once the read timeout
+    // fires: the client observes EOF, well before any multi-second hang.
+    let started = Instant::now();
+    stalled
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut buf = [0u8; 64];
+    let n = stalled.read(&mut buf).unwrap_or(0);
+    assert_eq!(n, 0, "expected EOF, got {n} bytes");
+    assert!(
+        started.elapsed() < Duration::from_secs(2),
+        "connection lingered {:?} despite the 100 ms read timeout",
+        started.elapsed()
+    );
 
     server.shutdown();
 }
