@@ -1,0 +1,56 @@
+//! Validates the real STGNN-DJD tapes — training (Eq 21 loss root) and
+//! inference (demand/supply roots) — and prints the analyzer reports with
+//! their FLOP/memory cost tables. Exits nonzero if either tape carries a
+//! `Deny` diagnostic, so CI can run this as a smoke gate:
+//!
+//! ```text
+//! cargo run -p stgnn-analyze --example validate_stgnn
+//! ```
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use stgnn_core::{StgnnConfig, StgnnDjd};
+use stgnn_data::dataset::{BikeDataset, DatasetConfig};
+use stgnn_data::synthetic::{CityConfig, SyntheticCity};
+
+fn main() -> ExitCode {
+    let city = SyntheticCity::generate(CityConfig::test_tiny(7));
+    let data = match BikeDataset::from_city(&city, DatasetConfig::small(6, 2)) {
+        Ok(d) => Arc::new(d),
+        Err(e) => {
+            eprintln!("dataset construction failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let model = match StgnnDjd::new(StgnnConfig::test_tiny(6, 2), data.n_stations()) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("model construction failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let slot = data.first_valid_slot();
+
+    let mut ok = true;
+    for (label, report) in [
+        ("training tape", model.validate_training_tape(&data, slot)),
+        ("inference tape", model.validate_inference_tape(&data, slot)),
+    ] {
+        match report {
+            Ok(r) => {
+                println!("== {label} (slot {slot}) ==");
+                print!("{}", r.render());
+                ok &= r.is_clean();
+            }
+            Err(e) => {
+                eprintln!("{label}: probe failed: {e}");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

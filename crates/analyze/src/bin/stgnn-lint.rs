@@ -1,0 +1,53 @@
+//! CI entry point for the source-policy checker. See
+//! [`stgnn_analyze::lint`] for the rules, codes and escapes.
+//!
+//! Usage: `cargo run -p stgnn-analyze --bin stgnn-lint [workspace-root]`
+//!
+//! Exits nonzero iff an unsuppressed deny-level violation exists; warnings
+//! are printed but never fail the run.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use stgnn_analyze::lint::lint_workspace;
+use stgnn_analyze::Severity;
+
+fn workspace_root() -> PathBuf {
+    if let Some(arg) = std::env::args().nth(1) {
+        return PathBuf::from(arg);
+    }
+    // crates/analyze -> workspace root, so the binary works from any cwd
+    // under `cargo run`.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn main() -> ExitCode {
+    let root = workspace_root();
+    let (violations, scanned) = match lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("stgnn-lint: cannot walk {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for v in &violations {
+        println!("{v}");
+    }
+    let denies = violations
+        .iter()
+        .filter(|v| v.severity == Severity::Deny)
+        .count();
+    let warns = violations.len() - denies;
+    println!("stgnn-lint: {scanned} files scanned, {denies} denied, {warns} warned");
+    if denies > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,36 @@
+//! # stgnn-analyze
+//!
+//! Static analysis for the STGNN-DJD stack, in two coordinated passes:
+//!
+//! * [`tape`] — a **pre-execution tape validator**. STGNN-DJD builds its
+//!   graphs *from data* every slot (FCG Eq 10, PCG Eqs 11–12), so a
+//!   malformed checkpoint, a degenerate flow matrix, or a refactor that
+//!   disconnects a parameter from the Eq 21 loss fails silently at runtime.
+//!   [`validate_tape`] proves a [`stgnn_tensor::autograd::TapeSnapshot`]
+//!   well-formed before any kernel runs: symbolic shape inference
+//!   cross-checked against the recorded shapes, gradient-path reachability
+//!   for every parameter, dead-subgraph detection, NaN-risk abstract
+//!   interpretation, and per-op FLOP/memory estimates. Diagnostics carry a
+//!   [`Severity`] (`Deny`/`Warn`/`Note`), op provenance, and a stable
+//!   [`diag::codes`] code (`A001`…). `Trainer::train` fails fast on `Deny`
+//!   before epoch 0, and the serve registry refuses to hot-swap a candidate
+//!   whose probe tape carries one.
+//! * [`lint`] — **`stgnn-lint`**, a hand-rolled lexer-based source checker
+//!   (no crates.io dependencies, like `stgnn_tensor::par`'s hand-rolled
+//!   pool) that walks `crates/*/src` and forbids panic-paths
+//!   (`unwrap()`/`expect()`/`panic!`/slice-indexing) in non-test code of
+//!   the hot-path crates, flags locks held across `forward` calls, and
+//!   honors `// lint: allow(<code>)` escapes. Run as a CI gate via
+//!   `cargo run -p stgnn-analyze --bin stgnn-lint`.
+//!
+//! The crate depends only on `stgnn-tensor`, so every model-level crate
+//! (core, serve, bench) can embed the validator without a dependency cycle;
+//! the example and tests exercising the real `StgnnDjd` tape use
+//! dev-dependencies.
+
+pub mod diag;
+pub mod lint;
+pub mod tape;
+
+pub use diag::{codes, Diagnostic, OpCost, Report, Severity};
+pub use tape::{infer_shape, lower_bounds, validate_tape};

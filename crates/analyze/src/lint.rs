@@ -1,0 +1,802 @@
+//! `stgnn-lint`: a hand-rolled, lexer-based source-policy checker.
+//!
+//! No crates.io parser — a character scanner masks comments, string/char
+//! literals and raw strings out of each file (preserving byte offsets and
+//! line structure), then plain substring scans over the masked text detect
+//! the policy violations. Test code (`#[cfg(test)]` modules, `#[test]`
+//! functions, `tests/`/`benches/`/`examples/` trees) is exempt: the policy
+//! protects *request and training paths*, not assertions.
+//!
+//! ## Codes
+//!
+//! | code | severity | finding |
+//! |------|----------|---------|
+//! | `L001` | deny | `.unwrap()` in non-test code |
+//! | `L002` | deny | `.expect(...)` in non-test code |
+//! | `L003` | deny | `panic!(...)` in non-test code |
+//! | `L004` | deny | slice/array indexing `x[...]` in non-test code |
+//! | `L005` | warn | lock guard bound across a `forward`/`predict_horizon` call |
+//!
+//! ## Escapes
+//!
+//! * `// lint: allow(L001)` — on the offending line, or alone on the line
+//!   directly above it. A one-line invariant after the code is the house
+//!   style: `// lint: allow(L001): channel capacity checked above`.
+//! * `// lint: allow-file(L004): <invariant>` — anywhere in the file;
+//!   grandfathers a whole file for that code. Used by the row-major tensor
+//!   kernels, whose indexing is shape-checked up front by `as_matrix`.
+//!
+//! ## Policy
+//!
+//! Hot-path crates (`tensor`, `graph`, `serve`) get the full table; other
+//! crates are scanned but nothing is forbidden there yet. `L005` is a
+//! heuristic (brace-depth tracking of `let`-bound `.lock()`/`.read()`/
+//! `.write()` guards), so it warns instead of denying.
+
+use crate::diag::Severity;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Stable source-lint codes (`L0xx`); tape-validator codes (`A0xx`) live in
+/// [`crate::diag::codes`].
+pub mod codes {
+    /// `.unwrap()` on a request/training path.
+    pub const UNWRAP: &str = "L001";
+    /// `.expect(...)` on a request/training path.
+    pub const EXPECT: &str = "L002";
+    /// `panic!(...)` on a request/training path.
+    pub const PANIC: &str = "L003";
+    /// Panicking slice/array indexing on a request/training path.
+    pub const INDEX: &str = "L004";
+    /// Lock guard held across a `forward`/`predict_horizon` call.
+    pub const LOCK_ACROSS_FORWARD: &str = "L005";
+}
+
+/// What `stgnn-lint` forbids in one crate.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Policy {
+    /// Forbid `.unwrap()` (`L001`).
+    pub unwrap: bool,
+    /// Forbid `.expect(...)` (`L002`).
+    pub expect: bool,
+    /// Forbid `panic!(...)` (`L003`).
+    pub panic: bool,
+    /// Forbid slice/array indexing (`L004`).
+    pub index: bool,
+    /// Warn on lock guards held across forward calls (`L005`).
+    pub locks: bool,
+}
+
+impl Policy {
+    /// The full hot-path policy.
+    pub fn hot_path() -> Policy {
+        Policy {
+            unwrap: true,
+            expect: true,
+            panic: true,
+            index: true,
+            locks: true,
+        }
+    }
+
+    /// The policy for a workspace crate directory name, or `None` when the
+    /// crate is not linted. Hot-path crates — the ones a malformed request
+    /// or checkpoint reaches — get the full table.
+    pub fn for_crate(name: &str) -> Option<Policy> {
+        match name {
+            "tensor" | "graph" | "serve" => Some(Policy::hot_path()),
+            _ => None,
+        }
+    }
+}
+
+/// One policy violation.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Stable code from [`codes`].
+    pub code: &'static str,
+    /// Gate level (`Deny` fails the lint run, `Warn` is reported only).
+    pub severity: Severity,
+    /// File the finding is in (workspace-relative when produced by
+    /// [`lint_workspace`]).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable finding.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} [{}] {}",
+            self.file, self.line, self.code, self.severity, self.message
+        )
+    }
+}
+
+/// Per-line allow state parsed from `// lint: allow(...)` comments.
+#[derive(Default)]
+struct Allows {
+    /// Codes allowed for the whole file.
+    file: Vec<String>,
+    /// `(line, code)` pairs (0-based lines).
+    lines: Vec<(usize, String)>,
+}
+
+impl Allows {
+    fn permits(&self, line: usize, code: &str) -> bool {
+        self.file.iter().any(|c| c == code)
+            || self.lines.iter().any(|(l, c)| *l == line && c == code)
+    }
+}
+
+/// The masked source: comments and literals replaced by spaces (newlines
+/// kept), plus the allow-escapes harvested from line comments and the
+/// byte ranges of test-only code.
+struct MaskedSource {
+    text: Vec<u8>,
+    line_starts: Vec<usize>,
+    allows: Allows,
+    test_ranges: Vec<(usize, usize)>,
+}
+
+impl MaskedSource {
+    fn line_of(&self, offset: usize) -> usize {
+        match self.line_starts.binary_search(&offset) {
+            Ok(l) => l,
+            Err(l) => l - 1,
+        }
+    }
+
+    fn in_test(&self, offset: usize) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(s, e)| s <= offset && offset < e)
+    }
+}
+
+/// Masks comments, strings and char literals out of `src`, harvesting
+/// `// lint: allow(...)` escapes along the way.
+fn mask(src: &str) -> MaskedSource {
+    let bytes = src.as_bytes();
+    let mut out = bytes.to_vec();
+    let mut allows = Allows::default();
+    let mut line_starts = vec![0usize];
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'\n' {
+            line_starts.push(i + 1);
+        }
+    }
+    let line_of = |offset: usize| match line_starts.binary_search(&offset) {
+        Ok(l) => l,
+        Err(l) => l - 1,
+    };
+
+    let blank = |out: &mut [u8], range: std::ops::Range<usize>| {
+        for i in range {
+            if out[i] != b'\n' {
+                out[i] = b' ';
+            }
+        }
+    };
+
+    let mut i = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let end = bytes[i..]
+                    .iter()
+                    .position(|&b| b == b'\n')
+                    .map_or(bytes.len(), |p| i + p);
+                let comment = &src[i..end];
+                let line = line_of(i);
+                // A comment alone on its line annotates the next line;
+                // a trailing comment annotates its own.
+                let standalone = src[line_starts[line]..i].trim().is_empty();
+                harvest_allows(comment, line, standalone, &mut allows);
+                blank(&mut out, i..end);
+                i = end;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < bytes.len() && depth > 0 {
+                    if bytes[j] == b'/' && bytes.get(j + 1) == Some(&b'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if bytes[j] == b'*' && bytes.get(j + 1) == Some(&b'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                blank(&mut out, i..j);
+                i = j;
+            }
+            b'r' | b'b' if is_raw_string_start(bytes, i) => {
+                let j = skip_raw_string(bytes, i);
+                blank(&mut out, i..j);
+                i = j;
+            }
+            b'"' => {
+                let j = skip_string(bytes, i);
+                blank(&mut out, i..j);
+                i = j;
+            }
+            b'\'' => {
+                // Lifetime (`'a`, `'static`) vs char literal (`'a'`, `'\n'`):
+                // a lifetime's ident is not followed by a closing quote.
+                let next = bytes.get(i + 1).copied().unwrap_or(0);
+                let is_lifetime = (next.is_ascii_alphabetic() || next == b'_')
+                    && bytes.get(i + 2) != Some(&b'\'');
+                if is_lifetime {
+                    i += 2;
+                } else {
+                    let j = skip_char_literal(bytes, i);
+                    blank(&mut out, i..j);
+                    i = j;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+
+    // Resolve standalone allow comments to the next line that carries code
+    // (in the masked text, comment continuation lines are all blank), so a
+    // multi-line invariant comment still annotates the statement below it.
+    let masked_line_blank = |l: usize| {
+        let start = line_starts[l];
+        let end = line_starts.get(l + 1).copied().unwrap_or(out.len());
+        out[start..end].iter().all(|&b| b == b' ' || b == b'\n')
+    };
+    for (line, _) in allows.lines.iter_mut() {
+        if *line >= line_starts.len() {
+            continue;
+        }
+        if masked_line_blank(*line) {
+            let mut l = *line;
+            while l + 1 < line_starts.len() && masked_line_blank(l) {
+                l += 1;
+            }
+            *line = l;
+        }
+    }
+
+    let test_ranges = find_test_ranges(&out);
+    MaskedSource {
+        text: out,
+        line_starts,
+        allows,
+        test_ranges,
+    }
+}
+
+fn harvest_allows(comment: &str, line: usize, standalone: bool, allows: &mut Allows) {
+    for (marker, file_level) in [("lint: allow-file(", true), ("lint: allow(", false)] {
+        let Some(pos) = comment.find(marker) else {
+            continue;
+        };
+        let rest = &comment[pos + marker.len()..];
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        for code in rest[..close].split(',') {
+            let code = code.trim().to_string();
+            if code.is_empty() {
+                continue;
+            }
+            if file_level {
+                allows.file.push(code);
+            } else {
+                let target = if standalone { line + 1 } else { line };
+                allows.lines.push((target, code));
+            }
+        }
+        return; // one marker per comment
+    }
+}
+
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    // r"...", r#"..."#, br"...", b"..." is handled by `"` unless raw.
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'r') {
+        return false;
+    }
+    j += 1;
+    while bytes.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    // Reject identifiers like `robust` — require the quote right after.
+    bytes.get(j) == Some(&b'"')
+        && !ident_char(bytes.get(i.wrapping_sub(1)).copied().unwrap_or(b' '))
+}
+
+fn skip_raw_string(bytes: &[u8], i: usize) -> usize {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    j += 1; // 'r'
+    let mut hashes = 0usize;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    j += 1; // opening quote
+    while j < bytes.len() {
+        if bytes[j] == b'"' {
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while seen < hashes && bytes.get(k) == Some(&b'#') {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return k;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+fn skip_string(bytes: &[u8], i: usize) -> usize {
+    let mut j = i + 1;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+fn skip_char_literal(bytes: &[u8], i: usize) -> usize {
+    let mut j = i + 1;
+    while j < bytes.len() && j < i + 12 {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'\'' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+fn ident_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Byte ranges of `#[cfg(test)]` / `#[test]` items in the masked text: from
+/// the attribute to the close of the following brace-balanced block.
+fn find_test_ranges(masked: &[u8]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    for pat in [b"#[cfg(test)]".as_slice(), b"#[test]".as_slice()] {
+        let mut from = 0usize;
+        while let Some(pos) = find_from(masked, pat, from) {
+            from = pos + pat.len();
+            let Some(open) = masked[from..].iter().position(|&b| b == b'{') else {
+                continue;
+            };
+            let open = from + open;
+            let mut depth = 0usize;
+            let mut end = masked.len();
+            for (k, &b) in masked.iter().enumerate().skip(open) {
+                match b {
+                    b'{' => depth += 1,
+                    b'}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            end = k + 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            ranges.push((pos, end));
+            from = end;
+        }
+    }
+    ranges
+}
+
+fn find_from(haystack: &[u8], needle: &[u8], from: usize) -> Option<usize> {
+    if from >= haystack.len() {
+        return None;
+    }
+    haystack[from..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|p| p + from)
+}
+
+/// Lints one file's source under `policy`. `file` is the label used in
+/// findings. Returns the violations in source order.
+pub fn lint_file(file: &str, src: &str, policy: &Policy) -> Vec<Violation> {
+    let m = mask(src);
+    let mut out = Vec::new();
+    let mut push = |offset: usize, code: &'static str, severity: Severity, message: String| {
+        if m.in_test(offset) {
+            return;
+        }
+        let line = m.line_of(offset);
+        if m.allows.permits(line, code) {
+            return;
+        }
+        out.push(Violation {
+            code,
+            severity,
+            file: file.to_string(),
+            line: line + 1,
+            message,
+        });
+    };
+
+    if policy.unwrap {
+        scan_method_call(&m.text, b".unwrap", |offset| {
+            push(
+                offset,
+                codes::UNWRAP,
+                Severity::Deny,
+                "`.unwrap()` panics on the hot path; return an error or annotate the invariant"
+                    .into(),
+            );
+        });
+    }
+    if policy.expect {
+        scan_method_call(&m.text, b".expect", |offset| {
+            push(
+                offset,
+                codes::EXPECT,
+                Severity::Deny,
+                "`.expect(...)` panics on the hot path; return an error or annotate the invariant"
+                    .into(),
+            );
+        });
+    }
+    if policy.panic {
+        let mut from = 0usize;
+        while let Some(pos) = find_from(&m.text, b"panic!", from) {
+            from = pos + 6;
+            let before = if pos == 0 { b' ' } else { m.text[pos - 1] };
+            if ident_char(before) {
+                continue; // e.g. `catch_panic!` or an identifier suffix
+            }
+            push(
+                pos,
+                codes::PANIC,
+                Severity::Deny,
+                "`panic!` kills the worker thread; return an error or annotate the invariant"
+                    .into(),
+            );
+        }
+    }
+    if policy.index {
+        for (pos, &b) in m.text.iter().enumerate() {
+            if b != b'[' {
+                continue;
+            }
+            // Indexing iff `[` directly follows an expression: identifier,
+            // `)`, or `]`. Attributes (`#[...]`) and macros (`vec![...]`)
+            // follow `#`/`!`; literals and generics follow `=`/`(`/`<`/ws.
+            let mut k = pos;
+            let prev = loop {
+                if k == 0 {
+                    break b' ';
+                }
+                k -= 1;
+                let c = m.text[k];
+                if c != b' ' && c != b'\n' {
+                    break c;
+                }
+            };
+            if ident_char(prev) || prev == b')' || prev == b']' {
+                push(
+                    pos,
+                    codes::INDEX,
+                    Severity::Deny,
+                    "slice indexing panics out of bounds; use .get()/.first() or annotate the \
+                     invariant"
+                        .into(),
+                );
+            }
+        }
+    }
+    if policy.locks {
+        lint_locks(&m, &mut push);
+    }
+    out.sort_by_key(|v| v.line);
+    out
+}
+
+/// `.name` followed by optional whitespace and `(`, with nothing joining
+/// the identifier (so `.unwrap_or_default()` never matches `.unwrap`).
+fn scan_method_call(masked: &[u8], pat: &[u8], mut hit: impl FnMut(usize)) {
+    let mut from = 0usize;
+    while let Some(pos) = find_from(masked, pat, from) {
+        from = pos + pat.len();
+        let mut k = pos + pat.len();
+        if k < masked.len() && ident_char(masked[k]) {
+            continue;
+        }
+        while k < masked.len() && (masked[k] == b' ' || masked[k] == b'\n') {
+            k += 1;
+        }
+        if masked.get(k) == Some(&b'(') {
+            hit(pos);
+        }
+    }
+}
+
+/// Heuristic for `L005`: a `let`-bound guard from a statement ending in
+/// `.lock();` / `.read();` / `.write();` is considered live until its block
+/// closes or `drop(<name>)` runs; a `forward(`/`predict_horizon(` call
+/// while one is live is flagged. Warn-level: brace tracking cannot see
+/// non-lexical lifetimes.
+fn lint_locks(m: &MaskedSource, push: &mut impl FnMut(usize, &'static str, Severity, String)) {
+    let mut depth = 0usize;
+    let mut guards: Vec<(String, usize)> = Vec::new(); // (binding, depth)
+    for (lineno, window) in m.line_starts.iter().enumerate() {
+        let start = *window;
+        let end = m
+            .line_starts
+            .get(lineno + 1)
+            .copied()
+            .unwrap_or(m.text.len());
+        let line = std::str::from_utf8(&m.text[start..end]).unwrap_or("");
+
+        if !guards.is_empty() {
+            for call in ["forward(", "predict_horizon("] {
+                if let Some(p) = line.find(call) {
+                    let names: Vec<&str> = guards.iter().map(|(n, _)| n.as_str()).collect();
+                    push(
+                        start + p,
+                        codes::LOCK_ACROSS_FORWARD,
+                        Severity::Warn,
+                        format!(
+                            "`{}` called while lock guard(s) [{}] are live; a slow forward \
+                             blocks every other worker on that lock",
+                            call.trim_end_matches('('),
+                            names.join(", ")
+                        ),
+                    );
+                }
+            }
+        }
+        if let Some(p) = line.find("drop(") {
+            let args = &line[p + 5..];
+            guards.retain(|(name, _)| !args.contains(name.as_str()));
+        }
+        let trimmed = line.trim_start();
+        if let Some(binding) = trimmed.strip_prefix("let ") {
+            let is_guard_bind = [".lock()", ".read()", ".write()"].iter().any(|acq| {
+                line.find(acq)
+                    .map(|p| line[p + acq.len()..].trim_start().starts_with(';'))
+                    .unwrap_or(false)
+            });
+            if is_guard_bind && line.contains('=') {
+                let name = binding
+                    .split('=')
+                    .next()
+                    .unwrap_or("")
+                    .trim()
+                    .trim_start_matches("mut ")
+                    .trim()
+                    .to_string();
+                if !name.is_empty() {
+                    guards.push((name, depth + 1));
+                }
+            }
+        }
+        for &b in line.as_bytes() {
+            match b {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth = depth.saturating_sub(1);
+                    guards.retain(|&(_, d)| d <= depth);
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted for deterministic
+/// output. `tests/`, `benches/` and `examples/` subtrees are skipped —
+/// the policy exempts test code.
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if matches!(name, "tests" | "benches" | "examples" | "target") {
+                continue;
+            }
+            rust_sources(&path, out)?;
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every policied crate under `<root>/crates`, returning the
+/// violations plus the number of files scanned.
+pub fn lint_workspace(root: &Path) -> std::io::Result<(Vec<Violation>, usize)> {
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+
+    let mut violations = Vec::new();
+    let mut scanned = 0usize;
+    for crate_dir in crate_dirs {
+        let name = crate_dir.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        let Some(policy) = Policy::for_crate(name) else {
+            continue;
+        };
+        let src_dir = crate_dir.join("src");
+        if !src_dir.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        rust_sources(&src_dir, &mut files)?;
+        for path in files {
+            scanned += 1;
+            let src = std::fs::read_to_string(&path)?;
+            let label = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .into_owned();
+            violations.extend(lint_file(&label, &src, &policy));
+        }
+    }
+    Ok((violations, scanned))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deny_codes(src: &str, policy: &Policy) -> Vec<&'static str> {
+        lint_file("test.rs", src, policy)
+            .into_iter()
+            .filter(|v| v.severity == Severity::Deny)
+            .map(|v| v.code)
+            .collect()
+    }
+
+    #[test]
+    fn detects_unwrap_expect_panic() {
+        let src = "fn f() {\n    x.unwrap();\n    y.expect(\"msg\");\n    panic!(\"boom\");\n}\n";
+        let codes = deny_codes(src, &Policy::hot_path());
+        assert_eq!(codes, vec![codes::UNWRAP, codes::EXPECT, codes::PANIC]);
+    }
+
+    #[test]
+    fn unwrap_or_variants_do_not_match() {
+        let src = "fn f() {\n    x.unwrap_or_default();\n    x.unwrap_or(0);\n    \
+                   x.unwrap_or_else(|| 0);\n    r.expect_err(\"e\");\n}\n";
+        assert!(deny_codes(src, &Policy::hot_path()).is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_are_masked() {
+        let src = "fn f() {\n    let s = \"call .unwrap() and panic!()\";\n    \
+                   // a comment mentioning x.unwrap()\n    /* panic!(\"no\") */\n    \
+                   let r = r#\"x.unwrap() [0]\"#;\n}\n";
+        assert!(deny_codes(src, &Policy::hot_path()).is_empty());
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_do_not_derail_the_lexer() {
+        let src = "fn f<'a>(x: &'a str) -> char {\n    let c = 'x';\n    let q = '\\'';\n    \
+                   y.unwrap();\n    c\n}\n";
+        assert_eq!(deny_codes(src, &Policy::hot_path()), vec![codes::UNWRAP]);
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "fn prod() { x.unwrap(); }\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    \
+                   fn t() { y.unwrap(); z.expect(\"in test\"); }\n}\n";
+        let v = lint_file("test.rs", src, &Policy::hot_path());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn test_attr_fn_outside_mod_is_exempt() {
+        let src = "#[test]\nfn t() { y.unwrap(); }\n\nfn prod() { x.unwrap(); }\n";
+        let v = lint_file("test.rs", src, &Policy::hot_path());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 4);
+    }
+
+    #[test]
+    fn allow_escapes_same_line_and_line_above() {
+        let src = "fn f() {\n    x.unwrap(); // lint: allow(L001): checked above\n    \
+                   // lint: allow(L001): also fine\n    y.unwrap();\n    z.unwrap();\n}\n";
+        let v = lint_file("test.rs", src, &Policy::hot_path());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 5);
+    }
+
+    #[test]
+    fn multi_line_standalone_allow_reaches_the_next_code_line() {
+        let src = "fn f() {\n    // lint: allow(L001): a long invariant that\n    \
+                   // spills onto a second comment line\n    x.unwrap();\n}\n";
+        assert!(deny_codes(src, &Policy::hot_path()).is_empty());
+    }
+
+    #[test]
+    fn allow_file_grandfathers_one_code_only() {
+        let src = "// lint: allow-file(L004): dense kernels index shape-checked buffers\n\
+                   fn f() {\n    let v = buf[i];\n    x.unwrap();\n}\n";
+        let codes = deny_codes(src, &Policy::hot_path());
+        assert_eq!(codes, vec![codes::UNWRAP]);
+    }
+
+    #[test]
+    fn indexing_detection_skips_attributes_macros_and_types() {
+        let src = "#[derive(Clone)]\nstruct S { a: [f32; 4] }\nfn f(v: &Vec<[f32; 2]>) {\n    \
+                   let x = vec![1, 2];\n    let y = v[0];\n    let z = f(a)[1];\n}\n";
+        let v = lint_file("test.rs", src, &Policy::hot_path());
+        let lines: Vec<usize> = v.iter().map(|v| v.line).collect();
+        assert_eq!(lines, vec![5, 6], "{v:?}");
+        assert!(v.iter().all(|v| v.code == codes::INDEX));
+    }
+
+    #[test]
+    fn lock_across_forward_warns_and_scoped_lock_does_not() {
+        let held = "fn f(&self) {\n    let guard = self.state.lock();\n    \
+                    let y = model.forward(&g, &inputs, false);\n}\n";
+        let v = lint_file("test.rs", held, &Policy::hot_path());
+        assert!(
+            v.iter().any(|v| v.code == codes::LOCK_ACROSS_FORWARD),
+            "{v:?}"
+        );
+        assert!(v.iter().all(|v| v.severity == Severity::Warn), "{v:?}");
+
+        let scoped = "fn f(&self) {\n    {\n        let guard = self.state.lock();\n        \
+                      guard.push(1);\n    }\n    let y = model.forward(&g, &inputs, false);\n}\n";
+        let v = lint_file("test.rs", scoped, &Policy::hot_path());
+        assert!(v.is_empty(), "{v:?}");
+
+        let dropped = "fn f(&self) {\n    let guard = self.state.lock();\n    drop(guard);\n    \
+                       let y = model.forward(&g, &inputs, false);\n}\n";
+        let v = lint_file("test.rs", dropped, &Policy::hot_path());
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn statement_scoped_lock_call_is_not_a_guard_binding() {
+        // `.lock()` immediately dereferenced: the guard dies at the `;`.
+        let src = "fn f(&self) {\n    let n = self.queue.lock().len();\n    \
+                   let y = model.forward(&g, &inputs, false);\n}\n";
+        let v = lint_file("test.rs", src, &Policy::hot_path());
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn policy_table_covers_hot_path_crates_only() {
+        assert!(Policy::for_crate("tensor").is_some());
+        assert!(Policy::for_crate("graph").is_some());
+        assert!(Policy::for_crate("serve").is_some());
+        assert!(Policy::for_crate("core").is_none());
+        assert!(Policy::for_crate("data").is_none());
+    }
+}

@@ -1,0 +1,203 @@
+//! Property-based tests for the tape validator.
+//!
+//! The core contract: for any tape the safe `Var` API can build, the
+//! analyzer's *symbolic* shape inference must agree with the shapes the
+//! kernels actually produced (no `A001`), because `infer_shape` re-derives
+//! what the kernel computed without executing it. Seeded defects — the
+//! failure modes the safe API refuses to construct — are hand-assembled
+//! through the public `TapeSnapshot` fields and must surface the exact
+//! stable codes the trainer and serve registry key on.
+
+use proptest::prelude::*;
+use stgnn_analyze::{codes, infer_shape, validate_tape};
+use stgnn_tensor::autograd::{Graph, NodeInfo, Op, Param, TapeSnapshot, Var};
+use stgnn_tensor::{Shape, Tensor};
+
+/// A recipe for one random tape: base dims plus a stream of op selectors.
+fn recipe() -> impl Strategy<Value = (usize, usize, Vec<u8>)> {
+    (
+        1usize..=5,
+        1usize..=5,
+        proptest::collection::vec(0u8..=13, 1..24),
+    )
+}
+
+/// Builds a random but *valid* expression DAG through the safe `Var` API,
+/// executing every kernel as it goes. Returns the graph and the last var.
+fn build_random_tape(g: &Graph, rows: usize, cols: usize, ops: &[u8]) -> Var {
+    let fill = |seed: usize, len: usize| -> Vec<f32> {
+        (0..len)
+            .map(|i| ((seed * 31 + i * 7) % 13) as f32 / 3.0 - 1.5)
+            .collect()
+    };
+    // All vars in `pool` share rows×cols; transposed/derived shapes are
+    // tracked alongside so matmul operands stay compatible.
+    let mut pool: Vec<Var> = (0..2)
+        .map(|s| {
+            g.leaf(
+                Tensor::from_vec(Shape::matrix(rows, cols), fill(s, rows * cols))
+                    .expect("len matches"),
+            )
+        })
+        .collect();
+    for (step, &op) in ops.iter().enumerate() {
+        let a = pool[step % pool.len()].clone();
+        let b = pool[(step + 1) % pool.len()].clone();
+        let next = match op {
+            0 => a.relu(),
+            1 => a.elu(),
+            2 => a.sigmoid(),
+            3 => a.tanh(),
+            4 => a.square(),
+            5 => a.abs(),
+            6 => a.add_scalar(0.25),
+            7 => a.mul_scalar(-1.5),
+            8 => a.neg(),
+            9 => a.softmax_rows(),
+            10 => a.add(&b),
+            11 => a.mul(&b),
+            12 => a.sub(&b),
+            // m×c · (m×c)ᵀ-free pairing: a (r×c) times bᵀ (c×r) → r×r is a
+            // shape change, so route through transpose-twice to keep the
+            // pool homogeneous while still recording Matmul + Transpose.
+            13 => a.matmul(&b.transpose()).matmul(&b).transpose().transpose(),
+            _ => unreachable!("strategy caps op codes"),
+        };
+        pool.push(next);
+    }
+    pool.last().expect("pool starts non-empty").clone()
+}
+
+proptest! {
+    // Symbolic inference agrees with every executed kernel: validating a
+    // tape the safe API built never raises `A001`, and re-deriving each
+    // node's shape from its parents reproduces the recorded shape exactly.
+    #[test]
+    fn analyzer_shapes_agree_with_executed_shapes((rows, cols, ops) in recipe()) {
+        let g = Graph::new();
+        let root = build_random_tape(&g, rows, cols, &ops);
+        let tape = g.snapshot();
+        let report = validate_tape(&tape, &[root.id()]);
+        prop_assert!(report.find(codes::SHAPE).is_none(), "{}", report.render());
+
+        for info in &tape.nodes {
+            if matches!(info.op, Op::Leaf | Op::Param) {
+                continue;
+            }
+            let parents: Vec<&Shape> = info
+                .parents
+                .iter()
+                .map(|&p| &tape.nodes[p].shape)
+                .collect();
+            let inferred = infer_shape(&info.op, &parents).expect("valid tape infers");
+            prop_assert_eq!(&inferred, &info.shape, "op {}", info.op);
+        }
+    }
+
+    // A parameter never wired into the root's ancestry is reported as
+    // disconnected (`A002`) at `Deny`, whatever else the tape contains.
+    #[test]
+    fn disconnected_param_is_denied_with_a002((rows, cols, ops) in recipe()) {
+        let g = Graph::new();
+        let root = build_random_tape(&g, rows, cols, &ops);
+        let orphan = Param::new("orphan.w", Tensor::zeros(Shape::matrix(2, 2)));
+        let _unused = g.param(&orphan);
+        let report = validate_tape(&g.snapshot(), &[root.id()]);
+        let d = report.find(codes::DISCONNECTED_PARAM).expect("A002 reported");
+        prop_assert_eq!(d.severity, stgnn_analyze::Severity::Deny);
+        prop_assert!(d.message.contains("orphan.w"), "{}", d.message);
+    }
+
+    // Division by an operand whose lower bound cannot be proven positive
+    // warns with `A004`; shifting the denominator above zero with
+    // `add_scalar` (the FCG Eq 10 ε-guard pattern) discharges the warning.
+    #[test]
+    fn unconstrained_div_warns_and_guard_discharges((rows, cols) in (1usize..=4, 1usize..=4)) {
+        let len = rows * cols;
+        let g = Graph::new();
+        let num = g.leaf(Tensor::from_vec(
+            Shape::matrix(rows, cols),
+            vec![1.0; len],
+        ).expect("len matches"));
+        let den = g.leaf(Tensor::from_vec(
+            Shape::matrix(rows, cols),
+            (0..len).map(|i| i as f32 - 1.0).collect(),
+        ).expect("len matches"));
+
+        let risky = num.div(&den.add_scalar(2.5)); // values ≥ 1.5, still fine
+        let report = validate_tape(&g.snapshot(), &[risky.id()]);
+        // den spans negatives, +2.5 shifts lo to 1.5 > 0: provably safe.
+        prop_assert!(report.find(codes::DIV_UNCONSTRAINED).is_none(), "{}", report.render());
+
+        let g2 = Graph::new();
+        let num2 = g2.leaf(Tensor::from_vec(
+            Shape::matrix(rows, cols),
+            vec![1.0; len],
+        ).expect("len matches"));
+        let den2 = g2.leaf(Tensor::from_vec(
+            Shape::matrix(rows, cols),
+            (0..len).map(|i| i as f32 - 1.0).collect(),
+        ).expect("len matches"));
+        // den2's observed minimum is −1: not bounded away from zero.
+        let unproven = num2.div(&den2);
+        let report2 = validate_tape(&g2.snapshot(), &[unproven.id()]);
+        prop_assert!(report2.find(codes::DIV_UNCONSTRAINED).is_some(), "{}", report2.render());
+    }
+}
+
+/// Hand-assembled fan-in mismatch: the safe API cannot record a matmul
+/// whose operands disagree, so the snapshot is forged through the public
+/// fields — exactly what a corrupted or hand-loaded tape would look like.
+#[test]
+fn forged_matmul_fan_in_mismatch_is_denied_with_a001() {
+    let lhs = Tensor::zeros(Shape::matrix(2, 3));
+    let rhs = Tensor::zeros(Shape::matrix(4, 5)); // inner dims 3 vs 4
+    let tape = TapeSnapshot {
+        nodes: vec![
+            NodeInfo {
+                op: Op::Leaf,
+                parents: vec![],
+                shape: lhs.shape().clone(),
+                value: lhs,
+                param: None,
+            },
+            NodeInfo {
+                op: Op::Leaf,
+                parents: vec![],
+                shape: rhs.shape().clone(),
+                value: rhs,
+                param: None,
+            },
+            NodeInfo {
+                op: Op::Matmul,
+                parents: vec![0, 1],
+                shape: Shape::matrix(2, 5),
+                value: Tensor::zeros(Shape::matrix(2, 5)),
+                param: None,
+            },
+        ],
+    };
+    let report = validate_tape(&tape, &[2]);
+    let d = report.find(codes::SHAPE).expect("A001 reported");
+    assert_eq!(d.severity, stgnn_analyze::Severity::Deny);
+    assert_eq!(d.node, Some(2));
+}
+
+/// A softmax row whose every logit sits at the mask floor has no valid
+/// attention target (Eq 12): `A006` at `Deny`, keyed to the row.
+#[test]
+fn fully_masked_softmax_row_is_denied_with_a006() {
+    let g = Graph::new();
+    let logits = g.leaf(
+        Tensor::from_vec(
+            Shape::matrix(2, 3),
+            vec![0.5, 0.1, -0.2, -1e38, -1e38, -1e38],
+        )
+        .expect("len matches"),
+    );
+    let sm = logits.softmax_rows();
+    let report = validate_tape(&g.snapshot(), &[sm.id()]);
+    let d = report.find(codes::MASKED_SOFTMAX).expect("A006 reported");
+    assert_eq!(d.severity, stgnn_analyze::Severity::Deny);
+    assert!(d.message.contains("row 1"), "{}", d.message);
+}

@@ -23,6 +23,7 @@ use std::fmt::Write as _;
 use std::io::Write as _;
 use std::time::{Duration, Instant};
 
+use stgnn_analyze::Severity;
 use stgnn_baselines::{
     Arima, Astgcn, BaselineConfig, GBike, Gcnn, GradientBoostedTrees, HistoricalAverage,
     LstmPredictor, Mgnn, Mlp, RnnPredictor, Stsgcn,
@@ -142,11 +143,38 @@ impl ExperimentContext {
             &SyntheticCity::generate(scale.la_city()),
             scale.dataset_config(),
         )?;
-        Ok(ExperimentContext {
+        let ctx = ExperimentContext {
             scale,
             chicago,
             los_angeles,
-        })
+        };
+        ctx.surface_tape_diagnostics();
+        Ok(ctx)
+    }
+
+    /// Runs the pre-execution tape validator over the STGNN-DJD inference
+    /// tape on each dataset and prints any `Warn` diagnostics to stderr, so
+    /// every bench binary surfaces analyzer findings at startup — before an
+    /// experiment spends CPU-hours training on a degenerate configuration.
+    fn surface_tape_diagnostics(&self) {
+        for (name, data) in self.datasets() {
+            let model = match StgnnDjd::new(self.scale.stgnn_config(), data.n_stations()) {
+                Ok(m) => m,
+                Err(e) => {
+                    eprintln!("[analyze] {name}: model construction failed: {e}");
+                    continue;
+                }
+            };
+            match model.validate_inference_tape(data, data.first_valid_slot()) {
+                Ok(report) => {
+                    eprintln!("[analyze] {name}: {}", report.summary());
+                    for d in report.at(Severity::Warn) {
+                        eprintln!("[analyze] {name}: {d}");
+                    }
+                }
+                Err(e) => eprintln!("[analyze] {name}: tape probe failed: {e}"),
+            }
+        }
     }
 
     /// `[("Chicago", &chicago), ("Los Angeles", &la)]` for table loops.

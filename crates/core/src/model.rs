@@ -357,6 +357,47 @@ impl StgnnDjd {
         Ok(())
     }
 
+    /// Traces one evaluation-mode forward pass plus the Eq 21 loss for slot
+    /// `t` on a throwaway tape and runs the pre-execution validator over it
+    /// with the loss as the analysis root. Evaluation mode draws nothing
+    /// from the model's RNG, so probing never perturbs training.
+    ///
+    /// [`Trainer::train`] calls this before epoch 0 and refuses to start on
+    /// a `Deny` finding (disconnected parameter, shape mismatch, non-finite
+    /// weights, fully-masked attention row).
+    pub fn validate_training_tape(
+        &self,
+        data: &BikeDataset,
+        t: usize,
+    ) -> Result<stgnn_analyze::Report> {
+        self.check_compatible(data)?;
+        let g = Graph::new();
+        let inputs = ModelInputs::from_dataset(data, t);
+        let out = self.forward(&g, &inputs, false);
+        let (dt, st) = data.targets_horizon(t, self.config.horizon)?;
+        let loss = self.loss(&g, &out, &dt, &st);
+        Ok(stgnn_analyze::validate_tape(&g.snapshot(), &[loss.id()]))
+    }
+
+    /// Like [`Self::validate_training_tape`] but without the loss head: the
+    /// analysis roots are the demand and supply outputs, matching what a
+    /// serving forward pass computes. The serve registry probes hot-swap
+    /// candidates with this before exposing them.
+    pub fn validate_inference_tape(
+        &self,
+        data: &BikeDataset,
+        t: usize,
+    ) -> Result<stgnn_analyze::Report> {
+        self.check_compatible(data)?;
+        let g = Graph::new();
+        let inputs = ModelInputs::from_dataset(data, t);
+        let out = self.forward(&g, &inputs, false);
+        Ok(stgnn_analyze::validate_tape(
+            &g.snapshot(),
+            &[out.demand.id(), out.supply.id()],
+        ))
+    }
+
     /// Validates that the dataset's windows match the model's.
     pub fn check_compatible(&self, data: &BikeDataset) -> Result<()> {
         if data.n_stations() != self.n {

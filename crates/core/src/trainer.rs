@@ -32,6 +32,10 @@ pub struct TrainReport {
     /// Threads the tensor kernel pool ran with (`STGNN_THREADS` /
     /// `available_parallelism()`); results are identical for any value.
     pub kernel_threads: usize,
+    /// The pre-execution tape validation run before epoch 0 (shape
+    /// inference, gradient-path reachability, NaN-risk, FLOP estimates).
+    /// Always clean here — a `Deny` finding aborts training instead.
+    pub tape: stgnn_analyze::Report,
 }
 
 /// Trains an [`StgnnDjd`] on a [`BikeDataset`].
@@ -74,6 +78,23 @@ impl Trainer {
         if train_slots.is_empty() {
             return Err(Error::InvalidConfig("no valid training slots".into()));
         }
+        // Fail fast, before epoch 0: trace one probe tape and statically
+        // validate it. A disconnected parameter or NaN-risk op would
+        // otherwise surface epochs later as a silently-frozen weight or a
+        // NaN loss.
+        let probe_slot = *train_slots.first().expect("checked non-empty above");
+        let tape = model.validate_training_tape(data, probe_slot)?;
+        if !tape.is_clean() {
+            let denies: Vec<String> = tape
+                .at(stgnn_analyze::Severity::Deny)
+                .map(|d| d.to_string())
+                .collect();
+            return Err(Error::InvalidConfig(format!(
+                "tape validation failed before epoch 0 ({}):\n  {}",
+                tape.summary(),
+                denies.join("\n  ")
+            )));
+        }
         let val_slots = {
             let all: Vec<usize> = data
                 .slots(Split::Val)
@@ -91,6 +112,7 @@ impl Trainer {
             train_losses: Vec::new(),
             val_losses: Vec::new(),
             kernel_threads,
+            tape,
         };
         let mut best_snapshot: Option<Vec<Tensor>> = None;
         let mut epochs_since_best = 0usize;
@@ -99,7 +121,8 @@ impl Trainer {
             let mut slots = train_slots.clone();
             slots.shuffle(&mut shuffle_rng);
             if let Some(cap) = self.config.max_batches_per_epoch {
-                slots.truncate(cap * self.config.batch_size);
+                // Saturate: callers use `Some(usize::MAX)` for "no cap".
+                slots.truncate(cap.saturating_mul(self.config.batch_size));
             }
 
             let mut epoch_loss = 0.0f64;
@@ -224,6 +247,29 @@ mod tests {
         let last = *report.train_losses.last().unwrap();
         assert!(last < first, "loss did not decrease: {first} → {last}");
         assert!(model.is_trained());
+        // The pre-epoch-0 static validation rode along in the report.
+        assert!(report.tape.is_clean(), "{}", report.tape.render());
+        assert_eq!(report.tape.params, model.params().len());
+        assert!(report.tape.flops > 0);
+    }
+
+    /// A checkpoint with non-finite weights must be refused by the static
+    /// validator *before* epoch 0, not surface as a NaN loss epochs later.
+    #[test]
+    fn non_finite_weights_fail_fast_before_epoch_0() {
+        let data = dataset(47);
+        let config = StgnnConfig::test_tiny(6, 2);
+        let mut model = StgnnDjd::new(config.clone(), data.n_stations()).unwrap();
+        let p = &model.params().params()[0];
+        p.set_value(p.value().mul_scalar(f32::INFINITY));
+        let err = Trainer::new(config).train(&mut model, &data).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("tape validation failed before epoch 0"),
+            "{msg}"
+        );
+        assert!(msg.contains("A007"), "{msg}");
+        assert!(!model.is_trained());
     }
 
     #[test]

@@ -1,3 +1,5 @@
+// lint: allow-file(L004): group indices are validated against row count at
+// pool construction.
 //! Neighbourhood aggregators for the §VII-G aggregator study.
 //!
 //! STGNN-DJD's contribution includes two *custom* aggregators (flow-based

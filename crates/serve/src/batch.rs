@@ -126,6 +126,9 @@ impl WorkerPool {
                 thread::Builder::new()
                     .name(format!("stgnn-serve-worker-{i}"))
                     .spawn(move || worker_loop(&shared))
+                    // lint: allow(L002): construction-time, before any request
+                    // is accepted — a failed spawn is OS resource exhaustion
+                    // at startup, where aborting is the right call.
                     .expect("spawn worker")
             })
             .collect();
@@ -204,10 +207,10 @@ fn worker_loop(shared: &Shared) {
         if !shared.config.batch_linger.is_zero() {
             thread::sleep(shared.config.batch_linger);
         }
+        let (model, slot) = (first.model.clone(), first.slot);
         let mut batch = vec![first];
         {
             let mut q = shared.queue.lock();
-            let (model, slot) = (batch[0].model.clone(), batch[0].slot);
             let mut rest = VecDeque::new();
             while let Some(req) = q.deque.pop_front() {
                 if batch.len() < shared.config.max_batch && req.model == model && req.slot == slot {
@@ -246,8 +249,11 @@ fn process_batch(
     local: &mut HashMap<String, (u64, StgnnDjd)>,
     batch: Vec<PredictRequest>,
 ) {
-    let model_name = batch[0].model.clone();
-    let slot = batch[0].slot;
+    let Some(first_req) = batch.first() else {
+        return; // nothing to answer
+    };
+    let model_name = first_req.model.clone();
+    let slot = first_req.slot;
     // Validate the slot at the pool boundary, not just in the HTTP layer:
     // `submit` is a public API, and an out-of-range slot would otherwise
     // reach `predict_horizon` and panic inside the window arithmetic,
@@ -325,7 +331,21 @@ fn process_batch(
             }
         }
     }
-    let (_, model) = local.get(&model_name).expect("just materialised");
+    let Some((_, model)) = local.get(&model_name) else {
+        // Unreachable: either the entry predated this batch or the rebuild
+        // above just inserted it. Reply with an error rather than panic the
+        // worker if that invariant ever breaks.
+        for _ in &batch {
+            shared.metrics.inc_errors();
+        }
+        respond_all(
+            &batch,
+            &Err(ServeError::BadCheckpoint(format!(
+                "worker lost materialised model '{model_name}'"
+            ))),
+        );
+        return;
+    };
 
     if let Some(delay) = shared.config.forward_delay {
         thread::sleep(delay);

@@ -75,6 +75,8 @@ impl ServeMetrics {
             .iter()
             .position(|&ub| batch_size as u64 <= ub)
             .unwrap_or(BATCH_BUCKETS.len());
+        // lint: allow(L004): batch_hist has BATCH_BUCKETS.len() + 1 slots,
+        // so the overflow index is in bounds.
         self.batch_hist[idx].fetch_add(1, Relaxed);
     }
 
@@ -82,6 +84,7 @@ impl ServeMetrics {
     pub fn record_latency(&self, latency: Duration) {
         let us = latency.as_micros().max(1) as u64;
         let idx = (63 - us.leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
+        // lint: allow(L004): idx is clamped to LATENCY_BUCKETS - 1 above.
         self.latency_hist[idx].fetch_add(1, Relaxed);
     }
 

@@ -13,7 +13,9 @@ use crate::ServeError;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
+use stgnn_analyze::Severity;
 use stgnn_core::{StgnnConfig, StgnnDjd};
+use stgnn_data::dataset::BikeDataset;
 
 /// What it takes to rebuild a model: its configuration and station count.
 #[derive(Debug, Clone)]
@@ -78,11 +80,45 @@ impl ModelEntry {
 #[derive(Debug, Default)]
 pub struct ModelRegistry {
     models: RwLock<HashMap<String, Arc<ModelEntry>>>,
+    /// When set, every admitted checkpoint is probed with one inference
+    /// tape on this dataset and statically validated first.
+    probe_data: Option<Arc<BikeDataset>>,
 }
 
 impl ModelRegistry {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Enables pre-execution tape validation: [`Self::register`] and
+    /// [`Self::swap`] trace one evaluation forward pass of the candidate on
+    /// `data`'s first servable slot and run the static validator over it.
+    /// A `Deny` diagnostic (shape mismatch, non-finite weights, fully-masked
+    /// attention row) rejects the checkpoint before it can serve a request.
+    pub fn with_tape_validation(mut self, data: Arc<BikeDataset>) -> Self {
+        self.probe_data = Some(data);
+        self
+    }
+
+    /// Probes `model` (a candidate just materialised from a checkpoint)
+    /// against the validation dataset, if one is configured.
+    fn validate_candidate(&self, model: &StgnnDjd) -> Result<(), ServeError> {
+        let Some(data) = &self.probe_data else {
+            return Ok(());
+        };
+        let slot = data.first_valid_slot();
+        let report = model
+            .validate_inference_tape(data, slot)
+            .map_err(|e| ServeError::BadCheckpoint(format!("tape probe failed: {e}")))?;
+        if !report.is_clean() {
+            let denies: Vec<String> = report.at(Severity::Deny).map(|d| d.to_string()).collect();
+            return Err(ServeError::BadCheckpoint(format!(
+                "candidate rejected by tape validator ({}): {}",
+                report.summary(),
+                denies.join("; ")
+            )));
+        }
+        Ok(())
     }
 
     /// Registers a model under `name` with its initial checkpoint
@@ -100,7 +136,8 @@ impl ModelRegistry {
     ) -> Result<(), ServeError> {
         let name = name.into();
         let checkpoint = Checkpoint { version: 1, bytes };
-        spec.materialize_with(&checkpoint)?;
+        let candidate = spec.materialize_with(&checkpoint)?;
+        self.validate_candidate(&candidate)?;
         let mut models = self.models.write();
         if models.contains_key(&name) {
             return Err(ServeError::BadRequest(format!(
@@ -125,10 +162,12 @@ impl ModelRegistry {
         let entry = self
             .get(name)
             .ok_or_else(|| ServeError::UnknownModel(name.into()))?;
-        // Validate outside the checkpoint lock: materialisation is the slow
-        // part, and in-flight readers must not wait on it.
+        // Validate outside the checkpoint lock: materialisation and the
+        // tape probe are the slow part, and in-flight readers must not wait
+        // on them.
         let probe = Checkpoint { version: 0, bytes };
-        entry.spec.materialize_with(&probe)?;
+        let candidate = entry.spec.materialize_with(&probe)?;
+        self.validate_candidate(&candidate)?;
         let mut slot = entry.checkpoint.write();
         let version = slot.version + 1;
         *slot = Arc::new(Checkpoint {
@@ -224,6 +263,40 @@ mod tests {
             reg.swap("missing", checkpoint_bytes(1)),
             Err(ServeError::UnknownModel(_))
         ));
+    }
+
+    /// The tape-validation gate: a checkpoint whose weights are all finite
+    /// (so serialization admits them) but large enough to overflow the
+    /// probe forward pass to ±inf must be denied (`A007`) before the swap,
+    /// leaving the old weights serving.
+    #[test]
+    fn tape_validation_rejects_hot_swap_of_degenerate_checkpoint() {
+        use stgnn_data::dataset::DatasetConfig;
+        use stgnn_data::synthetic::{CityConfig, SyntheticCity};
+
+        let city = SyntheticCity::generate(CityConfig::test_tiny(77));
+        let data = Arc::new(BikeDataset::from_city(&city, DatasetConfig::small(6, 2)).unwrap());
+        let n = data.n_stations();
+        let reg = ModelRegistry::new().with_tape_validation(Arc::clone(&data));
+        let spec = ModelSpec::new(StgnnConfig::test_tiny(6, 2), n);
+        let good = StgnnDjd::new(StgnnConfig::test_tiny(6, 2), n)
+            .unwrap()
+            .weights_to_bytes();
+        reg.register("m", spec, good).unwrap();
+        assert_eq!(reg.get("m").unwrap().version(), 1);
+
+        let poisoned = StgnnDjd::new(StgnnConfig::test_tiny(6, 2), n).unwrap();
+        for p in poisoned.params().params() {
+            p.set_value(p.value().mul_scalar(1e20));
+        }
+        let err = reg.swap("m", poisoned.weights_to_bytes()).unwrap_err();
+        let ServeError::BadCheckpoint(msg) = err else {
+            panic!("wrong error kind: {err:?}");
+        };
+        assert!(msg.contains("tape validator"), "{msg}");
+        assert!(msg.contains("A007"), "{msg}");
+        // The rejected candidate never became visible.
+        assert_eq!(reg.get("m").unwrap().version(), 1);
     }
 
     #[test]

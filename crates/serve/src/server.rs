@@ -94,7 +94,10 @@ impl Server {
     /// and starts accepting. Models are registered through
     /// [`Server::registry`] (initial registration) or the swap endpoint.
     pub fn start(dataset: Arc<BikeDataset>, config: ServeConfig) -> io::Result<Server> {
-        let registry = Arc::new(ModelRegistry::new());
+        // Every checkpoint admitted through this server — initial
+        // registration or the swap endpoint — is statically validated
+        // against the serving dataset before it can serve a request.
+        let registry = Arc::new(ModelRegistry::new().with_tape_validation(Arc::clone(&dataset)));
         let cache = Arc::new(SlotCache::new(config.cache_capacity));
         let metrics = Arc::new(ServeMetrics::new());
         let pool = Arc::new(WorkerPool::new(
@@ -326,8 +329,17 @@ fn handle_predict(ctx: &Ctx, req: &Request) -> (u16, &'static str, String) {
         Ok(Ok(predictions)) => {
             // Step 0 forecasts the requested slot; later steps are the
             // model's multi-step extension.
-            let step = &predictions[0];
+            let Some(step) = predictions.first() else {
+                ctx.metrics.inc_errors();
+                return (
+                    502,
+                    "application/json",
+                    r#"{"error":"model returned an empty horizon"}"#.to_string(),
+                );
+            };
             let (demand, supply) = match station {
+                // lint: allow(L004): station < n_stations checked above, and
+                // predict_horizon emits n_stations entries per step.
                 Some(i) => (format!("{}", step.demand[i]), format!("{}", step.supply[i])),
                 None => (json_f32_array(&step.demand), json_f32_array(&step.supply)),
             };
@@ -366,6 +378,8 @@ fn handle_predict(ctx: &Ctx, req: &Request) -> (u16, &'static str, String) {
             ctx.metrics.inc_fallbacks();
             let pred = ctx.ha.predict(&ctx.dataset, slot);
             let (demand, supply) = match station {
+                // lint: allow(L004): station < n_stations checked above, and
+                // the HA table holds n_stations entries.
                 Some(i) => (format!("{}", pred.demand[i]), format!("{}", pred.supply[i])),
                 None => (json_f32_array(&pred.demand), json_f32_array(&pred.supply)),
             };

@@ -1,3 +1,6 @@
+// lint: allow-file(L001, L002, L003, L004): per the documented Panics
+// contract, backward closures re-run ops whose shapes the forward pass
+// already validated; a failure here is a tape-construction bug, not input.
 //! Tape-based reverse-mode automatic differentiation.
 //!
 //! A [`Graph`] records every operation of one forward pass as a node on a
@@ -41,7 +44,173 @@ type Contribs = Vec<(usize, Tensor)>;
 /// `Arc` clones of forward values.
 type BackwardFn = Box<dyn Fn(&Tensor) -> Contribs>;
 
+/// The operation a tape node records. Together with the parent ids this is
+/// enough for a static analyzer to re-derive every output shape *without*
+/// executing kernels (the `stgnn-analyze` crate's tape validator), so each
+/// payload carries exactly the static arguments that determine the output
+/// shape.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Constant input ([`Graph::leaf`]).
+    Leaf,
+    /// Parameter read ([`Graph::param`]); the cell's name is surfaced in
+    /// [`NodeInfo::param`].
+    Param,
+    /// Elementwise sum.
+    Add,
+    /// Elementwise difference.
+    Sub,
+    /// Elementwise product.
+    Mul,
+    /// Elementwise quotient.
+    Div,
+    /// Adds a scalar to every element.
+    AddScalar(f32),
+    /// Scales every element.
+    MulScalar(f32),
+    /// Elementwise negation.
+    Neg,
+    /// Matrix product.
+    Matmul,
+    /// Matrix transpose.
+    Transpose,
+    /// Reinterpretation under a new shape of equal length.
+    Reshape(Shape),
+    /// Row extraction `[start, end)`.
+    SliceRows { start: usize, end: usize },
+    /// Rectified linear unit.
+    Relu,
+    /// ELU with α = 1.
+    Elu,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Elementwise exponential.
+    Exp,
+    /// Elementwise square.
+    Square,
+    /// Elementwise absolute value.
+    Abs,
+    /// Elementwise square root.
+    Sqrt,
+    /// Row-wise softmax.
+    SoftmaxRows,
+    /// Inverted dropout with the given drop rate.
+    Dropout { rate: f32 },
+    /// Adds a `1×c` row vector to every row.
+    AddRowBroadcast,
+    /// Adds an `r×1` column vector to every column.
+    AddColBroadcast,
+    /// Scales row `i` by element `i` of an `r×1` column vector.
+    MulColBroadcast,
+    /// Grouped elementwise row max-pooling; output row `i` pools the input
+    /// rows in `groups[i]`.
+    RowsMaxPool { groups: Vec<Vec<usize>> },
+    /// Sum of all elements (scalar output).
+    SumAll,
+    /// Mean of all elements (scalar output).
+    MeanAll,
+    /// Per-row sums, `r×c → r×1`.
+    SumCols,
+    /// Per-column sums, `r×c → 1×c`.
+    SumRows,
+    /// Horizontal concatenation of matrices.
+    ConcatCols,
+}
+
+impl Op {
+    /// The op's name as it appears in kernel errors, tape panics and
+    /// analyzer diagnostics — one vocabulary everywhere.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Op::Leaf => "leaf",
+            Op::Param => "param",
+            Op::Add => "add",
+            Op::Sub => "sub",
+            Op::Mul => "mul",
+            Op::Div => "div",
+            Op::AddScalar(_) => "add_scalar",
+            Op::MulScalar(_) => "mul_scalar",
+            Op::Neg => "neg",
+            Op::Matmul => "matmul",
+            Op::Transpose => "transpose",
+            Op::Reshape(_) => "reshape",
+            Op::SliceRows { .. } => "slice_rows",
+            Op::Relu => "relu",
+            Op::Elu => "elu",
+            Op::Sigmoid => "sigmoid",
+            Op::Tanh => "tanh",
+            Op::Exp => "exp",
+            Op::Square => "square",
+            Op::Abs => "abs",
+            Op::Sqrt => "sqrt",
+            Op::SoftmaxRows => "softmax_rows",
+            Op::Dropout { .. } => "dropout",
+            Op::AddRowBroadcast => "add_row_broadcast",
+            Op::AddColBroadcast => "add_col_broadcast",
+            Op::MulColBroadcast => "mul_col_broadcast",
+            Op::RowsMaxPool { .. } => "rows_max_pool",
+            Op::SumAll => "sum_all",
+            Op::MeanAll => "mean_all",
+            Op::SumCols => "sum_cols",
+            Op::SumRows => "sum_rows",
+            Op::ConcatCols => "concat_cols",
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One node of a [`TapeSnapshot`]: everything the tape recorded about an op.
+#[derive(Debug, Clone)]
+pub struct NodeInfo {
+    /// The recorded operation.
+    pub op: Op,
+    /// Tape ids of the operands, in operand order. Always strictly smaller
+    /// than this node's own id on real tapes.
+    pub parents: Vec<usize>,
+    /// The output shape the kernel produced at build time (the analyzer
+    /// cross-checks its symbolic inference against this).
+    pub shape: Shape,
+    /// The recorded forward value (cheap COW clone).
+    pub value: Tensor,
+    /// The linked parameter's name when this node reads a [`Param`] cell.
+    pub param: Option<String>,
+}
+
+/// An immutable structural copy of a [`Graph`] tape for pre-execution
+/// analysis. Node ids are indices into `nodes`; insertion order is a
+/// topological order, so parents always precede children.
+///
+/// Fields are public so tests can hand-assemble *defective* tapes (fan-in
+/// mismatches, disconnected parameters) that the panicking `Var` builders
+/// would refuse to construct.
+#[derive(Debug, Clone, Default)]
+pub struct TapeSnapshot {
+    /// The recorded nodes, in insertion (= topological) order.
+    pub nodes: Vec<NodeInfo>,
+}
+
+impl TapeSnapshot {
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the tape recorded nothing.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
 struct Node {
+    op: Op,
+    parents: Vec<usize>,
     value: Tensor,
     grad: Option<Tensor>,
     backward: Option<BackwardFn>,
@@ -220,10 +389,18 @@ impl Graph {
         }
     }
 
-    fn push(&self, value: Tensor, backward: Option<BackwardFn>) -> Var {
+    fn push(
+        &self,
+        op: Op,
+        parents: Vec<usize>,
+        value: Tensor,
+        backward: Option<BackwardFn>,
+    ) -> Var {
         let mut inner = self.inner.borrow_mut();
         let id = inner.nodes.len();
         inner.nodes.push(Node {
+            op,
+            parents,
             value,
             grad: None,
             backward,
@@ -237,13 +414,13 @@ impl Graph {
     /// Records a constant leaf. Gradients flow *through* ops into leaves but
     /// are not written back anywhere.
     pub fn leaf(&self, value: Tensor) -> Var {
-        self.push(value, None)
+        self.push(Op::Leaf, Vec::new(), value, None)
     }
 
     /// Records a parameter leaf; after [`Var::backward`], the gradient at
     /// this node is accumulated into the parameter's grad cell.
     pub fn param(&self, p: &Rc<Param>) -> Var {
-        let v = self.push(p.value(), None);
+        let v = self.push(Op::Param, Vec::new(), p.value(), None);
         self.inner
             .borrow_mut()
             .param_links
@@ -256,6 +433,29 @@ impl Graph {
         self.inner.borrow().nodes.len()
     }
 
+    /// A structural copy of the tape recorded so far — ops, parent edges,
+    /// shapes, values and parameter links — for pre-execution analysis.
+    /// Values are cheap COW clones; taking a snapshot never copies tensor
+    /// data and leaves the tape fully usable (including `backward`).
+    pub fn snapshot(&self) -> TapeSnapshot {
+        let inner = self.inner.borrow();
+        let mut nodes: Vec<NodeInfo> = inner
+            .nodes
+            .iter()
+            .map(|n| NodeInfo {
+                op: n.op.clone(),
+                parents: n.parents.clone(),
+                shape: n.value.shape().clone(),
+                value: n.value.clone(),
+                param: None,
+            })
+            .collect();
+        for (id, p) in &inner.param_links {
+            nodes[*id].param = Some(p.name().to_string());
+        }
+        TapeSnapshot { nodes }
+    }
+
     /// Horizontal concatenation of matrix vars.
     pub fn concat_cols(&self, parts: &[&Var]) -> Var {
         assert!(!parts.is_empty(), "concat_cols of zero vars");
@@ -266,6 +466,8 @@ impl Graph {
         let widths: Vec<usize> = values.iter().map(|v| v.shape().cols()).collect();
         let rows = values[0].shape().rows();
         self.push(
+            Op::ConcatCols,
+            ids.clone(),
             out,
             Some(Box::new(move |g: &Tensor| {
                 let mut contribs = Vec::with_capacity(ids.len());
@@ -299,6 +501,12 @@ impl Var {
         }
     }
 
+    /// The node's tape id: its index into [`Graph::snapshot`] and the
+    /// root id accepted by the `stgnn-analyze` tape validator.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
     /// The node's forward value (cheap COW clone).
     pub fn value(&self) -> Tensor {
         self.graph.borrow().nodes[self.id].value.clone()
@@ -314,20 +522,27 @@ impl Var {
         self.graph.borrow().nodes[self.id].value.shape().clone()
     }
 
-    fn unary(&self, out: Tensor, backward: impl Fn(&Tensor) -> Tensor + 'static) -> Var {
+    fn unary(&self, op: Op, out: Tensor, backward: impl Fn(&Tensor) -> Tensor + 'static) -> Var {
         let id = self.id;
-        self.graph()
-            .push(out, Some(Box::new(move |g| vec![(id, backward(g))])))
+        self.graph().push(
+            op,
+            vec![id],
+            out,
+            Some(Box::new(move |g| vec![(id, backward(g))])),
+        )
     }
 
     fn binary(
         &self,
         rhs: &Var,
+        op: Op,
         out: Tensor,
         backward: impl Fn(&Tensor) -> (Tensor, Tensor) + 'static,
     ) -> Var {
         let (a, b) = (self.id, rhs.id);
         self.graph().push(
+            op,
+            vec![a, b],
             out,
             Some(Box::new(move |g| {
                 let (ga, gb) = backward(g);
@@ -346,7 +561,7 @@ impl Var {
             .value()
             .add(&rhs.value())
             .unwrap_or_else(|e| panic!("{e}"));
-        self.binary(rhs, out, |g| (g.clone(), g.clone()))
+        self.binary(rhs, Op::Add, out, |g| (g.clone(), g.clone()))
     }
 
     /// Elementwise difference.
@@ -355,14 +570,14 @@ impl Var {
             .value()
             .sub(&rhs.value())
             .unwrap_or_else(|e| panic!("{e}"));
-        self.binary(rhs, out, |g| (g.clone(), g.neg()))
+        self.binary(rhs, Op::Sub, out, |g| (g.clone(), g.neg()))
     }
 
     /// Elementwise product.
     pub fn mul(&self, rhs: &Var) -> Var {
         let (av, bv) = (self.value(), rhs.value());
         let out = av.mul(&bv).unwrap_or_else(|e| panic!("{e}"));
-        self.binary(rhs, out, move |g| {
+        self.binary(rhs, Op::Mul, out, move |g| {
             (g.mul(&bv).unwrap(), g.mul(&av).unwrap())
         })
     }
@@ -371,7 +586,7 @@ impl Var {
     pub fn div(&self, rhs: &Var) -> Var {
         let (av, bv) = (self.value(), rhs.value());
         let out = av.div(&bv).unwrap_or_else(|e| panic!("{e}"));
-        self.binary(rhs, out, move |g| {
+        self.binary(rhs, Op::Div, out, move |g| {
             let ga = g.div(&bv).unwrap();
             // d(a/b)/db = -a / b²
             let gb = g.mul(&av).unwrap().div(&bv.square()).unwrap().neg();
@@ -381,17 +596,19 @@ impl Var {
 
     /// Adds a scalar.
     pub fn add_scalar(&self, s: f32) -> Var {
-        self.unary(self.value().add_scalar(s), |g| g.clone())
+        self.unary(Op::AddScalar(s), self.value().add_scalar(s), |g| g.clone())
     }
 
     /// Scales by a scalar.
     pub fn mul_scalar(&self, s: f32) -> Var {
-        self.unary(self.value().mul_scalar(s), move |g| g.mul_scalar(s))
+        self.unary(Op::MulScalar(s), self.value().mul_scalar(s), move |g| {
+            g.mul_scalar(s)
+        })
     }
 
     /// Elementwise negation.
     pub fn neg(&self) -> Var {
-        self.unary(self.value().neg(), |g| g.neg())
+        self.unary(Op::Neg, self.value().neg(), |g| g.neg())
     }
 
     // ------------------------------------------------------------------
@@ -415,7 +632,7 @@ impl Var {
     pub fn try_matmul(&self, rhs: &Var) -> crate::Result<Var> {
         let (av, bv) = (self.value(), rhs.value());
         let out = av.matmul(&bv)?;
-        Ok(self.binary(rhs, out, move |g| {
+        Ok(self.binary(rhs, Op::Matmul, out, move |g| {
             let ga = g.matmul(&bv.transpose().unwrap()).unwrap();
             let gb = av.transpose().unwrap().matmul(g).unwrap();
             (ga, gb)
@@ -435,7 +652,7 @@ impl Var {
     /// graph-build time instead of panicking mid-tape.
     pub fn try_transpose(&self) -> crate::Result<Var> {
         let out = self.value().transpose()?;
-        Ok(self.unary(out, |g| g.transpose().unwrap()))
+        Ok(self.unary(Op::Transpose, out, |g| g.transpose().unwrap()))
     }
 
     /// Reinterprets under a new shape of equal length.
@@ -443,9 +660,11 @@ impl Var {
         let orig = self.shape();
         let out = self
             .value()
-            .reshape(shape)
+            .reshape(shape.clone())
             .unwrap_or_else(|e| panic!("{e}"));
-        self.unary(out, move |g| g.reshape(orig.clone()).unwrap())
+        self.unary(Op::Reshape(shape), out, move |g| {
+            g.reshape(orig.clone()).unwrap()
+        })
     }
 
     /// Extracts rows `[start, end)`; gradient zero-pads back.
@@ -456,7 +675,7 @@ impl Var {
             .as_matrix("slice_rows")
             .unwrap_or_else(|e| panic!("{e}"));
         let out = v.slice_rows(start, end).unwrap_or_else(|e| panic!("{e}"));
-        self.unary(out, move |g| {
+        self.unary(Op::SliceRows { start, end }, out, move |g| {
             let mut full = Tensor::zeros(Shape::matrix(rows, cols));
             let dst = full.data_mut();
             dst[start * cols..end * cols].copy_from_slice(g.data());
@@ -471,7 +690,7 @@ impl Var {
     /// ReLU.
     pub fn relu(&self) -> Var {
         let x = self.value();
-        self.unary(x.relu(), move |g| {
+        self.unary(Op::Relu, x.relu(), move |g| {
             g.zip_map(&x, "relu_bw", |gv, xv| if xv > 0.0 { gv } else { 0.0 })
                 .unwrap()
         })
@@ -482,7 +701,7 @@ impl Var {
         let x = self.value();
         let out = x.elu();
         let out_bw = out.clone();
-        self.unary(out, move |g| {
+        self.unary(Op::Elu, out, move |g| {
             // f'(x) = 1 for x > 0, e^x = f(x) + 1 otherwise.
             g.zip_map(&out_bw, "elu_bw", |gv, ov| {
                 if ov > 0.0 {
@@ -499,7 +718,7 @@ impl Var {
     pub fn sigmoid(&self) -> Var {
         let out = self.value().sigmoid();
         let s = out.clone();
-        self.unary(out, move |g| {
+        self.unary(Op::Sigmoid, out, move |g| {
             g.zip_map(&s, "sigmoid_bw", |gv, sv| gv * sv * (1.0 - sv))
                 .unwrap()
         })
@@ -509,7 +728,7 @@ impl Var {
     pub fn tanh(&self) -> Var {
         let out = self.value().tanh();
         let t = out.clone();
-        self.unary(out, move |g| {
+        self.unary(Op::Tanh, out, move |g| {
             g.zip_map(&t, "tanh_bw", |gv, tv| gv * (1.0 - tv * tv))
                 .unwrap()
         })
@@ -519,13 +738,13 @@ impl Var {
     pub fn exp(&self) -> Var {
         let out = self.value().exp();
         let e = out.clone();
-        self.unary(out, move |g| g.mul(&e).unwrap())
+        self.unary(Op::Exp, out, move |g| g.mul(&e).unwrap())
     }
 
     /// Elementwise square.
     pub fn square(&self) -> Var {
         let x = self.value();
-        self.unary(x.square(), move |g| {
+        self.unary(Op::Square, x.square(), move |g| {
             g.zip_map(&x, "square_bw", |gv, xv| gv * 2.0 * xv).unwrap()
         })
     }
@@ -533,7 +752,7 @@ impl Var {
     /// Elementwise absolute value (subgradient 0 at 0).
     pub fn abs(&self) -> Var {
         let x = self.value();
-        self.unary(x.abs(), move |g| {
+        self.unary(Op::Abs, x.abs(), move |g| {
             g.zip_map(
                 &x,
                 "abs_bw",
@@ -547,7 +766,7 @@ impl Var {
     pub fn sqrt(&self) -> Var {
         let out = self.value().sqrt();
         let s = out.clone();
-        self.unary(out, move |g| {
+        self.unary(Op::Sqrt, out, move |g| {
             g.zip_map(&s, "sqrt_bw", |gv, sv| gv * 0.5 / sv.max(1e-8))
                 .unwrap()
         })
@@ -560,7 +779,7 @@ impl Var {
             .softmax_rows()
             .unwrap_or_else(|e| panic!("{e}"));
         let s = out.clone();
-        self.unary(out, move |g| {
+        self.unary(Op::SoftmaxRows, out, move |g| {
             // dx_j = s_j (g_j − Σ_k g_k s_k), per row.
             let (r, c) = s.shape().as_matrix("softmax_bw").unwrap();
             let mut dx = vec![0.0f32; r * c];
@@ -601,7 +820,7 @@ impl Var {
         let mask = Tensor::from_vec(shape, mask_data).unwrap();
         let out = self.value().mul(&mask).unwrap();
         let m = mask;
-        self.unary(out, move |g| g.mul(&m).unwrap())
+        self.unary(Op::Dropout { rate: p }, out, move |g| g.mul(&m).unwrap())
     }
 
     // ------------------------------------------------------------------
@@ -614,7 +833,9 @@ impl Var {
             .value()
             .add_row_broadcast(&row.value())
             .unwrap_or_else(|e| panic!("{e}"));
-        self.binary(row, out, |g| (g.clone(), g.sum_rows().unwrap()))
+        self.binary(row, Op::AddRowBroadcast, out, |g| {
+            (g.clone(), g.sum_rows().unwrap())
+        })
     }
 
     /// Adds an `r×1` column vector to every column.
@@ -623,14 +844,16 @@ impl Var {
             .value()
             .add_col_broadcast(&col.value())
             .unwrap_or_else(|e| panic!("{e}"));
-        self.binary(col, out, |g| (g.clone(), g.sum_cols().unwrap()))
+        self.binary(col, Op::AddColBroadcast, out, |g| {
+            (g.clone(), g.sum_cols().unwrap())
+        })
     }
 
     /// Scales row `i` by element `i` of an `r×1` column vector.
     pub fn mul_col_broadcast(&self, col: &Var) -> Var {
         let (av, cv) = (self.value(), col.value());
         let out = av.mul_col_broadcast(&cv).unwrap_or_else(|e| panic!("{e}"));
-        self.binary(col, out, move |g| {
+        self.binary(col, Op::MulColBroadcast, out, move |g| {
             let ga = g.mul_col_broadcast(&cv).unwrap();
             let gc = g.mul(&av).unwrap().sum_cols().unwrap();
             (ga, gc)
@@ -670,7 +893,10 @@ impl Var {
             }
         }
         let out_t = Tensor::from_vec(Shape::matrix(out_rows, cols), out).unwrap();
-        self.unary(out_t, move |g| {
+        let op = Op::RowsMaxPool {
+            groups: groups.to_vec(),
+        };
+        self.unary(op, out_t, move |g| {
             let mut dx = Tensor::zeros(Shape::matrix(rows, cols));
             let buf = dx.data_mut();
             for i in 0..out_rows {
@@ -689,7 +915,7 @@ impl Var {
     /// Sum of all elements (scalar output).
     pub fn sum_all(&self) -> Var {
         let shape = self.shape();
-        self.unary(self.value().sum_all(), move |g| {
+        self.unary(Op::SumAll, self.value().sum_all(), move |g| {
             Tensor::full(shape.clone(), g.scalar())
         })
     }
@@ -698,7 +924,7 @@ impl Var {
     pub fn mean_all(&self) -> Var {
         let shape = self.shape();
         let inv = 1.0 / shape.len() as f32;
-        self.unary(self.value().mean_all(), move |g| {
+        self.unary(Op::MeanAll, self.value().mean_all(), move |g| {
             Tensor::full(shape.clone(), g.scalar() * inv)
         })
     }
@@ -710,7 +936,7 @@ impl Var {
             .shape()
             .as_matrix("sum_cols")
             .unwrap_or_else(|e| panic!("{e}"));
-        self.unary(v.sum_cols().unwrap(), move |g| {
+        self.unary(Op::SumCols, v.sum_cols().unwrap(), move |g| {
             let mut out = vec![0.0f32; r * c];
             for i in 0..r {
                 let gv = g.data()[i];
@@ -727,7 +953,7 @@ impl Var {
             .shape()
             .as_matrix("sum_rows")
             .unwrap_or_else(|e| panic!("{e}"));
-        self.unary(v.sum_rows().unwrap(), move |g| {
+        self.unary(Op::SumRows, v.sum_rows().unwrap(), move |g| {
             let mut out = vec![0.0f32; r * c];
             for i in 0..r {
                 out[i * c..(i + 1) * c].copy_from_slice(g.data());

@@ -27,9 +27,35 @@ pub enum Error {
         expected: usize,
         /// Actual rank.
         actual: usize,
+        /// Full dims of the offending operand.
+        shape: Vec<usize>,
     },
     /// An invalid argument (e.g. empty concat list, zero dimension).
     InvalidArgument(String),
+}
+
+impl Error {
+    /// A [`Error::ShapeMismatch`] from two operand shapes. Used by both the
+    /// runtime kernels and the `stgnn-analyze` symbolic shape inference so a
+    /// pre-execution diagnostic reads *identically* to the runtime error the
+    /// same tape would produce.
+    pub fn shape_mismatch(op: &'static str, lhs: &crate::Shape, rhs: &crate::Shape) -> Error {
+        Error::ShapeMismatch {
+            op,
+            lhs: lhs.dims().to_vec(),
+            rhs: rhs.dims().to_vec(),
+        }
+    }
+
+    /// A [`Error::RankMismatch`] carrying the offending operand's full dims.
+    pub fn rank_mismatch(op: &'static str, expected: usize, shape: &crate::Shape) -> Error {
+        Error::RankMismatch {
+            op,
+            expected,
+            actual: shape.rank(),
+            shape: shape.dims().to_vec(),
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -42,8 +68,12 @@ impl fmt::Display for Error {
                 op,
                 expected,
                 actual,
+                shape,
             } => {
-                write!(f, "{op}: expected rank {expected}, got {actual}")
+                write!(
+                    f,
+                    "{op}: expected rank {expected}, got {actual} (shape {shape:?})"
+                )
             }
             Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
         }
@@ -73,8 +103,10 @@ mod tests {
             op: "transpose",
             expected: 2,
             actual: 3,
+            shape: vec![2, 3, 4],
         };
         assert!(e.to_string().contains("expected rank 2"));
+        assert!(e.to_string().contains("[2, 3, 4]"));
 
         let e = Error::InvalidArgument("empty concat".into());
         assert!(e.to_string().contains("empty concat"));

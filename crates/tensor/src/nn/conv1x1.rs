@@ -1,3 +1,5 @@
+// lint: allow-file(L002, L004): weight tensors are built from vectors whose
+// length is computed from the very shape passed to `from_vec`.
 //! The paper's 1×1 "flow convolution" kernel (Eqs 1–4).
 //!
 //! STGNN-DJD treats a station's historical inflow/outflow rows at `k`

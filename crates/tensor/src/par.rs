@@ -1,3 +1,5 @@
+// lint: allow-file(L002, L004): pool threads spawn once at init (startup
+// resource exhaustion aborts); chunk bounds derive from slice lengths.
 //! Parallel kernel execution: a persistent, work-chunking thread pool.
 //!
 //! Every hot kernel in this crate — `matmul`, `softmax_rows`, `transpose`,

@@ -1,3 +1,4 @@
+// lint: allow-file(L004): accessors index `dims` only after rank checks.
 //! Shape arithmetic for row-major tensors.
 
 use crate::error::{Error, Result};
@@ -73,11 +74,7 @@ impl Shape {
         if self.rank() == 2 {
             Ok((self.0[0], self.0[1]))
         } else {
-            Err(Error::RankMismatch {
-                op,
-                expected: 2,
-                actual: self.rank(),
-            })
+            Err(Error::rank_mismatch(op, 2, self))
         }
     }
 

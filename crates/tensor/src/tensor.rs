@@ -1,3 +1,6 @@
+// lint: allow-file(L004): row-major kernels index within bounds computed by
+// the `as_matrix`/len checks at each op's entry; hoisting every access through
+// `.get()` would defeat the autovectorizer these loops rely on.
 //! Dense row-major `f32` tensors with copy-on-write storage.
 //!
 //! `Tensor` clones are O(1) (an `Arc` bump); mutation goes through

@@ -54,6 +54,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let addr = server.addr();
     println!("serving on http://{addr}");
 
+    // The registry already ran the tape validator as an admission gate
+    // (a `Deny` would have rejected the checkpoint); surface the summary
+    // and any `Warn` diagnostics so operators see them at startup.
+    let tape = model.validate_inference_tape(&data, data.first_valid_slot())?;
+    println!("tape validator: {}", tape.summary());
+    for d in tape.at(stgnn_djd::analyze::Severity::Warn) {
+        println!("  {d}");
+    }
+
     // 4. Concurrent clients query the same upcoming slot — the pool
     //    coalesces them into one forward pass, the rest hit the slot cache.
     let t = data.slots(Split::Test)[0];

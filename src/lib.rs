@@ -15,10 +15,14 @@
 //! * [`serve`] — batched inference serving: model registry with hot-swap,
 //!   slot-keyed prediction cache, micro-batching worker pool, HA fallback
 //!   under deadline, and an HTTP/JSON endpoint over `std::net`.
+//! * [`analyze`] — pre-execution static analysis: tape validator (shape
+//!   inference, disconnected parameters, NaN-risk, FLOP/memory costs) and
+//!   the `stgnn-lint` source-policy checker.
 //!
 //! See `examples/quickstart.rs` for an end-to-end walkthrough and
 //! `DESIGN.md` / `EXPERIMENTS.md` for the reproduction methodology.
 
+pub use stgnn_analyze as analyze;
 pub use stgnn_baselines as baselines;
 pub use stgnn_core as model;
 pub use stgnn_data as data;
