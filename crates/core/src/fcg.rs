@@ -25,6 +25,7 @@
 //! (`D⁻¹(ReLU(T)⊙M + I)`, the same convention GCN uses), which realises the
 //! "{F_i} ∪ neighbours" set faithfully.
 
+use crate::compiled::ForwardTrace;
 use crate::config::{FcgAggregator, StgnnConfig};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -82,48 +83,70 @@ impl FcgNetwork {
         g: &Graph,
         t: &Var,
         mask: &Tensor,
+        train_rng: Option<&mut StdRng>,
+    ) -> Var {
+        self.forward_traced(g, t, mask, train_rng, None)
+    }
+
+    /// [`Self::forward`], recording the mask and mean-adjacency leaf ids
+    /// into `trace` so a replay plan can re-derive them per slot. The max
+    /// aggregator's pooling groups are input-dependent *structure* (op
+    /// payload, not a leaf value), so it marks the trace incompatible.
+    pub fn forward_traced(
+        &self,
+        g: &Graph,
+        t: &Var,
+        mask: &Tensor,
         mut train_rng: Option<&mut StdRng>,
+        mut trace: Option<&mut ForwardTrace>,
     ) -> Var {
         let n = mask.shape().rows();
         // Eq 10 edge weights, shared by all layers of this forward pass:
         // row-normalised ReLU(T) restricted to the structural mask, plus a
         // unit self-loop (the `{F_i} ∪ …` of Eq 14 — see the module docs).
         let mask_leaf = g.leaf(mask.clone());
+        if let Some(tr) = trace.as_deref_mut() {
+            tr.fcg_mask_leaf = Some(mask_leaf.id());
+        }
         let eye = g.leaf(Tensor::eye(n));
         let raw = t.relu().mul(&mask_leaf).add(&eye);
         let sums = raw.sum_cols().add_scalar(1e-6);
         let inv = g.leaf(Tensor::ones(Shape::matrix(n, 1))).div(&sums);
         let weights = raw.mul_col_broadcast(&inv);
 
-        // Precompute structures the non-flow aggregators need.
-        let groups: Vec<Vec<usize>> = (0..n)
-            .map(|i| {
-                mask.row(i)
-                    .iter()
-                    .enumerate()
-                    .filter(|&(_, &m)| m > 0.0)
-                    .map(|(j, _)| j)
-                    .collect()
-            })
-            .collect();
-        let mean_adj = {
-            let mut a = Tensor::zeros(Shape::matrix(n, n));
-            let buf = a.data_mut();
-            for (i, group) in groups.iter().enumerate() {
-                let w = 1.0 / group.len() as f32;
-                for &j in group {
-                    buf[i * n + j] = w;
-                }
-            }
-            a
-        };
+        // Precompute structures only the aggregators that need them pay for.
+        let groups = self
+            .layers
+            .iter()
+            .any(|l| matches!(l, LayerKind::Max { .. }))
+            .then(|| fcg_groups(mask));
+        let mean_adj = self
+            .layers
+            .iter()
+            .any(|l| matches!(l, LayerKind::Mean { .. }))
+            .then(|| fcg_mean_adj(mask));
 
         let mut f = t.clone();
         for (idx, layer) in self.layers.iter().enumerate() {
             let aggregated = match layer {
                 LayerKind::Flow { .. } => weights.matmul(&f),
-                LayerKind::Mean { .. } => g.leaf(mean_adj.clone()).matmul(&f),
-                LayerKind::Max { fc, .. } => fc.forward(g, &f).relu().rows_max_pool(&groups),
+                LayerKind::Mean { .. } => {
+                    let adj = mean_adj.as_ref().expect("computed for mean layers above");
+                    let adj_leaf = g.leaf(adj.clone());
+                    if let Some(tr) = trace.as_deref_mut() {
+                        tr.fcg_mean_adj_leaves.push(adj_leaf.id());
+                    }
+                    adj_leaf.matmul(&f)
+                }
+                LayerKind::Max { fc, .. } => {
+                    if let Some(tr) = trace.as_deref_mut() {
+                        tr.mark_incompatible(
+                            "FCG max aggregator pools over input-dependent neighbour lists",
+                        );
+                    }
+                    let groups = groups.as_ref().expect("computed for max layers above");
+                    fc.forward(g, &f).relu().rows_max_pool(groups)
+                }
             };
             let w = match layer {
                 LayerKind::Flow { w } | LayerKind::Mean { w } | LayerKind::Max { w, .. } => w,
@@ -144,6 +167,39 @@ impl FcgNetwork {
     pub fn depth(&self) -> usize {
         self.layers.len()
     }
+}
+
+/// Neighbour lists under the structural mask: row `i` lists every `j` with
+/// `mask[i][j] > 0` (the `{F_i} ∪ N(i)` sets of Eq 14).
+pub fn fcg_groups(mask: &Tensor) -> Vec<Vec<usize>> {
+    let n = mask.shape().rows();
+    (0..n)
+        .map(|i| {
+            mask.row(i)
+                .iter()
+                .enumerate()
+                .filter(|&(_, &m)| m > 0.0)
+                .map(|(j, _)| j)
+                .collect()
+        })
+        .collect()
+}
+
+/// The mean-aggregator adjacency for the masked flow graph: row `i` puts
+/// weight `1/|N(i)|` on each neighbour. A pure function of the mask, so a
+/// replay plan re-derives it per slot.
+pub fn fcg_mean_adj(mask: &Tensor) -> Tensor {
+    let n = mask.shape().rows();
+    let groups = fcg_groups(mask);
+    let mut a = Tensor::zeros(Shape::matrix(n, n));
+    let buf = a.data_mut();
+    for (i, group) in groups.iter().enumerate() {
+        let w = 1.0 / group.len() as f32;
+        for &j in group {
+            buf[i * n + j] = w;
+        }
+    }
+    a
 }
 
 /// The Eq 10 edge-weight matrix as plain values (for inspection and the

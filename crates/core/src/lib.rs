@@ -21,8 +21,12 @@
 //!   stopping and parameter snapshots.
 //! * [`attention`] — per-slot PCG attention export for the §VIII case study
 //!   (Figures 10–12).
+//! * [`compiled`] — tape-compiled training and inference plans
+//!   (`stgnn_tensor::plan`): trace one slot, then replay every later slot
+//!   with rebound inputs and zero steady-state pool misses.
 
 pub mod attention;
+pub mod compiled;
 pub mod config;
 pub mod fcg;
 pub mod flow_conv;
@@ -30,6 +34,7 @@ pub mod model;
 pub mod pcg;
 pub mod trainer;
 
+pub use compiled::{ForwardTrace, InferencePlan, TrainingPlan};
 pub use config::{FcgAggregator, PcgAggregator, StgnnConfig};
 pub use model::StgnnDjd;
 pub use trainer::{TrainReport, Trainer};

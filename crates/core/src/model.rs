@@ -16,6 +16,7 @@
 //! (concatenation of two `1×n` embeddings), so the head must be
 //! `R^{2n×2}`; we use the dimensionally consistent form (see DESIGN.md).
 
+use crate::compiled::ForwardTrace;
 use crate::config::StgnnConfig;
 use crate::fcg::FcgNetwork;
 use crate::flow_conv::{fcg_mask, FlowConvOutput, FlowConvolution, FreeNodeFeatures};
@@ -179,22 +180,45 @@ impl StgnnDjd {
     /// Runs one forward pass on a fresh or shared tape. `train` enables
     /// dropout (drawn from the model's RNG).
     pub fn forward(&self, g: &Graph, inputs: &ModelInputs, train: bool) -> ForwardOutput {
+        let mut rng = self.rng.borrow_mut();
+        self.forward_traced(g, inputs, train, &mut rng, None)
+    }
+
+    /// [`Self::forward`] with an explicit dropout RNG and an optional
+    /// [`ForwardTrace`] recorder — the entry point plan compilation uses to
+    /// learn which leaves rebind per slot (see `crate::compiled`).
+    pub fn forward_traced(
+        &self,
+        g: &Graph,
+        inputs: &ModelInputs,
+        train: bool,
+        rng: &mut StdRng,
+        mut trace: Option<&mut ForwardTrace>,
+    ) -> ForwardOutput {
         // 1. Node features.
         let (t, mask) = match (&self.flow_conv, &self.free_features) {
             (Some(fc), _) => {
-                let FlowConvOutput { t, i_hat, o_hat } = fc.forward(
+                let FlowConvOutput { t, i_hat, o_hat } = fc.forward_traced(
                     g,
                     &inputs.short_in,
                     &inputs.short_out,
                     &inputs.long_in,
                     &inputs.long_out,
+                    trace.as_deref_mut(),
                 );
                 let mask = fcg_mask(&i_hat.value(), &o_hat.value());
                 (t, mask)
             }
             (None, Some(free)) => {
                 // "No FC": free features; the FCG mask falls back to raw
-                // observed flow in the short-term window.
+                // observed flow in the short-term window. Neither the
+                // features nor the mask's inputs live on the tape, so this
+                // ablation cannot replay through a plan.
+                if let Some(tr) = trace.as_deref_mut() {
+                    tr.mark_incompatible(
+                        "free node features derive the FCG mask from off-tape raw inputs",
+                    );
+                }
                 (
                     free.forward(g),
                     raw_flow_mask(&inputs.short_in, &inputs.short_out, self.n),
@@ -204,12 +228,11 @@ impl StgnnDjd {
         };
 
         // 2–3. Branch embeddings.
-        let mut rng = self.rng.borrow_mut();
         let mut branch_embeddings: Vec<Var> = Vec::with_capacity(2);
         let mut pcg_attention = Vec::new();
         if let Some(fcg) = &self.fcg {
             let train_rng = train.then_some(&mut *rng);
-            branch_embeddings.push(fcg.forward(g, &t, &mask, train_rng));
+            branch_embeddings.push(fcg.forward_traced(g, &t, &mask, train_rng, trace));
         }
         if let Some(pcg) = &self.pcg {
             let train_rng = train.then_some(&mut *rng);
@@ -273,16 +296,27 @@ impl StgnnDjd {
         demand_true: &Tensor,
         supply_true: &Tensor,
     ) -> Var {
-        let d = output
-            .demand
-            .sub(&g.leaf(demand_true.clone()))
-            .square()
-            .mean_all();
-        let s = output
-            .supply
-            .sub(&g.leaf(supply_true.clone()))
-            .square()
-            .mean_all();
+        self.squared_loss_traced(g, output, demand_true, supply_true, None)
+    }
+
+    /// [`Self::squared_loss`] recording the two target leaves in `trace` so
+    /// plan compilation can rebind them per training slot.
+    pub fn squared_loss_traced(
+        &self,
+        g: &Graph,
+        output: &ForwardOutput,
+        demand_true: &Tensor,
+        supply_true: &Tensor,
+        trace: Option<&mut ForwardTrace>,
+    ) -> Var {
+        let demand_leaf = g.leaf(demand_true.clone());
+        let supply_leaf = g.leaf(supply_true.clone());
+        if let Some(tr) = trace {
+            tr.target_demand = Some(demand_leaf.id());
+            tr.target_supply = Some(supply_leaf.id());
+        }
+        let d = output.demand.sub(&demand_leaf).square().mean_all();
+        let s = output.supply.sub(&supply_leaf).square().mean_all();
         d.add(&s)
     }
 
@@ -304,7 +338,18 @@ impl StgnnDjd {
         let g = Graph::new();
         let inputs = ModelInputs::from_dataset(data, t);
         let out = self.forward(&g, &inputs, false);
-        let (dv, sv) = (out.demand.value(), out.supply.value());
+        self.predictions_from_values(&out.demand.value(), &out.supply.value(), data)
+    }
+
+    /// Denormalises raw n×horizon demand/supply outputs into per-slot
+    /// [`Prediction`]s — shared by the eager path above and the compiled
+    /// plan replay path (`crate::compiled`).
+    pub(crate) fn predictions_from_values(
+        &self,
+        dv: &Tensor,
+        sv: &Tensor,
+        data: &BikeDataset,
+    ) -> Vec<Prediction> {
         let n = self.n;
         (0..self.config.horizon)
             .map(|h| {
@@ -314,11 +359,19 @@ impl StgnnDjd {
                         .collect()
                 };
                 Prediction {
-                    demand: col(&dv),
-                    supply: col(&sv),
+                    demand: col(dv),
+                    supply: col(sv),
                 }
             })
             .collect()
+    }
+
+    /// The model's dropout RNG cell — plan compilation clones it to probe a
+    /// training tape without advancing the real stream, and plan replay
+    /// borrows it mutably so compiled steps consume the stream exactly like
+    /// eager steps would.
+    pub(crate) fn rng_cell(&self) -> &RefCell<StdRng> {
+        &self.rng
     }
 
     /// Saves the trained weights to `path` (see `stgnn_tensor::serialize`).

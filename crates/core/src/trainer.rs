@@ -7,6 +7,7 @@
 //! parameter snapshot is restored at the end — the standard protocol the
 //! paper's "set hyperparameters on the validation set" implies.
 
+use crate::compiled::TrainingPlan;
 use crate::config::StgnnConfig;
 use crate::model::{ModelInputs, StgnnDjd};
 use rand::rngs::StdRng;
@@ -16,6 +17,8 @@ use stgnn_data::dataset::{BikeDataset, Split};
 use stgnn_data::error::{Error, Result};
 use stgnn_tensor::autograd::Graph;
 use stgnn_tensor::optim::{Adam, Optimizer};
+use stgnn_tensor::plan::PlanExec;
+use stgnn_tensor::pool;
 use stgnn_tensor::Tensor;
 
 /// Summary of one training run.
@@ -36,6 +39,15 @@ pub struct TrainReport {
     /// inference, gradient-path reachability, NaN-risk, FLOP estimates).
     /// Always clean here — a `Deny` finding aborts training instead.
     pub tape: stgnn_analyze::Report,
+    /// Whether training replayed a compiled plan (true for every standard
+    /// configuration; false for structurally replay-incompatible ones like
+    /// the FCG max aggregator or the "No FC" ablation).
+    pub used_compiled_plan: bool,
+    /// Tensor-pool misses per optimizer step over the final epoch's batch
+    /// loop — fresh heap allocations the buffer pool could not serve. The
+    /// compiled-plan path reaches 0.0 once warm (validation sweeps are
+    /// excluded from the window).
+    pub allocs_per_step: f64,
 }
 
 /// Trains an [`StgnnDjd`] on a [`BikeDataset`].
@@ -103,6 +115,17 @@ impl Trainer {
                 .collect();
             subsample(&all, self.max_val_slots)
         };
+        // Compile the probe tape into a replayable plan. `Ok(None)` means
+        // the configuration is structurally replay-incompatible (FCG max
+        // aggregator, "No FC" ablation) and training stays eager; a compile
+        // error is defensive-fallback territory too — the plan is a pure
+        // optimisation, never a correctness gate.
+        let train_plan = model
+            .compile_training_plan(data, probe_slot)
+            .unwrap_or(None);
+        // One replay executor per batch lane, reused across every batch and
+        // epoch — this is what makes the steady state allocation-free.
+        let mut lanes: Vec<PlanExec> = Vec::new();
 
         let mut shuffle_rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(1));
         let mut opt = Adam::new(self.config.learning_rate).with_clip(5.0);
@@ -113,6 +136,8 @@ impl Trainer {
             val_losses: Vec::new(),
             kernel_threads,
             tape,
+            used_compiled_plan: train_plan.is_some(),
+            allocs_per_step: 0.0,
         };
         let mut best_snapshot: Option<Vec<Tensor>> = None;
         let mut epochs_since_best = 0usize;
@@ -127,32 +152,22 @@ impl Trainer {
 
             let mut epoch_loss = 0.0f64;
             let mut batches = 0usize;
+            let pool_before = pool::stats();
             for batch in slots.chunks(self.config.batch_size) {
                 model.params().zero_grads();
-                // Eq 21 over the batch: L = sqrt(mean_b (mse_d + mse_s)).
-                // Each slot traces its own tape; the batch-level √ factors
-                // into a shared scalar 1/(2·B·L) applied to each slot's
-                // radicand before its backward sweep.
-                let mut slot_losses = Vec::with_capacity(batch.len());
-                let mut radicand = 0.0f64;
-                for &t in batch {
-                    let g = Graph::new();
-                    let inputs = ModelInputs::from_dataset(data, t);
-                    let out = model.forward(&g, &inputs, true);
-                    let (dt, st) = data.targets_horizon(t, horizon)?;
-                    let sq = model.squared_loss(&g, &out, &dt, &st);
-                    radicand += sq.value().scalar() as f64 / batch.len() as f64;
-                    slot_losses.push(sq);
-                }
-                let batch_loss = (radicand.max(0.0)).sqrt() as f32;
-                let grad_scale = 1.0 / (2.0 * batch.len() as f32 * batch_loss.max(1e-6));
-                for sq in slot_losses {
-                    sq.mul_scalar(grad_scale).backward();
-                }
+                let batch_loss = match &train_plan {
+                    Some(plan) => plan_batch(model, data, plan, &mut lanes, batch)?,
+                    None => eager_batch(model, data, horizon, batch)?,
+                };
                 opt.step(model.params());
                 epoch_loss += batch_loss as f64;
                 batches += 1;
             }
+            // Pool misses per optimizer step, measured over just this
+            // epoch's batch loop (validation below runs eager and is
+            // excluded). The last epoch's figure lands in the report.
+            let pool_delta = pool::stats().since(&pool_before);
+            report.allocs_per_step = pool_delta.misses as f64 / batches.max(1) as f64;
             report
                 .train_losses
                 .push((epoch_loss / batches.max(1) as f64) as f32);
@@ -196,10 +211,69 @@ impl Trainer {
             let (dt, st) = data
                 .targets_horizon(t, self.config.horizon)
                 .expect("mean_loss slots must leave room for the horizon");
-            total += model.loss(&g, &out, &dt, &st).value().scalar() as f64;
+            total += model.loss(&g, &out, &dt, &st).with_value(|v| v.scalar()) as f64;
         }
         (total / slots.len().max(1) as f64) as f32
     }
+}
+
+/// One eager gradient batch: Eq 21 over the batch,
+/// `L = sqrt(mean_b (mse_d + mse_s))`. Each slot traces its own tape; the
+/// batch-level √ factors into a shared scalar `1/(2·B·L)` applied to each
+/// slot's radicand before its backward sweep. Returns the batch loss
+/// (gradients accumulate in the model's parameter cells).
+fn eager_batch(
+    model: &StgnnDjd,
+    data: &BikeDataset,
+    horizon: usize,
+    batch: &[usize],
+) -> Result<f32> {
+    let mut slot_losses = Vec::with_capacity(batch.len());
+    let mut radicand = 0.0f64;
+    for &t in batch {
+        let g = Graph::new();
+        let inputs = ModelInputs::from_dataset(data, t);
+        let out = model.forward(&g, &inputs, true);
+        let (dt, st) = data.targets_horizon(t, horizon)?;
+        let sq = model.squared_loss(&g, &out, &dt, &st);
+        radicand += sq.with_value(|v| v.scalar()) as f64 / batch.len() as f64;
+        slot_losses.push(sq);
+    }
+    let batch_loss = (radicand.max(0.0)).sqrt() as f32;
+    let grad_scale = 1.0 / (2.0 * batch.len() as f32 * batch_loss.max(1e-6));
+    for sq in slot_losses {
+        sq.mul_scalar(grad_scale).backward();
+    }
+    Ok(batch_loss)
+}
+
+/// The same gradient batch replayed through a compiled plan — bit-identical
+/// to [`eager_batch`] (same kernels, sweep order, RNG draws, and parameter
+/// deposit order) but with every intermediate buffer recycled through the
+/// tensor pool. `lanes[i]` carries slot `i`'s forward state to its backward
+/// sweep, exactly as the eager path keeps slot tapes alive in
+/// `slot_losses`.
+fn plan_batch(
+    model: &StgnnDjd,
+    data: &BikeDataset,
+    plan: &TrainingPlan,
+    lanes: &mut Vec<PlanExec>,
+    batch: &[usize],
+) -> Result<f32> {
+    while lanes.len() < batch.len() {
+        lanes.push(plan.executor());
+    }
+    let mut radicand = 0.0f64;
+    for (lane, &t) in batch.iter().enumerate() {
+        let sq = model.plan_step_forward(plan, &mut lanes[lane], data, t)?;
+        radicand += sq as f64 / batch.len() as f64;
+    }
+    let batch_loss = (radicand.max(0.0)).sqrt() as f32;
+    let grad_scale = 1.0 / (2.0 * batch.len() as f32 * batch_loss.max(1e-6));
+    for lane in lanes.iter_mut().take(batch.len()) {
+        model.plan_step_backward(plan, lane, grad_scale)?;
+    }
+    Ok(batch_loss)
 }
 
 /// Evenly subsamples `slots` down to at most `cap` entries.

@@ -1,0 +1,41 @@
+//! CI gate: a standard-configuration training run must reach a
+//! **zero-pool-miss steady state** — `allocs_per_step == 0` over the final
+//! epoch's batch loop, as reported by [`stgnn_core::TrainReport`].
+//!
+//! This file holds exactly one test on purpose: the tensor pool's counters
+//! are process-global, and cargo runs same-binary tests on parallel
+//! threads, so any sibling test would race the miss window. A dedicated
+//! integration binary gives the measurement its own process.
+
+use stgnn_core::{StgnnConfig, StgnnDjd, Trainer};
+use stgnn_data::dataset::{BikeDataset, DatasetConfig};
+use stgnn_data::synthetic::{CityConfig, SyntheticCity};
+
+#[test]
+fn training_reaches_zero_pool_misses_after_warm_up() {
+    let city = SyntheticCity::generate(CityConfig::test_tiny(71));
+    let data = BikeDataset::from_city(&city, DatasetConfig::small(6, 2)).unwrap();
+    let mut config = StgnnConfig::test_tiny(6, 2);
+    // Enough epochs for the pool and the plan executors to warm up (epoch
+    // 0 populates both) with patience to match, so the final epoch is pure
+    // steady state.
+    config.epochs = 4;
+    config.patience = 4;
+    config.max_batches_per_epoch = Some(4);
+    let mut model = StgnnDjd::new(config.clone(), data.n_stations()).unwrap();
+    let report = Trainer::new(config).train(&mut model, &data).unwrap();
+    assert!(
+        report.used_compiled_plan,
+        "standard config must route through the compiled plan"
+    );
+    assert!(
+        report.epochs_run >= 2,
+        "need a post-warm-up epoch to measure"
+    );
+    assert_eq!(
+        report.allocs_per_step, 0.0,
+        "steady-state training must not miss the pool (got {} misses/step \
+         over the final epoch)",
+        report.allocs_per_step
+    );
+}

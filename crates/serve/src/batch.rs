@@ -29,9 +29,11 @@ use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
+use stgnn_core::compiled::InferencePlan;
 use stgnn_core::StgnnDjd;
 use stgnn_data::dataset::BikeDataset;
 use stgnn_tensor::par;
+use stgnn_tensor::plan::PlanExec;
 
 /// Result delivered to a waiting request: the full-horizon prediction or a
 /// serving error.
@@ -186,10 +188,27 @@ impl Drop for InflightGuard<'_> {
     }
 }
 
+/// One worker's materialised copy of a registered model, plus its compiled
+/// forward plan. The whole struct is replaced whenever the checkpoint
+/// version moves (hot-swap), so a stale plan can never outlive the weights
+/// it was compiled against.
+struct LocalModel {
+    version: u64,
+    model: StgnnDjd,
+    /// Inference plan + reusable executor, compiled on this worker's first
+    /// forward at this version. Replaying it keeps the steady-state serve
+    /// path free of pool misses.
+    plan: Option<(InferencePlan, PlanExec)>,
+    /// The configuration declined to compile (structurally replay-
+    /// incompatible) or compilation errored — stay eager, don't retry
+    /// every batch.
+    plan_failed: bool,
+}
+
 fn worker_loop(shared: &Shared) {
     // This worker's materialised models, keyed by name with the checkpoint
     // version they were built from.
-    let mut local: HashMap<String, (u64, StgnnDjd)> = HashMap::new();
+    let mut local: HashMap<String, LocalModel> = HashMap::new();
     loop {
         let first = {
             let mut q = shared.queue.lock();
@@ -246,7 +265,7 @@ fn clone_err(e: &ServeError) -> ServeError {
 
 fn process_batch(
     shared: &Shared,
-    local: &mut HashMap<String, (u64, StgnnDjd)>,
+    local: &mut HashMap<String, LocalModel>,
     batch: Vec<PredictRequest>,
 ) {
     let Some(first_req) = batch.first() else {
@@ -312,15 +331,25 @@ fn process_batch(
         key: key.clone(),
     };
 
-    // Materialise (or version-refresh) this worker's model instance.
+    // Materialise (or version-refresh) this worker's model instance. A
+    // version move replaces the whole LocalModel, dropping the compiled
+    // plan with it — the hot-swap invalidation.
     let needs_rebuild = local
         .get(&model_name)
-        .map(|(v, _)| *v != checkpoint.version)
+        .map(|lm| lm.version != checkpoint.version)
         .unwrap_or(true);
     if needs_rebuild {
         match entry.spec().materialize_with(&checkpoint) {
             Ok(model) => {
-                local.insert(model_name.clone(), (checkpoint.version, model));
+                local.insert(
+                    model_name.clone(),
+                    LocalModel {
+                        version: checkpoint.version,
+                        model,
+                        plan: None,
+                        plan_failed: false,
+                    },
+                );
             }
             Err(e) => {
                 for _ in &batch {
@@ -331,7 +360,7 @@ fn process_batch(
             }
         }
     }
-    let Some((_, model)) = local.get(&model_name) else {
+    let Some(lm) = local.get_mut(&model_name) else {
         // Unreachable: either the entry predated this batch or the rebuild
         // above just inserted it. Reply with an error rather than panic the
         // worker if that invariant ever breaks.
@@ -350,22 +379,51 @@ fn process_batch(
     if let Some(delay) = shared.config.forward_delay {
         thread::sleep(delay);
     }
-    if let Err(e) = model.check_compatible(&shared.dataset) {
+    if let Err(e) = lm.model.check_compatible(&shared.dataset) {
         for _ in &batch {
             shared.metrics.inc_errors();
         }
         respond_all(&batch, &Err(ServeError::BadRequest(e.to_string())));
         return;
     }
+    // Compile this version's inference plan on first use. `Ok(None)` marks
+    // a structurally replay-incompatible configuration — serve it eagerly
+    // forever rather than re-probing every batch.
+    if lm.plan.is_none() && !lm.plan_failed {
+        match lm.model.compile_inference_plan(&shared.dataset, slot) {
+            Ok(Some(plan)) => {
+                let exec = plan.executor();
+                lm.plan = Some((plan, exec));
+            }
+            _ => lm.plan_failed = true,
+        }
+    }
     // Defense in depth: a panic in the forward pass (a shape bug the
     // validation above didn't anticipate) must not take the worker thread
     // down with the whole queue behind it. Convert it to an error reply and
     // drop this worker's model copy — it may be mid-mutation.
     let forward = catch_unwind(AssertUnwindSafe(|| {
-        model.predict_horizon(&shared.dataset, slot)
+        // Replay the compiled plan (bit-identical to eager, zero pool
+        // misses once warm); any replay error falls back to the eager pass
+        // for this batch and reports whether the plan should be dropped.
+        let replayed = lm.plan.as_mut().map(|(plan, exec)| {
+            lm.model
+                .plan_predict_horizon(plan, exec, &shared.dataset, slot)
+        });
+        match replayed {
+            Some(Ok(p)) => (p, false),
+            Some(Err(_)) => (lm.model.predict_horizon(&shared.dataset, slot), true),
+            None => (lm.model.predict_horizon(&shared.dataset, slot), false),
+        }
     }));
     let predictions: CachedPrediction = match forward {
-        Ok(p) => Arc::new(p),
+        Ok((p, drop_plan)) => {
+            if drop_plan {
+                lm.plan = None;
+                lm.plan_failed = true;
+            }
+            Arc::new(p)
+        }
         Err(payload) => {
             local.remove(&model_name);
             let msg = payload
@@ -576,6 +634,25 @@ mod tests {
         // The stale entry still sits in the cache under the v1 key — proof
         // that correctness comes from version-keying, not eager deletion.
         assert!(cache.get(&v1_key).is_some());
+    }
+
+    /// The worker's compiled-plan path must serve exactly what an eager
+    /// forward on an independently materialised model would — across many
+    /// slots, so replay (not just the freshly-traced probe) is what's
+    /// checked.
+    #[test]
+    fn compiled_plan_serves_eager_identical_predictions() {
+        let data = dataset();
+        let (pool, registry, metrics, _) = pool_with(&data, PoolConfig::default());
+        let entry = registry.get("stgnn").unwrap();
+        let reference = entry.spec().materialize_with(&entry.checkpoint()).unwrap();
+        let slots = data.slots(Split::Test);
+        for &t in slots.iter().take(5) {
+            let served = pool.submit("stgnn", t).recv().unwrap().unwrap();
+            let eager = reference.predict_horizon(&data, t);
+            assert_eq!(*served, eager, "slot {t}: plan replay diverged from eager");
+        }
+        assert_eq!(metrics.snapshot().forward_passes, 5);
     }
 
     #[test]

@@ -251,6 +251,18 @@ impl Param {
         self.grad.borrow().clone()
     }
 
+    /// Runs `f` against a borrow of the current value — no clone, not even
+    /// of the shape vector. The hot-path form of [`Param::value`].
+    pub fn with_value<R>(&self, f: impl FnOnce(&Tensor) -> R) -> R {
+        f(&self.value.borrow())
+    }
+
+    /// Runs `f` against a borrow of the accumulated gradient — the hot-path
+    /// form of [`Param::grad`], used by the optimizers every step.
+    pub fn with_grad<R>(&self, f: impl FnOnce(&Tensor) -> R) -> R {
+        f(&self.grad.borrow())
+    }
+
     /// Replaces the value (used by optimizers).
     pub fn set_value(&self, v: Tensor) {
         debug_assert_eq!(
@@ -351,10 +363,7 @@ impl ParamSet {
     pub fn grad_norm(&self) -> f32 {
         self.params
             .iter()
-            .map(|p| {
-                let g = p.grad();
-                g.data().iter().map(|x| x * x).sum::<f32>()
-            })
+            .map(|p| p.with_grad(|g| g.data().iter().map(|x| x * x).sum::<f32>()))
             .sum::<f32>()
             .sqrt()
     }
@@ -512,9 +521,26 @@ impl Var {
         self.graph.borrow().nodes[self.id].value.clone()
     }
 
+    /// Runs `f` against a borrow of the node's forward value, avoiding the
+    /// tensor + shape clone of [`Var::value`] on hot paths that only need to
+    /// read (loss extraction in the training loop, metric reads).
+    ///
+    /// `f` must not touch the tape (it holds the graph borrow).
+    pub fn with_value<R>(&self, f: impl FnOnce(&Tensor) -> R) -> R {
+        f(&self.graph.borrow().nodes[self.id].value)
+    }
+
     /// The node's gradient, if `backward` has reached it.
     pub fn grad(&self) -> Option<Tensor> {
         self.graph.borrow().nodes[self.id].grad.clone()
+    }
+
+    /// Runs `f` against a borrow of the node's gradient (`None` before the
+    /// backward sweep reaches it); the no-clone form of [`Var::grad`].
+    ///
+    /// `f` must not touch the tape (it holds the graph borrow).
+    pub fn with_grad<R>(&self, f: impl FnOnce(Option<&Tensor>) -> R) -> R {
+        f(self.graph.borrow().nodes[self.id].grad.as_ref())
     }
 
     /// The node's shape.
@@ -808,16 +834,13 @@ impl Var {
         }
         let keep = 1.0 - p;
         let shape = self.shape();
-        let mask_data: Vec<f32> = (0..shape.len())
-            .map(|_| {
-                if rng.gen::<f32>() < keep {
-                    1.0 / keep
-                } else {
-                    0.0
-                }
-            })
-            .collect();
-        let mask = Tensor::from_vec(shape, mask_data).unwrap();
+        let mask = Tensor::filled_with(shape, || {
+            if rng.gen::<f32>() < keep {
+                1.0 / keep
+            } else {
+                0.0
+            }
+        });
         let out = self.value().mul(&mask).unwrap();
         let m = mask;
         self.unary(Op::Dropout { rate: p }, out, move |g| g.mul(&m).unwrap())

@@ -23,6 +23,12 @@
 //!   (`matmul`, `softmax_rows`, the broadcasts) dispatch through; sized by
 //!   `STGNN_THREADS` / `available_parallelism()`, bit-for-bit deterministic
 //!   in the thread count.
+//! * [`pool`] — a size-bucketed recycling pool every tensor's storage is
+//!   leased from; fixed-shape steady states (a training step, a serve
+//!   forward) stop touching the system allocator once warm.
+//! * [`plan`] — a tape compiler: one traced [`autograd::Graph::snapshot`]
+//!   becomes a [`plan::Plan`] that replays forward+backward over
+//!   preallocated node slots, bit-identical to eager execution.
 //!
 //! The engine is deliberately CPU-only and `f32`-only: the model operates on
 //! `n×n` station matrices (n in the tens to hundreds), where a cache-friendly
@@ -46,6 +52,8 @@ pub mod loss;
 pub mod nn;
 pub mod optim;
 pub mod par;
+pub mod plan;
+pub mod pool;
 pub mod serialize;
 pub mod shape;
 pub mod tensor;

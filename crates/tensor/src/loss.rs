@@ -42,8 +42,8 @@ mod tests {
         let g = Graph::new();
         let p = g.leaf(Tensor::from_rows(&[&[1.0, 3.0]]));
         let t = g.leaf(Tensor::from_rows(&[&[0.0, 1.0]]));
-        assert!((mse(&p, &t).value().scalar() - 2.5).abs() < 1e-6);
-        assert!((mae(&p, &t).value().scalar() - 1.5).abs() < 1e-6);
+        assert!((mse(&p, &t).with_value(|v| v.scalar()) - 2.5).abs() < 1e-6);
+        assert!((mae(&p, &t).with_value(|v| v.scalar()) - 1.5).abs() < 1e-6);
     }
 
     #[test]
@@ -55,7 +55,7 @@ mod tests {
         let yt = g.leaf(Tensor::from_rows(&[&[0.0], &[0.0]]));
         // (1/2)(4+0) + (1/2)(1+1) = 2 + 1 = 3 → sqrt(3)
         let l = joint_demand_supply_loss(&xp, &xt, &yp, &yt);
-        assert!((l.value().scalar() - 3.0f32.sqrt()).abs() < 1e-6);
+        assert!((l.with_value(|v| v.scalar()) - 3.0f32.sqrt()).abs() < 1e-6);
     }
 
     #[test]
@@ -64,7 +64,7 @@ mod tests {
         let x = g.leaf(Tensor::from_rows(&[&[1.0], &[2.0]]));
         let y = g.leaf(Tensor::from_rows(&[&[3.0], &[4.0]]));
         let l = joint_demand_supply_loss(&x, &x, &y, &y);
-        assert_eq!(l.value().scalar(), 0.0);
+        assert_eq!(l.with_value(|v| v.scalar()), 0.0);
     }
 
     #[test]
@@ -75,10 +75,11 @@ mod tests {
         let xt = g.leaf(Tensor::from_rows(&[&[0.0], &[0.0]]));
         let y = g.leaf(Tensor::from_rows(&[&[0.0], &[0.0]]));
         joint_demand_supply_loss(&xp, &xt, &y, &y).backward();
-        let grad = p.grad();
         // dL/dx = x/(n·L); L = sqrt(2.5), n = 2
         let l = 2.5f32.sqrt();
-        assert!((grad.data()[0] - 2.0 / (2.0 * l)).abs() < 1e-5);
-        assert!((grad.data()[1] - 1.0 / (2.0 * l)).abs() < 1e-5);
+        p.with_grad(|grad| {
+            assert!((grad.data()[0] - 2.0 / (2.0 * l)).abs() < 1e-5);
+            assert!((grad.data()[1] - 1.0 / (2.0 * l)).abs() < 1e-5);
+        });
     }
 }

@@ -43,8 +43,10 @@ impl Optimizer for Sgd {
     fn step(&mut self, params: &ParamSet) {
         let scale = clip_scale(params, self.clip);
         for p in params.params() {
-            let g = p.grad().mul_scalar(scale);
-            let updated = p.value().sub(&g.mul_scalar(self.lr)).expect("sgd shapes");
+            let g = p.with_grad(|g| g.mul_scalar(scale));
+            let updated = p
+                .with_value(|v| v.sub(&g.mul_scalar(self.lr)))
+                .expect("sgd shapes");
             p.set_value(updated);
         }
         params.zero_grads();
@@ -96,7 +98,7 @@ impl Adam {
     fn ensure_state(&mut self, params: &ParamSet) {
         while self.m.len() < params.len() {
             let i = self.m.len();
-            let shape = params.params()[i].value().shape().clone();
+            let shape = params.params()[i].with_value(|v| v.shape().clone());
             self.m.push(Tensor::zeros(shape.clone()));
             self.v.push(Tensor::zeros(shape));
         }
@@ -111,7 +113,7 @@ impl Optimizer for Adam {
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
         for (i, p) in params.params().iter().enumerate() {
-            let g = p.grad().mul_scalar(scale);
+            let g = p.with_grad(|g| g.mul_scalar(scale));
             let m = self.m[i]
                 .mul_scalar(self.beta1)
                 .add(&g.mul_scalar(1.0 - self.beta1))
@@ -124,7 +126,7 @@ impl Optimizer for Adam {
             let v_hat = v.mul_scalar(1.0 / bc2);
             let denom = v_hat.sqrt().add_scalar(self.eps);
             let update = m_hat.div(&denom).expect("adam update").mul_scalar(self.lr);
-            p.set_value(p.value().sub(&update).expect("adam apply"));
+            p.set_value(p.with_value(|v| v.sub(&update)).expect("adam apply"));
             self.m[i] = m;
             self.v[i] = v;
         }

@@ -1,0 +1,692 @@
+// lint: allow-file(L004): the compiler validates every node/parent id against
+// the tape once in `Plan::compile`; replay then indexes the per-node slot
+// vectors with those proven-in-bounds ids on the hot path.
+//! Compiled tape replay: execute one traced graph many times without
+//! rebuilding it.
+//!
+//! STGNN-DJD's tape has a fixed structure for a given station count and
+//! window configuration — every training step and every serve forward
+//! re-traces the identical graph. Eager mode pays for that by rebuilding
+//! every [`crate::autograd::Var`] node per step: `Rc` churn, backward
+//! closures, shape clones, and a fresh allocation per op output.
+//!
+//! [`Plan::compile`] takes one [`TapeSnapshot`] traced by eager mode and
+//! turns it into a static schedule: ops in topological (= insertion) order,
+//! leaf **bindings** that say how each leaf gets its value on replay
+//! (rebound input, recomputed derived value, re-read parameter, or frozen
+//! constant), and parameter links for gradient writeback. A [`PlanExec`]
+//! holds the per-node value/gradient/mask slots; replaying overwrites the
+//! slots in place, so each step's outputs recycle the previous step's
+//! buffers through the [`crate::pool`] and the steady state performs **zero
+//! pool misses** — the allocator is never touched.
+//!
+//! Replay is **bit-identical** to eager execution: every op's forward runs
+//! the same [`Tensor`] kernel the eager `Var` method runs, and every
+//! backward re-applies the exact formula of the eager backward closure, in
+//! the same sweep order, accumulating in the same parent order, depositing
+//! into [`Param`] cells in the same link order. Dropout nodes resample their
+//! mask from the caller's RNG in node order — the same draw order eager
+//! tracing uses — so a plan step consumes the RNG stream exactly like the
+//! eager step it replaces.
+//!
+//! One caveat is inherent to replay: ops whose *structure* (not value) was
+//! derived from input data at trace time — [`Op::RowsMaxPool`] group lists
+//! built from a data-dependent mask — replay the traced structure. Callers
+//! that configure such ops from per-input data (the FCG max aggregator)
+//! must keep the eager path; input-independent structures (the PCG
+//! aggregators, whose groups cover all stations) replay correctly.
+
+use crate::autograd::{Op, Param, ParamSet, TapeSnapshot};
+use crate::error::{Error, Result};
+use crate::pool::Buffer;
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Recomputes a derived leaf's value from earlier node values on each
+/// replay. Receives the value slots of all nodes *preceding* the leaf
+/// (slice index = node id), so a derived leaf may depend on any upstream
+/// forward value — e.g. the flow-conservation mask, which eager mode
+/// computes out-of-tape from the fused flow estimates.
+pub type DerivedFn = Box<dyn Fn(&[Tensor]) -> Result<Tensor>>;
+
+/// How one leaf node gets its value on each replay.
+pub enum LeafBinding {
+    /// Rebound from `inputs[i]` on every call (training examples, targets).
+    Input(usize),
+    /// Recomputed from earlier node values on every call.
+    Derived(DerivedFn),
+}
+
+/// Caller-supplied compilation spec: which leaves rebind, which roots to
+/// read back, and where backward seeds.
+#[derive(Default)]
+pub struct PlanSpec {
+    /// `(leaf node id, binding)` for every leaf that changes between
+    /// replays. Leaves not listed stay frozen at their traced value
+    /// (constants such as `ones`/`eye`).
+    pub bindings: Vec<(usize, LeafBinding)>,
+    /// Node ids whose values [`Plan::outputs`] reads back after a forward.
+    pub roots: Vec<usize>,
+    /// Node id [`Plan::backward`] seeds (the loss). `None` for
+    /// inference-only plans.
+    pub loss: Option<usize>,
+}
+
+enum NodeBinding {
+    /// Evaluate the op from parent values.
+    Compute,
+    /// Keep the traced value (constant leaf).
+    Constant,
+    /// `inputs[i]`.
+    Input(usize),
+    /// `derived[i]`.
+    Derived(usize),
+    /// Re-read the parameter cell.
+    Param(Rc<Param>),
+}
+
+struct PlanNode {
+    op: Op,
+    parents: Vec<usize>,
+    shape: Shape,
+    binding: NodeBinding,
+}
+
+/// A compiled, replayable schedule for one traced tape. Cheap to execute,
+/// immutable once compiled; per-replay state lives in [`PlanExec`].
+pub struct Plan {
+    nodes: Vec<PlanNode>,
+    derived: Vec<DerivedFn>,
+    /// `(node id, param)` in tape order — the deposit order of eager
+    /// `backward`.
+    param_links: Vec<(usize, Rc<Param>)>,
+    init_values: Vec<Tensor>,
+    roots: Vec<usize>,
+    loss: Option<usize>,
+    num_inputs: usize,
+    has_dropout: bool,
+}
+
+/// Per-replay state of a [`Plan`]: one value slot, gradient slot and
+/// dropout-mask slot per node, plus argmax scratch for max-pool backward.
+/// Slots are overwritten in place on every replay; their buffers recycle
+/// through the [`crate::pool`].
+pub struct PlanExec {
+    values: Vec<Tensor>,
+    grads: Vec<Option<Tensor>>,
+    masks: Vec<Option<Tensor>>,
+    argmax: Vec<Option<Vec<usize>>>,
+}
+
+impl PlanExec {
+    /// The forward value of node `id` from the latest replay.
+    pub fn value(&self, id: usize) -> Option<&Tensor> {
+        self.values.get(id)
+    }
+
+    /// The gradient of node `id` from the latest backward, if it was
+    /// reached.
+    pub fn grad(&self, id: usize) -> Option<&Tensor> {
+        self.grads.get(id).and_then(Option::as_ref)
+    }
+}
+
+impl Plan {
+    /// Compiles a traced tape into a replayable plan.
+    ///
+    /// Validates the tape topology (parents strictly precede children),
+    /// resolves every `Param` node against `params` by name, and checks the
+    /// spec's bindings point at leaf nodes. Returns
+    /// [`Error::InvalidArgument`] on any structural defect.
+    pub fn compile(snapshot: &TapeSnapshot, params: &ParamSet, spec: PlanSpec) -> Result<Self> {
+        let n = snapshot.nodes.len();
+        if n == 0 {
+            return Err(Error::InvalidArgument(
+                "cannot compile an empty tape".into(),
+            ));
+        }
+        let mut by_name: HashMap<&str, Rc<Param>> = HashMap::new();
+        for p in params.params() {
+            if by_name.insert(p.name(), Rc::clone(p)).is_some() {
+                return Err(Error::InvalidArgument(format!(
+                    "duplicate parameter name {:?} — plan compilation resolves params by name",
+                    p.name()
+                )));
+            }
+        }
+
+        let mut bindings: HashMap<usize, LeafBinding> = HashMap::new();
+        let mut num_inputs = 0usize;
+        for (id, b) in spec.bindings {
+            if let LeafBinding::Input(i) = &b {
+                num_inputs = num_inputs.max(i + 1);
+            }
+            if bindings.insert(id, b).is_some() {
+                return Err(Error::InvalidArgument(format!(
+                    "node {id} bound twice in PlanSpec"
+                )));
+            }
+        }
+
+        let mut nodes = Vec::with_capacity(n);
+        let mut derived: Vec<DerivedFn> = Vec::new();
+        let mut param_links = Vec::new();
+        let mut init_values = Vec::with_capacity(n);
+        let mut has_dropout = false;
+        for (id, info) in snapshot.nodes.iter().enumerate() {
+            if info.parents.iter().any(|&p| p >= id) {
+                return Err(Error::InvalidArgument(format!(
+                    "node {id} has a parent at or after itself — not a valid tape"
+                )));
+            }
+            if info.value.shape() != &info.shape {
+                return Err(Error::InvalidArgument(format!(
+                    "node {id} recorded shape {} but carries a value of shape {}",
+                    info.shape,
+                    info.value.shape()
+                )));
+            }
+            let binding = match (&info.op, bindings.remove(&id)) {
+                (Op::Leaf, Some(LeafBinding::Input(i))) => NodeBinding::Input(i),
+                (Op::Leaf, Some(LeafBinding::Derived(f))) => {
+                    derived.push(f);
+                    NodeBinding::Derived(derived.len() - 1)
+                }
+                (Op::Leaf, None) => NodeBinding::Constant,
+                (_, Some(_)) => {
+                    return Err(Error::InvalidArgument(format!(
+                        "PlanSpec binds node {id}, but it is a {} node, not a leaf",
+                        info.op
+                    )));
+                }
+                (Op::Param, None) => {
+                    let name = info.param.as_deref().ok_or_else(|| {
+                        Error::InvalidArgument(format!("param node {id} carries no name"))
+                    })?;
+                    let p = by_name.get(name).ok_or_else(|| {
+                        Error::InvalidArgument(format!(
+                            "param node {id} refers to {name:?}, absent from the ParamSet"
+                        ))
+                    })?;
+                    param_links.push((id, Rc::clone(p)));
+                    NodeBinding::Param(Rc::clone(p))
+                }
+                (_, None) => NodeBinding::Compute,
+            };
+            if matches!(info.op, Op::Dropout { .. }) {
+                has_dropout = true;
+            }
+            nodes.push(PlanNode {
+                op: info.op.clone(),
+                parents: info.parents.clone(),
+                shape: info.shape.clone(),
+                binding,
+            });
+            init_values.push(info.value.clone());
+        }
+        if let Some((id, _)) = bindings.into_iter().next() {
+            return Err(Error::InvalidArgument(format!(
+                "PlanSpec binds node {id}, which is outside the tape"
+            )));
+        }
+        for &r in spec.roots.iter().chain(spec.loss.iter()) {
+            if r >= n {
+                return Err(Error::InvalidArgument(format!(
+                    "root node {r} is outside the tape of {n} nodes"
+                )));
+            }
+        }
+        Ok(Plan {
+            nodes,
+            derived,
+            param_links,
+            init_values,
+            roots: spec.roots,
+            loss: spec.loss,
+            num_inputs,
+            has_dropout,
+        })
+    }
+
+    /// Number of nodes in the compiled schedule.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True for a plan over an empty tape (cannot be constructed).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of rebindable inputs `forward` expects.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// True when the tape contains dropout nodes and replay therefore needs
+    /// the RNG-taking entry points.
+    pub fn needs_rng(&self) -> bool {
+        self.has_dropout
+    }
+
+    /// Allocates the per-replay state for this plan. Slots start at the
+    /// traced values (cheap COW clones); the first few replays warm the
+    /// buffer pool, after which replay performs zero pool misses.
+    pub fn executor(&self) -> PlanExec {
+        PlanExec {
+            values: self.init_values.clone(),
+            grads: vec![None; self.nodes.len()],
+            masks: vec![None; self.nodes.len()],
+            argmax: vec![None; self.nodes.len()],
+        }
+    }
+
+    /// Replays the forward pass over `exec`'s slots. Fails if the tape has
+    /// dropout nodes — those need [`Plan::forward_with_rng`].
+    pub fn forward(&self, exec: &mut PlanExec, inputs: &[Tensor]) -> Result<()> {
+        if self.has_dropout {
+            return Err(Error::InvalidArgument(
+                "tape has dropout nodes; use forward_with_rng".into(),
+            ));
+        }
+        self.forward_impl(exec, inputs, &mut || 0.0)
+    }
+
+    /// Replays the forward pass, resampling dropout masks from `rng` in
+    /// node order — the same draw order eager tracing uses, so the RNG
+    /// stream advances exactly as an eager step would advance it.
+    pub fn forward_with_rng(
+        &self,
+        exec: &mut PlanExec,
+        inputs: &[Tensor],
+        rng: &mut impl rand::Rng,
+    ) -> Result<()> {
+        self.forward_impl(exec, inputs, &mut || rng.gen::<f32>())
+    }
+
+    fn forward_impl(
+        &self,
+        exec: &mut PlanExec,
+        inputs: &[Tensor],
+        draw: &mut dyn FnMut() -> f32,
+    ) -> Result<()> {
+        if inputs.len() != self.num_inputs {
+            return Err(Error::InvalidArgument(format!(
+                "plan expects {} inputs, got {}",
+                self.num_inputs,
+                inputs.len()
+            )));
+        }
+        // Free last step's gradients first so their buffers are back in the
+        // pool before this step's takes begin.
+        for g in &mut exec.grads {
+            *g = None;
+        }
+        for id in 0..self.nodes.len() {
+            let node = &self.nodes[id];
+            let v = match &node.binding {
+                NodeBinding::Constant => continue,
+                NodeBinding::Input(i) => {
+                    let t = &inputs[*i];
+                    if t.shape() != &node.shape {
+                        return Err(Error::InvalidArgument(format!(
+                            "input {i} has shape {}, but the tape was traced with {}",
+                            t.shape(),
+                            node.shape
+                        )));
+                    }
+                    t.clone()
+                }
+                NodeBinding::Derived(k) => {
+                    let t = self.derived[*k](&exec.values[..id])?;
+                    if t.shape() != &node.shape {
+                        return Err(Error::InvalidArgument(format!(
+                            "derived leaf {id} produced shape {}, traced as {}",
+                            t.shape(),
+                            node.shape
+                        )));
+                    }
+                    t
+                }
+                NodeBinding::Param(p) => p.value(),
+                NodeBinding::Compute => self.eval(id, exec, draw)?,
+            };
+            exec.values[id] = v;
+        }
+        Ok(())
+    }
+
+    /// The values of the spec's root nodes after a forward.
+    pub fn outputs(&self, exec: &PlanExec) -> Vec<Tensor> {
+        self.roots.iter().map(|&r| exec.values[r].clone()).collect()
+    }
+
+    /// The loss node's scalar value after a forward.
+    pub fn loss_value(&self, exec: &PlanExec) -> Result<f32> {
+        let id = self
+            .loss
+            .ok_or_else(|| Error::InvalidArgument("plan has no loss node".into()))?;
+        Ok(exec.values[id].scalar())
+    }
+
+    /// Replays the backward sweep from the loss node, seeding its gradient
+    /// with `seed_scale` — bit-identical to eager `mul_scalar(seed_scale)
+    /// .backward()`, whose `ones` seed times the scale is exactly a
+    /// `full(seed_scale)` gradient at the loss. Accumulated parameter
+    /// gradients are deposited into the linked [`Param`] cells in tape
+    /// order, matching the eager deposit order. Call once per forward.
+    pub fn backward(&self, exec: &mut PlanExec, seed_scale: f32) -> Result<()> {
+        let root = self
+            .loss
+            .ok_or_else(|| Error::InvalidArgument("plan has no loss node to seed".into()))?;
+        accumulate(
+            &mut exec.grads[root],
+            Tensor::full(self.nodes[root].shape.clone(), seed_scale),
+        )?;
+        for id in (0..=root).rev() {
+            if exec.grads[id].is_none() {
+                continue;
+            }
+            if !matches!(self.nodes[id].binding, NodeBinding::Compute) {
+                continue; // leaves, params and constants spread no further
+            }
+            let contribs = self.backprop(id, exec)?;
+            for (pid, g) in contribs {
+                debug_assert!(pid < id, "tape order violated: node {id} feeds {pid}");
+                accumulate(&mut exec.grads[pid], g)?;
+            }
+        }
+        for (node_id, param) in &self.param_links {
+            if let Some(g) = &exec.grads[*node_id] {
+                param.accumulate_grad(g);
+            }
+        }
+        Ok(())
+    }
+
+    /// Forward + backward + loss read in one call, for single-tape training
+    /// steps and tests. Use the split [`Plan::forward_with_rng`] /
+    /// [`Plan::backward`] calls when the seed scale depends on several
+    /// forwards (the trainer's batch-RMSE scaling).
+    pub fn step_with_rng(
+        &self,
+        exec: &mut PlanExec,
+        inputs: &[Tensor],
+        seed_scale: f32,
+        rng: &mut impl rand::Rng,
+    ) -> Result<f32> {
+        self.forward_with_rng(exec, inputs, rng)?;
+        self.backward(exec, seed_scale)?;
+        self.loss_value(exec)
+    }
+
+    /// [`Plan::step_with_rng`] for dropout-free tapes.
+    pub fn step(&self, exec: &mut PlanExec, inputs: &[Tensor], seed_scale: f32) -> Result<f32> {
+        self.forward(exec, inputs)?;
+        self.backward(exec, seed_scale)?;
+        self.loss_value(exec)
+    }
+
+    /// Evaluates one op from its parents' slot values — the identical
+    /// kernel call the eager `Var` method makes.
+    fn eval(
+        &self,
+        id: usize,
+        exec: &mut PlanExec,
+        draw: &mut dyn FnMut() -> f32,
+    ) -> Result<Tensor> {
+        let node = &self.nodes[id];
+        let values = &exec.values;
+        let pv = |k: usize| -> &Tensor { &values[node.parents[k]] };
+        match &node.op {
+            Op::Leaf | Op::Param => Err(Error::InvalidArgument(format!(
+                "node {id}: {} nodes are bound, never computed",
+                node.op
+            ))),
+            Op::Add => pv(0).add(pv(1)),
+            Op::Sub => pv(0).sub(pv(1)),
+            Op::Mul => pv(0).mul(pv(1)),
+            Op::Div => pv(0).div(pv(1)),
+            Op::AddScalar(s) => Ok(pv(0).add_scalar(*s)),
+            Op::MulScalar(s) => Ok(pv(0).mul_scalar(*s)),
+            Op::Neg => Ok(pv(0).neg()),
+            Op::Matmul => pv(0).matmul(pv(1)),
+            Op::Transpose => pv(0).transpose(),
+            Op::Reshape(shape) => pv(0).reshape(shape.clone()),
+            Op::SliceRows { start, end } => pv(0).slice_rows(*start, *end),
+            Op::Relu => Ok(pv(0).relu()),
+            Op::Elu => Ok(pv(0).elu()),
+            Op::Sigmoid => Ok(pv(0).sigmoid()),
+            Op::Tanh => Ok(pv(0).tanh()),
+            Op::Exp => Ok(pv(0).exp()),
+            Op::Square => Ok(pv(0).square()),
+            Op::Abs => Ok(pv(0).abs()),
+            Op::Sqrt => Ok(pv(0).sqrt()),
+            Op::SoftmaxRows => pv(0).softmax_rows(),
+            Op::Dropout { rate } => {
+                let keep = 1.0 - rate;
+                let x = pv(0);
+                let mask = Tensor::filled_with(x.shape().clone(), || {
+                    if draw() < keep {
+                        1.0 / keep
+                    } else {
+                        0.0
+                    }
+                });
+                let out = x.mul(&mask)?;
+                exec.masks[id] = Some(mask);
+                Ok(out)
+            }
+            Op::AddRowBroadcast => pv(0).add_row_broadcast(pv(1)),
+            Op::AddColBroadcast => pv(0).add_col_broadcast(pv(1)),
+            Op::MulColBroadcast => pv(0).mul_col_broadcast(pv(1)),
+            Op::RowsMaxPool { groups } => {
+                let v = pv(0);
+                let (rows, cols) = v.shape().as_matrix("rows_max_pool")?;
+                let out_rows = groups.len();
+                let mut out = Buffer::filled(out_rows * cols, f32::NEG_INFINITY);
+                let mut argmax = exec.argmax[id].take().unwrap_or_default();
+                argmax.clear();
+                argmax.resize(out_rows * cols, 0);
+                for (i, group) in groups.iter().enumerate() {
+                    for &r in group {
+                        if r >= rows {
+                            return Err(Error::InvalidArgument(format!(
+                                "rows_max_pool: row {r} out of {rows}"
+                            )));
+                        }
+                        for c in 0..cols {
+                            let val = v.data()[r * cols + c];
+                            if val > out[i * cols + c] {
+                                out[i * cols + c] = val;
+                                argmax[i * cols + c] = r;
+                            }
+                        }
+                    }
+                }
+                exec.argmax[id] = Some(argmax);
+                Ok(Tensor::from_buffer(Shape::matrix(out_rows, cols), out))
+            }
+            Op::SumAll => Ok(pv(0).sum_all()),
+            Op::MeanAll => Ok(pv(0).mean_all()),
+            Op::SumCols => pv(0).sum_cols(),
+            Op::SumRows => pv(0).sum_rows(),
+            Op::ConcatCols => {
+                let parts: Vec<&Tensor> = node.parents.iter().map(|&p| &values[p]).collect();
+                Tensor::concat_cols(&parts)
+            }
+        }
+    }
+
+    /// Re-applies the eager backward formula for node `id`, returning the
+    /// gradient contribution per parent in parent order.
+    fn backprop(&self, id: usize, exec: &PlanExec) -> Result<Vec<(usize, Tensor)>> {
+        let node = &self.nodes[id];
+        let g = exec.grads[id]
+            .as_ref()
+            .ok_or_else(|| Error::InvalidArgument(format!("node {id} has no gradient")))?;
+        let values = &exec.values;
+        let out = &values[id];
+        let pid = |k: usize| node.parents[k];
+        let pv = |k: usize| -> &Tensor { &values[node.parents[k]] };
+        let one = |t: Tensor| -> Result<Vec<(usize, Tensor)>> { Ok(vec![(node.parents[0], t)]) };
+        match &node.op {
+            Op::Leaf | Op::Param => Ok(Vec::new()),
+            Op::Add => Ok(vec![(pid(0), g.clone()), (pid(1), g.clone())]),
+            Op::Sub => Ok(vec![(pid(0), g.clone()), (pid(1), g.neg())]),
+            Op::Mul => Ok(vec![(pid(0), g.mul(pv(1))?), (pid(1), g.mul(pv(0))?)]),
+            Op::Div => {
+                let (av, bv) = (pv(0), pv(1));
+                let ga = g.div(bv)?;
+                // d(a/b)/db = -a / b²  — same composition as the eager closure.
+                let gb = g.mul(av)?.div(&bv.square())?.neg();
+                Ok(vec![(pid(0), ga), (pid(1), gb)])
+            }
+            Op::AddScalar(_) => one(g.clone()),
+            Op::MulScalar(s) => one(g.mul_scalar(*s)),
+            Op::Neg => one(g.neg()),
+            Op::Matmul => {
+                let (av, bv) = (pv(0), pv(1));
+                let ga = g.matmul(&bv.transpose()?)?;
+                let gb = av.transpose()?.matmul(g)?;
+                Ok(vec![(pid(0), ga), (pid(1), gb)])
+            }
+            Op::Transpose => one(g.transpose()?),
+            Op::Reshape(_) => one(g.reshape(pv(0).shape().clone())?),
+            Op::SliceRows { start, end } => {
+                let (_, cols) = pv(0).shape().as_matrix("slice_rows_bw")?;
+                let mut full = Tensor::zeros(pv(0).shape().clone());
+                full.data_mut()[start * cols..end * cols].copy_from_slice(g.data());
+                one(full)
+            }
+            Op::Relu => {
+                one(g.zip_map(pv(0), "relu_bw", |gv, xv| if xv > 0.0 { gv } else { 0.0 })?)
+            }
+            Op::Elu => {
+                one(g.zip_map(
+                    out,
+                    "elu_bw",
+                    |gv, ov| {
+                        if ov > 0.0 {
+                            gv
+                        } else {
+                            gv * (ov + 1.0)
+                        }
+                    },
+                )?)
+            }
+            Op::Sigmoid => one(g.zip_map(out, "sigmoid_bw", |gv, sv| gv * sv * (1.0 - sv))?),
+            Op::Tanh => one(g.zip_map(out, "tanh_bw", |gv, tv| gv * (1.0 - tv * tv))?),
+            Op::Exp => one(g.mul(out)?),
+            Op::Square => one(g.zip_map(pv(0), "square_bw", |gv, xv| gv * 2.0 * xv)?),
+            Op::Abs => one(g.zip_map(pv(0), "abs_bw", |gv, xv| {
+                if xv == 0.0 {
+                    0.0
+                } else {
+                    gv * xv.signum()
+                }
+            })?),
+            Op::Sqrt => one(g.zip_map(out, "sqrt_bw", |gv, sv| gv * 0.5 / sv.max(1e-8))?),
+            Op::SoftmaxRows => {
+                // dx_j = s_j (g_j − Σ_k g_k s_k), per row — serial, exactly
+                // as the eager closure computes it.
+                let s = out;
+                let (r, c) = s.shape().as_matrix("softmax_bw")?;
+                let mut dx = Tensor::zeros(Shape::matrix(r, c));
+                let buf = dx.data_mut();
+                for i in 0..r {
+                    let srow = s.row(i);
+                    let grow = g.row(i);
+                    let dot: f32 = srow.iter().zip(grow).map(|(&sv, &gv)| sv * gv).sum();
+                    for j in 0..c {
+                        buf[i * c + j] = srow[j] * (grow[j] - dot);
+                    }
+                }
+                one(dx)
+            }
+            Op::Dropout { .. } => {
+                let mask = exec.masks[id].as_ref().ok_or_else(|| {
+                    Error::InvalidArgument(format!(
+                        "dropout node {id} has no mask — backward before forward?"
+                    ))
+                })?;
+                one(g.mul(mask)?)
+            }
+            Op::AddRowBroadcast => Ok(vec![(pid(0), g.clone()), (pid(1), g.sum_rows()?)]),
+            Op::AddColBroadcast => Ok(vec![(pid(0), g.clone()), (pid(1), g.sum_cols()?)]),
+            Op::MulColBroadcast => {
+                let (av, cv) = (pv(0), pv(1));
+                let ga = g.mul_col_broadcast(cv)?;
+                let gc = g.mul(av)?.sum_cols()?;
+                Ok(vec![(pid(0), ga), (pid(1), gc)])
+            }
+            Op::RowsMaxPool { groups } => {
+                let argmax = exec.argmax[id].as_ref().ok_or_else(|| {
+                    Error::InvalidArgument(format!(
+                        "rows_max_pool node {id} has no argmax — backward before forward?"
+                    ))
+                })?;
+                let (out_rows, cols) = (groups.len(), out.shape().cols());
+                let mut dx = Tensor::zeros(pv(0).shape().clone());
+                let buf = dx.data_mut();
+                for i in 0..out_rows {
+                    for c in 0..cols {
+                        buf[argmax[i * cols + c] * cols + c] += g.data()[i * cols + c];
+                    }
+                }
+                one(dx)
+            }
+            Op::SumAll => one(Tensor::full(pv(0).shape().clone(), g.scalar())),
+            Op::MeanAll => {
+                let shape = pv(0).shape().clone();
+                let inv = 1.0 / shape.len() as f32;
+                one(Tensor::full(shape, g.scalar() * inv))
+            }
+            Op::SumCols => {
+                let (r, c) = pv(0).shape().as_matrix("sum_cols_bw")?;
+                let mut dx = Tensor::zeros(Shape::matrix(r, c));
+                let buf = dx.data_mut();
+                for i in 0..r {
+                    let gv = g.data()[i];
+                    buf[i * c..(i + 1) * c].fill(gv);
+                }
+                one(dx)
+            }
+            Op::SumRows => {
+                let (r, c) = pv(0).shape().as_matrix("sum_rows_bw")?;
+                let mut dx = Tensor::zeros(Shape::matrix(r, c));
+                let buf = dx.data_mut();
+                for i in 0..r {
+                    buf[i * c..(i + 1) * c].copy_from_slice(g.data());
+                }
+                one(dx)
+            }
+            Op::ConcatCols => {
+                let rows = out.shape().rows();
+                let mut contribs = Vec::with_capacity(node.parents.len());
+                let mut col = 0;
+                for &p in &node.parents {
+                    let w = values[p].shape().cols();
+                    let mut part = Buffer::zeroed(rows * w);
+                    for r in 0..rows {
+                        let src = &g.row(r)[col..col + w];
+                        part[r * w..(r + 1) * w].copy_from_slice(src);
+                    }
+                    contribs.push((p, Tensor::from_buffer(Shape::matrix(rows, w), part)));
+                    col += w;
+                }
+                Ok(contribs)
+            }
+        }
+    }
+}
+
+fn accumulate(slot: &mut Option<Tensor>, g: Tensor) -> Result<()> {
+    match slot {
+        Some(cur) => *cur = cur.add(&g)?,
+        None => *slot = Some(g),
+    }
+    Ok(())
+}

@@ -10,6 +10,7 @@
 
 use crate::error::{Error, Result};
 use crate::par;
+use crate::pool::Buffer;
 use crate::shape::Shape;
 use std::fmt;
 use std::sync::Arc;
@@ -19,10 +20,20 @@ use std::sync::Arc;
 /// row-grain per kernel is derived as `PAR_GRAIN_OPS / ops-per-row`.
 const PAR_GRAIN_OPS: usize = 4096;
 
+/// Side length of the square tiles `transpose` gathers through: 32×32 f32
+/// tiles (4 KiB working set) keep both the strided reads and the strided
+/// writes inside L1 while a whole row/column of a large matrix would not.
+const TRANSPOSE_TILE: usize = 32;
+
 /// A dense, row-major `f32` tensor.
+///
+/// Element storage is a [`Buffer`] leased from the [`crate::pool`] recycling
+/// pool: dropping the last clone of a tensor returns its elements to the
+/// pool, and every kernel output is drawn from it, so fixed-shape workloads
+/// (a training step, a serve forward) stop touching the allocator once warm.
 #[derive(Clone)]
 pub struct Tensor {
-    data: Arc<Vec<f32>>,
+    data: Arc<Buffer>,
     shape: Shape,
 }
 
@@ -43,15 +54,24 @@ impl Tensor {
             )));
         }
         Ok(Tensor {
-            data: Arc::new(data),
+            data: Arc::new(Buffer::from_vec(data)),
             shape,
         })
+    }
+
+    /// Builds a tensor directly from a pooled buffer of the right length.
+    pub(crate) fn from_buffer(shape: Shape, data: Buffer) -> Self {
+        debug_assert_eq!(data.len(), shape.len(), "buffer/shape length mismatch");
+        Tensor {
+            data: Arc::new(data),
+            shape,
+        }
     }
 
     /// A scalar tensor.
     pub fn from_scalar(v: f32) -> Self {
         Tensor {
-            data: Arc::new(vec![v]),
+            data: Arc::new(Buffer::filled(1, v)),
             shape: Shape::scalar(),
         }
     }
@@ -59,7 +79,7 @@ impl Tensor {
     /// A rank-1 tensor from a slice.
     pub fn from_slice(v: &[f32]) -> Self {
         Tensor {
-            data: Arc::new(v.to_vec()),
+            data: Arc::new(Buffer::copy_of(v)),
             shape: Shape::vector(v.len()),
         }
     }
@@ -78,7 +98,7 @@ impl Tensor {
             data.extend_from_slice(row);
         }
         Tensor {
-            data: Arc::new(data),
+            data: Arc::new(Buffer::from_vec(data)),
             shape: Shape::matrix(r, c),
         }
     }
@@ -86,10 +106,7 @@ impl Tensor {
     /// A tensor of zeros.
     pub fn zeros(shape: Shape) -> Self {
         let len = shape.len();
-        Tensor {
-            data: Arc::new(vec![0.0; len]),
-            shape,
-        }
+        Tensor::from_buffer(shape, Buffer::zeroed(len))
     }
 
     /// A tensor of ones.
@@ -100,22 +117,24 @@ impl Tensor {
     /// A tensor filled with `v`.
     pub fn full(shape: Shape, v: f32) -> Self {
         let len = shape.len();
-        Tensor {
-            data: Arc::new(vec![v; len]),
-            shape,
-        }
+        Tensor::from_buffer(shape, Buffer::filled(len, v))
+    }
+
+    /// A tensor whose elements are drawn from `f` in row-major order —
+    /// the exact sequence `(0..len).map(|_| f()).collect()` would produce,
+    /// but into pooled storage (used for dropout masks).
+    pub fn filled_with(shape: Shape, f: impl FnMut() -> f32) -> Self {
+        let len = shape.len();
+        Tensor::from_buffer(shape, Buffer::filled_with(len, f))
     }
 
     /// The `n×n` identity matrix.
     pub fn eye(n: usize) -> Self {
-        let mut data = vec![0.0; n * n];
+        let mut data = Buffer::zeroed(n * n);
         for i in 0..n {
             data[i * n + i] = 1.0;
         }
-        Tensor {
-            data: Arc::new(data),
-            shape: Shape::matrix(n, n),
-        }
+        Tensor::from_buffer(Shape::matrix(n, n), data)
     }
 
     // ------------------------------------------------------------------
@@ -187,17 +206,14 @@ impl Tensor {
     /// Applies `f` to every element.
     pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
         let src = self.data();
-        let mut out = vec![0.0f32; src.len()];
+        let mut out = Buffer::zeroed(src.len());
         par::for_each_row_chunk_mut(&mut out, 1, PAR_GRAIN_OPS, |first, window| {
             let end = first + window.len();
             for (o, &x) in window.iter_mut().zip(&src[first..end]) {
                 *o = f(x);
             }
         });
-        Tensor {
-            data: Arc::new(out),
-            shape: self.shape.clone(),
-        }
+        Tensor::from_buffer(self.shape.clone(), out)
     }
 
     /// Combines two same-shape tensors elementwise.
@@ -215,17 +231,14 @@ impl Tensor {
             });
         }
         let (a, b) = (self.data(), rhs.data());
-        let mut out = vec![0.0f32; a.len()];
+        let mut out = Buffer::zeroed(a.len());
         par::for_each_row_chunk_mut(&mut out, 1, PAR_GRAIN_OPS, |first, window| {
             let end = first + window.len();
             for ((o, &x), &y) in window.iter_mut().zip(&a[first..end]).zip(&b[first..end]) {
                 *o = f(x, y);
             }
         });
-        Ok(Tensor {
-            data: Arc::new(out),
-            shape: self.shape.clone(),
-        })
+        Ok(Tensor::from_buffer(self.shape.clone(), out))
     }
 
     /// Elementwise sum.
@@ -315,6 +328,14 @@ impl Tensor {
     /// parallel chunks; each row accumulates independently in the serial
     /// loop order, so the result is bit-for-bit identical at any thread
     /// count.
+    ///
+    /// The inner loop comes in two flavours picked by a cheap deterministic
+    /// density probe of the lhs: sparse flow matrices keep the `av == 0.0`
+    /// skip (most of a flow row is zeros — skipping the whole `rhs` row is a
+    /// real win), while dense matrices (weights, hidden states) take a
+    /// branchless loop the autovectorizer handles much better. The probe
+    /// depends only on the lhs values, never on the thread count, so the
+    /// bitwise-determinism contract is unaffected.
     pub fn matmul(&self, rhs: &Tensor) -> Result<Tensor> {
         let (m, k) = self.shape.as_matrix("matmul")?;
         let (k2, n) = rhs.shape.as_matrix("matmul")?;
@@ -327,43 +348,63 @@ impl Tensor {
         }
         let a = self.data();
         let b = rhs.data();
-        let mut out = vec![0.0f32; m * n];
+        let dense = lhs_is_dense(a);
+        let mut out = Buffer::zeroed(m * n);
         let grain = (PAR_GRAIN_OPS / (k * n).max(1)).max(1);
         par::for_each_row_chunk_mut(&mut out, n, grain, |first_row, window| {
             for (r, o_row) in window.chunks_mut(n).enumerate() {
                 let i = first_row + r;
                 let a_row = &a[i * k..(i + 1) * k];
-                for (p, &av) in a_row.iter().enumerate() {
-                    if av == 0.0 {
-                        continue; // flow matrices are sparse; skipping zeros is a real win
+                if dense {
+                    for (p, &av) in a_row.iter().enumerate() {
+                        let b_row = &b[p * n..(p + 1) * n];
+                        for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                            *o += av * bv;
+                        }
                     }
-                    let b_row = &b[p * n..(p + 1) * n];
-                    for (o, &bv) in o_row.iter_mut().zip(b_row) {
-                        *o += av * bv;
+                } else {
+                    for (p, &av) in a_row.iter().enumerate() {
+                        if av == 0.0 {
+                            continue; // flow matrices are sparse; skipping zeros is a real win
+                        }
+                        let b_row = &b[p * n..(p + 1) * n];
+                        for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                            *o += av * bv;
+                        }
                     }
                 }
             }
         });
-        Tensor::from_vec(Shape::matrix(m, n), out)
+        Ok(Tensor::from_buffer(Shape::matrix(m, n), out))
     }
 
     /// Transpose of a rank-2 tensor.
+    ///
+    /// Parallel over output rows (input columns); within each chunk the
+    /// gather is tiled in [`TRANSPOSE_TILE`]² blocks so both the contiguous
+    /// reads and the strided writes stay inside L1, instead of walking a
+    /// full strided column of a large matrix per output row.
     pub fn transpose(&self) -> Result<Tensor> {
         let (r, c) = self.shape.as_matrix("transpose")?;
         let data = self.data();
-        let mut out = vec![0.0f32; r * c];
-        // Parallel over output rows (input columns); each gathers one
-        // strided column of the input.
+        let mut out = Buffer::zeroed(r * c);
         let grain = (PAR_GRAIN_OPS / r.max(1)).max(1);
         par::for_each_row_chunk_mut(&mut out, r, grain, |first_col, window| {
-            for (jj, o_row) in window.chunks_mut(r).enumerate() {
-                let j = first_col + jj;
-                for (i, o) in o_row.iter_mut().enumerate() {
-                    *o = data[i * c + j];
+            let wcols = window.len() / r.max(1);
+            for jb in (0..wcols).step_by(TRANSPOSE_TILE) {
+                let jend = (jb + TRANSPOSE_TILE).min(wcols);
+                for ib in (0..r).step_by(TRANSPOSE_TILE) {
+                    let iend = (ib + TRANSPOSE_TILE).min(r);
+                    for i in ib..iend {
+                        let src_row = &data[i * c..(i + 1) * c];
+                        for jj in jb..jend {
+                            window[jj * r + i] = src_row[first_col + jj];
+                        }
+                    }
                 }
             }
         });
-        Tensor::from_vec(Shape::matrix(c, r), out)
+        Ok(Tensor::from_buffer(Shape::matrix(c, r), out))
     }
 
     /// Reinterprets the buffer under a new shape of equal length.
@@ -400,13 +441,16 @@ impl Tensor {
             }
             total_cols += c;
         }
-        let mut out = Vec::with_capacity(rows * total_cols);
+        let mut out = Buffer::zeroed(rows * total_cols);
         for i in 0..rows {
+            let mut col = i * total_cols;
             for p in parts {
-                out.extend_from_slice(p.row(i));
+                let src = p.row(i);
+                out[col..col + src.len()].copy_from_slice(src);
+                col += src.len();
             }
         }
-        Tensor::from_vec(Shape::matrix(rows, total_cols), out)
+        Ok(Tensor::from_buffer(Shape::matrix(rows, total_cols), out))
     }
 
     /// Vertical concatenation of rank-2 tensors with equal column counts.
@@ -416,7 +460,6 @@ impl Tensor {
         }
         let (_, cols) = parts[0].shape.as_matrix("concat_rows")?;
         let mut total_rows = 0;
-        let mut out = Vec::new();
         for p in parts {
             let (r, c) = p.shape.as_matrix("concat_rows")?;
             if c != cols {
@@ -427,9 +470,15 @@ impl Tensor {
                 });
             }
             total_rows += r;
-            out.extend_from_slice(p.data());
         }
-        Tensor::from_vec(Shape::matrix(total_rows, cols), out)
+        let mut out = Buffer::zeroed(total_rows * cols);
+        let mut at = 0;
+        for p in parts {
+            let src = p.data();
+            out[at..at + src.len()].copy_from_slice(src);
+            at += src.len();
+        }
+        Ok(Tensor::from_buffer(Shape::matrix(total_rows, cols), out))
     }
 
     /// Extracts rows `[start, end)` of a rank-2 tensor.
@@ -440,10 +489,10 @@ impl Tensor {
                 "slice_rows {start}..{end} out of bounds for {r} rows"
             )));
         }
-        Tensor::from_vec(
+        Ok(Tensor::from_buffer(
             Shape::matrix(end - start, c),
-            self.data[start * c..end * c].to_vec(),
-        )
+            Buffer::copy_of(&self.data[start * c..end * c]),
+        ))
     }
 
     // ------------------------------------------------------------------
@@ -471,7 +520,7 @@ impl Tensor {
                 }
             }
         });
-        Tensor::from_vec(Shape::matrix(r, c), out)
+        Ok(Tensor::from_buffer(Shape::matrix(r, c), out))
     }
 
     /// Adds an `r×1` column vector to every column of an `r×c` matrix.
@@ -496,7 +545,7 @@ impl Tensor {
                 }
             }
         });
-        Tensor::from_vec(Shape::matrix(r, c), out)
+        Ok(Tensor::from_buffer(Shape::matrix(r, c), out))
     }
 
     /// Multiplies row `i` of an `r×c` matrix by element `i` of an `r×1` column.
@@ -521,7 +570,7 @@ impl Tensor {
                 }
             }
         });
-        Tensor::from_vec(Shape::matrix(r, c), out)
+        Ok(Tensor::from_buffer(Shape::matrix(r, c), out))
     }
 
     // ------------------------------------------------------------------
@@ -541,22 +590,23 @@ impl Tensor {
     /// Per-row sums of a rank-2 tensor, as an `r×1` column.
     pub fn sum_cols(&self) -> Result<Tensor> {
         let (r, c) = self.shape.as_matrix("sum_cols")?;
-        let out: Vec<f32> = (0..r)
-            .map(|i| self.data[i * c..(i + 1) * c].iter().sum())
-            .collect();
-        Tensor::from_vec(Shape::matrix(r, 1), out)
+        let mut out = Buffer::zeroed(r);
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.data[i * c..(i + 1) * c].iter().sum();
+        }
+        Ok(Tensor::from_buffer(Shape::matrix(r, 1), out))
     }
 
     /// Per-column sums of a rank-2 tensor, as a `1×c` row.
     pub fn sum_rows(&self) -> Result<Tensor> {
         let (r, c) = self.shape.as_matrix("sum_rows")?;
-        let mut out = vec![0.0f32; c];
+        let mut out = Buffer::zeroed(c);
         for i in 0..r {
             for (o, &v) in out.iter_mut().zip(&self.data[i * c..(i + 1) * c]) {
                 *o += v;
             }
         }
-        Tensor::from_vec(Shape::matrix(1, c), out)
+        Ok(Tensor::from_buffer(Shape::matrix(1, c), out))
     }
 
     /// Maximum element (NaN-free inputs assumed); 0.0 for empty tensors.
@@ -588,7 +638,7 @@ impl Tensor {
     pub fn softmax_rows(&self) -> Result<Tensor> {
         let (r, c) = self.shape.as_matrix("softmax_rows")?;
         let data = self.data();
-        let mut out = vec![0.0f32; r * c];
+        let mut out = Buffer::zeroed(r * c);
         let grain = (PAR_GRAIN_OPS / c.max(1)).max(1);
         par::for_each_row_chunk_mut(&mut out, c, grain, |first_row, window| {
             for (rr, o_row) in window.chunks_mut(c).enumerate() {
@@ -610,7 +660,7 @@ impl Tensor {
                 }
             }
         });
-        Tensor::from_vec(Shape::matrix(r, c), out)
+        Ok(Tensor::from_buffer(Shape::matrix(r, c), out))
     }
 
     /// Frobenius norm.
@@ -629,6 +679,30 @@ impl Tensor {
     }
 }
 
+/// Deterministic density probe for [`Tensor::matmul`]'s lhs: samples at most
+/// 1024 evenly-strided elements and calls the matrix dense when fewer than
+/// 1/8 of the samples are exactly zero. Cheap relative to the `m·k·n`
+/// product it steers, and a function of the data alone — never of the
+/// thread count — so kernel determinism is preserved.
+fn lhs_is_dense(a: &[f32]) -> bool {
+    if a.is_empty() {
+        return true;
+    }
+    let stride = (a.len() / 1024).max(1);
+    let mut sampled = 0u32;
+    let mut zeros = 0u32;
+    let mut idx = 0;
+    while idx < a.len() {
+        // lint: allow(L004): idx < a.len() is the loop condition.
+        if a[idx] == 0.0 {
+            zeros += 1;
+        }
+        sampled += 1;
+        idx += stride;
+    }
+    zeros * 8 < sampled
+}
+
 /// Logistic sigmoid that avoids `exp` overflow on large negative inputs.
 pub(crate) fn stable_sigmoid(x: f32) -> f32 {
     if x >= 0.0 {
@@ -643,7 +717,7 @@ impl fmt::Debug for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Tensor(shape={}, ", self.shape)?;
         if self.len() <= 16 {
-            write!(f, "data={:?})", self.data.as_ref())
+            write!(f, "data={:?})", &self.data[..])
         } else {
             write!(
                 f,

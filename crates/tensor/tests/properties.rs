@@ -6,6 +6,7 @@
 
 use proptest::prelude::*;
 use stgnn_tensor::autograd::{Graph, Param};
+use stgnn_tensor::pool::{self, Buffer};
 use stgnn_tensor::{Shape, Tensor};
 
 /// Strategy: a matrix with dims in [1, 6] and elements in [-10, 10].
@@ -170,5 +171,49 @@ proptest! {
         let p = Param::new("a", a.clone());
         g.param(&p).sum_all().backward();
         prop_assert!(p.grad().approx_eq(&Tensor::ones(a.shape().clone()), 1e-6));
+    }
+
+    #[test]
+    fn pool_recycling_never_aliases_live_buffers(
+        sizes in proptest::collection::vec(1usize..300, 2..16)
+    ) {
+        // Lease a buffer per size, each stamped with a distinct marker.
+        let leased: Vec<(f32, Buffer)> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (i as f32 + 1.0, Buffer::filled(n, i as f32 + 1.0)))
+            .collect();
+        // Return every other buffer to the pool (dropped by the filter)...
+        let kept: Vec<(f32, Buffer)> = leased
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| i % 2 == 0)
+            .map(|(_, pair)| pair)
+            .collect();
+        // ...then lease fresh buffers of the same sizes — these reuse the
+        // returned storage — and scribble over them.
+        let fresh: Vec<Buffer> = sizes
+            .iter()
+            .map(|&n| {
+                let mut b = Buffer::zeroed(n);
+                for v in b.iter_mut() {
+                    *v = -7.5;
+                }
+                b
+            })
+            .collect();
+        // No live buffer may have been handed out twice: the kept markers
+        // survive untouched, with neither scribbles nor debug poison.
+        for (marker, buf) in &kept {
+            for &v in buf.iter() {
+                prop_assert!(
+                    v.to_bits() == marker.to_bits(),
+                    "live buffer clobbered: expected {marker}, found {v} \
+                     (poison? {})",
+                    v.to_bits() == pool::POISON.to_bits()
+                );
+            }
+        }
+        drop(fresh);
     }
 }

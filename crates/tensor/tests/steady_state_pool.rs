@@ -1,0 +1,89 @@
+//! Steady-state allocation gate: after warm-up, replaying a compiled plan
+//! (forward + backward) performs ZERO pool misses — every buffer an op
+//! takes was recycled from the previous step.
+//!
+//! This lives in its own integration-test binary on purpose: pool
+//! statistics are process-global, and sibling tests running on other
+//! threads would show up as spurious misses. Keep this file to a single
+//! `#[test]` so the measurement window is quiet.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stgnn_tensor::autograd::{Graph, ParamSet};
+use stgnn_tensor::plan::{LeafBinding, Plan, PlanSpec};
+use stgnn_tensor::{pool, Shape, Tensor};
+
+fn random_tensor(rng: &mut StdRng, r: usize, c: usize) -> Tensor {
+    let data: Vec<f32> = (0..r * c).map(|_| rng.gen::<f32>() * 2.0 - 1.0).collect();
+    Tensor::from_vec(Shape::matrix(r, c), data).unwrap()
+}
+
+#[test]
+fn plan_replay_reaches_zero_pool_misses_after_warm_up() {
+    let n = 32;
+    let mut rng = StdRng::seed_from_u64(1234);
+    let mut pset = ParamSet::new();
+    let w1 = pset.add("w1", random_tensor(&mut rng, n, n));
+    let w2 = pset.add("w2", random_tensor(&mut rng, n, n));
+
+    // A small MLP-ish tape: two matmuls, activations, a reduction — enough
+    // distinct buffer sizes to exercise several pool shelves.
+    let trace_x = random_tensor(&mut rng, n, n);
+    let g = Graph::new();
+    let xl = g.leaf(trace_x.clone());
+    let h = xl.matmul(&g.param(&w1)).relu();
+    let root = h.matmul(&g.param(&w2)).tanh().sub(&xl).square().mean_all();
+    let plan = Plan::compile(
+        &g.snapshot(),
+        &pset,
+        PlanSpec {
+            bindings: vec![(xl.id(), LeafBinding::Input(0))],
+            roots: vec![root.id()],
+            loss: Some(root.id()),
+        },
+    )
+    .unwrap();
+    let mut exec = plan.executor();
+
+    let inputs: Vec<Tensor> = (0..4).map(|_| random_tensor(&mut rng, n, n)).collect();
+
+    // Warm-up: each step performs the identical take/give sequence, so the
+    // shelf population converges after a handful of steps.
+    for step in 0..8 {
+        pset.zero_grads();
+        plan.step(&mut exec, &[inputs[step % inputs.len()].clone()], 1.0)
+            .unwrap();
+    }
+
+    // Measurement window: a full train-style step (forward + backward +
+    // grad deposit) must be allocation-free — zero pool misses.
+    let before = pool::stats();
+    for step in 0..6 {
+        pset.zero_grads();
+        plan.step(&mut exec, &[inputs[step % inputs.len()].clone()], 1.0)
+            .unwrap();
+    }
+    let delta = pool::stats().since(&before);
+    assert_eq!(
+        delta.misses, 0,
+        "steady-state replay missed the pool {} times (hits: {})",
+        delta.misses, delta.hits
+    );
+    assert!(
+        delta.hits > 0,
+        "measurement window saw no pool traffic at all — test is vacuous"
+    );
+
+    // Forward-only replay (the serve path) must also be miss-free.
+    let before = pool::stats();
+    for step in 0..6 {
+        plan.forward(&mut exec, &[inputs[step % inputs.len()].clone()])
+            .unwrap();
+    }
+    let delta = pool::stats().since(&before);
+    assert_eq!(
+        delta.misses, 0,
+        "serve-style forward replay missed the pool"
+    );
+    assert!(delta.hits > 0);
+}
