@@ -16,6 +16,7 @@
 //! | `L003` | deny | `panic!(...)` in non-test code |
 //! | `L004` | deny | slice/array indexing `x[...]` in non-test code |
 //! | `L005` | warn | lock guard bound across a `forward`/`predict_horizon` call |
+//! | `L006` | deny | raw `File::create` on a persistence path (use `stgnn_faults::fsio::atomic_write`) |
 //!
 //! ## Escapes
 //!
@@ -50,6 +51,10 @@ pub mod codes {
     pub const INDEX: &str = "L004";
     /// Lock guard held across a `forward`/`predict_horizon` call.
     pub const LOCK_ACROSS_FORWARD: &str = "L005";
+    /// Raw `File::create` on a persistence path: a crash mid-write leaves a
+    /// truncated file. `stgnn_faults::fsio::atomic_write` is the sanctioned
+    /// writer (temp sibling + fsync + rename).
+    pub const RAW_FILE_CREATE: &str = "L006";
 }
 
 /// What `stgnn-lint` forbids in one crate.
@@ -65,6 +70,8 @@ pub struct Policy {
     pub index: bool,
     /// Warn on lock guards held across forward calls (`L005`).
     pub locks: bool,
+    /// Forbid raw `File::create` (`L006`).
+    pub raw_create: bool,
 }
 
 impl Policy {
@@ -76,15 +83,28 @@ impl Policy {
             panic: true,
             index: true,
             locks: true,
+            raw_create: true,
+        }
+    }
+
+    /// Only the persistence rule (`L006`): crates that write durable
+    /// artifacts but whose compute paths are not under the panic policy.
+    pub fn persistence() -> Policy {
+        Policy {
+            raw_create: true,
+            ..Policy::default()
         }
     }
 
     /// The policy for a workspace crate directory name, or `None` when the
     /// crate is not linted. Hot-path crates — the ones a malformed request
-    /// or checkpoint reaches — get the full table.
+    /// or checkpoint reaches — get the full table; crates that persist
+    /// state (weights, checkpoints, bench results, the atomic writer
+    /// itself) get the `L006` persistence rule.
     pub fn for_crate(name: &str) -> Option<Policy> {
         match name {
             "tensor" | "graph" | "serve" => Some(Policy::hot_path()),
+            "core" | "bench" | "faults" => Some(Policy::persistence()),
             _ => None,
         }
     }
@@ -523,6 +543,30 @@ pub fn lint_file(file: &str, src: &str, policy: &Policy) -> Vec<Violation> {
             }
         }
     }
+    if policy.raw_create {
+        let mut from = 0usize;
+        while let Some(pos) = find_from(&m.text, b"File::create", from) {
+            from = pos + 12;
+            let before = if pos == 0 { b' ' } else { m.text[pos - 1] };
+            if ident_char(before) {
+                continue; // e.g. `MyFile::create`
+            }
+            let mut k = pos + 12;
+            while k < m.text.len() && (m.text[k] == b' ' || m.text[k] == b'\n') {
+                k += 1;
+            }
+            if m.text.get(k) == Some(&b'(') {
+                push(
+                    pos,
+                    codes::RAW_FILE_CREATE,
+                    Severity::Deny,
+                    "raw `File::create` tears the file on a crash mid-write; persist through \
+                     `stgnn_faults::fsio::atomic_write` or annotate the invariant"
+                        .into(),
+                );
+            }
+        }
+    }
     if policy.locks {
         lint_locks(&m, &mut push);
     }
@@ -814,11 +858,40 @@ mod tests {
     }
 
     #[test]
-    fn policy_table_covers_hot_path_crates_only() {
+    fn raw_file_create_flagged_and_escapable() {
+        let src = "fn save() {\n    let f = std::fs::File::create(\"weights.bin\");\n}\n";
+        assert_eq!(
+            deny_codes(src, &Policy::persistence()),
+            vec![codes::RAW_FILE_CREATE]
+        );
+
+        let allowed = "fn save() {\n    // lint: allow(L006) — the atomic writer itself\n    \
+                       let f = std::fs::File::create(\"weights.bin\");\n}\n";
+        assert!(deny_codes(allowed, &Policy::persistence()).is_empty());
+
+        // Not a call, a different type, or test code: all clean.
+        let clean = "fn f() { MyFile::create(); }\n#[cfg(test)]\nmod t {\n    fn g() \
+                     { std::fs::File::create(\"x\"); }\n}\n";
+        assert!(deny_codes(clean, &Policy::persistence()).is_empty());
+    }
+
+    #[test]
+    fn persistence_policy_skips_the_panic_rules() {
+        let src = "fn f() {\n    x.unwrap();\n    panic!(\"boom\");\n}\n";
+        assert!(deny_codes(src, &Policy::persistence()).is_empty());
+    }
+
+    #[test]
+    fn policy_table_covers_hot_path_and_persistence_crates() {
         assert!(Policy::for_crate("tensor").is_some());
         assert!(Policy::for_crate("graph").is_some());
         assert!(Policy::for_crate("serve").is_some());
-        assert!(Policy::for_crate("core").is_none());
+        assert!(Policy::for_crate("tensor").unwrap().raw_create);
+        // Persistence-only crates get L006 but not the panic policy.
+        let core = Policy::for_crate("core").unwrap();
+        assert!(core.raw_create && !core.unwrap);
+        assert!(Policy::for_crate("bench").is_some());
+        assert!(Policy::for_crate("faults").is_some());
         assert!(Policy::for_crate("data").is_none());
     }
 }

@@ -12,7 +12,6 @@
 //! cargo run -p stgnn-bench --release --bin fig10_12_case_study
 //! ```
 
-use std::io::Write as _;
 use stgnn_baselines::gbike::locality_dependency;
 use stgnn_bench::{ExperimentContext, Scale};
 use stgnn_core::attention::dependency_vs_nearest;
@@ -89,8 +88,11 @@ fn main() {
     }
 
     std::fs::create_dir_all("results").ok();
-    if let Ok(mut f) = std::fs::File::create("results/fig10_12_case_study.csv") {
-        let _ = f.write_all(csv.as_bytes());
+    if stgnn_faults::fsio::atomic_write("results/fig10_12_case_study.csv", |w| {
+        w.write_all(csv.as_bytes())
+    })
+    .is_ok()
+    {
         println!("\nwrote results/fig10_12_case_study.csv");
     }
 }

@@ -242,7 +242,11 @@ fn main() {
         serve_iters,
         cells.iter().map(json_cell).collect::<Vec<_>>().join(",\n"),
     );
-    match std::fs::write("BENCH_steady_state.json", &body) {
+    // Atomic: the driver diffs this file across runs, so a crashed bench
+    // must never leave a truncated JSON behind.
+    match stgnn_faults::fsio::atomic_write("BENCH_steady_state.json", |w| {
+        w.write_all(body.as_bytes())
+    }) {
         Ok(()) => eprintln!("[steady_state] wrote BENCH_steady_state.json"),
         Err(e) => eprintln!("[steady_state] could not write BENCH_steady_state.json: {e}"),
     }

@@ -20,7 +20,6 @@
 //! EXPERIMENTS.md for the paper-vs-measured record.
 
 use std::fmt::Write as _;
-use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 use stgnn_analyze::Severity;
@@ -371,12 +370,15 @@ impl TableWriter {
 
     fn write_csv(&self, file: &str) -> std::io::Result<()> {
         std::fs::create_dir_all("results")?;
-        let mut f = std::fs::File::create(format!("results/{file}.csv"))?;
-        writeln!(f, "{}", self.columns.join(","))?;
-        for row in &self.rows {
-            writeln!(f, "{}", row.join(","))?;
-        }
-        Ok(())
+        // Atomic: a crash (or an injected fault) mid-write never leaves a
+        // half-written results file for a later run to misread.
+        stgnn_faults::fsio::atomic_write(format!("results/{file}.csv"), |f| {
+            writeln!(f, "{}", self.columns.join(","))?;
+            for row in &self.rows {
+                writeln!(f, "{}", row.join(","))?;
+            }
+            Ok(())
+        })
     }
 }
 

@@ -1,0 +1,777 @@
+//! Crash-safe training checkpoints.
+//!
+//! A [`TrainCheckpoint`] freezes *everything* a training run threads from
+//! one batch to the next: parameter values, Adam's moment estimates and
+//! step counter, both RNG streams (shuffle and dropout), the epoch/batch
+//! cursor with the current epoch's shuffled slot order and partial loss
+//! accumulator, the loss histories, and the early-stopping state (best
+//! snapshot + patience counter). Restoring it makes the resumed run
+//! **bit-identical** to one that was never interrupted — asserted by the
+//! chaos suite down to every parameter gradient.
+//!
+//! ## On-disk format (`stgnn-ckpt v1`)
+//!
+//! ```text
+//! stgnn-ckpt v1\n
+//! crc32 <8-hex> len <payload bytes>\n
+//! <payload>
+//! ```
+//!
+//! The header carries a CRC-32 (IEEE) and exact byte length of the payload,
+//! so truncation and bit-flips are told apart and both are rejected with a
+//! typed [`CheckpointError`] — never a panic, never a partial load. The
+//! payload is line-oriented text; every float is stored as its IEEE-754 bit
+//! pattern in hex (`f32`→8 digits, `f64`→16), because bitwise resume
+//! fidelity is the whole point and decimal round-tripping is an avoidable
+//! risk. Files are written via `stgnn_faults::fsio::atomic_write`, so a
+//! crash mid-write leaves the previous checkpoint intact.
+
+use rand::rngs::StdRng;
+use std::fmt;
+use std::path::Path;
+use stgnn_faults::fsio::{atomic_write, crc32};
+use stgnn_tensor::optim::AdamState;
+use stgnn_tensor::shape::Shape;
+use stgnn_tensor::Tensor;
+
+const MAGIC: &str = "stgnn-ckpt v1";
+const MAGIC_PREFIX: &str = "stgnn-ckpt ";
+
+/// Why a checkpoint could not be loaded. `resume_from` surfaces these as
+/// typed errors so callers (and the corruption tests) can tell apart
+/// recoverable situations (retry another file) from operator errors (wrong
+/// version / wrong run).
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem-level failure reading or writing the file.
+    Io(std::io::Error),
+    /// The file ends before the length the header promises — a torn copy
+    /// or an interrupted non-atomic transfer.
+    Truncated {
+        /// Payload bytes the header declared.
+        expected: usize,
+        /// Payload bytes actually present.
+        actual: usize,
+    },
+    /// Payload bytes do not hash to the header's CRC-32 — bit rot or a
+    /// corrupted transfer.
+    ChecksumMismatch {
+        /// CRC the header declared.
+        expected: u32,
+        /// CRC of the bytes on disk.
+        actual: u32,
+    },
+    /// The magic line names a format version this build does not read.
+    VersionSkew {
+        /// The magic line found in the file.
+        found: String,
+    },
+    /// Structurally invalid payload (despite a passing checksum) — not a
+    /// checkpoint, or one produced by incompatible code.
+    Malformed(String),
+    /// A well-formed checkpoint from a *different run*: configuration
+    /// fingerprint or parameter structure does not match the model being
+    /// resumed.
+    Incompatible(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            CheckpointError::Truncated { expected, actual } => write!(
+                f,
+                "checkpoint truncated: header promises {expected} payload bytes, found {actual}"
+            ),
+            CheckpointError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "checkpoint checksum mismatch: header says {expected:08x}, payload hashes to {actual:08x}"
+            ),
+            CheckpointError::VersionSkew { found } => write!(
+                f,
+                "checkpoint version skew: this build reads {MAGIC:?}, file starts with {found:?}"
+            ),
+            CheckpointError::Malformed(msg) => write!(f, "malformed checkpoint: {msg}"),
+            CheckpointError::Incompatible(msg) => write!(f, "incompatible checkpoint: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<CheckpointError> for stgnn_data::error::Error {
+    fn from(e: CheckpointError) -> Self {
+        match e {
+            CheckpointError::Io(io) => stgnn_data::error::Error::Io(io),
+            other => stgnn_data::error::Error::InvalidConfig(other.to_string()),
+        }
+    }
+}
+
+/// The epoch/batch cursor: where in the run the checkpoint was taken.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cursor {
+    /// Epoch the run is inside (0-based).
+    pub epoch: usize,
+    /// Index of the next batch to run within [`TrainCheckpoint::epoch_slots`].
+    /// 0 with an empty slot order means "at the top of `epoch`, not yet
+    /// shuffled".
+    pub next_batch: usize,
+    /// The epoch's partial loss accumulator (an `f64`; stored as bits).
+    pub epoch_loss: f64,
+}
+
+/// A complete, restorable snapshot of a training run in flight.
+pub struct TrainCheckpoint {
+    /// Run identity: must match the resuming trainer/model exactly.
+    pub fingerprint: String,
+    /// Where the run stopped.
+    pub cursor: Cursor,
+    /// The current epoch's shuffled (and truncated) slot order. Empty when
+    /// the cursor sits at the top of an epoch whose shuffle has not
+    /// happened yet.
+    pub epoch_slots: Vec<usize>,
+    /// Shuffle RNG state, taken *after* the current epoch's shuffle.
+    pub shuffle_rng: [u64; 4],
+    /// The model's dropout RNG state.
+    pub dropout_rng: [u64; 4],
+    /// Mean training loss of each completed epoch.
+    pub train_losses: Vec<f32>,
+    /// Validation loss of each completed epoch.
+    pub val_losses: Vec<f32>,
+    /// Best validation loss so far.
+    pub best_val_loss: f32,
+    /// Epochs since the best validation loss (patience counter).
+    pub epochs_since_best: usize,
+    /// Optimizer state (Adam moments + step counter).
+    pub adam: AdamState,
+    /// Parameter values in registration order, with their names.
+    pub params: Vec<(String, Tensor)>,
+    /// The best-validation parameter snapshot, if one exists yet.
+    pub best_snapshot: Option<Vec<Tensor>>,
+}
+
+/// A config/model identity string. Every field that shapes the parameter
+/// set or the training trajectory participates; floats go in as bit
+/// patterns so the comparison is exact.
+pub fn fingerprint(
+    config: &crate::config::StgnnConfig,
+    n_stations: usize,
+    n_params: usize,
+) -> String {
+    format!(
+        "k={} d={} fcg={} pcg={} heads={} dropout={:08x} lr={:08x} bs={} epochs={} patience={} mbpe={:?} seed={} flow_conv={} use_fcg={} use_pcg={} fcg_agg={:?} pcg_agg={:?} hidden={:?} horizon={} stations={} params={}",
+        config.k,
+        config.d,
+        config.fcg_layers,
+        config.pcg_layers,
+        config.heads,
+        config.dropout.to_bits(),
+        config.learning_rate.to_bits(),
+        config.batch_size,
+        config.epochs,
+        config.patience,
+        config.max_batches_per_epoch,
+        config.seed,
+        config.use_flow_conv,
+        config.use_fcg,
+        config.use_pcg,
+        config.fcg_aggregator,
+        config.pcg_aggregator,
+        config.predictor_hidden,
+        config.horizon,
+        n_stations,
+        n_params,
+    )
+}
+
+impl TrainCheckpoint {
+    /// Serialises and writes the checkpoint atomically: the destination
+    /// only ever holds the previous complete checkpoint or this one.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        if let Some(e) = stgnn_faults::check_io("checkpoint::write") {
+            return Err(CheckpointError::Io(e));
+        }
+        let payload = self.to_payload();
+        let crc = crc32(&payload);
+        atomic_write(path, |w| {
+            writeln!(w, "{MAGIC}")?;
+            writeln!(w, "crc32 {crc:08x} len {}", payload.len())?;
+            w.write_all(&payload)
+        })?;
+        Ok(())
+    }
+
+    /// Reads and fully validates a checkpoint file. Any defect — torn
+    /// file, bit rot, foreign version, structural damage — is a typed
+    /// error; a returned checkpoint is completely parsed.
+    pub fn load(path: impl AsRef<Path>) -> Result<TrainCheckpoint, CheckpointError> {
+        if let Some(e) = stgnn_faults::check_io("checkpoint::read") {
+            return Err(CheckpointError::Io(e));
+        }
+        let bytes = std::fs::read(path)?;
+        let (magic, rest) = split_line(&bytes)
+            .ok_or_else(|| CheckpointError::Malformed("missing magic line".into()))?;
+        if magic != MAGIC {
+            if magic.starts_with(MAGIC_PREFIX) {
+                return Err(CheckpointError::VersionSkew {
+                    found: magic.to_string(),
+                });
+            }
+            return Err(CheckpointError::Malformed(format!(
+                "not a checkpoint file (first line {magic:?})"
+            )));
+        }
+        let (crc_line, payload) = split_line(rest)
+            .ok_or_else(|| CheckpointError::Malformed("missing crc header line".into()))?;
+        let mut f = crc_line.split_whitespace();
+        let (expected_crc, expected_len) = match (f.next(), f.next(), f.next(), f.next(), f.next())
+        {
+            (Some("crc32"), Some(crc), Some("len"), Some(len), None) => {
+                let crc = u32::from_str_radix(crc, 16)
+                    .map_err(|_| CheckpointError::Malformed("bad crc field".into()))?;
+                let len: usize = len
+                    .parse()
+                    .map_err(|_| CheckpointError::Malformed("bad len field".into()))?;
+                (crc, len)
+            }
+            _ => {
+                return Err(CheckpointError::Malformed(format!(
+                    "bad crc header line {crc_line:?}"
+                )))
+            }
+        };
+        if payload.len() < expected_len {
+            return Err(CheckpointError::Truncated {
+                expected: expected_len,
+                actual: payload.len(),
+            });
+        }
+        let payload = &payload[..expected_len];
+        let actual_crc = crc32(payload);
+        if actual_crc != expected_crc {
+            return Err(CheckpointError::ChecksumMismatch {
+                expected: expected_crc,
+                actual: actual_crc,
+            });
+        }
+        Self::from_payload(payload)
+    }
+
+    fn to_payload(&self) -> Vec<u8> {
+        let mut out = String::new();
+        use fmt::Write as _;
+        let mut line = |s: String| {
+            out.push_str(&s);
+            out.push('\n');
+        };
+        line(format!("fingerprint {}", self.fingerprint));
+        line(format!("epoch {}", self.cursor.epoch));
+        line(format!("next_batch {}", self.cursor.next_batch));
+        line(format!(
+            "epoch_loss {:016x}",
+            self.cursor.epoch_loss.to_bits()
+        ));
+        line(join_f32_bits("train_losses", &self.train_losses));
+        line(join_f32_bits("val_losses", &self.val_losses));
+        line(format!("best_val {:08x}", self.best_val_loss.to_bits()));
+        line(format!("epochs_since_best {}", self.epochs_since_best));
+        let mut slots = format!("epoch_slots {}", self.epoch_slots.len());
+        for s in &self.epoch_slots {
+            let _ = write!(slots, " {s}");
+        }
+        line(slots);
+        line(join_rng("shuffle_rng", self.shuffle_rng));
+        line(join_rng("dropout_rng", self.dropout_rng));
+        line(format!("adam_t {}", self.adam.t));
+        line(format!("adam_params {}", self.adam.m.len()));
+        for (m, v) in self.adam.m.iter().zip(&self.adam.v) {
+            line(tensor_header("m", m));
+            line(tensor_bits(m));
+            line(tensor_header("v", v));
+            line(tensor_bits(v));
+        }
+        line(format!("params {}", self.params.len()));
+        for (name, t) in &self.params {
+            line(tensor_header(name, t));
+            line(tensor_bits(t));
+        }
+        match &self.best_snapshot {
+            None => line("best_snapshot none".into()),
+            Some(snap) => {
+                line(format!("best_snapshot {}", snap.len()));
+                for t in snap {
+                    line(tensor_header("snap", t));
+                    line(tensor_bits(t));
+                }
+            }
+        }
+        out.into_bytes()
+    }
+
+    fn from_payload(payload: &[u8]) -> Result<TrainCheckpoint, CheckpointError> {
+        let text = std::str::from_utf8(payload)
+            .map_err(|_| CheckpointError::Malformed("payload is not UTF-8".into()))?;
+        let mut lines = text.lines();
+
+        let fingerprint = next_line(&mut lines, "fingerprint")?
+            .strip_prefix("fingerprint ")
+            .ok_or_else(|| CheckpointError::Malformed("expected fingerprint line".into()))?
+            .to_string();
+        let cursor = Cursor {
+            epoch: field_usize(next_line(&mut lines, "epoch")?, "epoch")?,
+            next_batch: field_usize(next_line(&mut lines, "next_batch")?, "next_batch")?,
+            epoch_loss: f64::from_bits(field_u64_hex(
+                next_line(&mut lines, "epoch_loss")?,
+                "epoch_loss",
+            )?),
+        };
+        let train_losses = parse_f32_bits(next_line(&mut lines, "train_losses")?, "train_losses")?;
+        let val_losses = parse_f32_bits(next_line(&mut lines, "val_losses")?, "val_losses")?;
+        let best_val_loss = f32::from_bits(
+            u32::try_from(field_u64_hex(
+                next_line(&mut lines, "best_val")?,
+                "best_val",
+            )?)
+            .map_err(|_| CheckpointError::Malformed("best_val out of range".into()))?,
+        );
+        let epochs_since_best = field_usize(
+            next_line(&mut lines, "epochs_since_best")?,
+            "epochs_since_best",
+        )?;
+        let epoch_slots = parse_usize_list(next_line(&mut lines, "epoch_slots")?, "epoch_slots")?;
+        let shuffle_rng = parse_rng(next_line(&mut lines, "shuffle_rng")?, "shuffle_rng")?;
+        let dropout_rng = parse_rng(next_line(&mut lines, "dropout_rng")?, "dropout_rng")?;
+        let adam_t = field_usize(next_line(&mut lines, "adam_t")?, "adam_t")? as u64;
+        let n_adam = field_usize(next_line(&mut lines, "adam_params")?, "adam_params")?;
+        let mut m = Vec::with_capacity(n_adam);
+        let mut v = Vec::with_capacity(n_adam);
+        for i in 0..n_adam {
+            let (name, t) = parse_tensor(&mut lines, &format!("adam m[{i}]"))?;
+            if name != "m" {
+                return Err(CheckpointError::Malformed(format!(
+                    "expected adam moment 'm', found {name:?}"
+                )));
+            }
+            m.push(t);
+            let (name, t) = parse_tensor(&mut lines, &format!("adam v[{i}]"))?;
+            if name != "v" {
+                return Err(CheckpointError::Malformed(format!(
+                    "expected adam moment 'v', found {name:?}"
+                )));
+            }
+            v.push(t);
+        }
+        let n_params = field_usize(next_line(&mut lines, "params")?, "params")?;
+        let mut params = Vec::with_capacity(n_params);
+        for i in 0..n_params {
+            params.push(parse_tensor(&mut lines, &format!("param[{i}]"))?);
+        }
+        let snap_header = next_line(&mut lines, "best_snapshot")?;
+        let best_snapshot = match snap_header
+            .strip_prefix("best_snapshot ")
+            .ok_or_else(|| CheckpointError::Malformed("expected best_snapshot line".into()))?
+        {
+            "none" => None,
+            n => {
+                let n: usize = n
+                    .parse()
+                    .map_err(|_| CheckpointError::Malformed("bad best_snapshot count".into()))?;
+                let mut snap = Vec::with_capacity(n);
+                for i in 0..n {
+                    snap.push(parse_tensor(&mut lines, &format!("snapshot[{i}]"))?.1);
+                }
+                Some(snap)
+            }
+        };
+        if lines.next().is_some() {
+            return Err(CheckpointError::Malformed(
+                "trailing data after best_snapshot section".into(),
+            ));
+        }
+        Ok(TrainCheckpoint {
+            fingerprint,
+            cursor,
+            epoch_slots,
+            shuffle_rng,
+            dropout_rng,
+            train_losses,
+            val_losses,
+            best_val_loss,
+            epochs_since_best,
+            adam: AdamState { t: adam_t, m, v },
+            params,
+            best_snapshot,
+        })
+    }
+
+    /// A restored shuffle RNG continuing the checkpointed stream.
+    pub fn shuffle_rng(&self) -> StdRng {
+        StdRng::from_state(self.shuffle_rng)
+    }
+
+    /// A restored dropout RNG continuing the checkpointed stream.
+    pub fn dropout_rng(&self) -> StdRng {
+        StdRng::from_state(self.dropout_rng)
+    }
+}
+
+fn split_line(bytes: &[u8]) -> Option<(&str, &[u8])> {
+    let nl = bytes.iter().position(|&b| b == b'\n')?;
+    let line = std::str::from_utf8(&bytes[..nl]).ok()?;
+    Some((line, &bytes[nl + 1..]))
+}
+
+fn join_f32_bits(key: &str, values: &[f32]) -> String {
+    use fmt::Write as _;
+    let mut s = format!("{key} {}", values.len());
+    for v in values {
+        let _ = write!(s, " {:08x}", v.to_bits());
+    }
+    s
+}
+
+fn join_rng(key: &str, state: [u64; 4]) -> String {
+    format!(
+        "{key} {:016x} {:016x} {:016x} {:016x}",
+        state[0], state[1], state[2], state[3]
+    )
+}
+
+fn tensor_header(name: &str, t: &Tensor) -> String {
+    use fmt::Write as _;
+    let mut s = name.to_string();
+    for d in t.shape().dims() {
+        let _ = write!(s, " {d}");
+    }
+    s
+}
+
+fn tensor_bits(t: &Tensor) -> String {
+    use fmt::Write as _;
+    let mut s = String::with_capacity(t.data().len() * 9);
+    for (i, v) in t.data().iter().enumerate() {
+        if i > 0 {
+            s.push(' ');
+        }
+        let _ = write!(s, "{:08x}", v.to_bits());
+    }
+    s
+}
+
+fn field_usize(line: &str, key: &str) -> Result<usize, CheckpointError> {
+    line.strip_prefix(key)
+        .map(str::trim)
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| CheckpointError::Malformed(format!("bad {key} line {line:?}")))
+}
+
+fn field_u64_hex(line: &str, key: &str) -> Result<u64, CheckpointError> {
+    line.strip_prefix(key)
+        .map(str::trim)
+        .and_then(|v| u64::from_str_radix(v, 16).ok())
+        .ok_or_else(|| CheckpointError::Malformed(format!("bad {key} line {line:?}")))
+}
+
+fn parse_f32_bits(line: &str, key: &str) -> Result<Vec<f32>, CheckpointError> {
+    let mut fields = line
+        .strip_prefix(key)
+        .ok_or_else(|| CheckpointError::Malformed(format!("expected {key} line")))?
+        .split_whitespace();
+    let n: usize = fields
+        .next()
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| CheckpointError::Malformed(format!("bad {key} count")))?;
+    let values: Vec<f32> = fields
+        .map(|w| u32::from_str_radix(w, 16).map(f32::from_bits))
+        .collect::<Result<_, _>>()
+        .map_err(|_| CheckpointError::Malformed(format!("bad {key} value")))?;
+    if values.len() != n {
+        return Err(CheckpointError::Malformed(format!(
+            "{key}: expected {n} values, found {}",
+            values.len()
+        )));
+    }
+    Ok(values)
+}
+
+fn parse_usize_list(line: &str, key: &str) -> Result<Vec<usize>, CheckpointError> {
+    let mut fields = line
+        .strip_prefix(key)
+        .ok_or_else(|| CheckpointError::Malformed(format!("expected {key} line")))?
+        .split_whitespace();
+    let n: usize = fields
+        .next()
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| CheckpointError::Malformed(format!("bad {key} count")))?;
+    let values: Vec<usize> = fields
+        .map(|w| w.parse())
+        .collect::<Result<_, _>>()
+        .map_err(|_| CheckpointError::Malformed(format!("bad {key} value")))?;
+    if values.len() != n {
+        return Err(CheckpointError::Malformed(format!(
+            "{key}: expected {n} values, found {}",
+            values.len()
+        )));
+    }
+    Ok(values)
+}
+
+fn parse_rng(line: &str, key: &str) -> Result<[u64; 4], CheckpointError> {
+    let words: Vec<u64> = line
+        .strip_prefix(key)
+        .ok_or_else(|| CheckpointError::Malformed(format!("expected {key} line")))?
+        .split_whitespace()
+        .map(|w| u64::from_str_radix(w, 16))
+        .collect::<Result<_, _>>()
+        .map_err(|_| CheckpointError::Malformed(format!("bad {key} word")))?;
+    words
+        .try_into()
+        .map_err(|_| CheckpointError::Malformed(format!("{key} must have 4 words")))
+}
+
+fn next_line<'a>(lines: &mut std::str::Lines<'a>, what: &str) -> Result<&'a str, CheckpointError> {
+    lines
+        .next()
+        .ok_or_else(|| CheckpointError::Malformed(format!("payload ends before {what}")))
+}
+
+/// Parses one `<name> <dim>...` header line plus one hex-bit-words data
+/// line into a tensor, checking the element count against the shape.
+fn parse_tensor(
+    lines: &mut std::str::Lines<'_>,
+    what: &str,
+) -> Result<(String, Tensor), CheckpointError> {
+    let header = next_line(lines, what)?;
+    let mut fields = header.split_whitespace();
+    let name = fields
+        .next()
+        .ok_or_else(|| CheckpointError::Malformed(format!("{what}: empty tensor header")))?
+        .to_string();
+    let dims: Vec<usize> = fields
+        .map(|w| w.parse())
+        .collect::<Result<_, _>>()
+        .map_err(|_| CheckpointError::Malformed(format!("{what}: bad dims in {header:?}")))?;
+    let shape = Shape::from_dims(&dims);
+    let data: Vec<f32> = next_line(lines, what)?
+        .split_whitespace()
+        .map(|w| u32::from_str_radix(w, 16).map(f32::from_bits))
+        .collect::<Result<_, _>>()
+        .map_err(|_| CheckpointError::Malformed(format!("{what}: bad data word")))?;
+    let tensor = Tensor::from_vec(shape, data)
+        .map_err(|e| CheckpointError::Malformed(format!("{what}: {e}")))?;
+    Ok((name, tensor))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stgnn_tensor::shape::Shape;
+
+    fn tmp(label: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("stgnn-ckpt-{}-{label}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("train.ckpt")
+    }
+
+    /// A checkpoint with deliberately awkward float bit patterns: a quiet
+    /// NaN payload, negative zero, subnormals — all of which a decimal
+    /// round-trip would destroy.
+    fn sample() -> TrainCheckpoint {
+        let t = |data: Vec<f32>| Tensor::from_vec(Shape::vector(data.len()), data).unwrap();
+        TrainCheckpoint {
+            fingerprint: "k=6 d=2 test fingerprint".into(),
+            cursor: Cursor {
+                epoch: 3,
+                next_batch: 7,
+                epoch_loss: 12.34567890123_f64,
+            },
+            epoch_slots: vec![9, 2, 14, 0, 5],
+            shuffle_rng: [1, u64::MAX, 0xdead_beef, 42],
+            dropout_rng: [7, 8, 9, 10],
+            train_losses: vec![1.5, f32::from_bits(0x7fc0_0001), -0.0],
+            val_losses: vec![1.25, f32::from_bits(1)],
+            best_val_loss: 1.25,
+            epochs_since_best: 1,
+            adam: AdamState {
+                t: 99,
+                m: vec![t(vec![0.1, -0.2]), t(vec![3.0])],
+                v: vec![t(vec![0.01, 0.02]), t(vec![0.5])],
+            },
+            params: vec![
+                ("layer.w".into(), t(vec![1.0, 2.0, -3.5])),
+                ("layer.b".into(), t(vec![f32::NEG_INFINITY])),
+            ],
+            best_snapshot: Some(vec![t(vec![0.5, 0.25, 0.125])]),
+        }
+    }
+
+    fn assert_bits_eq(a: &Tensor, b: &Tensor) {
+        assert_eq!(a.shape(), b.shape());
+        let (a, b): (Vec<u32>, Vec<u32>) = (
+            a.data().iter().map(|v| v.to_bits()).collect(),
+            b.data().iter().map(|v| v.to_bits()).collect(),
+        );
+        assert_eq!(a, b);
+    }
+
+    /// `save()` crosses the `checkpoint::write` failpoint; tests that call
+    /// it hold the global fault guard (with an empty plan) so they cannot
+    /// race a concurrent fault-injecting test in this binary.
+    fn no_faults() -> stgnn_faults::ScopedPlan {
+        stgnn_faults::scoped(stgnn_faults::FaultPlan::new())
+    }
+
+    #[test]
+    fn round_trips_bit_for_bit() {
+        let _quiet = no_faults();
+        let path = tmp("roundtrip");
+        let ck = sample();
+        ck.save(&path).unwrap();
+        let back = TrainCheckpoint::load(&path).unwrap();
+        assert_eq!(back.fingerprint, ck.fingerprint);
+        assert_eq!(back.cursor.epoch, ck.cursor.epoch);
+        assert_eq!(back.cursor.next_batch, ck.cursor.next_batch);
+        assert_eq!(
+            back.cursor.epoch_loss.to_bits(),
+            ck.cursor.epoch_loss.to_bits()
+        );
+        assert_eq!(back.epoch_slots, ck.epoch_slots);
+        assert_eq!(back.shuffle_rng, ck.shuffle_rng);
+        assert_eq!(back.dropout_rng, ck.dropout_rng);
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&back.train_losses), bits(&ck.train_losses));
+        assert_eq!(bits(&back.val_losses), bits(&ck.val_losses));
+        assert_eq!(back.best_val_loss.to_bits(), ck.best_val_loss.to_bits());
+        assert_eq!(back.epochs_since_best, ck.epochs_since_best);
+        assert_eq!(back.adam.t, ck.adam.t);
+        for (a, b) in back.adam.m.iter().zip(&ck.adam.m) {
+            assert_bits_eq(a, b);
+        }
+        for (a, b) in back.adam.v.iter().zip(&ck.adam.v) {
+            assert_bits_eq(a, b);
+        }
+        for ((an, at), (bn, bt)) in back.params.iter().zip(&ck.params) {
+            assert_eq!(an, bn);
+            assert_bits_eq(at, bt);
+        }
+        for (a, b) in back
+            .best_snapshot
+            .as_ref()
+            .unwrap()
+            .iter()
+            .zip(ck.best_snapshot.as_ref().unwrap())
+        {
+            assert_bits_eq(a, b);
+        }
+    }
+
+    #[test]
+    fn save_then_overwrite_keeps_latest() {
+        let _quiet = no_faults();
+        let path = tmp("overwrite");
+        let mut ck = sample();
+        ck.save(&path).unwrap();
+        ck.cursor.epoch = 5;
+        ck.save(&path).unwrap();
+        assert_eq!(TrainCheckpoint::load(&path).unwrap().cursor.epoch, 5);
+    }
+
+    #[test]
+    fn truncated_file_is_typed_not_a_panic() {
+        let _quiet = no_faults();
+        let path = tmp("truncated");
+        sample().save(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        // Cut the payload short while keeping both header lines intact.
+        std::fs::write(&path, &bytes[..bytes.len() - 40]).unwrap();
+        match TrainCheckpoint::load(&path) {
+            Err(CheckpointError::Truncated { expected, actual }) => {
+                assert!(actual < expected, "{actual} vs {expected}")
+            }
+            other => panic!("expected Truncated, got {other:?}", other = other.err()),
+        }
+    }
+
+    #[test]
+    fn bit_flip_is_checksum_mismatch() {
+        let _quiet = no_faults();
+        let path = tmp("bitflip");
+        sample().save(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one bit in the middle of the payload (well past the headers).
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            TrainCheckpoint::load(&path),
+            Err(CheckpointError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn version_skew_is_typed() {
+        let path = tmp("skew");
+        std::fs::write(&path, b"stgnn-ckpt v99\ncrc32 00000000 len 0\n").unwrap();
+        match TrainCheckpoint::load(&path) {
+            Err(CheckpointError::VersionSkew { found }) => {
+                assert_eq!(found, "stgnn-ckpt v99")
+            }
+            other => panic!("expected VersionSkew, got {other:?}", other = other.err()),
+        }
+    }
+
+    #[test]
+    fn garbage_and_missing_files_are_typed() {
+        let path = tmp("garbage");
+        std::fs::write(&path, b"definitely not a checkpoint\nmore junk\n").unwrap();
+        assert!(matches!(
+            TrainCheckpoint::load(&path),
+            Err(CheckpointError::Malformed(_))
+        ));
+        assert!(matches!(
+            TrainCheckpoint::load(tmp("no-such").join("missing")),
+            Err(CheckpointError::Io(_))
+        ));
+    }
+
+    /// A passing checksum over a structurally damaged payload must still be
+    /// rejected (Malformed), proving the parser validates structure beyond
+    /// the CRC.
+    #[test]
+    fn structurally_damaged_payload_with_valid_crc_is_malformed() {
+        let path = tmp("structural");
+        let payload = b"fingerprint x\nepoch notanumber\n";
+        let crc = crc32(payload);
+        let mut bytes = format!("{MAGIC}\ncrc32 {crc:08x} len {}\n", payload.len()).into_bytes();
+        bytes.extend_from_slice(payload);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            TrainCheckpoint::load(&path),
+            Err(CheckpointError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn injected_write_fault_propagates_as_io() {
+        let _guard = stgnn_faults::scoped(stgnn_faults::FaultPlan::new().with(
+            "checkpoint::write",
+            stgnn_faults::FaultSpec::io(stgnn_faults::Trigger::EveryHit),
+        ));
+        let path = tmp("fault");
+        assert!(matches!(sample().save(&path), Err(CheckpointError::Io(_))));
+    }
+}

@@ -24,8 +24,13 @@
 //! * [`compiled`] — tape-compiled training and inference plans
 //!   (`stgnn_tensor::plan`): trace one slot, then replay every later slot
 //!   with rebound inputs and zero steady-state pool misses.
+//! * [`checkpoint`] — crash-safe training checkpoints: a CRC-32-stamped,
+//!   atomically-written snapshot of params, Adam state, both RNG streams
+//!   and the epoch/batch cursor, restoring a run bit-identical to an
+//!   uninterrupted one.
 
 pub mod attention;
+pub mod checkpoint;
 pub mod compiled;
 pub mod config;
 pub mod fcg;
@@ -34,6 +39,7 @@ pub mod model;
 pub mod pcg;
 pub mod trainer;
 
+pub use checkpoint::{CheckpointError, TrainCheckpoint};
 pub use compiled::{ForwardTrace, InferencePlan, TrainingPlan};
 pub use config::{FcgAggregator, PcgAggregator, StgnnConfig};
 pub use model::StgnnDjd;

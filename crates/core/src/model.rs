@@ -375,8 +375,10 @@ impl StgnnDjd {
     }
 
     /// Saves the trained weights to `path` (see `stgnn_tensor::serialize`).
+    /// The write is atomic: temp sibling + fsync + rename, so a crash
+    /// mid-save leaves any previous weights file intact.
     pub fn save_weights(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
-        self.save_weights_to_writer(std::fs::File::create(path)?)
+        stgnn_faults::fsio::atomic_write(path, |w| self.save_weights_to_writer(w))
     }
 
     /// Writes the weights to any `Write` sink — e.g. an in-memory buffer for
@@ -650,6 +652,9 @@ mod tests {
 
     #[test]
     fn multi_step_model_trains_end_to_end() {
+        // Training crosses the `trainer::step` failpoint; hold the global
+        // fault guard so a concurrent fault-injecting test can't reach it.
+        let _quiet = stgnn_faults::scoped(stgnn_faults::FaultPlan::new());
         let data = dataset();
         let mut config = StgnnConfig::test_tiny(6, 2);
         config.horizon = 2;

@@ -7,12 +7,14 @@
 //! parameter snapshot is restored at the end — the standard protocol the
 //! paper's "set hyperparameters on the validation set" implies.
 
+use crate::checkpoint::{fingerprint, CheckpointError, Cursor, TrainCheckpoint};
 use crate::compiled::TrainingPlan;
 use crate::config::StgnnConfig;
 use crate::model::{ModelInputs, StgnnDjd};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::path::{Path, PathBuf};
 use stgnn_data::dataset::{BikeDataset, Split};
 use stgnn_data::error::{Error, Result};
 use stgnn_tensor::autograd::Graph;
@@ -48,6 +50,15 @@ pub struct TrainReport {
     /// compiled-plan path reaches 0.0 once warm (validation sweeps are
     /// excluded from the window).
     pub allocs_per_step: f64,
+    /// Whether this run picked up from a [`TrainCheckpoint`] instead of
+    /// starting fresh. The loss histories then include the pre-crash epochs.
+    pub resumed: bool,
+    /// Checkpoints written successfully during this run.
+    pub checkpoint_writes: usize,
+    /// Checkpoint writes that failed. A failed write never aborts training:
+    /// the atomic writer leaves the previous checkpoint intact and the run
+    /// continues, so the only loss is recovery granularity.
+    pub checkpoint_failures: usize,
 }
 
 /// Trains an [`StgnnDjd`] on a [`BikeDataset`].
@@ -56,6 +67,11 @@ pub struct Trainer {
     /// Cap on validation slots per evaluation (validation is forward-only
     /// but still costs a full graph trace per slot).
     max_val_slots: usize,
+    /// When set, a [`TrainCheckpoint`] is written here (atomically) every
+    /// [`Self::checkpoint_every`] batches.
+    checkpoint_path: Option<PathBuf>,
+    /// Batches between checkpoint writes.
+    checkpoint_every: usize,
 }
 
 impl Trainer {
@@ -64,6 +80,8 @@ impl Trainer {
         Trainer {
             config,
             max_val_slots: 48,
+            checkpoint_path: None,
+            checkpoint_every: 32,
         }
     }
 
@@ -73,9 +91,49 @@ impl Trainer {
         self
     }
 
+    /// Enables crash-safe checkpointing: every `every_batches` optimizer
+    /// steps, the full training state — parameters, Adam moments, both RNG
+    /// streams, the epoch/batch cursor and the early-stopping state — is
+    /// written atomically to `path`. After a crash, [`Self::resume_from`]
+    /// continues the run bit-identically to one that never stopped.
+    pub fn with_checkpointing(mut self, path: impl Into<PathBuf>, every_batches: usize) -> Self {
+        self.checkpoint_path = Some(path.into());
+        self.checkpoint_every = every_batches.max(1);
+        self
+    }
+
     /// Runs training to completion (or early stop), leaving the model with
     /// its best-validation parameters.
     pub fn train(&self, model: &mut StgnnDjd, data: &BikeDataset) -> Result<TrainReport> {
+        self.run(model, data, None)
+    }
+
+    /// Resumes a run from a checkpoint written by [`Self::with_checkpointing`].
+    ///
+    /// The file is fully validated first — truncation, checksum mismatch,
+    /// version skew and structural damage are all typed
+    /// [`CheckpointError`]s (surfaced as [`Error::InvalidConfig`] /
+    /// [`Error::Io`]), never a panic and never a partial load. A checkpoint
+    /// from a different configuration or model architecture is rejected as
+    /// incompatible. On success the run continues exactly where it stopped
+    /// and the result is bit-identical to an uninterrupted run.
+    pub fn resume_from(
+        &self,
+        path: impl AsRef<Path>,
+        model: &mut StgnnDjd,
+        data: &BikeDataset,
+    ) -> Result<TrainReport> {
+        let ckpt = TrainCheckpoint::load(path)?;
+        self.run(model, data, Some(ckpt))
+    }
+
+    /// The training loop, optionally entered mid-run from a checkpoint.
+    fn run(
+        &self,
+        model: &mut StgnnDjd,
+        data: &BikeDataset,
+        resume: Option<TrainCheckpoint>,
+    ) -> Result<TrainReport> {
         model.check_compatible(data)?;
         // Spin the kernel pool up before the first epoch so worker spawn
         // cost never lands inside a timed training step.
@@ -138,22 +196,104 @@ impl Trainer {
             tape,
             used_compiled_plan: train_plan.is_some(),
             allocs_per_step: 0.0,
+            resumed: resume.is_some(),
+            checkpoint_writes: 0,
+            checkpoint_failures: 0,
         };
         let mut best_snapshot: Option<Vec<Tensor>> = None;
         let mut epochs_since_best = 0usize;
+        let run_fingerprint = fingerprint(&self.config, model.n_stations(), model.params().len());
 
-        for _epoch in 0..self.config.epochs {
-            let mut slots = train_slots.clone();
-            slots.shuffle(&mut shuffle_rng);
-            if let Some(cap) = self.config.max_batches_per_epoch {
-                // Saturate: callers use `Some(usize::MAX)` for "no cap".
-                slots.truncate(cap.saturating_mul(self.config.batch_size));
+        // Restore checkpointed state *after* the probe/compile above: the
+        // probe traces a training-mode forward pass on the freshly-built
+        // model exactly as the original run did, so overwriting params and
+        // both RNG streams here puts every stream at precisely the state it
+        // had when the checkpoint was taken.
+        let mut resume_cursor: Option<(usize, Vec<usize>, f64)> = None;
+        let mut start_epoch = 0usize;
+        if let Some(ckpt) = resume {
+            if ckpt.fingerprint != run_fingerprint {
+                return Err(CheckpointError::Incompatible(format!(
+                    "checkpoint was taken from a different run:\n  theirs: {}\n  ours:   {}",
+                    ckpt.fingerprint, run_fingerprint
+                ))
+                .into());
             }
+            let params = model.params().params();
+            if params.len() != ckpt.params.len() {
+                return Err(CheckpointError::Incompatible(format!(
+                    "checkpoint has {} parameter tensors, model has {}",
+                    ckpt.params.len(),
+                    params.len()
+                ))
+                .into());
+            }
+            for (p, (name, t)) in params.iter().zip(&ckpt.params) {
+                if p.name() != name || p.value().shape() != t.shape() {
+                    return Err(CheckpointError::Incompatible(format!(
+                        "parameter mismatch: model has {:?} {}, checkpoint has {:?} {}",
+                        p.name(),
+                        p.value().shape(),
+                        name,
+                        t.shape()
+                    ))
+                    .into());
+                }
+                p.set_value(t.clone());
+            }
+            opt.restore(ckpt.adam);
+            shuffle_rng = StdRng::from_state(ckpt.shuffle_rng);
+            *model.rng_cell().borrow_mut() = StdRng::from_state(ckpt.dropout_rng);
+            report.best_val_loss = ckpt.best_val_loss;
+            report.train_losses = ckpt.train_losses;
+            report.val_losses = ckpt.val_losses;
+            report.epochs_run = report.val_losses.len();
+            best_snapshot = ckpt.best_snapshot;
+            epochs_since_best = ckpt.epochs_since_best;
+            start_epoch = ckpt.cursor.epoch;
+            if !ckpt.epoch_slots.is_empty() || ckpt.cursor.next_batch > 0 {
+                resume_cursor = Some((
+                    ckpt.cursor.next_batch,
+                    ckpt.epoch_slots,
+                    ckpt.cursor.epoch_loss,
+                ));
+            }
+        }
 
-            let mut epoch_loss = 0.0f64;
-            let mut batches = 0usize;
+        let mut batches_since_checkpoint = 0usize;
+        for epoch in start_epoch..self.config.epochs {
+            // A mid-epoch resume re-enters the interrupted epoch with its
+            // stored (already shuffled + truncated) slot order, partial
+            // loss accumulator and batch cursor; the shuffle RNG was
+            // checkpointed *after* that epoch's shuffle, so it is not
+            // re-drawn here.
+            let (slots, first_chunk, mut epoch_loss) = match resume_cursor.take() {
+                Some((next_batch, stored_slots, partial_loss)) => {
+                    (stored_slots, next_batch, partial_loss)
+                }
+                None => {
+                    let mut slots = train_slots.clone();
+                    slots.shuffle(&mut shuffle_rng);
+                    if let Some(cap) = self.config.max_batches_per_epoch {
+                        // Saturate: callers use `Some(usize::MAX)` for "no cap".
+                        slots.truncate(cap.saturating_mul(self.config.batch_size));
+                    }
+                    (slots, 0, 0.0f64)
+                }
+            };
+            let total_batches = slots.len().div_ceil(self.config.batch_size.max(1));
+
+            let mut local_batches = 0usize;
             let pool_before = pool::stats();
-            for batch in slots.chunks(self.config.batch_size) {
+            for (chunk, batch) in slots
+                .chunks(self.config.batch_size)
+                .enumerate()
+                .skip(first_chunk)
+            {
+                // The chaos suite's crash site: between optimizer steps, so
+                // an unwinding panic never leaves a tape or RefCell borrow
+                // live. An io-action fault aborts the run cleanly instead.
+                stgnn_faults::failpoint!("trainer::step", io);
                 model.params().zero_grads();
                 let batch_loss = match &train_plan {
                     Some(plan) => plan_batch(model, data, plan, &mut lanes, batch)?,
@@ -161,16 +301,47 @@ impl Trainer {
                 };
                 opt.step(model.params());
                 epoch_loss += batch_loss as f64;
-                batches += 1;
+                local_batches += 1;
+                batches_since_checkpoint += 1;
+                if let Some(path) = &self.checkpoint_path {
+                    if batches_since_checkpoint >= self.checkpoint_every {
+                        batches_since_checkpoint = 0;
+                        let ckpt = self.snapshot(
+                            model,
+                            &opt,
+                            &run_fingerprint,
+                            Cursor {
+                                epoch,
+                                next_batch: chunk + 1,
+                                epoch_loss,
+                            },
+                            &slots,
+                            &shuffle_rng,
+                            &report,
+                            &best_snapshot,
+                            epochs_since_best,
+                        );
+                        // A failed write is counted, not fatal: atomic_write
+                        // guarantees the previous checkpoint is still intact,
+                        // so the run only loses recovery granularity.
+                        match ckpt.save(path) {
+                            Ok(()) => report.checkpoint_writes += 1,
+                            Err(_) => report.checkpoint_failures += 1,
+                        }
+                    }
+                }
             }
             // Pool misses per optimizer step, measured over just this
             // epoch's batch loop (validation below runs eager and is
             // excluded). The last epoch's figure lands in the report.
             let pool_delta = pool::stats().since(&pool_before);
-            report.allocs_per_step = pool_delta.misses as f64 / batches.max(1) as f64;
+            report.allocs_per_step = pool_delta.misses as f64 / local_batches.max(1) as f64;
+            // The epoch mean divides by the epoch's *full* batch count: on a
+            // mid-epoch resume, `epoch_loss` already carries the pre-crash
+            // batches' sum.
             report
                 .train_losses
-                .push((epoch_loss / batches.max(1) as f64) as f32);
+                .push((epoch_loss / total_batches.max(1) as f64) as f32);
 
             let val_loss = if val_slots.is_empty() {
                 *report.train_losses.last().expect("≥1 epoch")
@@ -199,6 +370,41 @@ impl Trainer {
         }
         model.set_trained();
         Ok(report)
+    }
+
+    /// Assembles a [`TrainCheckpoint`] from the live training state.
+    #[allow(clippy::too_many_arguments)]
+    fn snapshot(
+        &self,
+        model: &StgnnDjd,
+        opt: &Adam,
+        run_fingerprint: &str,
+        cursor: Cursor,
+        epoch_slots: &[usize],
+        shuffle_rng: &StdRng,
+        report: &TrainReport,
+        best_snapshot: &Option<Vec<Tensor>>,
+        epochs_since_best: usize,
+    ) -> TrainCheckpoint {
+        TrainCheckpoint {
+            fingerprint: run_fingerprint.to_string(),
+            cursor,
+            epoch_slots: epoch_slots.to_vec(),
+            shuffle_rng: shuffle_rng.state(),
+            dropout_rng: model.rng_cell().borrow().state(),
+            train_losses: report.train_losses.clone(),
+            val_losses: report.val_losses.clone(),
+            best_val_loss: report.best_val_loss,
+            epochs_since_best,
+            adam: opt.state(),
+            params: model
+                .params()
+                .params()
+                .iter()
+                .map(|p| (p.name().to_string(), p.value()))
+                .collect(),
+            best_snapshot: best_snapshot.clone(),
+        }
     }
 
     /// Mean Eq 21 loss over `slots`, evaluation mode.
@@ -308,8 +514,17 @@ mod tests {
         assert_eq!(subsample(&slots, 200), slots);
     }
 
+    /// Serialises a test against the fault-injecting tests in this binary:
+    /// the failpoint registry is process-global, so any test whose code path
+    /// crosses an instrumented site (`trainer::step`, `checkpoint::write`)
+    /// must hold the guard — an empty plan injects nothing.
+    fn no_faults() -> stgnn_faults::ScopedPlan {
+        stgnn_faults::scoped(stgnn_faults::FaultPlan::new())
+    }
+
     #[test]
     fn training_reduces_loss() {
+        let _quiet = no_faults();
         let data = dataset(43);
         let mut config = StgnnConfig::test_tiny(6, 2);
         config.epochs = 6;
@@ -348,6 +563,7 @@ mod tests {
 
     #[test]
     fn early_stopping_respects_patience() {
+        let _quiet = no_faults();
         let data = dataset(44);
         let mut config = StgnnConfig::test_tiny(6, 2);
         config.epochs = 50;
@@ -364,6 +580,7 @@ mod tests {
 
     #[test]
     fn best_snapshot_is_restored() {
+        let _quiet = no_faults();
         let data = dataset(45);
         let mut config = StgnnConfig::test_tiny(6, 2);
         config.epochs = 5;
@@ -381,8 +598,171 @@ mod tests {
         );
     }
 
+    fn ckpt_path(label: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("stgnn-trainer-{}-{label}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("train.ckpt")
+    }
+
+    /// Gradient bits for every parameter after one deterministic eager
+    /// batch — the strictest observable the acceptance criterion names.
+    fn grad_bits(model: &StgnnDjd, data: &BikeDataset, batch: &[usize]) -> Vec<Vec<u32>> {
+        model.params().zero_grads();
+        eager_batch(model, data, 1, batch).unwrap();
+        model
+            .params()
+            .params()
+            .iter()
+            .map(|p| p.with_grad(|g| g.data().iter().map(|x| x.to_bits()).collect()))
+            .collect()
+    }
+
+    /// The tentpole acceptance test: a run that crashes mid-epoch and
+    /// resumes from its checkpoint must be **bit-identical** to the
+    /// uninterrupted run — every epoch loss, the final parameters, and
+    /// every parameter gradient of a post-training probe batch.
+    #[test]
+    fn crash_resume_is_bit_identical_to_uninterrupted_run() {
+        use stgnn_faults::{scoped, FaultPlan, FaultSpec, Trigger};
+
+        let data = dataset(48);
+        let mut config = StgnnConfig::test_tiny(6, 2);
+        config.epochs = 3;
+        config.max_batches_per_epoch = Some(4);
+        config.dropout = 0.1; // a live dropout stream is part of the claim
+        let probe: Vec<usize> = data.slots(Split::Train).into_iter().take(4).collect();
+
+        // Reference: the uninterrupted run.
+        let mut gold = StgnnDjd::new(config.clone(), data.n_stations()).unwrap();
+        let gold_report = {
+            let _quiet = scoped(FaultPlan::new());
+            Trainer::new(config.clone())
+                .train(&mut gold, &data)
+                .unwrap()
+        };
+
+        // Crash run: same trainer but checkpointing every 3 batches, with an
+        // injected io fault killing the 8th batch step — mid-epoch 1, two
+        // batches past the last checkpoint.
+        let path = ckpt_path("bitident");
+        let trainer = Trainer::new(config.clone()).with_checkpointing(&path, 3);
+        let mut crashed = StgnnDjd::new(config.clone(), data.n_stations()).unwrap();
+        {
+            let _chaos =
+                scoped(FaultPlan::new().with("trainer::step", FaultSpec::io(Trigger::OnHit(8))));
+            let err = trainer.train(&mut crashed, &data).unwrap_err();
+            assert!(matches!(err, Error::Io(_)), "unexpected crash error: {err}");
+        }
+        assert!(path.exists(), "no checkpoint was written before the crash");
+
+        // Resume into a *fresh* process-equivalent: a newly built model.
+        let mut resumed = StgnnDjd::new(config.clone(), data.n_stations()).unwrap();
+        let report = {
+            let _quiet = scoped(FaultPlan::new());
+            trainer.resume_from(&path, &mut resumed, &data).unwrap()
+        };
+        assert!(report.resumed);
+
+        // Named invariant: RESUME-BIT-IDENTITY. Full loss histories...
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&report.train_losses), bits(&gold_report.train_losses));
+        assert_eq!(bits(&report.val_losses), bits(&gold_report.val_losses));
+        assert_eq!(
+            report.best_val_loss.to_bits(),
+            gold_report.best_val_loss.to_bits()
+        );
+        assert_eq!(report.epochs_run, gold_report.epochs_run);
+        // ...the final (best-snapshot-restored) parameters...
+        for (a, b) in gold.params().params().iter().zip(resumed.params().params()) {
+            assert_eq!(a.name(), b.name());
+            assert_eq!(
+                a.value()
+                    .data()
+                    .iter()
+                    .map(|x| x.to_bits())
+                    .collect::<Vec<_>>(),
+                b.value()
+                    .data()
+                    .iter()
+                    .map(|x| x.to_bits())
+                    .collect::<Vec<_>>(),
+                "parameter {} diverged",
+                a.name()
+            );
+        }
+        // ...and every gradient of a shared probe batch.
+        let (gg, rg) = {
+            let _quiet = scoped(FaultPlan::new());
+            (
+                grad_bits(&gold, &data, &probe),
+                grad_bits(&resumed, &data, &probe),
+            )
+        };
+        assert_eq!(gg, rg, "post-training gradients diverged");
+    }
+
+    #[test]
+    fn resume_rejects_incompatible_checkpoint() {
+        use stgnn_faults::{scoped, FaultPlan};
+        let _quiet = scoped(FaultPlan::new());
+
+        let data = dataset(49);
+        let mut config = StgnnConfig::test_tiny(6, 2);
+        config.epochs = 1;
+        config.max_batches_per_epoch = Some(2);
+        let path = ckpt_path("incompat");
+        let trainer = Trainer::new(config.clone()).with_checkpointing(&path, 1);
+        let mut model = StgnnDjd::new(config.clone(), data.n_stations()).unwrap();
+        trainer.train(&mut model, &data).unwrap();
+        assert!(path.exists());
+
+        // Same architecture, different seed ⇒ different trajectory ⇒ the
+        // fingerprint must refuse the resume.
+        let mut other = config.clone();
+        other.seed = config.seed + 1;
+        let mut fresh = StgnnDjd::new(other.clone(), data.n_stations()).unwrap();
+        let err = Trainer::new(other)
+            .resume_from(&path, &mut fresh, &data)
+            .unwrap_err();
+        assert!(err.to_string().contains("incompatible checkpoint"), "{err}");
+    }
+
+    /// Named invariant: CHECKPOINT-FAILURE-IS-NON-FATAL. A failing
+    /// checkpoint write is counted and the run finishes normally.
+    #[test]
+    fn checkpoint_write_failure_does_not_abort_training() {
+        use stgnn_faults::{scoped, FaultPlan, FaultSpec, Trigger};
+        let _chaos =
+            scoped(FaultPlan::new().with("checkpoint::write", FaultSpec::io(Trigger::EveryHit)));
+
+        let data = dataset(50);
+        let mut config = StgnnConfig::test_tiny(6, 2);
+        config.epochs = 2;
+        config.max_batches_per_epoch = Some(3);
+        let path = ckpt_path("wfail");
+        let _ = std::fs::remove_file(&path);
+        let mut model = StgnnDjd::new(config.clone(), data.n_stations()).unwrap();
+        let report = Trainer::new(config)
+            .with_checkpointing(&path, 1)
+            .train(&mut model, &data)
+            .unwrap();
+        assert!(model.is_trained());
+        assert_eq!(report.checkpoint_writes, 0);
+        assert!(
+            report.checkpoint_failures >= 6,
+            "{}",
+            report.checkpoint_failures
+        );
+        assert!(
+            !path.exists(),
+            "a failed atomic write must not leave a file"
+        );
+    }
+
     #[test]
     fn trained_model_beats_predicting_zero() {
+        let _quiet = no_faults();
         let data = dataset(46);
         let mut model = StgnnDjd::new(StgnnConfig::test_tiny(6, 2), data.n_stations()).unwrap();
         model.fit(&data).unwrap();

@@ -403,6 +403,9 @@ fn process_batch(
     // down with the whole queue behind it. Convert it to an error reply and
     // drop this worker's model copy — it may be mid-mutation.
     let forward = catch_unwind(AssertUnwindSafe(|| {
+        // Inside the catch_unwind on purpose: an injected panic here takes
+        // the same containment path a real forward-pass panic would.
+        stgnn_faults::failpoint!("serve::forward");
         // Replay the compiled plan (bit-identical to eager, zero pool
         // misses once warm); any replay error falls back to the eager pass
         // for this batch and reports whether the plan should be dropped.

@@ -1,10 +1,73 @@
 //! A tiny blocking HTTP client for the serving endpoint — used by the demo,
 //! the integration tests, and handy for smoke-testing a live server. Speaks
 //! just enough HTTP/1.1 for this API (one request per connection).
+//!
+//! Transient failures — connection refused/reset while a server restarts, a
+//! read timeout under load — are retried with capped exponential backoff and
+//! *seeded* jitter ([`ClientConfig`]), so a retry schedule is reproducible
+//! in tests while still decorrelating real clients. Non-transient errors
+//! (malformed responses) are never retried.
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
+
+/// Retry/timeout policy for [`get_with`]/[`post_with`]. The defaults (3
+/// attempts, 50 ms base doubling to a 1 s cap) ride out a server hot-swap
+/// or restart without hammering it.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Total connection attempts (first try included). Minimum 1.
+    pub attempts: u32,
+    /// Backoff before the second attempt; doubles per retry.
+    pub base_backoff: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub max_backoff: Duration,
+    /// Socket read timeout per attempt.
+    pub read_timeout: Duration,
+    /// Seed for the jitter stream: each sleep adds a uniform random slice of
+    /// up to half the computed backoff. Same seed → same schedule.
+    pub jitter_seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            attempts: 3,
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(1),
+            read_timeout: Duration::from_secs(120),
+            jitter_seed: 0,
+        }
+    }
+}
+
+impl ClientConfig {
+    /// The sleep before retry number `retry` (1-based):
+    /// `min(max_backoff, base_backoff · 2^(retry−1))` plus up to 50% seeded
+    /// jitter. Pure so tests can assert the schedule.
+    pub fn backoff(&self, retry: u32, jitter: &mut StdRng) -> Duration {
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32 << (retry - 1).min(16))
+            .min(self.max_backoff);
+        let half = exp.as_millis() as u64 / 2;
+        let extra = if half > 0 {
+            jitter.gen_range(0..=half)
+        } else {
+            0
+        };
+        exp + Duration::from_millis(extra)
+    }
+}
+
+/// Whether an I/O failure is worth retrying: connection-level errors and
+/// timeouts are transient; protocol errors (`InvalidData`) are not.
+fn retryable(e: &io::Error) -> bool {
+    !matches!(e.kind(), io::ErrorKind::InvalidData)
+}
 
 /// An HTTP response: status code and body.
 #[derive(Debug, Clone)]
@@ -53,9 +116,39 @@ impl Response {
     }
 }
 
-fn request(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> io::Result<Response> {
+fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    config: &ClientConfig,
+) -> io::Result<Response> {
+    let attempts = config.attempts.max(1);
+    let mut jitter = StdRng::seed_from_u64(config.jitter_seed);
+    let mut last_err = None;
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            std::thread::sleep(config.backoff(attempt, &mut jitter));
+        }
+        match request_once(addr, method, path, body, config) {
+            Ok(r) => return Ok(r),
+            Err(e) if retryable(&e) && attempt + 1 < attempts => last_err = Some(e),
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last_err.unwrap_or_else(|| io::Error::other("no attempts made")))
+}
+
+fn request_once(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    config: &ClientConfig,
+) -> io::Result<Response> {
+    stgnn_faults::failpoint!("client::connect", io);
     let mut stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+    stream.set_read_timeout(Some(config.read_timeout))?;
     write!(
         stream,
         "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
@@ -79,14 +172,30 @@ fn request(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> io::Resul
     Ok(Response { status, body })
 }
 
-/// Blocking GET against a serving endpoint.
+/// Blocking GET against a serving endpoint, with default retry policy.
 pub fn get(addr: SocketAddr, path: &str) -> io::Result<Response> {
-    request(addr, "GET", path, &[])
+    request(addr, "GET", path, &[], &ClientConfig::default())
 }
 
-/// Blocking POST with a raw body (e.g. a checkpoint for `/swap`).
+/// Blocking POST with a raw body (e.g. a checkpoint for `/swap`), with
+/// default retry policy.
 pub fn post(addr: SocketAddr, path: &str, body: &[u8]) -> io::Result<Response> {
-    request(addr, "POST", path, body)
+    request(addr, "POST", path, body, &ClientConfig::default())
+}
+
+/// [`get`] with an explicit [`ClientConfig`].
+pub fn get_with(addr: SocketAddr, path: &str, config: &ClientConfig) -> io::Result<Response> {
+    request(addr, "GET", path, &[], config)
+}
+
+/// [`post`] with an explicit [`ClientConfig`].
+pub fn post_with(
+    addr: SocketAddr,
+    path: &str,
+    body: &[u8],
+    config: &ClientConfig,
+) -> io::Result<Response> {
+    request(addr, "POST", path, body, config)
 }
 
 #[cfg(test)]
@@ -115,5 +224,95 @@ mod tests {
         let r = resp(r#"{"error":"bad \"thing\", really","version":7}"#);
         assert_eq!(r.json_field("version").unwrap(), "7");
         assert_eq!(r.json_field("error").unwrap(), r#""bad \"thing\", really""#);
+    }
+
+    #[test]
+    fn backoff_doubles_caps_and_jitters_reproducibly() {
+        let cfg = ClientConfig {
+            base_backoff: Duration::from_millis(100),
+            max_backoff: Duration::from_millis(300),
+            jitter_seed: 42,
+            ..ClientConfig::default()
+        };
+        let schedule = |seed: u64| -> Vec<Duration> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (1..=5).map(|r| cfg.backoff(r, &mut rng)).collect()
+        };
+        let a = schedule(42);
+        for (i, d) in a.iter().enumerate() {
+            // Exponential base 100·2^i capped at 300, plus ≤ 50% jitter.
+            let base = Duration::from_millis(100 * (1 << i)).min(Duration::from_millis(300));
+            assert!(
+                *d >= base && *d <= base + base / 2,
+                "retry {}: {d:?}",
+                i + 1
+            );
+        }
+        assert_eq!(a, schedule(42), "same seed must replay the same schedule");
+    }
+
+    /// Named invariant: RETRY-RIDES-OUT-TRANSIENTS. Two injected connect
+    /// faults are absorbed by the default 3-attempt policy; the third
+    /// attempt lands and the request succeeds.
+    #[test]
+    fn injected_connect_faults_are_retried_until_success() {
+        use stgnn_faults::{scoped, FaultPlan, FaultSpec, Trigger};
+
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            if let Ok((mut s, _)) = listener.accept() {
+                let mut buf = [0u8; 1024];
+                let _ = s.read(&mut buf);
+                let _ = s.write_all(
+                    b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\nConnection: close\r\n\r\nok",
+                );
+            }
+        });
+
+        let cfg = ClientConfig {
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(4),
+            ..ClientConfig::default()
+        };
+        let _chaos =
+            scoped(FaultPlan::new().with("client::connect", FaultSpec::io(Trigger::FirstN(2))));
+        let r = get_with(addr, "/healthz", &cfg).unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body, "ok");
+        // Exactly two faults fired; the third attempt went through.
+        assert_eq!(stgnn_faults::fired("client::connect"), 2);
+        assert_eq!(stgnn_faults::hits("client::connect"), 3);
+        server.join().unwrap();
+    }
+
+    /// When every attempt faults, the last transient error surfaces after
+    /// `attempts` tries — no infinite retry loop.
+    #[test]
+    fn exhausted_retries_surface_the_last_error() {
+        use stgnn_faults::{scoped, FaultPlan, FaultSpec, Trigger};
+        let _chaos =
+            scoped(FaultPlan::new().with("client::connect", FaultSpec::io(Trigger::EveryHit)));
+        let cfg = ClientConfig {
+            attempts: 2,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+            ..ClientConfig::default()
+        };
+        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let err = get_with(addr, "/x", &cfg).unwrap_err();
+        assert!(retryable(&err), "fault should surface as transient: {err}");
+        assert_eq!(stgnn_faults::hits("client::connect"), 2);
+    }
+
+    #[test]
+    fn retryable_excludes_protocol_errors() {
+        assert!(!retryable(&io::Error::new(io::ErrorKind::InvalidData, "x")));
+        assert!(retryable(&io::Error::new(
+            io::ErrorKind::ConnectionRefused,
+            "x"
+        )));
+        assert!(retryable(&io::Error::new(io::ErrorKind::TimedOut, "x")));
+        assert!(retryable(&io::Error::other("injected fault")));
     }
 }

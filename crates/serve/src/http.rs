@@ -23,6 +23,9 @@ pub struct Request {
 /// Reads one request from the stream. Returns `None` on a closed or
 /// malformed connection (the caller just drops it).
 pub fn read_request(stream: &mut TcpStream) -> Option<Request> {
+    // A delay here models a slow-loris client holding its handler thread;
+    // the socket read timeout bounds how long that can last.
+    stgnn_faults::failpoint!("serve::read");
     let mut reader = BufReader::new(stream.try_clone().ok()?);
     let mut line = String::new();
     reader.read_line(&mut line).ok()?;

@@ -159,6 +159,11 @@ impl ModelRegistry {
     /// swap; a bad checkpoint leaves the old weights serving. Returns the
     /// new version.
     pub fn swap(&self, name: &str, bytes: Vec<u8>) -> Result<u64, ServeError> {
+        // An injected fault rejects the swap up front — the same
+        // old-weights-keep-serving contract as a corrupt checkpoint.
+        if let Some(e) = stgnn_faults::check_io("registry::swap") {
+            return Err(ServeError::BadCheckpoint(e.to_string()));
+        }
         let entry = self
             .get(name)
             .ok_or_else(|| ServeError::UnknownModel(name.into()))?;

@@ -48,6 +48,11 @@ pub struct ServeConfig {
     /// Socket read timeout per connection. A client that connects and then
     /// stalls mid-request would otherwise pin its handler thread forever.
     pub read_timeout: Duration,
+    /// Socket write timeout per connection — the mirror of `read_timeout`
+    /// for the response side: a client that sends a request and then never
+    /// drains the response (half-open, zero receive window) cannot wedge its
+    /// handler thread.
+    pub write_timeout: Duration,
     /// Test hook: delay every forward pass (exercises degradation).
     pub forward_delay: Option<Duration>,
 }
@@ -62,6 +67,7 @@ impl Default for ServeConfig {
             cache_capacity: 256,
             default_deadline: Duration::from_millis(250),
             read_timeout: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(2),
             forward_delay: None,
         }
     }
@@ -129,6 +135,7 @@ impl Server {
         });
         let accept_shutdown = Arc::clone(&shutdown);
         let read_timeout = config.read_timeout;
+        let write_timeout = config.write_timeout;
         let accept_handle = thread::Builder::new()
             .name("stgnn-serve-accept".into())
             .spawn(move || {
@@ -136,11 +143,17 @@ impl Server {
                     if accept_shutdown.load(Ordering::SeqCst) {
                         break;
                     }
+                    // A delay here models an accept loop starved under load;
+                    // connections queue in the kernel backlog meanwhile.
+                    stgnn_faults::failpoint!("serve::accept");
                     let Ok(mut stream) = stream else { continue };
                     // A stalled client must not pin its handler thread:
                     // reads give up after the timeout, `read_request`
-                    // returns None, and the connection is dropped.
+                    // returns None, and the connection is dropped. The write
+                    // timeout is the same guard for a client that stops
+                    // draining the response.
                     let _ = stream.set_read_timeout(Some(read_timeout));
+                    let _ = stream.set_write_timeout(Some(write_timeout));
                     let ctx = Arc::clone(&ctx);
                     // Thread-per-connection: each handler blocks on its own
                     // deadline, so handlers must not share a thread.

@@ -82,6 +82,15 @@ impl fmt::Display for Error {
 
 impl std::error::Error for Error {}
 
+// Lets fault-injection seams (`failpoint!(site, io)`) surface an injected
+// `io::Error` through kernel-level `Result`s; the message is preserved so
+// the originating failpoint site stays visible in the error chain.
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::InvalidArgument(e.to_string())
+    }
+}
+
 /// Convenience alias used across the crate.
 pub type Result<T> = std::result::Result<T, Error>;
 

@@ -61,6 +61,19 @@ impl Optimizer for Sgd {
     }
 }
 
+/// A detached snapshot of Adam's per-parameter state, produced by
+/// [`Adam::state`] and consumed by [`Adam::restore`] — the unit the training
+/// checkpoint persists so a resumed run steps identically.
+#[derive(Clone)]
+pub struct AdamState {
+    /// Steps taken (drives bias correction).
+    pub t: u64,
+    /// First-moment estimates in registration-index order.
+    pub m: Vec<Tensor>,
+    /// Second-moment estimates in registration-index order.
+    pub v: Vec<Tensor>,
+}
+
 /// Adam (Kingma & Ba 2014), the paper's training optimizer.
 pub struct Adam {
     lr: f32,
@@ -93,6 +106,24 @@ impl Adam {
     pub fn with_clip(mut self, max_norm: f32) -> Self {
         self.clip = Some(max_norm);
         self
+    }
+
+    /// Snapshot of the moment estimates and step counter, for checkpointing
+    /// mid-run. Moments are in registration-index order.
+    pub fn state(&self) -> AdamState {
+        AdamState {
+            t: self.t,
+            m: self.m.clone(),
+            v: self.v.clone(),
+        }
+    }
+
+    /// Restores a [`state`](Self::state) snapshot; subsequent steps continue
+    /// bit-for-bit as if the run had never been interrupted.
+    pub fn restore(&mut self, state: AdamState) {
+        self.t = state.t;
+        self.m = state.m;
+        self.v = state.v;
     }
 
     fn ensure_state(&mut self, params: &ParamSet) {

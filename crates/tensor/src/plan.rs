@@ -312,6 +312,9 @@ impl Plan {
         inputs: &[Tensor],
         draw: &mut dyn FnMut() -> f32,
     ) -> Result<()> {
+        // An injected replay fault surfaces as a plan error, which is the
+        // signal the trainer and serve paths fall back to eager on.
+        stgnn_faults::failpoint!("plan::replay", io);
         if inputs.len() != self.num_inputs {
             return Err(Error::InvalidArgument(format!(
                 "plan expects {} inputs, got {}",

@@ -90,6 +90,10 @@ fn class_for_return(cap: usize) -> Option<usize> {
 /// Pops a cleared vector with `capacity ≥ n` (hit) or allocates one of the
 /// full class capacity (miss).
 fn take_raw(n: usize) -> Vec<f32> {
+    // Allocation can't fail gracefully (no error path on the tensor hot
+    // path), so only panic/delay faults make sense here — a delay models
+    // allocator stalls under memory pressure.
+    stgnn_faults::failpoint!("pool::alloc");
     let class = class_for_request(n);
     let popped = {
         let mut inner = pool().lock().unwrap_or_else(PoisonError::into_inner);

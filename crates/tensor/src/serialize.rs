@@ -35,6 +35,7 @@ fn bad(msg: impl Into<String>) -> io::Error {
 
 /// Writes every parameter of `params` to `writer`.
 pub fn save_params<W: Write>(params: &ParamSet, writer: W) -> io::Result<()> {
+    stgnn_faults::failpoint!("serialize::write", io);
     let mut w = BufWriter::new(writer);
     writeln!(w, "{MAGIC}")?;
     writeln!(w, "{}", params.len())?;
@@ -64,6 +65,7 @@ pub fn save_params<W: Write>(params: &ParamSet, writer: W) -> io::Result<()> {
 /// Every stored parameter must exist in `params` with the same shape, and
 /// every parameter of `params` must be present in the stream.
 pub fn load_params<R: Read>(params: &ParamSet, reader: R) -> io::Result<()> {
+    stgnn_faults::failpoint!("serialize::read", io);
     let mut lines = BufReader::new(reader).lines();
     let mut next = || {
         lines

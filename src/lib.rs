@@ -18,6 +18,9 @@
 //! * [`analyze`] — pre-execution static analysis: tape validator (shape
 //!   inference, disconnected parameters, NaN-risk, FLOP/memory costs) and
 //!   the `stgnn-lint` source-policy checker.
+//! * [`faults`] — deterministic fault injection (failpoints), the atomic
+//!   file writer, and CRC32 — the substrate of the chaos test suite and the
+//!   crash-safe checkpoint/resume path.
 //!
 //! See `examples/quickstart.rs` for an end-to-end walkthrough and
 //! `DESIGN.md` / `EXPERIMENTS.md` for the reproduction methodology.
@@ -26,6 +29,7 @@ pub use stgnn_analyze as analyze;
 pub use stgnn_baselines as baselines;
 pub use stgnn_core as model;
 pub use stgnn_data as data;
+pub use stgnn_faults as faults;
 pub use stgnn_graph as graph;
 pub use stgnn_serve as serve;
 pub use stgnn_tensor as tensor;

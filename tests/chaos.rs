@@ -1,0 +1,368 @@
+//! Chaos suite: scripted fault scenarios driven end-to-end through the
+//! public APIs, each asserting a **named recovery invariant**. The
+//! `stgnn-faults` failpoint registry makes every scenario deterministic —
+//! the same plan against the same execution injects the same faults, so
+//! these tests assert exact recovery behaviour, not "it usually survives".
+//!
+//! Every test installs its plan through [`faults::scoped`], which holds a
+//! process-global lock: scenarios serialise against each other and against
+//! any other test that injects faults, and the plan is cleared on drop even
+//! when the scenario panics on purpose.
+//!
+//! Invariants covered here:
+//!
+//! | Invariant                          | Scenario                          |
+//! |------------------------------------|-----------------------------------|
+//! | TRAIN-CRASH-RESUME                 | panic mid-epoch, resume, bit-same |
+//! | ATOMIC-WRITE-NEVER-TEARS           | torn rename leaves old weights    |
+//! | SERVE-PANIC-IS-CONTAINED           | forward panic → error reply, live |
+//! | SWAP-FAULT-KEEPS-OLD-WEIGHTS       | failed hot-swap serves old model  |
+//! | DELAY-FAULTS-ARE-SEMANTICALLY-INERT| delay-only plan changes no bits   |
+//! | CORRUPT-CHECKPOINT-IS-REJECTED     | damage → typed error, no panic    |
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use stgnn_djd::data::dataset::{BikeDataset, DatasetConfig, Split};
+use stgnn_djd::data::error::Error;
+use stgnn_djd::data::synthetic::{CityConfig, SyntheticCity};
+use stgnn_djd::faults::{scoped, FaultPlan, FaultSpec, Trigger};
+use stgnn_djd::model::{StgnnConfig, StgnnDjd, Trainer};
+use stgnn_djd::serve::client;
+use stgnn_djd::serve::{ModelSpec, ServeConfig, Server};
+
+fn dataset(seed: u64) -> BikeDataset {
+    let city = SyntheticCity::generate(CityConfig::test_tiny(seed));
+    BikeDataset::from_city(&city, DatasetConfig::small(6, 2)).unwrap()
+}
+
+fn tiny_config() -> StgnnConfig {
+    let mut config = StgnnConfig::test_tiny(6, 2);
+    config.epochs = 2;
+    config.max_batches_per_epoch = Some(4);
+    config
+}
+
+fn scratch_dir(label: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("stgnn-chaos-{}-{label}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn loss_bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn param_bits(model: &StgnnDjd) -> Vec<Vec<u32>> {
+    model
+        .params()
+        .params()
+        .iter()
+        .map(|p| p.value().data().iter().map(|x| x.to_bits()).collect())
+        .collect()
+}
+
+/// Named invariant: TRAIN-CRASH-RESUME. A training process killed by a
+/// *panic* mid-epoch (the harshest crash we can inject in-process) leaves a
+/// valid checkpoint behind, and resuming it in a fresh model reproduces the
+/// uninterrupted run's losses bit for bit.
+#[test]
+fn panic_crash_then_resume_matches_uninterrupted_run() {
+    let data = dataset(141);
+    let config = tiny_config();
+
+    // Reference: the run that never crashes.
+    let mut gold = StgnnDjd::new(config.clone(), data.n_stations()).unwrap();
+    let gold_report = {
+        let _quiet = scoped(FaultPlan::new());
+        Trainer::new(config.clone())
+            .train(&mut gold, &data)
+            .unwrap()
+    };
+
+    // Crash run: checkpoint every 2 batches, panic at the 6th step (epoch 1,
+    // batch 2 — two steps past the last epoch-0 checkpoint).
+    let path = scratch_dir("panic-resume").join("train.ckpt");
+    let trainer = Trainer::new(config.clone()).with_checkpointing(&path, 2);
+    {
+        let _chaos =
+            scoped(FaultPlan::new().with("trainer::step", FaultSpec::panic(Trigger::OnHit(6))));
+        let mut doomed = StgnnDjd::new(config.clone(), data.n_stations()).unwrap();
+        let crash = catch_unwind(AssertUnwindSafe(|| trainer.train(&mut doomed, &data)));
+        assert!(crash.is_err(), "the injected panic did not fire");
+    }
+    assert!(path.exists(), "no checkpoint survived the crash");
+
+    // Recovery: a fresh model (a new process would rebuild it the same way)
+    // resumes from the checkpoint and lands exactly where gold did.
+    let mut resumed = StgnnDjd::new(config, data.n_stations()).unwrap();
+    let report = {
+        let _quiet = scoped(FaultPlan::new());
+        trainer.resume_from(&path, &mut resumed, &data).unwrap()
+    };
+    assert!(report.resumed);
+    assert_eq!(
+        loss_bits(&report.train_losses),
+        loss_bits(&gold_report.train_losses)
+    );
+    assert_eq!(
+        loss_bits(&report.val_losses),
+        loss_bits(&gold_report.val_losses)
+    );
+    assert_eq!(param_bits(&gold), param_bits(&resumed));
+}
+
+/// Named invariant: ATOMIC-WRITE-NEVER-TEARS. A fault at any stage of a
+/// weight save — here the final rename — leaves the previous file byte-
+/// identical and litters no temp files; a reader can only ever observe the
+/// old weights or the new ones, never a torn mix.
+#[test]
+fn torn_weight_save_leaves_the_old_checkpoint_intact() {
+    let data = dataset(142);
+    let config = tiny_config();
+    let dir = scratch_dir("torn-save");
+    let path = dir.join("weights.bin");
+
+    let old = StgnnDjd::new(config.clone(), data.n_stations()).unwrap();
+    let mut newer_cfg = config.clone();
+    newer_cfg.seed = config.seed + 1;
+    let newer = StgnnDjd::new(newer_cfg, data.n_stations()).unwrap();
+    assert_ne!(old.weights_to_bytes(), newer.weights_to_bytes());
+
+    {
+        let _quiet = scoped(FaultPlan::new());
+        old.save_weights(&path).unwrap();
+    }
+
+    for site in [
+        "atomic_write::rename",
+        "atomic_write::fsync",
+        "atomic_write::write",
+    ] {
+        let _chaos = scoped(FaultPlan::new().with(site, FaultSpec::io(Trigger::EveryHit)));
+        let err = newer.save_weights(&path).unwrap_err();
+        assert!(err.to_string().contains(site), "{err}");
+        // The visible file still holds the OLD weights, bit for bit.
+        let mut reread = StgnnDjd::new(config.clone(), data.n_stations()).unwrap();
+        reread.load_weights(&path).unwrap();
+        assert_eq!(
+            reread.weights_to_bytes(),
+            old.weights_to_bytes(),
+            "faulted {site} tore the visible file"
+        );
+    }
+    // No temp-file litter: the failed attempts cleaned up after themselves.
+    let leftovers: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.contains(".tmp."))
+        .collect();
+    assert!(leftovers.is_empty(), "temp litter: {leftovers:?}");
+}
+
+fn serve_fixture(seed: u64) -> (Arc<BikeDataset>, Server, usize) {
+    let city = SyntheticCity::generate(CityConfig::test_tiny(seed));
+    let data = Arc::new(BikeDataset::from_city(&city, DatasetConfig::small(6, 2)).unwrap());
+    let server = Server::start(Arc::clone(&data), ServeConfig::default()).unwrap();
+    let mut config = StgnnConfig::test_tiny(6, 2);
+    config.seed = 7;
+    let spec = ModelSpec::new(config, data.n_stations());
+    let bytes = spec.materialize().unwrap().weights_to_bytes();
+    server.registry().register("stgnn", spec, bytes).unwrap();
+    let t = data.slots(Split::Test)[0];
+    (data, server, t)
+}
+
+/// Named invariant: SERVE-PANIC-IS-CONTAINED. A panic inside the batched
+/// forward pass is converted into an error reply for the batch that hit it;
+/// the worker thread survives and the very next request is served normally.
+#[test]
+fn forward_pass_panic_fails_one_request_and_the_server_keeps_serving() {
+    let _chaos =
+        scoped(FaultPlan::new().with("serve::forward", FaultSpec::panic(Trigger::OnHit(1))));
+    let (_data, mut server, t) = serve_fixture(143);
+    let addr = server.addr();
+    let path = format!("/predict?model=stgnn&slot={t}&deadline_ms=30000");
+
+    let hit = client::get(addr, &path).unwrap();
+    assert_eq!(hit.status, 400, "{}", hit.body);
+    assert!(hit.body.contains("forward pass failed"), "{}", hit.body);
+
+    // The worker contained the panic; the retry goes through the full
+    // forward path (the failed batch never populated the cache).
+    let ok = client::get(addr, &path).unwrap();
+    assert_eq!(ok.status, 200, "{}", ok.body);
+    assert_eq!(ok.json_field("degraded").unwrap(), "false");
+
+    let s = server.metrics_snapshot();
+    // The one failed request is counted at the worker and again by the HTTP
+    // reply layer; the successful retry contributes the one forward pass.
+    assert_eq!(s.errors, 2, "snapshot: {s:?}");
+    assert_eq!(s.requests, 2, "snapshot: {s:?}");
+    assert_eq!(s.forward_passes, 1, "snapshot: {s:?}");
+    assert_eq!(stgnn_djd::faults::fired("serve::forward"), 1);
+    server.shutdown();
+}
+
+/// Named invariant: SWAP-FAULT-KEEPS-OLD-WEIGHTS. A fault during hot-swap
+/// rejects the swap with a structured error; the registered version does
+/// not advance and the old weights answer every subsequent query unchanged.
+#[test]
+fn failed_hot_swap_keeps_serving_the_old_weights() {
+    let _chaos = scoped(FaultPlan::new().with("registry::swap", FaultSpec::io(Trigger::EveryHit)));
+    let (data, mut server, t) = serve_fixture(144);
+    let addr = server.addr();
+    let path = format!("/predict?model=stgnn&slot={t}&deadline_ms=30000");
+
+    let before = client::get(addr, &path).unwrap();
+    assert_eq!(before.status, 200, "{}", before.body);
+    let baseline = before.json_field("demand").unwrap();
+
+    let mut other = StgnnConfig::test_tiny(6, 2);
+    other.seed = 999;
+    let candidate = StgnnDjd::new(other, data.n_stations())
+        .unwrap()
+        .weights_to_bytes();
+    let swap = client::post(addr, "/models/stgnn/swap", &candidate).unwrap();
+    assert_ne!(
+        swap.status, 200,
+        "swap should have been rejected: {}",
+        swap.body
+    );
+
+    let models = client::get(addr, "/models").unwrap();
+    assert!(
+        models.body.contains(r#""name":"stgnn","version":1"#),
+        "version advanced despite the failed swap: {}",
+        models.body
+    );
+    let after = client::get(addr, &path).unwrap();
+    assert_eq!(after.status, 200, "{}", after.body);
+    assert_eq!(
+        after.json_field("demand").unwrap(),
+        baseline,
+        "answers changed after a swap that reported failure"
+    );
+    server.shutdown();
+}
+
+/// Named invariant: DELAY-FAULTS-ARE-SEMANTICALLY-INERT. A delay-only plan
+/// (the plan CI runs the whole suite under) slows execution down but must
+/// not change a single bit of any result — training under seeded delays on
+/// the hot seams reproduces the undelayed run exactly.
+#[test]
+fn delay_only_plan_changes_timing_but_not_one_bit_of_the_results() {
+    let data = dataset(145);
+    let config = tiny_config();
+
+    let mut quiet_model = StgnnDjd::new(config.clone(), data.n_stations()).unwrap();
+    let quiet = {
+        let _quiet = scoped(FaultPlan::new());
+        Trainer::new(config.clone())
+            .train(&mut quiet_model, &data)
+            .unwrap()
+    };
+
+    let mut slow_model = StgnnDjd::new(config.clone(), data.n_stations()).unwrap();
+    let slow = {
+        let _chaos = scoped(
+            FaultPlan::new()
+                .with("trainer::step", FaultSpec::delay(2, Trigger::EveryHit))
+                .with(
+                    "plan::replay",
+                    FaultSpec {
+                        action: stgnn_djd::faults::FaultAction::Delay { ms: 1 },
+                        trigger: Trigger::WithProb { p: 0.25, seed: 7 },
+                    },
+                )
+                .with("pool::alloc", FaultSpec::delay(1, Trigger::OnHit(3))),
+        );
+        Trainer::new(config).train(&mut slow_model, &data).unwrap()
+    };
+
+    assert_eq!(
+        loss_bits(&quiet.train_losses),
+        loss_bits(&slow.train_losses)
+    );
+    assert_eq!(loss_bits(&quiet.val_losses), loss_bits(&slow.val_losses));
+    assert_eq!(quiet.best_val_loss.to_bits(), slow.best_val_loss.to_bits());
+    assert_eq!(param_bits(&quiet_model), param_bits(&slow_model));
+}
+
+/// Named invariant: CORRUPT-CHECKPOINT-IS-REJECTED. Every class of on-disk
+/// damage — truncation, a flipped bit, a version-skewed header, plain
+/// garbage — surfaces as a typed error from `resume_from`; the model being
+/// resumed into is never partially loaded and nothing panics.
+#[test]
+fn damaged_checkpoints_are_rejected_without_touching_the_model() {
+    let _quiet = scoped(FaultPlan::new());
+    let data = dataset(146);
+    let mut config = tiny_config();
+    config.epochs = 1;
+    let dir = scratch_dir("corrupt");
+    let path = dir.join("train.ckpt");
+
+    let trainer = Trainer::new(config.clone()).with_checkpointing(&path, 1);
+    let mut model = StgnnDjd::new(config.clone(), data.n_stations()).unwrap();
+    trainer.train(&mut model, &data).unwrap();
+    let pristine = std::fs::read(&path).unwrap();
+
+    let damage: [(&str, Vec<u8>, &str); 4] = [
+        (
+            "truncated",
+            pristine[..pristine.len() - 16].to_vec(),
+            "truncated",
+        ),
+        (
+            "bit-flipped",
+            {
+                let mut b = pristine.clone();
+                let last = b.len() - 2;
+                b[last] ^= 0x01;
+                b
+            },
+            "checksum mismatch",
+        ),
+        (
+            "version-skewed",
+            {
+                let text = String::from_utf8(pristine.clone()).unwrap();
+                text.replacen("stgnn-ckpt v1", "stgnn-ckpt v9", 1)
+                    .into_bytes()
+            },
+            "version skew",
+        ),
+        (
+            "garbage",
+            b"not a checkpoint at all\n".to_vec(),
+            "checkpoint",
+        ),
+    ];
+
+    for (label, bytes, expect) in damage {
+        std::fs::write(&path, bytes).unwrap();
+        let mut victim = StgnnDjd::new(config.clone(), data.n_stations()).unwrap();
+        let before = param_bits(&victim);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            trainer.resume_from(&path, &mut victim, &data)
+        }));
+        let result = outcome.unwrap_or_else(|_| panic!("{label} checkpoint panicked the loader"));
+        let err = result.expect_err(label);
+        assert!(
+            err.to_string().contains(expect),
+            "{label}: expected {expect:?} in {err}"
+        );
+        assert!(
+            !matches!(err, Error::Io(_)) || label == "garbage" || label == "truncated",
+            "{label} should be a typed rejection, got {err}"
+        );
+        assert_eq!(before, param_bits(&victim), "{label} partially loaded");
+    }
+
+    // The pristine bytes still resume fine — the file itself was never the
+    // problem.
+    std::fs::write(&path, pristine).unwrap();
+    let mut fresh = StgnnDjd::new(config, data.n_stations()).unwrap();
+    assert!(trainer.resume_from(&path, &mut fresh, &data).is_ok());
+}

@@ -218,6 +218,66 @@ fn stalled_client_is_dropped_and_does_not_wedge_the_server() {
     server.shutdown();
 }
 
+/// Regression for the write-side mirror of the stalled-client bug: a
+/// half-open client that sends a full request and then never drains the
+/// response must not pin its handler thread past `write_timeout`. The
+/// response write either lands in the kernel buffer or times out; either
+/// way the server keeps serving everyone else for the whole stall window.
+#[test]
+fn half_open_client_cannot_pin_the_writer() {
+    let data = dataset();
+    let t = data.slots(Split::Test)[0];
+    let write_timeout = Duration::from_millis(100);
+    let mut server = Server::start(
+        Arc::clone(&data),
+        ServeConfig {
+            read_timeout: Duration::from_millis(100),
+            write_timeout,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    register_model(&server, &data, 7);
+    let addr = server.addr();
+    let path = format!("/predict?model=stgnn&slot={t}&deadline_ms=30000");
+
+    // Half-open clients: each sends a complete request, then refuses to
+    // read a single response byte while keeping the socket open.
+    let half_open: Vec<TcpStream> = (0..4)
+        .map(|_| {
+            let mut s = TcpStream::connect(addr).unwrap();
+            write!(
+                s,
+                "GET {path} HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\nConnection: close\r\n\r\n"
+            )
+            .unwrap();
+            s.flush().unwrap();
+            s
+        })
+        .collect();
+
+    // Throughout several write-timeout windows, well-behaved clients keep
+    // getting served.
+    let deadline = Instant::now() + 4 * write_timeout;
+    let mut served = 0usize;
+    while Instant::now() < deadline {
+        let r = client::get(addr, &path).unwrap();
+        assert_eq!(r.status, 200, "{}", r.body);
+        served += 1;
+        thread::sleep(Duration::from_millis(20));
+    }
+    assert!(
+        served >= 3,
+        "only {served} requests served during the stall"
+    );
+    // The half-open connections were all answered or cut — none of them
+    // wedged a handler (the server just served {served} requests on a
+    // default-size worker pool while 4 connections refused to drain).
+    drop(half_open);
+
+    server.shutdown();
+}
+
 /// Per-station projection and slot-range validation over the wire.
 #[test]
 fn station_queries_and_range_checks() {
