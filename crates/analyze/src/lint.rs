@@ -103,7 +103,7 @@ impl Policy {
     /// itself) get the `L006` persistence rule.
     pub fn for_crate(name: &str) -> Option<Policy> {
         match name {
-            "tensor" | "graph" | "serve" => Some(Policy::hot_path()),
+            "tensor" | "graph" | "serve" | "scale" => Some(Policy::hot_path()),
             "core" | "bench" | "faults" => Some(Policy::persistence()),
             _ => None,
         }
@@ -886,6 +886,7 @@ mod tests {
         assert!(Policy::for_crate("tensor").is_some());
         assert!(Policy::for_crate("graph").is_some());
         assert!(Policy::for_crate("serve").is_some());
+        assert!(Policy::for_crate("scale").is_some());
         assert!(Policy::for_crate("tensor").unwrap().raw_create);
         // Persistence-only crates get L006 but not the panic policy.
         let core = Policy::for_crate("core").unwrap();

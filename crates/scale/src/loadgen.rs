@@ -1,0 +1,366 @@
+//! Open-loop diurnal load generation against a [`crate::fleet::Fleet`].
+//!
+//! The generator replays a city's daily demand shape — a base request rate
+//! with Gaussian rush-hour bursts at 08:00 and 18:00 — compressed onto the
+//! run's wall-clock duration. Arrivals are a seeded inhomogeneous Poisson
+//! process: inter-arrival gaps are exponential at the instantaneous rate,
+//! so bursts arrive bursty, not smoothed.
+//!
+//! **Open loop, no coordinated omission.** Arrival times are fixed by the
+//! schedule before the run starts; a slow fleet does not slow the arrival
+//! process down. Each request's latency is measured from its *scheduled*
+//! arrival, so time spent waiting behind a backlog counts against the SLO
+//! exactly as a real rider's wait would. The sender pool only bounds
+//! concurrency; when all senders are busy the backlog shows up as latency,
+//! which is the honest failure mode of an overloaded service.
+//!
+//! The emitted [`LoadReport`] is one `BENCH_scale.json` cell: throughput,
+//! SLO attainment, latency percentiles (p50/p99/p999), shed rate, and the
+//! answer-source breakdown.
+
+use crate::fleet::{Answer, Fleet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
+use std::time::{Duration, Instant};
+
+/// The diurnal request curve and run policy.
+#[derive(Debug, Clone)]
+pub struct LoadCurve {
+    /// Wall-clock run length; the 24-hour day is compressed onto it.
+    pub duration_ms: u64,
+    /// Off-peak request rate (requests per second).
+    pub base_rps: f64,
+    /// Peak-hour multiplier on `base_rps` at the rush-hour centres.
+    pub rush_multiplier: f64,
+    /// Sender threads (concurrency bound, not rate bound).
+    pub senders: usize,
+    /// Seed for the arrival schedule and station pick — same seed, same
+    /// schedule, byte for byte.
+    pub seed: u64,
+    /// Latency SLO; attainment = fraction of requests answered OK within it.
+    pub slo_ms: u64,
+}
+
+impl LoadCurve {
+    /// A seconds-scale curve for CI smoke runs.
+    pub fn smoke() -> LoadCurve {
+        LoadCurve {
+            duration_ms: 1_500,
+            base_rps: 60.0,
+            rush_multiplier: 3.0,
+            senders: 4,
+            seed: 7,
+            slo_ms: 100,
+        }
+    }
+
+    /// The full bench curve.
+    pub fn standard() -> LoadCurve {
+        LoadCurve {
+            duration_ms: 12_000,
+            base_rps: 150.0,
+            rush_multiplier: 4.0,
+            senders: 8,
+            seed: 7,
+            slo_ms: 100,
+        }
+    }
+
+    /// Instantaneous request rate at simulated hour `h ∈ [0, 24)`:
+    /// base rate plus Gaussian bursts (σ = 1.5 h) centred on the 08:00 and
+    /// 18:00 rushes.
+    pub fn rate_at(&self, h: f64) -> f64 {
+        let bump = |c: f64| (-((h - c) * (h - c)) / (2.0 * 1.5 * 1.5)).exp();
+        self.base_rps * (1.0 + (self.rush_multiplier - 1.0) * (bump(8.0) + bump(18.0)))
+    }
+
+    /// The arrival schedule: offsets from run start, strictly increasing,
+    /// drawn as an inhomogeneous Poisson process over the compressed day.
+    pub fn schedule(&self) -> Vec<Duration> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let duration_s = self.duration_ms as f64 / 1_000.0;
+        let mut arrivals = Vec::new();
+        let mut t = 0.0f64;
+        loop {
+            let sim_hour = (t / duration_s) * 24.0;
+            let rate = self.rate_at(sim_hour).max(1e-6);
+            // Exponential gap at the instantaneous rate.
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            t += -u.ln() / rate;
+            if t >= duration_s {
+                return arrivals;
+            }
+            arrivals.push(Duration::from_secs_f64(t));
+        }
+    }
+}
+
+/// One load-generation run's results — a `BENCH_scale.json` cell.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Cell label (mode and replica count).
+    pub label: String,
+    /// Replicas in the fleet under test.
+    pub replicas: usize,
+    /// Requests sent.
+    pub sent: usize,
+    /// Answered by a model forward pass.
+    pub ok_model: usize,
+    /// Answered by a replica's own deadline fallback.
+    pub replica_ha: usize,
+    /// Shed at the router's admission gate.
+    pub shed: usize,
+    /// Answered by the router with every candidate down.
+    pub loss_ha: usize,
+    /// Non-200 responses and router errors.
+    pub errors: usize,
+    /// Wall-clock run time in seconds.
+    pub wall_s: f64,
+    /// Achieved throughput (answers per second).
+    pub throughput_rps: f64,
+    /// The curve's SLO in milliseconds.
+    pub slo_ms: u64,
+    /// Fraction of requests answered 200 within the SLO (degraded answers
+    /// count — degrading *is* how the SLO is met under stress).
+    pub slo_attainment: f64,
+    /// Fraction of requests shed.
+    pub shed_rate: f64,
+    /// Latency percentiles, measured from scheduled arrival, microseconds.
+    pub p50_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// 99.9th percentile.
+    pub p999_us: u64,
+}
+
+impl LoadReport {
+    /// The report as a flat JSON object (one `BENCH_scale.json` cell).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                r#"{{"label":"{}","replicas":{},"sent":{},"ok_model":{},"#,
+                r#""replica_ha":{},"shed":{},"loss_ha":{},"errors":{},"#,
+                r#""wall_s":{:.3},"throughput_rps":{:.1},"slo_ms":{},"#,
+                r#""slo_attainment":{:.4},"shed_rate":{:.4},"#,
+                r#""p50_us":{},"p99_us":{},"p999_us":{}}}"#
+            ),
+            self.label,
+            self.replicas,
+            self.sent,
+            self.ok_model,
+            self.replica_ha,
+            self.shed,
+            self.loss_ha,
+            self.errors,
+            self.wall_s,
+            self.throughput_rps,
+            self.slo_ms,
+            self.slo_attainment,
+            self.shed_rate,
+            self.p50_us,
+            self.p99_us,
+            self.p999_us,
+        )
+    }
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted_us.len() as f64) * p).ceil() as usize;
+    let at = rank.clamp(1, sorted_us.len()) - 1;
+    sorted_us.get(at).copied().unwrap_or(0)
+}
+
+/// Runs `curve` against `fleet`, spreading requests across `slots`
+/// round-robin and across stations by a seeded draw. Returns the merged
+/// report; `label` tags the cell.
+pub fn run(fleet: &Fleet, curve: &LoadCurve, slots: &[usize], label: &str) -> LoadReport {
+    let arrivals = curve.schedule();
+    let n_stations = fleet.n_stations();
+    let mut rng = StdRng::seed_from_u64(curve.seed ^ 0x10ad);
+    let requests: Vec<(Duration, usize, usize)> = arrivals
+        .iter()
+        .enumerate()
+        .map(|(i, &offset)| {
+            let station = rng.gen_range(0..n_stations.max(1));
+            let slot = slots.get(i % slots.len().max(1)).copied().unwrap_or(0);
+            (offset, station, slot)
+        })
+        .collect();
+
+    let next = AtomicUsize::new(0);
+    let start = Instant::now();
+    // (latency_us, answer, status) per request, merged after the scope.
+    let results: Vec<Vec<(u64, Option<Answer>, u16)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..curve.senders.max(1))
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Relaxed);
+                        let Some(&(offset, station, slot)) = requests.get(i) else {
+                            break;
+                        };
+                        // Open loop: wait for the scheduled arrival. If we
+                        // are already past it, the backlog delay is counted
+                        // in the latency below.
+                        if let Some(wait) = offset.checked_sub(start.elapsed()) {
+                            std::thread::sleep(wait);
+                        }
+                        let outcome = fleet.predict(station, slot);
+                        let latency = start.elapsed().saturating_sub(offset);
+                        let lat_us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+                        match outcome {
+                            Ok(o) => local.push((lat_us, Some(o.source), o.status)),
+                            Err(_) => local.push((lat_us, None, 0)),
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_default())
+            .collect()
+    });
+    let wall_s = start.elapsed().as_secs_f64().max(1e-9);
+
+    let mut sent = 0usize;
+    let (mut ok_model, mut replica_ha, mut shed, mut loss_ha, mut errors) = (0, 0, 0, 0, 0);
+    let mut within_slo = 0usize;
+    let mut latencies: Vec<u64> = Vec::new();
+    for (lat_us, answer, status) in results.into_iter().flatten() {
+        sent += 1;
+        latencies.push(lat_us);
+        match answer {
+            Some(Answer::Model) => ok_model += 1,
+            Some(Answer::ReplicaHa) => replica_ha += 1,
+            Some(Answer::ShedHa) => shed += 1,
+            Some(Answer::LossHa) => loss_ha += 1,
+            Some(Answer::Error) | None => errors += 1,
+        }
+        if status == 200 && lat_us <= curve.slo_ms * 1_000 {
+            within_slo += 1;
+        }
+    }
+    latencies.sort_unstable();
+    LoadReport {
+        label: label.to_string(),
+        replicas: fleet.n_replicas(),
+        sent,
+        ok_model,
+        replica_ha,
+        shed,
+        loss_ha,
+        errors,
+        wall_s,
+        throughput_rps: sent as f64 / wall_s,
+        slo_ms: curve.slo_ms,
+        slo_attainment: within_slo as f64 / sent.max(1) as f64,
+        shed_rate: shed as f64 / sent.max(1) as f64,
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+        p999_us: percentile(&latencies, 0.999),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rush_hours_peak_and_night_is_quiet() {
+        let c = LoadCurve::smoke();
+        assert!(c.rate_at(8.0) > 2.5 * c.base_rps, "{}", c.rate_at(8.0));
+        assert!(c.rate_at(18.0) > 2.5 * c.base_rps);
+        assert!(c.rate_at(3.0) < 1.2 * c.base_rps, "{}", c.rate_at(3.0));
+        assert!(c.rate_at(13.0) < c.rate_at(8.0));
+    }
+
+    #[test]
+    fn schedule_is_seeded_and_monotonic() {
+        let c = LoadCurve::smoke();
+        let a = c.schedule();
+        let b = c.schedule();
+        assert_eq!(a, b, "same seed must replay the same arrivals");
+        assert!(!a.is_empty());
+        assert!(a.windows(2).all(|w| w[0] < w[1]));
+        assert!(a.last().unwrap().as_millis() < u128::from(c.duration_ms));
+        // Roughly the expected request count: duration × mean rate.
+        let expect = c.duration_ms as f64 / 1_000.0 * c.base_rps;
+        assert!(
+            (a.len() as f64) > expect * 0.8,
+            "{} arrivals for ≥{expect} expected",
+            a.len()
+        );
+    }
+
+    #[test]
+    fn rush_bursts_concentrate_arrivals() {
+        let c = LoadCurve {
+            duration_ms: 10_000,
+            base_rps: 50.0,
+            rush_multiplier: 5.0,
+            ..LoadCurve::smoke()
+        };
+        let arrivals = c.schedule();
+        // Compare the morning-rush window to the early-night window of
+        // equal width: 07:00–09:00 vs 01:00–03:00 in compressed time.
+        let in_window = |from_h: f64, to_h: f64| {
+            arrivals
+                .iter()
+                .filter(|d| {
+                    let h = d.as_secs_f64() / 10.0 * 24.0;
+                    h >= from_h && h < to_h
+                })
+                .count()
+        };
+        let rush = in_window(7.0, 9.0);
+        let night = in_window(1.0, 3.0);
+        assert!(
+            rush > night * 2,
+            "rush {rush} should dwarf night {night} at 5× multiplier"
+        );
+    }
+
+    #[test]
+    fn percentiles_and_json_shape() {
+        let lat: Vec<u64> = (1..=1000).collect();
+        assert_eq!(percentile(&lat, 0.50), 500);
+        assert_eq!(percentile(&lat, 0.99), 990);
+        assert_eq!(percentile(&lat, 0.999), 999);
+        assert_eq!(percentile(&[], 0.5), 0);
+        let r = LoadReport {
+            label: "smoke".into(),
+            replicas: 2,
+            sent: 10,
+            ok_model: 8,
+            replica_ha: 1,
+            shed: 1,
+            loss_ha: 0,
+            errors: 0,
+            wall_s: 1.5,
+            throughput_rps: 6.7,
+            slo_ms: 100,
+            slo_attainment: 0.9,
+            shed_rate: 0.1,
+            p50_us: 900,
+            p99_us: 4000,
+            p999_us: 9000,
+        };
+        let j = r.to_json();
+        for field in [
+            "\"label\":\"smoke\"",
+            "\"replicas\":2",
+            "\"slo_attainment\":0.9000",
+            "\"shed_rate\":0.1000",
+            "\"p999_us\":9000",
+        ] {
+            assert!(j.contains(field), "missing {field} in {j}");
+        }
+    }
+}

@@ -1,0 +1,337 @@
+// lint: allow-file(L004): every index here is a station id or a row/col
+// bound checked against the tensor shapes the caller supplies.
+//! Bitwise sharding machinery for the FCG stage, and the parity argument.
+//!
+//! ## Why sharding can be *bit-exact*, not merely approximate
+//!
+//! The FCG aggregation (Eq 14 via the Eq 10 weights) is row-local: row `i`
+//! of one layer reads only rows `j` with `mask[i][j] > 0` of the previous
+//! layer. Entries of the Eq 10 weight matrix outside the mask are exactly
+//! `+0.0` (they are `ReLU(T)·0 + 0`), and the dense kernels accumulate each
+//! output row over ascending inner index starting from `+0.0` with every
+//! partial sum non-negative where it matters:
+//!
+//! * the row sums of `ReLU(T)⊙M + I` add only values `≥ +0.0`, so dropping
+//!   exact-`+0.0` terms leaves every partial sum bitwise unchanged
+//!   (`x + 0.0 == x` for `x ≥ +0.0`);
+//! * the aggregation matmul drops only terms whose *weight* is `+0.0`; a
+//!   `±0.0` product can never flip a running sum's bits (`x + ±0.0 == x`
+//!   for `x ≠ -0.0`, and an all-non-negative-weight accumulation never
+//!   produces `-0.0`).
+//!
+//! Therefore, if a shard's member set contains the `L`-hop mask closure of
+//! its owned stations (`L` = number of FCG layers — the shard is
+//! **halo-complete** for the slot), running the stage on the member-induced
+//! submatrices yields owned rows **bit-identical** to the full-city run.
+//! [`fcg_stage`] replays the exact tape-op sequence of
+//! [`stgnn_core::fcg::FcgNetwork::forward`] so both paths execute the same
+//! kernels; the tests assert mirror fidelity against `FcgNetwork` itself
+//! and then bit-equality between the full and shard-induced runs.
+//!
+//! The gate/projection stages before (Eqs 5–9) and the PCG branch's dense
+//! attention are global in the station dimension and are *replicated*, not
+//! sharded — DESIGN.md §11 spells out the boundary.
+
+use stgnn_tensor::autograd::Graph;
+use stgnn_tensor::{Shape, Tensor};
+
+/// Gathers `rows` of `t` (full width) into a new `rows.len() × cols` tensor.
+pub fn induce_rows(t: &Tensor, rows: &[usize]) -> Tensor {
+    let cols = t.shape().cols();
+    let mut out = Tensor::zeros(Shape::matrix(rows.len(), cols));
+    let buf = out.data_mut();
+    for (li, &r) in rows.iter().enumerate() {
+        buf[li * cols..(li + 1) * cols].copy_from_slice(t.row(r));
+    }
+    out
+}
+
+/// Induces the square submatrix of `t` on `idx` (both rows and columns).
+pub fn induce_square(t: &Tensor, idx: &[usize]) -> Tensor {
+    let m = idx.len();
+    let mut out = Tensor::zeros(Shape::matrix(m, m));
+    let buf = out.data_mut();
+    for (li, &r) in idx.iter().enumerate() {
+        for (lj, &c) in idx.iter().enumerate() {
+            buf[li * m + lj] = t.get2(r, c);
+        }
+    }
+    out
+}
+
+/// The `depth`-hop closure of `seeds` under the mask graph (row `i` reads
+/// the columns `j` with `mask[i][j] > 0`). Returns a sorted station list
+/// including the seeds themselves.
+pub fn mask_closure(mask: &Tensor, seeds: &[usize], depth: usize) -> Vec<usize> {
+    let n = mask.shape().rows();
+    let mut dist = vec![usize::MAX; n];
+    let mut frontier: Vec<usize> = Vec::new();
+    for &s in seeds {
+        if dist[s] == usize::MAX {
+            dist[s] = 0;
+            frontier.push(s);
+        }
+    }
+    for d in 0..depth {
+        let mut next = Vec::new();
+        for &v in &frontier {
+            for (j, &m) in mask.row(v).iter().enumerate() {
+                if m > 0.0 && dist[j] == usize::MAX {
+                    dist[j] = d + 1;
+                    next.push(j);
+                }
+            }
+        }
+        frontier = next;
+        if frontier.is_empty() {
+            break;
+        }
+    }
+    (0..n).filter(|&v| dist[v] != usize::MAX).collect()
+}
+
+/// Whether `members` contains the `depth`-hop mask closure of `owned` —
+/// the condition under which the sharded FCG stage is bit-exact on owned
+/// rows (see the module docs).
+pub fn halo_complete(mask: &Tensor, owned: &[usize], members: &[usize], depth: usize) -> bool {
+    mask_closure(mask, owned, depth)
+        .iter()
+        .all(|v| members.binary_search(v).is_ok())
+}
+
+/// Runs the FCG aggregator stage — the exact tape-op sequence of
+/// [`stgnn_core::fcg::FcgNetwork::forward`] with the Flow aggregator — on
+/// explicit inputs, so the full-city and shard-induced paths share kernels.
+///
+/// * `t_features` — the feature rows entering the stage (`m × c`; the full
+///   `T` for the unsharded run, the member rows of `T` for a shard).
+/// * `t_edges` — the square matrix the Eq 10 edge weights are derived from
+///   (`m × m`; `T` itself, or its member-induced submatrix).
+/// * `mask` — the structural mask (`m × m`), same induction as `t_edges`.
+/// * `layer_ws` — the per-layer weights `W^k` (`c × c`), identical in both
+///   runs (layer weights are replicated, not sharded).
+pub fn fcg_stage(
+    t_features: &Tensor,
+    t_edges: &Tensor,
+    mask: &Tensor,
+    layer_ws: &[Tensor],
+) -> Tensor {
+    let m = mask.shape().rows();
+    let g = Graph::new();
+    let te = g.leaf(t_edges.clone());
+    let mask_leaf = g.leaf(mask.clone());
+    let eye = g.leaf(Tensor::eye(m));
+    let raw = te.relu().mul(&mask_leaf).add(&eye);
+    let sums = raw.sum_cols().add_scalar(1e-6);
+    let inv = g.leaf(Tensor::ones(Shape::matrix(m, 1))).div(&sums);
+    let weights = raw.mul_col_broadcast(&inv);
+    let mut f = g.leaf(t_features.clone());
+    for w in layer_ws {
+        let w_leaf = g.leaf(w.clone());
+        f = weights.matmul(&f).matmul(&w_leaf).relu();
+    }
+    f.value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::ShardPlan;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use stgnn_core::config::StgnnConfig;
+    use stgnn_core::fcg::FcgNetwork;
+    use stgnn_core::flow_conv::{fcg_mask, FlowConvolution};
+    use stgnn_data::dataset::{BikeDataset, DatasetConfig};
+    use stgnn_data::synthetic::{CityConfig, SyntheticCity};
+    use stgnn_graph::builders::{trip_correlation_graph, trip_flow_graph};
+    use stgnn_tensor::autograd::ParamSet;
+
+    fn bits(t: &Tensor) -> Vec<u32> {
+        t.data().iter().map(|v| v.to_bits()).collect()
+    }
+
+    fn row_bits(t: &Tensor, r: usize) -> Vec<u32> {
+        t.row(r).iter().map(|v| v.to_bits()).collect()
+    }
+
+    #[test]
+    fn induce_helpers_pick_the_right_entries() {
+        let t = Tensor::from_rows(&[
+            &[0.0, 1.0, 2.0, 3.0],
+            &[4.0, 5.0, 6.0, 7.0],
+            &[8.0, 9.0, 10.0, 11.0],
+            &[12.0, 13.0, 14.0, 15.0],
+        ]);
+        let rows = induce_rows(&t, &[2, 0]);
+        assert_eq!(rows.row(0), &[8.0, 9.0, 10.0, 11.0]);
+        assert_eq!(rows.row(1), &[0.0, 1.0, 2.0, 3.0]);
+        let sq = induce_square(&t, &[1, 3]);
+        assert_eq!(sq.row(0), &[5.0, 7.0]);
+        assert_eq!(sq.row(1), &[13.0, 15.0]);
+    }
+
+    #[test]
+    fn mask_closure_walks_rows() {
+        // 0 → 1 → 2, 3 isolated (self-loops everywhere, as fcg_mask emits).
+        let mask = Tensor::from_rows(&[
+            &[1.0, 1.0, 0.0, 0.0],
+            &[0.0, 1.0, 1.0, 0.0],
+            &[0.0, 0.0, 1.0, 0.0],
+            &[0.0, 0.0, 0.0, 1.0],
+        ]);
+        assert_eq!(mask_closure(&mask, &[0], 0), vec![0]);
+        assert_eq!(mask_closure(&mask, &[0], 1), vec![0, 1]);
+        assert_eq!(mask_closure(&mask, &[0], 2), vec![0, 1, 2]);
+        assert_eq!(mask_closure(&mask, &[0], 9), vec![0, 1, 2]);
+        assert!(halo_complete(&mask, &[0], &[0, 1, 2], 2));
+        assert!(!halo_complete(&mask, &[0], &[0, 1], 2));
+    }
+
+    /// The heart of the PR: PARITY-LOCAL. On a districted synthetic city,
+    /// (a) [`fcg_stage`] reproduces `FcgNetwork::forward` bit-for-bit
+    /// (mirror fidelity), and (b) on every halo-complete shard, the stage
+    /// run on member-induced inputs reproduces the full-city owned rows
+    /// bit-for-bit.
+    #[test]
+    fn sharded_fcg_stage_matches_unsharded_bit_for_bit() {
+        let city = SyntheticCity::generate(CityConfig::test_districted(42));
+        let n = city.registry.len();
+        let dataset = BikeDataset::from_city(&city, DatasetConfig::small(6, 2)).unwrap();
+
+        let mut config = StgnnConfig::test_tiny(6, 2);
+        config.fcg_layers = 2;
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let flow = FlowConvolution::new(&mut ps, &mut rng, &config, n);
+        let fcg = FcgNetwork::new(&mut ps, &mut rng, &config, n);
+        let layer_ws: Vec<Tensor> = (0..config.fcg_layers)
+            .map(|k| {
+                let name = format!("fcg.{k}.w");
+                ps.params()
+                    .iter()
+                    .find(|p| p.name() == name)
+                    .expect("fcg layer weight")
+                    .value()
+            })
+            .collect();
+
+        // Shard over the union trip adjacency with halo depth = fcg_layers.
+        // Because the per-slot mask is a subgraph of this union (positive
+        // fused flow needs observed flow, and conv weights start positive),
+        // these halos dominate every slot's mask closure.
+        let adj = trip_flow_graph(&city.trips, n).union_symmetric(&trip_correlation_graph(
+            &city.trips,
+            n,
+            city.config.days,
+            city.config.slots_per_day,
+            0.95,
+        ));
+        let plan = ShardPlan::partition(&adj, 4, config.fcg_layers).unwrap();
+        plan.validate().unwrap();
+        assert!(
+            plan.shards().iter().any(|s| s.members.len() < n),
+            "vacuous plan: every shard sees the whole city"
+        );
+
+        let first = dataset.first_valid_slot();
+        for slot in [first, first + 7, first + 13] {
+            let (si, so) = dataset.short_term_stacks(slot);
+            let (li, lo) = dataset.long_term_stacks(slot);
+            let g = stgnn_tensor::autograd::Graph::new();
+            let out = flow.forward(&g, &si, &so, &li, &lo);
+            let t_val = out.t.value();
+            let mask = fcg_mask(&out.i_hat.value(), &out.o_hat.value());
+
+            // (a) Mirror fidelity: our explicit stage is bitwise the
+            // FcgNetwork forward pass.
+            let full = fcg_stage(&t_val, &t_val, &mask, &layer_ws);
+            let reference = fcg.forward(&g, &out.t, &mask, None).value();
+            assert_eq!(
+                bits(&full),
+                bits(&reference),
+                "slot {slot}: fcg_stage drifted from FcgNetwork"
+            );
+
+            // (b) Shard parity on owned rows, bit for bit.
+            for shard in plan.shards() {
+                assert!(
+                    halo_complete(&mask, &shard.owned, &shard.members, config.fcg_layers),
+                    "slot {slot}: shard {} not halo-complete",
+                    shard.id
+                );
+                let t_feat = induce_rows(&t_val, &shard.members);
+                let t_edges = induce_square(&t_val, &shard.members);
+                let sub_mask = induce_square(&mask, &shard.members);
+                let sharded = fcg_stage(&t_feat, &t_edges, &sub_mask, &layer_ws);
+                for &station in &shard.owned {
+                    let local = shard
+                        .members
+                        .binary_search(&station)
+                        .expect("owned ⊆ members");
+                    assert_eq!(
+                        row_bits(&sharded, local),
+                        row_bits(&full, station),
+                        "slot {slot}: shard {} station {station} diverged",
+                        shard.id
+                    );
+                }
+            }
+        }
+    }
+
+    /// Negative control: a shard that is *not* halo-complete must diverge —
+    /// otherwise the parity test above would be vacuous.
+    #[test]
+    fn incomplete_halos_actually_diverge() {
+        let city = SyntheticCity::generate(CityConfig::test_districted(42));
+        let n = city.registry.len();
+        let dataset = BikeDataset::from_city(&city, DatasetConfig::small(6, 2)).unwrap();
+        let mut config = StgnnConfig::test_tiny(6, 2);
+        config.fcg_layers = 2;
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let flow = FlowConvolution::new(&mut ps, &mut rng, &config, n);
+        let fcg = FcgNetwork::new(&mut ps, &mut rng, &config, n);
+        assert_eq!(fcg.depth(), 2);
+        let layer_ws: Vec<Tensor> = ps
+            .params()
+            .iter()
+            .filter(|p| p.name().starts_with("fcg."))
+            .map(|p| p.value())
+            .collect();
+
+        let slot = dataset.first_valid_slot();
+        let (si, so) = dataset.short_term_stacks(slot);
+        let (li, lo) = dataset.long_term_stacks(slot);
+        let g = stgnn_tensor::autograd::Graph::new();
+        let out = flow.forward(&g, &si, &so, &li, &lo);
+        let t_val = out.t.value();
+        let mask = fcg_mask(&out.i_hat.value(), &out.o_hat.value());
+        let full = fcg_stage(&t_val, &t_val, &mask, &layer_ws);
+
+        // Find a station with at least one non-self mask neighbour and give
+        // it a members set of just itself: not halo-complete at depth 2.
+        let station = (0..n)
+            .find(|&i| {
+                mask.row(i)
+                    .iter()
+                    .enumerate()
+                    .any(|(j, &m)| j != i && m > 0.0)
+            })
+            .expect("some station has flow neighbours");
+        let members = vec![station];
+        assert!(!halo_complete(&mask, &members, &members, config.fcg_layers));
+        let sharded = fcg_stage(
+            &induce_rows(&t_val, &members),
+            &induce_square(&t_val, &members),
+            &induce_square(&mask, &members),
+            &layer_ws,
+        );
+        assert_ne!(
+            row_bits(&sharded, 0),
+            row_bits(&full, station),
+            "dropping a needed halo should change the owned row"
+        );
+    }
+}

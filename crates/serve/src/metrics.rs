@@ -31,6 +31,12 @@ pub struct ServeMetrics {
     errors: AtomicU64,
     /// Checkpoint hot-swaps applied.
     swaps: AtomicU64,
+    /// Requests refused admission by a router and degraded without ever
+    /// reaching this replica's queue (load shedding).
+    shed: AtomicU64,
+    /// Gauge: requests currently admitted and in flight on this replica
+    /// (the router's per-replica bounded queue occupancy).
+    queue_depth: AtomicU64,
     /// Batch-size histogram (bucket i counts batches ≤ BATCH_BUCKETS[i]).
     batch_hist: [AtomicU64; BATCH_BUCKETS.len() + 1],
     /// End-to-end request latency histogram (power-of-two µs buckets).
@@ -68,6 +74,30 @@ impl ServeMetrics {
         self.swaps.fetch_add(1, Relaxed);
     }
 
+    /// Records one request shed by admission control instead of queued.
+    pub fn inc_shed(&self) {
+        self.shed.fetch_add(1, Relaxed);
+    }
+
+    /// Raises the in-flight gauge by one (request admitted to the queue).
+    /// Returns the depth *after* the increment.
+    pub fn queue_enter(&self) -> u64 {
+        self.queue_depth.fetch_add(1, Relaxed) + 1
+    }
+
+    /// Lowers the in-flight gauge by one (request completed or failed).
+    /// Saturates at zero so a stray double-leave cannot wrap the gauge.
+    pub fn queue_leave(&self) {
+        let _ = self
+            .queue_depth
+            .fetch_update(Relaxed, Relaxed, |d| Some(d.saturating_sub(1)));
+    }
+
+    /// Current in-flight gauge reading.
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Relaxed)
+    }
+
     /// Records one executed forward pass that served a batch of `size`.
     pub fn record_forward(&self, batch_size: usize) {
         self.forward_passes.fetch_add(1, Relaxed);
@@ -99,6 +129,8 @@ impl ServeMetrics {
             fallbacks: self.fallbacks.load(Relaxed),
             errors: self.errors.load(Relaxed),
             swaps: self.swaps.load(Relaxed),
+            shed: self.shed.load(Relaxed),
+            queue_depth: self.queue_depth.load(Relaxed),
             batch_hist: self.batch_hist.iter().map(|c| c.load(Relaxed)).collect(),
             latency_p50_us: percentile(&latency, 0.50),
             latency_p99_us: percentile(&latency, 0.99),
@@ -135,6 +167,10 @@ pub struct MetricsSnapshot {
     pub fallbacks: u64,
     pub errors: u64,
     pub swaps: u64,
+    /// Requests shed by admission control before reaching this replica.
+    pub shed: u64,
+    /// Gauge: requests admitted and in flight at snapshot time.
+    pub queue_depth: u64,
     /// Batch-size histogram; bucket `i` counts batches with size ≤
     /// [`BATCH_BUCKETS`]`[i]`, last bucket is the overflow.
     pub batch_hist: Vec<u64>,
@@ -183,6 +219,8 @@ impl MetricsSnapshot {
         push("serve_fallbacks_total", self.fallbacks);
         push("serve_errors_total", self.errors);
         push("serve_swaps_total", self.swaps);
+        push("serve_shed_total", self.shed);
+        push("serve_queue_depth", self.queue_depth);
         for (i, &count) in self.batch_hist.iter().enumerate() {
             let label = BATCH_BUCKETS
                 .get(i)
@@ -280,5 +318,32 @@ mod tests {
     #[test]
     fn empty_histogram_percentile_is_zero() {
         assert_eq!(ServeMetrics::new().snapshot().latency_p50_us, 0);
+    }
+
+    #[test]
+    fn queue_gauge_tracks_enter_and_leave_and_saturates() {
+        let m = ServeMetrics::new();
+        assert_eq!(m.queue_enter(), 1);
+        assert_eq!(m.queue_enter(), 2);
+        assert_eq!(m.queue_depth(), 2);
+        m.queue_leave();
+        assert_eq!(m.queue_depth(), 1);
+        m.queue_leave();
+        m.queue_leave(); // double-leave must not wrap
+        assert_eq!(m.queue_depth(), 0);
+    }
+
+    #[test]
+    fn shed_and_queue_depth_reach_snapshot_and_line_protocol() {
+        let m = ServeMetrics::new();
+        m.inc_shed();
+        m.inc_shed();
+        m.queue_enter();
+        let s = m.snapshot();
+        assert_eq!(s.shed, 2);
+        assert_eq!(s.queue_depth, 1);
+        let text = s.to_line_protocol();
+        assert!(text.contains("serve_shed_total 2"), "{text}");
+        assert!(text.contains("serve_queue_depth 1"), "{text}");
     }
 }

@@ -2,19 +2,25 @@
 //!
 //! "It is in the provider's interest to predict the demand and supply of
 //! docked bikes at stations (so that bikes can be dispatched in advance to
-//! meet the demand and supply)." This example trains STGNN-DJD, forecasts
-//! the next slot, converts the forecast into per-station net pressure
-//! (demand − supply), and greedily plans truck moves from surplus stations
-//! to deficit stations, nearest pairs first.
+//! meet the demand and supply)." This example trains STGNN-DJD, publishes
+//! the trained checkpoint to an `stgnn-serve` instance, fetches the
+//! next-slot forecast over the HTTP client API the way a dispatch dashboard
+//! would, converts it into per-station net pressure (demand − supply), and
+//! greedily plans truck moves from surplus stations to deficit stations,
+//! nearest pairs first.
 //!
 //! ```text
 //! cargo run --release --example rebalancing_planner
 //! ```
 
+use std::sync::Arc;
+use std::time::Duration;
+
 use stgnn_djd::data::dataset::{BikeDataset, DatasetConfig, Split};
 use stgnn_djd::data::predictor::DemandSupplyPredictor;
 use stgnn_djd::data::synthetic::{CityConfig, SyntheticCity};
 use stgnn_djd::model::{StgnnConfig, StgnnDjd};
+use stgnn_djd::serve::{client, ModelSpec, ServeConfig, Server};
 
 /// One planned dispatch move.
 struct Move {
@@ -24,28 +30,64 @@ struct Move {
     distance_km: f64,
 }
 
+/// Parses the `[1,2.5,3]` array bodies that `Response::json_field` returns.
+fn parse_f32_array(raw: &str) -> Vec<f32> {
+    raw.trim()
+        .trim_start_matches('[')
+        .trim_end_matches(']')
+        .split(',')
+        .filter(|s| !s.trim().is_empty())
+        .map(|s| s.trim().parse::<f32>().expect("numeric forecast entry"))
+        .collect()
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let city = SyntheticCity::generate(CityConfig::test_small(99));
-    let data = BikeDataset::from_city(&city, DatasetConfig::small(24, 2))?;
+    let data = Arc::new(BikeDataset::from_city(&city, DatasetConfig::small(24, 2))?);
 
     let mut config = StgnnConfig::quick(24, 2);
     config.epochs = 25;
-    let mut model = StgnnDjd::new(config, data.n_stations())?;
+    let mut model = StgnnDjd::new(config.clone(), data.n_stations())?;
     println!("training STGNN-DJD…");
     model.fit(&data)?;
+
+    // Publish the trained checkpoint to a serving instance, then query it
+    // over HTTP: the planner sees exactly what the provider's dashboards see.
+    let server = Server::start(
+        Arc::clone(&data),
+        ServeConfig {
+            default_deadline: Duration::from_secs(30),
+            ..ServeConfig::default()
+        },
+    )?;
+    server
+        .registry()
+        .register(
+            "stgnn",
+            ModelSpec::new(config, data.n_stations()),
+            model.weights_to_bytes(),
+        )
+        .map_err(|e| format!("register: {e}"))?;
 
     // Forecast a morning rush-hour slot on a held-out day.
     let t = *data
         .rush_slots(Split::Test, true)
         .first()
         .expect("test split contains a morning slot");
-    let pred = model.predict(&data, t);
+    let resp = client::get(server.addr(), &format!("/predict?model=stgnn&slot={t}"))?;
+    assert_eq!(resp.status, 200, "predict failed: {}", resp.body);
+    let demand = parse_f32_array(&resp.json_field("demand").expect("demand field"));
+    let supply = parse_f32_array(&resp.json_field("supply").expect("supply field"));
+    assert_eq!(demand.len(), data.n_stations());
+    assert_eq!(supply.len(), data.n_stations());
+
     let spd = data.slots_per_day();
     println!(
-        "\nforecast for day {}, {:02}:{:02} (slot {t}):",
+        "\nforecast for day {}, {:02}:{:02} (slot {t}, source {}):",
         t / spd,
         (t % spd) * 24 / spd,
-        ((t % spd) * 1440 / spd) % 60
+        ((t % spd) * 1440 / spd) % 60,
+        resp.json_field("source").unwrap_or_default()
     );
 
     // Net pressure per station: positive ⇒ more pickups than returns
@@ -53,7 +95,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut surplus: Vec<(usize, f32)> = Vec::new(); // returns exceed pickups
     let mut deficit: Vec<(usize, f32)> = Vec::new();
     for i in 0..data.n_stations() {
-        let net = pred.demand[i] - pred.supply[i];
+        let net = demand[i] - supply[i];
         if net > 0.5 {
             deficit.push((i, net));
         } else if net < -0.5 {

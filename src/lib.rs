@@ -21,6 +21,9 @@
 //! * [`faults`] — deterministic fault injection (failpoints), the atomic
 //!   file writer, and CRC32 — the substrate of the chaos test suite and the
 //!   crash-safe checkpoint/resume path.
+//! * [`scale`] — city-scale serving: balanced edge-cut shard planner with
+//!   bit-exact halos, consistent-hash fleet router with admission control
+//!   and HA load-shedding, and the open-loop diurnal load generator.
 //!
 //! See `examples/quickstart.rs` for an end-to-end walkthrough and
 //! `DESIGN.md` / `EXPERIMENTS.md` for the reproduction methodology.
@@ -31,5 +34,6 @@ pub use stgnn_core as model;
 pub use stgnn_data as data;
 pub use stgnn_faults as faults;
 pub use stgnn_graph as graph;
+pub use stgnn_scale as scale;
 pub use stgnn_serve as serve;
 pub use stgnn_tensor as tensor;
