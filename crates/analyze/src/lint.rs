@@ -895,4 +895,22 @@ mod tests {
         assert!(Policy::for_crate("faults").is_some());
         assert!(Policy::for_crate("data").is_none());
     }
+
+    #[test]
+    fn source_walk_descends_into_the_plan_module_directory() {
+        // The optimizer lives in `tensor/src/plan/{ir,passes,fuse,exec}.rs`;
+        // the hot-path policy must reach those files, not just top-level
+        // modules of the crate.
+        let src = Path::new(env!("CARGO_MANIFEST_DIR")).join("../tensor/src");
+        let mut files = Vec::new();
+        rust_sources(&src, &mut files).expect("walk tensor src");
+        for module in ["ir.rs", "passes.rs", "fuse.rs", "exec.rs"] {
+            assert!(
+                files
+                    .iter()
+                    .any(|p| p.ends_with(Path::new("plan").join(module))),
+                "lint walk missed plan/{module}"
+            );
+        }
+    }
 }

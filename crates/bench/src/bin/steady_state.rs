@@ -20,6 +20,7 @@ use stgnn_core::{StgnnConfig, StgnnDjd};
 use stgnn_data::dataset::{BikeDataset, Split};
 use stgnn_data::synthetic::SyntheticCity;
 use stgnn_tensor::autograd::Graph;
+use stgnn_tensor::plan::PlanOptions;
 use stgnn_tensor::{par, pool};
 
 /// Measurements for one (path, thread-count) cell.
@@ -45,12 +46,172 @@ impl Cell {
     }
 }
 
+/// One timing for a plan compiled with a single optimizer pass (or none, or
+/// all) — the ablation row quantifying what each pass buys on its own.
+struct AblationCell {
+    passes: &'static str,
+    train_step_ms: f64,
+    speedup_vs_eager: f64,
+    pass_report: String,
+}
+
 fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
     if sorted_ms.is_empty() {
         return 0.0;
     }
     let idx = ((sorted_ms.len() as f64 * q) as usize).min(sorted_ms.len() - 1);
     sorted_ms[idx]
+}
+
+/// Median of unsorted per-iteration samples. The bench interleaves eager
+/// and plan iterations and reports medians, so a scheduler stall during
+/// the run hits both paths alike and cancels out of the speedup ratio —
+/// a mean over a dedicated section charges the whole stall to one path.
+fn median_ms(samples: &[f64]) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    percentile(&sorted, 0.50)
+}
+
+/// Renders a float for JSON at the given precision, mapping non-finite
+/// values to `null` — `format!("{:.3}", f64::INFINITY)` prints `inf`,
+/// which is not JSON, and a zero-duration denominator can produce it.
+fn jnum(v: f64, precision: usize) -> String {
+    if v.is_finite() {
+        format!("{v:.precision$}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// The ablation ladder: no passes, each pass alone, every pass together.
+fn ablation_variants() -> [(&'static str, PlanOptions); 7] {
+    [
+        ("none", PlanOptions::none()),
+        (
+            "fold_constants",
+            PlanOptions {
+                fold_constants: true,
+                ..PlanOptions::none()
+            },
+        ),
+        (
+            "elide_transposes",
+            PlanOptions {
+                elide_transposes: true,
+                ..PlanOptions::none()
+            },
+        ),
+        (
+            "fuse",
+            PlanOptions {
+                fuse: true,
+                ..PlanOptions::none()
+            },
+        ),
+        (
+            "in_place",
+            PlanOptions {
+                in_place: true,
+                ..PlanOptions::none()
+            },
+        ),
+        (
+            "cache_probes",
+            PlanOptions {
+                cache_probes: true,
+                ..PlanOptions::none()
+            },
+        ),
+        ("all", PlanOptions::all()),
+    ]
+}
+
+/// Times the training step once per optimizer-pass variant against a shared
+/// eager baseline, all at `threads` kernel threads.
+fn measure_ablation(
+    data: &BikeDataset,
+    config: &StgnnConfig,
+    threads: usize,
+    train_iters: usize,
+) -> Vec<AblationCell> {
+    par::set_thread_override(Some(threads));
+    let model = StgnnDjd::new(config.clone(), data.n_stations()).expect("config");
+    let train_slots: Vec<usize> = data.slots(Split::Train);
+    let probe = train_slots[0];
+    let horizon = config.horizon;
+    let grad_scale = 0.5f32;
+
+    let eager_step = |t: usize| {
+        model.params().zero_grads();
+        let g = Graph::new();
+        let inputs = ModelInputs::from_dataset(data, t);
+        let out = model.forward(&g, &inputs, true);
+        let (dt, st) = data.targets_horizon(t, horizon).expect("targets");
+        let sq = model.squared_loss(&g, &out, &dt, &st);
+        sq.mul_scalar(grad_scale).backward();
+    };
+
+    // One compiled plan + persistent executor per variant, measured
+    // round-robin against the eager step within every iteration so all
+    // eight timings share the same noise environment (see `median_ms`).
+    let variants = ablation_variants();
+    let plans: Vec<_> = variants
+        .iter()
+        .map(|(_, opts)| {
+            model
+                .compile_training_plan_with(data, probe, *opts)
+                .expect("compile")
+                .expect("standard config compiles")
+        })
+        .collect();
+    let mut execs: Vec<_> = plans.iter().map(|p| p.executor()).collect();
+    let plan_step = |plan: &stgnn_core::compiled::TrainingPlan,
+                     exec: &mut stgnn_tensor::plan::PlanExec,
+                     t: usize| {
+        model.params().zero_grads();
+        model
+            .plan_step_forward(plan, exec, data, t)
+            .expect("plan forward");
+        model
+            .plan_step_backward(plan, exec, grad_scale)
+            .expect("plan backward");
+    };
+    for &t in train_slots.iter().cycle().take(3) {
+        eager_step(t);
+        for (plan, exec) in plans.iter().zip(execs.iter_mut()) {
+            plan_step(plan, exec, t);
+        }
+    }
+    let mut eager_tr: Vec<f64> = Vec::with_capacity(train_iters);
+    let mut variant_tr: Vec<Vec<f64>> = vec![Vec::with_capacity(train_iters); variants.len()];
+    for &t in train_slots.iter().cycle().take(train_iters) {
+        let s = Instant::now();
+        eager_step(t);
+        eager_tr.push(s.elapsed().as_secs_f64() * 1e3);
+        for (v, (plan, exec)) in plans.iter().zip(execs.iter_mut()).enumerate() {
+            let s = Instant::now();
+            plan_step(plan, exec, t);
+            variant_tr[v].push(s.elapsed().as_secs_f64() * 1e3);
+        }
+    }
+    let eager_ms = median_ms(&eager_tr);
+    let cells = variants
+        .iter()
+        .zip(&plans)
+        .zip(&variant_tr)
+        .map(|(((passes, _), plan), samples)| {
+            let train_step_ms = median_ms(samples);
+            AblationCell {
+                passes,
+                train_step_ms,
+                speedup_vs_eager: eager_ms / train_step_ms.max(1e-9),
+                pass_report: plan.pass_report().to_string(),
+            }
+        })
+        .collect();
+    par::set_thread_override(None);
+    cells
 }
 
 /// One full measurement pass with the kernel pool pinned to `threads`.
@@ -71,7 +232,7 @@ fn measure(
     // the value itself is irrelevant to timing, it just has to flow.
     let grad_scale = 0.5f32;
 
-    // -- Training step: eager re-trace ------------------------------------
+    // -- Training step: eager re-trace vs plan replay, interleaved --------
     let eager_step = |t: usize| {
         model.params().zero_grads();
         let g = Graph::new();
@@ -81,16 +242,6 @@ fn measure(
         let sq = model.squared_loss(&g, &out, &dt, &st);
         sq.mul_scalar(grad_scale).backward();
     };
-    for &t in train_slots.iter().cycle().take(3) {
-        eager_step(t); // warm the kernel pool and the page cache
-    }
-    let t0 = Instant::now();
-    for &t in train_slots.iter().cycle().take(train_iters) {
-        eager_step(t);
-    }
-    let train_step_eager_ms = t0.elapsed().as_secs_f64() * 1e3 / train_iters as f64;
-
-    // -- Training step: compiled plan replay ------------------------------
     let plan = model
         .compile_training_plan(data, probe)
         .expect("compile")
@@ -106,34 +257,50 @@ fn measure(
             .expect("plan backward");
     };
     for &t in train_slots.iter().cycle().take(3) {
+        eager_step(t); // warm the kernel pool and the page cache
         plan_step(&mut exec, t); // warm-up: populates every pooled slot
     }
-    let pool_before = pool::stats();
-    let t1 = Instant::now();
+    let mut eager_tr: Vec<f64> = Vec::with_capacity(train_iters);
+    let mut plan_tr: Vec<f64> = Vec::with_capacity(train_iters);
+    let (mut plan_hits, mut plan_misses) = (0u64, 0u64);
     for &t in train_slots.iter().cycle().take(train_iters) {
-        plan_step(&mut exec, t);
-    }
-    let train_step_plan_ms = t1.elapsed().as_secs_f64() * 1e3 / train_iters as f64;
-    let pool_delta = pool::stats().since(&pool_before);
-    let allocs_per_step = pool_delta.misses as f64 / train_iters as f64;
-    let pool_hit_rate = pool_delta.hit_rate();
-
-    // -- Serve forward: eager vs plan (the worker's exact calls) ----------
-    let mut eager_ms: Vec<f64> = Vec::with_capacity(serve_iters);
-    let _ = model.predict_horizon(data, test_slots[0]);
-    for &t in test_slots.iter().cycle().take(serve_iters) {
         let s = Instant::now();
-        let _ = model.predict_horizon(data, t);
-        eager_ms.push(s.elapsed().as_secs_f64() * 1e3);
+        eager_step(t);
+        eager_tr.push(s.elapsed().as_secs_f64() * 1e3);
+        let before = pool::stats();
+        let s = Instant::now();
+        plan_step(&mut exec, t);
+        plan_tr.push(s.elapsed().as_secs_f64() * 1e3);
+        let d = pool::stats().since(&before);
+        plan_hits += d.hits;
+        plan_misses += d.misses;
     }
+    let train_step_eager_ms = median_ms(&eager_tr);
+    let train_step_plan_ms = median_ms(&plan_tr);
+    let allocs_per_step = plan_misses as f64 / train_iters as f64;
+    let pool_hit_rate = {
+        let total = plan_hits + plan_misses;
+        if total == 0 {
+            0.0
+        } else {
+            plan_hits as f64 / total as f64
+        }
+    };
+
+    // -- Serve forward: eager vs plan, interleaved (the worker's calls) ---
     let inf_plan = model
         .compile_inference_plan(data, test_slots[0])
         .expect("compile")
         .expect("standard config compiles");
     let mut inf_exec = inf_plan.executor();
-    let mut plan_ms: Vec<f64> = Vec::with_capacity(serve_iters);
+    let _ = model.predict_horizon(data, test_slots[0]);
     let _ = model.plan_predict_horizon(&inf_plan, &mut inf_exec, data, test_slots[0]);
+    let mut eager_ms: Vec<f64> = Vec::with_capacity(serve_iters);
+    let mut plan_ms: Vec<f64> = Vec::with_capacity(serve_iters);
     for &t in test_slots.iter().cycle().take(serve_iters) {
+        let s = Instant::now();
+        let _ = model.predict_horizon(data, t);
+        eager_ms.push(s.elapsed().as_secs_f64() * 1e3);
         let s = Instant::now();
         let _ = model
             .plan_predict_horizon(&inf_plan, &mut inf_exec, data, t)
@@ -162,29 +329,46 @@ fn json_cell(c: &Cell) -> String {
         concat!(
             "    {{\n",
             "      \"threads\": {},\n",
-            "      \"train_step_eager_ms\": {:.4},\n",
-            "      \"train_step_plan_ms\": {:.4},\n",
-            "      \"train_speedup\": {:.3},\n",
-            "      \"serve_eager_p50_ms\": {:.4},\n",
-            "      \"serve_eager_p99_ms\": {:.4},\n",
-            "      \"serve_plan_p50_ms\": {:.4},\n",
-            "      \"serve_plan_p99_ms\": {:.4},\n",
-            "      \"serve_speedup\": {:.3},\n",
-            "      \"pool_hit_rate\": {:.6},\n",
-            "      \"allocs_per_step\": {:.4}\n",
+            "      \"train_step_eager_ms\": {},\n",
+            "      \"train_step_plan_ms\": {},\n",
+            "      \"train_speedup\": {},\n",
+            "      \"serve_eager_p50_ms\": {},\n",
+            "      \"serve_eager_p99_ms\": {},\n",
+            "      \"serve_plan_p50_ms\": {},\n",
+            "      \"serve_plan_p99_ms\": {},\n",
+            "      \"serve_speedup\": {},\n",
+            "      \"pool_hit_rate\": {},\n",
+            "      \"allocs_per_step\": {}\n",
             "    }}"
         ),
         c.threads,
-        c.train_step_eager_ms,
-        c.train_step_plan_ms,
-        c.train_speedup(),
-        c.serve_eager_p50_ms,
-        c.serve_eager_p99_ms,
-        c.serve_plan_p50_ms,
-        c.serve_plan_p99_ms,
-        c.serve_speedup(),
-        c.pool_hit_rate,
-        c.allocs_per_step,
+        jnum(c.train_step_eager_ms, 4),
+        jnum(c.train_step_plan_ms, 4),
+        jnum(c.train_speedup(), 3),
+        jnum(c.serve_eager_p50_ms, 4),
+        jnum(c.serve_eager_p99_ms, 4),
+        jnum(c.serve_plan_p50_ms, 4),
+        jnum(c.serve_plan_p99_ms, 4),
+        jnum(c.serve_speedup(), 3),
+        jnum(c.pool_hit_rate, 6),
+        jnum(c.allocs_per_step, 4),
+    )
+}
+
+fn json_ablation(a: &AblationCell) -> String {
+    format!(
+        concat!(
+            "    {{\n",
+            "      \"passes\": \"{}\",\n",
+            "      \"train_step_ms\": {},\n",
+            "      \"speedup_vs_eager\": {},\n",
+            "      \"pass_report\": \"{}\"\n",
+            "    }}"
+        ),
+        a.passes,
+        jnum(a.train_step_ms, 4),
+        jnum(a.speedup_vs_eager, 3),
+        a.pass_report,
     )
 }
 
@@ -214,8 +398,15 @@ fn main() {
             "Allocs/step",
         ],
     );
+    // Measure serial, then at the pool's native width — but never wider
+    // than the hardware: pinning 2 kernel threads onto 1 core measures the
+    // scheduler's context-switch cost, not the kernels.
+    let mut thread_counts = vec![1usize];
+    if pool_threads > 1 {
+        thread_counts.push(pool_threads);
+    }
     let mut cells = Vec::new();
-    for &threads in &[1usize, pool_threads.max(2)] {
+    for &threads in &thread_counts {
         eprintln!("[steady_state] measuring at {threads} thread(s)…");
         let cell = measure(&data, &config, threads, train_iters, serve_iters);
         table.row(&[
@@ -234,13 +425,34 @@ fn main() {
     }
     table.finish("steady_state");
 
+    eprintln!("[steady_state] measuring per-pass ablation…");
+    let ablation = measure_ablation(&data, &config, pool_threads, train_iters);
+    let mut atab = TableWriter::new(
+        "Per-pass ablation: train step vs eager",
+        &["Passes", "Train (ms)", "Speedup", "Pass report"],
+    );
+    for a in &ablation {
+        atab.row(&[
+            a.passes.to_string(),
+            format!("{:.3}", a.train_step_ms),
+            format!("{:.2}x", a.speedup_vs_eager),
+            a.pass_report.clone(),
+        ]);
+    }
+    atab.finish("steady_state_ablation");
+
     let body = format!(
-        "{{\n  \"benchmark\": \"steady_state\",\n  \"scale\": \"{:?}\",\n  \"smoke\": {},\n  \"train_iters\": {},\n  \"serve_iters\": {},\n  \"cells\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"benchmark\": \"steady_state\",\n  \"scale\": \"{:?}\",\n  \"smoke\": {},\n  \"train_iters\": {},\n  \"serve_iters\": {},\n  \"cells\": [\n{}\n  ],\n  \"ablation\": [\n{}\n  ]\n}}\n",
         scale,
         smoke,
         train_iters,
         serve_iters,
         cells.iter().map(json_cell).collect::<Vec<_>>().join(",\n"),
+        ablation
+            .iter()
+            .map(json_ablation)
+            .collect::<Vec<_>>()
+            .join(",\n"),
     );
     // Atomic: the driver diffs this file across runs, so a crashed bench
     // must never leave a truncated JSON behind.
@@ -254,4 +466,53 @@ fn main() {
         "Replay reuses every intermediate buffer through the tensor pool; after warm-up the\n\
          training step and the serve forward run with zero pool misses (Allocs/step above)."
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_of_empty_vector_is_zero_not_a_panic() {
+        assert_eq!(percentile(&[], 0.50), 0.0);
+        assert_eq!(percentile(&[], 0.99), 0.0);
+    }
+
+    #[test]
+    fn percentile_clamps_to_last_element() {
+        let v = [1.0, 2.0, 3.0];
+        assert_eq!(percentile(&v, 0.99), 3.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+    }
+
+    #[test]
+    fn jnum_clamps_non_finite_to_null() {
+        assert_eq!(jnum(f64::INFINITY, 3), "null");
+        assert_eq!(jnum(f64::NEG_INFINITY, 4), "null");
+        assert_eq!(jnum(f64::NAN, 3), "null");
+        assert_eq!(jnum(1.25, 3), "1.250");
+    }
+
+    #[test]
+    fn json_cell_with_zero_plan_time_stays_valid_json() {
+        // A zero-duration plan denominator must not leak `inf` into the
+        // report (speedup divides by `.max(1e-9)`, so the number is huge
+        // but finite; the non-finite inputs below are clamped to null).
+        let c = Cell {
+            threads: 1,
+            train_step_eager_ms: f64::INFINITY,
+            train_step_plan_ms: 0.0,
+            serve_eager_p50_ms: f64::NAN,
+            serve_eager_p99_ms: 0.0,
+            serve_plan_p50_ms: 0.0,
+            serve_plan_p99_ms: 0.0,
+            pool_hit_rate: 1.0,
+            allocs_per_step: 0.0,
+        };
+        let s = json_cell(&c);
+        assert!(!s.contains("inf"), "{s}");
+        assert!(!s.contains("NaN"), "{s}");
+        assert!(s.contains("\"train_step_eager_ms\": null"), "{s}");
+        assert!(s.contains("\"serve_eager_p50_ms\": null"), "{s}");
+    }
 }

@@ -35,7 +35,7 @@ use stgnn_data::dataset::BikeDataset;
 use stgnn_data::error::{Error, Result};
 use stgnn_data::predictor::Prediction;
 use stgnn_tensor::autograd::Graph;
-use stgnn_tensor::plan::{LeafBinding, Plan, PlanExec, PlanSpec};
+use stgnn_tensor::plan::{LeafBinding, PassReport, Plan, PlanExec, PlanOptions, PlanSpec};
 
 /// Leaf/node ids recorded while tracing one forward pass, so the plan
 /// compiler knows how each leaf gets its value on replay. Filled by the
@@ -94,6 +94,19 @@ impl TrainingPlan {
     pub fn needs_rng(&self) -> bool {
         self.plan.needs_rng()
     }
+
+    /// What the plan optimizer did to this tape.
+    pub fn pass_report(&self) -> PassReport {
+        self.plan.pass_report()
+    }
+
+    /// For every probe-cached matmul in the plan: `(checked, agreeing)`
+    /// between the executor's cached density verdict and a fresh probe of
+    /// the current slot values. The parity suite asserts these never
+    /// diverge on real replay data.
+    pub fn cached_probe_agreement(&self, exec: &PlanExec) -> (usize, usize) {
+        probe_agreement(&self.plan, exec)
+    }
 }
 
 /// A compiled evaluation-mode forward pass to the demand/supply heads.
@@ -108,10 +121,47 @@ impl InferencePlan {
     pub fn executor(&self) -> PlanExec {
         self.plan.executor()
     }
+
+    /// What the plan optimizer did to this tape.
+    pub fn pass_report(&self) -> PassReport {
+        self.plan.pass_report()
+    }
+
+    /// See [`TrainingPlan::cached_probe_agreement`].
+    pub fn cached_probe_agreement(&self, exec: &PlanExec) -> (usize, usize) {
+        probe_agreement(&self.plan, exec)
+    }
+}
+
+fn probe_agreement(plan: &Plan, exec: &PlanExec) -> (usize, usize) {
+    let (mut checked, mut agree) = (0, 0);
+    for id in plan.cached_probe_nodes() {
+        if let (Some(cached), Some(fresh)) = (exec.probe_verdict(id), plan.fresh_probe(exec, id)) {
+            checked += 1;
+            if cached == fresh {
+                agree += 1;
+            }
+        }
+    }
+    (checked, agree)
 }
 
 fn plan_err(e: stgnn_tensor::Error) -> Error {
     Error::InvalidConfig(format!("compiled plan: {e}"))
+}
+
+/// Re-validates the optimizer's structural invariants (`A008`/`A009`) on
+/// the compiled plan. An unsound optimized plan is refused outright —
+/// callers treat the error like any compile failure and stay eager.
+fn check_plan_structure(plan: &Plan) -> Result<()> {
+    let report = stgnn_analyze::validate_plan(&plan.summary());
+    if !report.is_clean() {
+        return Err(Error::InvalidConfig(format!(
+            "refusing an optimized plan the validator denies: {}",
+            report.summary()
+        )));
+    }
+    Ok(())
 }
 
 fn require(id: Option<usize>, what: &str) -> Result<usize> {
@@ -138,16 +188,20 @@ fn window_bindings(trace: &ForwardTrace) -> Result<Vec<(usize, LeafBinding)>> {
     if let Some(mask_id) = trace.fcg_mask_leaf {
         let i_hat = require(trace.i_hat, "i_hat")?;
         let o_hat = require(trace.o_hat, "o_hat")?;
+        // The declared deps pin the Î/Ô (and mask) value slots so the plan
+        // optimizer never erases or steals what these closures read.
         bindings.push((
             mask_id,
-            LeafBinding::Derived(Box::new(move |values| {
+            LeafBinding::derived(vec![i_hat, o_hat], move |values| {
                 Ok(fcg_mask(&values[i_hat], &values[o_hat]))
-            })),
+            }),
         ));
         for &adj_id in &trace.fcg_mean_adj_leaves {
             bindings.push((
                 adj_id,
-                LeafBinding::Derived(Box::new(move |values| Ok(fcg_mean_adj(&values[mask_id])))),
+                LeafBinding::derived(vec![mask_id], move |values| {
+                    Ok(fcg_mean_adj(&values[mask_id]))
+                }),
             ));
         }
     }
@@ -166,6 +220,19 @@ impl StgnnDjd {
         &self,
         data: &BikeDataset,
         t: usize,
+    ) -> Result<Option<TrainingPlan>> {
+        self.compile_training_plan_with(data, t, PlanOptions::default())
+    }
+
+    /// [`Self::compile_training_plan`] with explicit optimizer passes —
+    /// each pass in [`PlanOptions`] is individually toggleable, and every
+    /// combination replays bit-identically to eager (the parity suite
+    /// asserts this per pass).
+    pub fn compile_training_plan_with(
+        &self,
+        data: &BikeDataset,
+        t: usize,
+        opts: PlanOptions,
     ) -> Result<Option<TrainingPlan>> {
         self.check_compatible(data)?;
         let g = Graph::new();
@@ -202,7 +269,8 @@ impl StgnnDjd {
             roots: vec![out.demand.id(), out.supply.id()],
             loss: Some(sq.id()),
         };
-        let plan = Plan::compile(&snapshot, self.params(), spec).map_err(plan_err)?;
+        let plan = Plan::compile_with(&snapshot, self.params(), spec, opts).map_err(plan_err)?;
+        check_plan_structure(&plan)?;
         Ok(Some(TrainingPlan { plan }))
     }
 
@@ -214,6 +282,16 @@ impl StgnnDjd {
         &self,
         data: &BikeDataset,
         t: usize,
+    ) -> Result<Option<InferencePlan>> {
+        self.compile_inference_plan_with(data, t, PlanOptions::default())
+    }
+
+    /// [`Self::compile_inference_plan`] with explicit optimizer passes.
+    pub fn compile_inference_plan_with(
+        &self,
+        data: &BikeDataset,
+        t: usize,
+        opts: PlanOptions,
     ) -> Result<Option<InferencePlan>> {
         self.check_compatible(data)?;
         let g = Graph::new();
@@ -237,7 +315,8 @@ impl StgnnDjd {
             roots: vec![out.demand.id(), out.supply.id()],
             loss: None,
         };
-        let plan = Plan::compile(&snapshot, self.params(), spec).map_err(plan_err)?;
+        let plan = Plan::compile_with(&snapshot, self.params(), spec, opts).map_err(plan_err)?;
+        check_plan_structure(&plan)?;
         Ok(Some(InferencePlan { plan }))
     }
 

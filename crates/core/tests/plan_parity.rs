@@ -12,6 +12,7 @@ use stgnn_core::Trainer;
 use stgnn_data::dataset::{BikeDataset, DatasetConfig, Split};
 use stgnn_data::synthetic::{CityConfig, SyntheticCity};
 use stgnn_tensor::autograd::Graph;
+use stgnn_tensor::plan::PlanOptions;
 use stgnn_tensor::Tensor;
 
 fn dataset(seed: u64) -> BikeDataset {
@@ -181,6 +182,178 @@ fn fcg_mean_configuration_replays_through_derived_adjacency() {
                 assert_eq!(a.to_bits(), b.to_bits(), "slot {t}");
             }
         }
+    }
+}
+
+/// The eager reference for the optimizer-pass parity tests: one training
+/// batch (3 slots, dropout on, 2 GNN layers per branch) run with the
+/// trainer's exact recipe. Returns the batch radicand and every parameter
+/// gradient.
+fn eager_reference(data: &BikeDataset, config: &StgnnConfig) -> (f64, Vec<Tensor>) {
+    let model = StgnnDjd::new(config.clone(), data.n_stations()).unwrap();
+    let train = data.slots(Split::Train);
+    let batch: Vec<usize> = train.iter().take(3).copied().collect();
+    model.params().zero_grads();
+    let mut slot_losses = Vec::new();
+    let mut radicand = 0.0f64;
+    for &t in &batch {
+        let g = Graph::new();
+        let inputs = ModelInputs::from_dataset(data, t);
+        let out = model.forward(&g, &inputs, true);
+        let (dt, st) = data.targets_horizon(t, config.horizon).unwrap();
+        let sq = model.squared_loss(&g, &out, &dt, &st);
+        radicand += sq.value().scalar() as f64 / batch.len() as f64;
+        slot_losses.push(sq);
+    }
+    let batch_loss = (radicand.max(0.0)).sqrt() as f32;
+    let grad_scale = 1.0 / (2.0 * batch.len() as f32 * batch_loss.max(1e-6));
+    for sq in slot_losses {
+        sq.mul_scalar(grad_scale).backward();
+    }
+    let grads = model
+        .params()
+        .params()
+        .iter()
+        .map(|p| p.with_grad(|g| g.clone()))
+        .collect();
+    (radicand, grads)
+}
+
+/// Runs the same batch on a twin model through a plan compiled with `opts`
+/// and returns the radicand and gradients.
+fn plan_run(data: &BikeDataset, config: &StgnnConfig, opts: PlanOptions) -> (f64, Vec<Tensor>) {
+    let twin = StgnnDjd::new(config.clone(), data.n_stations()).unwrap();
+    let train = data.slots(Split::Train);
+    let batch: Vec<usize> = train.iter().take(3).copied().collect();
+    let plan = twin
+        .compile_training_plan_with(data, batch[0], opts)
+        .unwrap()
+        .expect("standard config must compile");
+    twin.params().zero_grads();
+    let mut lanes: Vec<_> = batch.iter().map(|_| plan.executor()).collect();
+    let mut radicand = 0.0f64;
+    for (lane, &t) in batch.iter().enumerate() {
+        let sq = twin
+            .plan_step_forward(&plan, &mut lanes[lane], data, t)
+            .unwrap();
+        radicand += sq as f64 / batch.len() as f64;
+    }
+    let batch_loss = (radicand.max(0.0)).sqrt() as f32;
+    let grad_scale = 1.0 / (2.0 * batch.len() as f32 * batch_loss.max(1e-6));
+    for lane in &mut lanes {
+        twin.plan_step_backward(&plan, lane, grad_scale).unwrap();
+    }
+    let grads = twin
+        .params()
+        .params()
+        .iter()
+        .map(|p| p.with_grad(|g| g.clone()))
+        .collect();
+    (radicand, grads)
+}
+
+/// Every optimizer pass — individually and all together — must leave the
+/// full model's training batch bit-identical to eager: the radicand and
+/// every parameter gradient, at 1 *and* 4 kernel threads. This is the
+/// contract that lets the optimizer default to on.
+#[test]
+fn every_optimizer_pass_is_bitwise_parity_preserving() {
+    let data = dataset(306);
+    let mut config = StgnnConfig::test_tiny(6, 2);
+    config.dropout = 0.2; // dropout between layers exercises the RNG contract
+    config.fcg_layers = 2;
+    config.pcg_layers = 2;
+    let (radicand_e, grads_e) = eager_reference(&data, &config);
+
+    let variants: [(&str, PlanOptions); 7] = [
+        ("none", PlanOptions::none()),
+        (
+            "fold_constants",
+            PlanOptions {
+                fold_constants: true,
+                ..PlanOptions::none()
+            },
+        ),
+        (
+            "elide_transposes",
+            PlanOptions {
+                elide_transposes: true,
+                ..PlanOptions::none()
+            },
+        ),
+        (
+            "fuse",
+            PlanOptions {
+                fuse: true,
+                ..PlanOptions::none()
+            },
+        ),
+        (
+            "in_place",
+            PlanOptions {
+                in_place: true,
+                ..PlanOptions::none()
+            },
+        ),
+        (
+            "cache_probes",
+            PlanOptions {
+                cache_probes: true,
+                ..PlanOptions::none()
+            },
+        ),
+        ("all", PlanOptions::all()),
+    ];
+    for threads in [1usize, 4] {
+        stgnn_tensor::par::set_thread_override(Some(threads));
+        for (name, opts) in &variants {
+            let (radicand_p, grads_p) = plan_run(&data, &config, *opts);
+            assert_eq!(
+                radicand_e.to_bits(),
+                radicand_p.to_bits(),
+                "radicand drifted under pass `{name}` at {threads} thread(s)"
+            );
+            assert_eq!(grads_e.len(), grads_p.len());
+            for (i, (ge, gp)) in grads_e.iter().zip(&grads_p).enumerate() {
+                assert_bits_eq(
+                    ge,
+                    gp,
+                    &format!("param {i} grad under pass `{name}` at {threads} thread(s)"),
+                );
+            }
+        }
+    }
+    stgnn_tensor::par::set_thread_override(None);
+}
+
+/// Probe-cached matmuls (constant / derived / folded lhs) must reach the
+/// same density verdict a fresh probe of the live replay values reaches —
+/// on real model data, across slots. The mean aggregator's derived
+/// adjacency puts cached probes on the inference tape.
+#[test]
+fn cached_probe_verdicts_agree_with_fresh_probes_on_replay_data() {
+    let data = dataset(307);
+    let mut config = StgnnConfig::test_tiny(6, 2);
+    config.fcg_aggregator = FcgAggregator::Mean;
+    let model = StgnnDjd::new(config, data.n_stations()).unwrap();
+    let slots = data.slots(Split::Test);
+    let plan = model
+        .compile_inference_plan(&data, slots[0])
+        .unwrap()
+        .expect("mean aggregator must compile");
+    assert!(
+        plan.pass_report().probe_cached > 0,
+        "derived adjacency must yield cached probes: {}",
+        plan.pass_report()
+    );
+    let mut exec = plan.executor();
+    for &t in slots.iter().take(4) {
+        model
+            .plan_predict_horizon(&plan, &mut exec, &data, t)
+            .unwrap();
+        let (checked, agreeing) = plan.cached_probe_agreement(&exec);
+        assert!(checked > 0, "slot {t}: no cached probes checked");
+        assert_eq!(checked, agreeing, "slot {t}: a cached verdict went stale");
     }
 }
 

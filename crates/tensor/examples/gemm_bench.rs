@@ -1,0 +1,88 @@
+//! Kernel microbenchmark: eager `matmul` (+ materialised transposes on the
+//! backward pattern) vs the layout-flag GEMM path, at the model's matrix
+//! sizes. Run it when touching the kernels:
+//!
+//! ```text
+//! cargo run --release -p stgnn-tensor --example gemm_bench
+//! ```
+
+use std::time::Instant;
+use stgnn_tensor::{Shape, Tensor};
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn time_us<F: FnMut()>(mut f: F, iters: usize) -> f64 {
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let s = Instant::now();
+        f();
+        samples.push(s.elapsed().as_secs_f64() * 1e6);
+    }
+    median(&mut samples)
+}
+
+fn filled(r: usize, c: usize, seed: f32) -> Tensor {
+    let data: Vec<f32> = (0..r * c).map(|i| (i as f32 * 0.37 + seed).sin()).collect();
+    Tensor::from_vec(Shape::matrix(r, c), data).unwrap()
+}
+
+fn main() {
+    let iters = 400;
+    // (m, k, n) shapes the STGNN-DJD pipeline actually multiplies at quick
+    // and paper scale: station×window projections, hidden layers, attention.
+    let shapes = [(28, 48, 64), (28, 64, 64), (64, 64, 64), (28, 28, 64)];
+    println!(
+        "{:<16} {:>10} {:>10} {:>10} {:>10}",
+        "m*k*n", "nn", "nt", "tn", "eagerT"
+    );
+    for (m, k, n) in shapes {
+        let a = filled(m, k, 0.0);
+        let b = filled(k, n, 1.0);
+        let bt = filled(n, k, 2.0); // b stored transposed, for the nt form
+        let at = filled(k, m, 3.0); // a stored transposed, for the tn form
+
+        let t_nn_eager = time_us(
+            || {
+                a.matmul(&b).unwrap();
+            },
+            iters,
+        );
+        let t_nn = time_us(
+            || {
+                a.matmul_layout(&b, false, false).unwrap();
+            },
+            iters,
+        );
+        let t_nt = time_us(
+            || {
+                a.matmul_layout(&bt, false, true).unwrap();
+            },
+            iters,
+        );
+        let t_nt_eager = time_us(
+            || {
+                a.matmul(&bt.transpose().unwrap()).unwrap();
+            },
+            iters,
+        );
+        let t_tn = time_us(
+            || {
+                at.matmul_layout(&b, true, false).unwrap();
+            },
+            iters,
+        );
+        let t_tn_eager = time_us(
+            || {
+                at.transpose().unwrap().matmul(&b).unwrap();
+            },
+            iters,
+        );
+
+        println!(
+            "{m:>3}x{k:<3}x{n:<3} eager_nn={t_nn_eager:>7.1}us nn={t_nn:>7.1}us  nt={t_nt:>7.1}us (eagerT {t_nt_eager:>7.1}us)  tn={t_tn:>7.1}us (eagerT {t_tn_eager:>7.1}us)"
+        );
+    }
+}

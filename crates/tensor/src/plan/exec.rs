@@ -1,0 +1,1005 @@
+// lint: allow-file(L004): replay indexes the per-node slot vectors with
+// node/parent ids proven in bounds by `Plan::compile`; the fused sweeps
+// index flat buffers whose lengths were validated against the traced
+// shapes.
+//! Plan execution: the forward/backward sweeps over [`PlanExec`] slots,
+//! including the fused-chain sweeps, the layout-flag GEMM dispatch, the
+//! in-place buffer steals and the density-probe cache.
+
+use super::ir::{FusedChain, LeadKind, MapOp, NodeBinding, Role, ZipOp, MAX_STAGES};
+use super::Plan;
+use crate::autograd::Op;
+use crate::error::{Error, Result};
+use crate::par;
+use crate::pool::Buffer;
+use crate::shape::Shape;
+use crate::tensor::{Tensor, PAR_GRAIN_OPS};
+
+/// Per-replay state of a [`Plan`]: one value slot, gradient slot and
+/// dropout-mask slot per node, plus argmax scratch for max-pool backward
+/// and the cached density-probe verdicts. Slots are overwritten in place on
+/// every replay; their buffers recycle through the [`crate::pool`].
+pub struct PlanExec {
+    pub(crate) values: Vec<Tensor>,
+    pub(crate) grads: Vec<Option<Tensor>>,
+    pub(crate) masks: Vec<Option<Tensor>>,
+    pub(crate) argmax: Vec<Option<Vec<usize>>>,
+    /// Per node: the cached matmul lhs density verdict (probe-cached nodes
+    /// only), filled on the first replay.
+    pub(crate) probe: Vec<Option<bool>>,
+}
+
+impl PlanExec {
+    /// The forward value of node `id` from the latest replay.
+    ///
+    /// Under the optimizer, not every slot holds a live value: erased /
+    /// fused-lead / elided nodes keep their stale traced value, and a slot
+    /// whose buffer an in-place rewrite stole holds a scalar placeholder.
+    /// Spec roots, the loss and declared derived deps are always live.
+    pub fn value(&self, id: usize) -> Option<&Tensor> {
+        self.values.get(id)
+    }
+
+    /// The gradient of node `id` from the latest backward, if it was
+    /// reached.
+    pub fn grad(&self, id: usize) -> Option<&Tensor> {
+        self.grads.get(id).and_then(Option::as_ref)
+    }
+
+    /// The cached density-probe verdict for node `id`, if the plan caches
+    /// it and at least one forward has run.
+    pub fn probe_verdict(&self, id: usize) -> Option<bool> {
+        self.probe.get(id).copied().flatten()
+    }
+}
+
+/// Elementwise-sweep chunk length: 256 f32 = 1KB, so a live chunk plus the
+/// backward's recomputed stage values ([`MAX_STAGES`]+1 stack buffers) stay
+/// resident in L1 across the per-stage sweeps.
+const FUSE_CHUNK: usize = 256;
+
+/// Applies `m.fwd` to every element of `buf` in place, with the op match
+/// hoisted out of the element loop: each arm closes over a constant
+/// variant, so the dispatch folds away and LLVM vectorizes the sweep.
+/// (Dispatching `MapOp::fwd` per element measured as a net fusion
+/// *slowdown* — the branch in the inner loop defeats the autovectorizer.)
+/// Per-element results are exactly `m.fwd(x)`.
+#[inline]
+fn sweep_fwd(m: MapOp, buf: &mut [f32]) {
+    #[inline(always)]
+    fn each(buf: &mut [f32], f: impl Fn(f32) -> f32) {
+        for o in buf.iter_mut() {
+            *o = f(*o);
+        }
+    }
+    use MapOp::*;
+    match m {
+        Relu => each(buf, |x| Relu.fwd(x)),
+        Elu => each(buf, |x| Elu.fwd(x)),
+        Sigmoid => each(buf, |x| Sigmoid.fwd(x)),
+        Tanh => each(buf, |x| Tanh.fwd(x)),
+        Exp => each(buf, |x| Exp.fwd(x)),
+        Square => each(buf, |x| Square.fwd(x)),
+        Abs => each(buf, |x| Abs.fwd(x)),
+        Sqrt => each(buf, |x| Sqrt.fwd(x)),
+        Neg => each(buf, |x| Neg.fwd(x)),
+        AddScalar(s) => each(buf, |x| AddScalar(s).fwd(x)),
+        MulScalar(s) => each(buf, |x| MulScalar(s).fwd(x)),
+    }
+}
+
+/// Folds the gradient sweep `g` in place through one stage: per element,
+/// `g[i] = m.bwd(g[i], x_in[i], x_out[i])`, dispatch hoisted as in
+/// [`sweep_fwd`].
+#[inline]
+fn sweep_bwd(m: MapOp, g: &mut [f32], x_in: &[f32], x_out: &[f32]) {
+    #[inline(always)]
+    fn each(g: &mut [f32], x_in: &[f32], x_out: &[f32], f: impl Fn(f32, f32, f32) -> f32) {
+        for ((gv, &xi), &xo) in g.iter_mut().zip(x_in).zip(x_out) {
+            *gv = f(*gv, xi, xo);
+        }
+    }
+    use MapOp::*;
+    match m {
+        Relu => each(g, x_in, x_out, |gv, xi, xo| Relu.bwd(gv, xi, xo)),
+        Elu => each(g, x_in, x_out, |gv, xi, xo| Elu.bwd(gv, xi, xo)),
+        Sigmoid => each(g, x_in, x_out, |gv, xi, xo| Sigmoid.bwd(gv, xi, xo)),
+        Tanh => each(g, x_in, x_out, |gv, xi, xo| Tanh.bwd(gv, xi, xo)),
+        Exp => each(g, x_in, x_out, |gv, xi, xo| Exp.bwd(gv, xi, xo)),
+        Square => each(g, x_in, x_out, |gv, xi, xo| Square.bwd(gv, xi, xo)),
+        Abs => each(g, x_in, x_out, |gv, xi, xo| Abs.bwd(gv, xi, xo)),
+        Sqrt => each(g, x_in, x_out, |gv, xi, xo| Sqrt.bwd(gv, xi, xo)),
+        Neg => each(g, x_in, x_out, |gv, xi, xo| Neg.bwd(gv, xi, xo)),
+        AddScalar(s) => each(g, x_in, x_out, |gv, xi, xo| AddScalar(s).bwd(gv, xi, xo)),
+        MulScalar(s) => each(g, x_in, x_out, |gv, xi, xo| MulScalar(s).bwd(gv, xi, xo)),
+    }
+}
+
+/// The zip-lead forward over a chunk: `out[i] = z.fwd(a[i], b[i])`,
+/// dispatch hoisted.
+#[inline]
+fn sweep_zip(z: ZipOp, out: &mut [f32], a: &[f32], b: &[f32]) {
+    #[inline(always)]
+    fn each(out: &mut [f32], a: &[f32], b: &[f32], f: impl Fn(f32, f32) -> f32) {
+        for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+            *o = f(x, y);
+        }
+    }
+    use ZipOp::*;
+    match z {
+        Add => each(out, a, b, |x, y| Add.fwd(x, y)),
+        Sub => each(out, a, b, |x, y| Sub.fwd(x, y)),
+        Mul => each(out, a, b, |x, y| Mul.fwd(x, y)),
+        Div => each(out, a, b, |x, y| Div.fwd(x, y)),
+    }
+}
+
+/// Recomputes a chain's *intermediate* stage values from the lead-output
+/// chunk `vals[0][..l]` and folds the chunk gradient `g` down through the
+/// stages in place — the chunked form of the per-element stage fold. The
+/// final stage's output is not recomputed: `out` is the chain-out node's
+/// stored forward value, which the fused forward produced with the
+/// identical scalar composition, so reading it is bit-identical to
+/// recomputing it (and skips re-running the chain's most expensive stage —
+/// typically the transcendental the chain was built around). Per element
+/// this runs the same scalar `fwd`/`bwd` compositions in the same order
+/// (elements are independent, so sweeping stage-by-stage instead of
+/// element-by-element reorders nothing), leaving `g[i]` the gradient at
+/// the lead's output.
+#[inline]
+fn fold_stages_chunk(
+    stages: &[MapOp],
+    vals: &mut [[f32; FUSE_CHUNK]; MAX_STAGES + 1],
+    l: usize,
+    g: &mut [f32],
+    out: &[f32],
+) {
+    let n = stages.len();
+    for k in 0..n.saturating_sub(1) {
+        let (lo, hi) = vals.split_at_mut(k + 1);
+        hi[0][..l].copy_from_slice(&lo[k][..l]);
+        sweep_fwd(stages[k], &mut hi[0][..l]);
+    }
+    for k in (0..n).rev() {
+        let x_out = if k + 1 == n { out } else { &vals[k + 1][..l] };
+        sweep_bwd(stages[k], g, &vals[k][..l], x_out);
+    }
+}
+
+fn accumulate(slot: &mut Option<Tensor>, g: Tensor, in_place: bool) -> Result<()> {
+    match slot {
+        Some(cur) => {
+            if in_place {
+                // `cur[i] += g[i]` — the same per-element sums `cur.add(&g)`
+                // would produce, into the existing buffer (COW protects the
+                // rare shared case).
+                cur.add_assign(&g)?;
+            } else {
+                *cur = cur.add(&g)?;
+            }
+        }
+        None => *slot = Some(g),
+    }
+    Ok(())
+}
+
+impl Plan {
+    /// Allocates the per-replay state for this plan. Slots start at the
+    /// traced values (cheap COW clones); the first few replays warm the
+    /// buffer pool, after which replay performs zero pool misses.
+    pub fn executor(&self) -> PlanExec {
+        PlanExec {
+            values: self.init_values.clone(),
+            grads: vec![None; self.nodes.len()],
+            masks: vec![None; self.nodes.len()],
+            argmax: vec![None; self.nodes.len()],
+            probe: vec![None; self.nodes.len()],
+        }
+    }
+
+    /// Replays the forward pass over `exec`'s slots. Fails if the tape has
+    /// dropout nodes — those need [`Plan::forward_with_rng`].
+    pub fn forward(&self, exec: &mut PlanExec, inputs: &[Tensor]) -> Result<()> {
+        if self.has_dropout {
+            return Err(Error::InvalidArgument(
+                "tape has dropout nodes; use forward_with_rng".into(),
+            ));
+        }
+        self.forward_impl(exec, inputs, &mut || 0.0)
+    }
+
+    /// Replays the forward pass, resampling dropout masks from `rng` in
+    /// node order — the same draw order eager tracing uses, so the RNG
+    /// stream advances exactly as an eager step would advance it.
+    pub fn forward_with_rng(
+        &self,
+        exec: &mut PlanExec,
+        inputs: &[Tensor],
+        rng: &mut impl rand::Rng,
+    ) -> Result<()> {
+        self.forward_impl(exec, inputs, &mut || rng.gen::<f32>())
+    }
+
+    fn forward_impl(
+        &self,
+        exec: &mut PlanExec,
+        inputs: &[Tensor],
+        draw: &mut dyn FnMut() -> f32,
+    ) -> Result<()> {
+        // An injected replay fault surfaces as a plan error, which is the
+        // signal the trainer and serve paths fall back to eager on.
+        stgnn_faults::failpoint!("plan::replay", io);
+        if inputs.len() != self.num_inputs {
+            return Err(Error::InvalidArgument(format!(
+                "plan expects {} inputs, got {}",
+                self.num_inputs,
+                inputs.len()
+            )));
+        }
+        // Free last step's gradients first so their buffers are back in the
+        // pool before this step's takes begin.
+        for g in &mut exec.grads {
+            *g = None;
+        }
+        for id in 0..self.nodes.len() {
+            let node = &self.nodes[id];
+            let v = match &node.binding {
+                NodeBinding::Constant => continue,
+                NodeBinding::Input(i) => {
+                    let t = &inputs[*i];
+                    if t.shape() != &node.shape {
+                        return Err(Error::InvalidArgument(format!(
+                            "input {i} has shape {}, but the tape was traced with {}",
+                            t.shape(),
+                            node.shape
+                        )));
+                    }
+                    t.clone()
+                }
+                NodeBinding::Derived(k) => {
+                    let t = self.derived[*k](&exec.values[..id])?;
+                    if t.shape() != &node.shape {
+                        return Err(Error::InvalidArgument(format!(
+                            "derived leaf {id} produced shape {}, traced as {}",
+                            t.shape(),
+                            node.shape
+                        )));
+                    }
+                    t
+                }
+                NodeBinding::Param(p) => p.value(),
+                NodeBinding::Compute => match node.role {
+                    // Folded values stay frozen; erased/lead/elided nodes
+                    // are absorbed by their consumer's sweep or flags.
+                    Role::Folded
+                    | Role::Erased
+                    | Role::FusedLead { .. }
+                    | Role::ElidedTranspose => continue,
+                    Role::FusedOut { chain } => self.eval_fused(id, chain, exec)?,
+                    Role::Gemm { ta, tb, ua, ub } => {
+                        let probe = self.probe_for(id, exec)?;
+                        exec.values[ua].matmul_layout_probed(&exec.values[ub], ta, tb, probe)?
+                    }
+                    Role::Eager => {
+                        if self.in_place[id].is_some() {
+                            self.eval_in_place(id, exec)?
+                        } else if self.probe_cached[id] {
+                            let probe = self.probe_for(id, exec)?;
+                            exec.values[node.parents[0]]
+                                .matmul_probed(&exec.values[node.parents[1]], probe)?
+                        } else {
+                            self.eval(id, exec, draw)?
+                        }
+                    }
+                },
+            };
+            exec.values[id] = v;
+        }
+        Ok(())
+    }
+
+    /// The values of the spec's root nodes after a forward.
+    pub fn outputs(&self, exec: &PlanExec) -> Vec<Tensor> {
+        self.roots.iter().map(|&r| exec.values[r].clone()).collect()
+    }
+
+    /// The loss node's scalar value after a forward.
+    pub fn loss_value(&self, exec: &PlanExec) -> Result<f32> {
+        let id = self
+            .loss
+            .ok_or_else(|| Error::InvalidArgument("plan has no loss node".into()))?;
+        Ok(exec.values[id].scalar())
+    }
+
+    /// Replays the backward sweep from the loss node, seeding its gradient
+    /// with `seed_scale` — bit-identical to eager `mul_scalar(seed_scale)
+    /// .backward()`, whose `ones` seed times the scale is exactly a
+    /// `full(seed_scale)` gradient at the loss. Accumulated parameter
+    /// gradients are deposited into the linked [`crate::autograd::Param`]
+    /// cells in tape order, matching the eager deposit order. Call once per
+    /// forward.
+    pub fn backward(&self, exec: &mut PlanExec, seed_scale: f32) -> Result<()> {
+        let root = self
+            .loss
+            .ok_or_else(|| Error::InvalidArgument("plan has no loss node to seed".into()))?;
+        let in_place = self.options.in_place;
+        accumulate(
+            &mut exec.grads[root],
+            Tensor::full(self.nodes[root].shape.clone(), seed_scale),
+            in_place,
+        )?;
+        for id in (0..=root).rev() {
+            if exec.grads[id].is_none() {
+                continue;
+            }
+            if !matches!(self.nodes[id].binding, NodeBinding::Compute) {
+                continue; // leaves, params and constants spread no further
+            }
+            let contribs = match self.nodes[id].role {
+                // Folded subtrees hold no params; their gradients are
+                // unobservable, exactly as in eager execution.
+                Role::Folded => continue,
+                // Never deposited into (its consumer is fused with it).
+                Role::Erased => continue,
+                Role::FusedOut { chain } => {
+                    self.backprop_fused(id, chain, exec)?;
+                    continue;
+                }
+                // The chain gradient stored here is already folded through
+                // this unary lead — release it to the parent now, at the
+                // lead's eager sweep position.
+                Role::FusedLead {
+                    relay_to: Some(src),
+                } => match &exec.grads[id] {
+                    Some(g) => vec![(src, g.clone())],
+                    None => continue,
+                },
+                Role::Gemm { ta, tb, ua, ub } => self.backprop_gemm(id, exec, ta, tb, ua, ub)?,
+                // A zip/broadcast lead runs its own eager backward formula
+                // on the stored chain gradient; an elided transpose keeps
+                // its eager `gᵀ`, so the deposit into the underlying matrix
+                // stays at its eager sweep position.
+                Role::Eager | Role::ElidedTranspose | Role::FusedLead { relay_to: None } => {
+                    self.backprop(id, exec)?
+                }
+            };
+            for (pid, g) in contribs {
+                debug_assert!(pid < id, "tape order violated: node {id} feeds {pid}");
+                accumulate(&mut exec.grads[pid], g, in_place)?;
+            }
+        }
+        for (node_id, param) in &self.param_links {
+            if let Some(g) = &exec.grads[*node_id] {
+                param.accumulate_grad(g);
+            }
+        }
+        Ok(())
+    }
+
+    /// Forward + backward + loss read in one call, for single-tape training
+    /// steps and tests. Use the split [`Plan::forward_with_rng`] /
+    /// [`Plan::backward`] calls when the seed scale depends on several
+    /// forwards (the trainer's batch-RMSE scaling).
+    pub fn step_with_rng(
+        &self,
+        exec: &mut PlanExec,
+        inputs: &[Tensor],
+        seed_scale: f32,
+        rng: &mut impl rand::Rng,
+    ) -> Result<f32> {
+        self.forward_with_rng(exec, inputs, rng)?;
+        self.backward(exec, seed_scale)?;
+        self.loss_value(exec)
+    }
+
+    /// [`Plan::step_with_rng`] for dropout-free tapes.
+    pub fn step(&self, exec: &mut PlanExec, inputs: &[Tensor], seed_scale: f32) -> Result<f32> {
+        self.forward(exec, inputs)?;
+        self.backward(exec, seed_scale)?;
+        self.loss_value(exec)
+    }
+
+    /// The (possibly cached) lhs density verdict for a probe-cached
+    /// matmul/GEMM node; `None` when the node probes fresh every call.
+    fn probe_for(&self, id: usize, exec: &mut PlanExec) -> Result<Option<bool>> {
+        if !self.probe_cached[id] {
+            return Ok(None);
+        }
+        if let Some(v) = exec.probe[id] {
+            return Ok(Some(v));
+        }
+        let node = &self.nodes[id];
+        let v = match node.role {
+            Role::Gemm { ta, ua, .. } => {
+                if ta {
+                    exec.values[ua].probe_dense_t()?
+                } else {
+                    exec.values[ua].probe_dense()
+                }
+            }
+            _ => exec.values[node.parents[0]].probe_dense(),
+        };
+        exec.probe[id] = Some(v);
+        Ok(Some(v))
+    }
+
+    /// One fused chain, forward: a single sweep computes the lead and every
+    /// stage per element, writing only the out node's value.
+    fn eval_fused(&self, id: usize, chain_idx: usize, exec: &PlanExec) -> Result<Tensor> {
+        let chain = &self.chains[chain_idx];
+        debug_assert_eq!(
+            chain.out, id,
+            "chain {chain_idx} annotated on the wrong node"
+        );
+        let stages = &chain.stages;
+        let shape = self.nodes[id].shape.clone();
+        let a = exec.values[chain.src.0].data();
+        let ops = 1 + stages.len();
+        let mut out = Buffer::zeroed(shape.len());
+        match chain.kind {
+            LeadKind::Map(m) => {
+                let grain = (PAR_GRAIN_OPS / ops).max(1);
+                par::for_each_row_chunk_mut(&mut out, 1, grain, |first, window| {
+                    let end = first + window.len();
+                    for (oc, ac) in window
+                        .chunks_mut(FUSE_CHUNK)
+                        .zip(a[first..end].chunks(FUSE_CHUNK))
+                    {
+                        oc.copy_from_slice(ac);
+                        sweep_fwd(m, oc);
+                        for &st in stages {
+                            sweep_fwd(st, oc);
+                        }
+                    }
+                });
+            }
+            LeadKind::Zip(z) => {
+                let b = exec.values[self.zip_src(chain)?].data();
+                let grain = (PAR_GRAIN_OPS / ops).max(1);
+                par::for_each_row_chunk_mut(&mut out, 1, grain, |first, window| {
+                    let end = first + window.len();
+                    for ((oc, ac), bc) in window
+                        .chunks_mut(FUSE_CHUNK)
+                        .zip(a[first..end].chunks(FUSE_CHUNK))
+                        .zip(b[first..end].chunks(FUSE_CHUNK))
+                    {
+                        sweep_zip(z, oc, ac, bc);
+                        for &st in stages {
+                            sweep_fwd(st, oc);
+                        }
+                    }
+                });
+            }
+            LeadKind::AddRow | LeadKind::AddCol | LeadKind::MulCol => {
+                let v = exec.values[self.zip_src(chain)?].data();
+                let (_, c) = shape.as_matrix("fused_broadcast")?;
+                let kind = chain.kind;
+                let grain = (PAR_GRAIN_OPS / (c * ops).max(1)).max(1);
+                par::for_each_row_chunk_mut(&mut out, c, grain, |first_row, window| {
+                    for (i, o_row) in window.chunks_mut(c).enumerate() {
+                        let r = first_row + i;
+                        let a_row = &a[r * c..(r + 1) * c];
+                        for (jc, (oc, ac)) in o_row
+                            .chunks_mut(FUSE_CHUNK)
+                            .zip(a_row.chunks(FUSE_CHUNK))
+                            .enumerate()
+                        {
+                            match kind {
+                                LeadKind::AddRow => {
+                                    let j0 = jc * FUSE_CHUNK;
+                                    sweep_zip(ZipOp::Add, oc, ac, &v[j0..j0 + oc.len()]);
+                                }
+                                LeadKind::AddCol => {
+                                    let bv = v[r];
+                                    for (o, &x) in oc.iter_mut().zip(ac) {
+                                        *o = x + bv;
+                                    }
+                                }
+                                _ => {
+                                    let bv = v[r];
+                                    for (o, &x) in oc.iter_mut().zip(ac) {
+                                        *o = x * bv;
+                                    }
+                                }
+                            }
+                            for &st in stages {
+                                sweep_fwd(st, oc);
+                            }
+                        }
+                    }
+                });
+            }
+        }
+        Ok(Tensor::from_buffer(shape, out))
+    }
+
+    /// The second operand of a zip/broadcast chain lead.
+    fn zip_src(&self, chain: &FusedChain) -> Result<usize> {
+        chain.src.1.ok_or_else(|| {
+            Error::InvalidArgument("fused zip/broadcast chain lost its second operand".into())
+        })
+    }
+
+    /// One fused chain, backward: recomputes the chain's intermediate
+    /// stage values per chunk (the final stage's output is read from the
+    /// out node's stored value — see [`fold_stages_chunk`]), folds the out
+    /// node's gradient down to the lead, and parks the result in the
+    /// lead's grad slot. The backward sweep releases it when it reaches
+    /// the lead — the eager deposit position for everything outside the
+    /// chain.
+    fn backprop_fused(&self, id: usize, chain_idx: usize, exec: &mut PlanExec) -> Result<()> {
+        let chain = &self.chains[chain_idx];
+        let stages = &chain.stages;
+        let g_t = exec.grads[id]
+            .as_ref()
+            .ok_or_else(|| Error::InvalidArgument(format!("node {id} has no gradient")))?
+            .clone();
+        let g = g_t.data();
+        let lead_shape = self.nodes[chain.lead].shape.clone();
+        let a_t = exec.values[chain.src.0].clone();
+        let a = a_t.data();
+        // The chain-out node's stored forward value — the final stage's
+        // output, never stolen by an in-place rewrite in a training plan
+        // (see `backward_survives_steal`).
+        let o_t = exec.values[id].clone();
+        let ov = o_t.data();
+        let ops = 2 * (1 + stages.len());
+        let mut out = Buffer::zeroed(lead_shape.len());
+        match chain.kind {
+            LeadKind::Map(m) => {
+                let grain = (PAR_GRAIN_OPS / ops).max(1);
+                par::for_each_row_chunk_mut(&mut out, 1, grain, |first, window| {
+                    let mut vals = [[0f32; FUSE_CHUNK]; MAX_STAGES + 1];
+                    let end = first + window.len();
+                    for (((oc, ac), gc), vc) in window
+                        .chunks_mut(FUSE_CHUNK)
+                        .zip(a[first..end].chunks(FUSE_CHUNK))
+                        .zip(g[first..end].chunks(FUSE_CHUNK))
+                        .zip(ov[first..end].chunks(FUSE_CHUNK))
+                    {
+                        let l = oc.len();
+                        vals[0][..l].copy_from_slice(ac);
+                        sweep_fwd(m, &mut vals[0][..l]);
+                        oc.copy_from_slice(gc);
+                        fold_stages_chunk(stages, &mut vals, l, oc, vc);
+                        sweep_bwd(m, oc, ac, &vals[0][..l]);
+                    }
+                });
+            }
+            LeadKind::Zip(z) => {
+                let b_t = exec.values[self.zip_src(chain)?].clone();
+                let b = b_t.data();
+                let grain = (PAR_GRAIN_OPS / ops).max(1);
+                par::for_each_row_chunk_mut(&mut out, 1, grain, |first, window| {
+                    let mut vals = [[0f32; FUSE_CHUNK]; MAX_STAGES + 1];
+                    let end = first + window.len();
+                    for ((((oc, ac), bc), gc), vc) in window
+                        .chunks_mut(FUSE_CHUNK)
+                        .zip(a[first..end].chunks(FUSE_CHUNK))
+                        .zip(b[first..end].chunks(FUSE_CHUNK))
+                        .zip(g[first..end].chunks(FUSE_CHUNK))
+                        .zip(ov[first..end].chunks(FUSE_CHUNK))
+                    {
+                        let l = oc.len();
+                        sweep_zip(z, &mut vals[0][..l], ac, bc);
+                        oc.copy_from_slice(gc);
+                        fold_stages_chunk(stages, &mut vals, l, oc, vc);
+                    }
+                });
+            }
+            LeadKind::AddRow | LeadKind::AddCol | LeadKind::MulCol => {
+                let v_t = exec.values[self.zip_src(chain)?].clone();
+                let v = v_t.data();
+                let (_, c) = lead_shape.as_matrix("fused_broadcast_bw")?;
+                let kind = chain.kind;
+                let grain = (PAR_GRAIN_OPS / (c * ops).max(1)).max(1);
+                par::for_each_row_chunk_mut(&mut out, c, grain, |first_row, window| {
+                    let mut vals = [[0f32; FUSE_CHUNK]; MAX_STAGES + 1];
+                    for (i, o_row) in window.chunks_mut(c).enumerate() {
+                        let r = first_row + i;
+                        let a_row = &a[r * c..(r + 1) * c];
+                        let g_row = &g[r * c..(r + 1) * c];
+                        let o_val_row = &ov[r * c..(r + 1) * c];
+                        for (((jc, (oc, ac)), gc), vc) in o_row
+                            .chunks_mut(FUSE_CHUNK)
+                            .zip(a_row.chunks(FUSE_CHUNK))
+                            .enumerate()
+                            .zip(g_row.chunks(FUSE_CHUNK))
+                            .zip(o_val_row.chunks(FUSE_CHUNK))
+                        {
+                            let l = oc.len();
+                            match kind {
+                                LeadKind::AddRow => {
+                                    let j0 = jc * FUSE_CHUNK;
+                                    sweep_zip(ZipOp::Add, &mut vals[0][..l], ac, &v[j0..j0 + l]);
+                                }
+                                LeadKind::AddCol => {
+                                    let bv = v[r];
+                                    for (o, &x) in vals[0][..l].iter_mut().zip(ac) {
+                                        *o = x + bv;
+                                    }
+                                }
+                                _ => {
+                                    let bv = v[r];
+                                    for (o, &x) in vals[0][..l].iter_mut().zip(ac) {
+                                        *o = x * bv;
+                                    }
+                                }
+                            }
+                            oc.copy_from_slice(gc);
+                            fold_stages_chunk(stages, &mut vals, l, oc, vc);
+                        }
+                    }
+                });
+            }
+        }
+        debug_assert!(
+            exec.grads[chain.lead].is_none(),
+            "fused lead {} received an external gradient",
+            chain.lead
+        );
+        exec.grads[chain.lead] = Some(Tensor::from_buffer(lead_shape, out));
+        Ok(())
+    }
+
+    /// Backward for a layout-flag GEMM node — the eager `g·bᵀ` / `aᵀ·g`
+    /// formulas with the transposes folded into layout flags. The kernels
+    /// walk the same multiply pairs in the same order, and the density
+    /// probes sample exactly what eager's materialised operands would, so
+    /// the contributions are bit-identical and deposit into the *original*
+    /// parents (an elided transpose then relays with its own eager
+    /// backward).
+    fn backprop_gemm(
+        &self,
+        id: usize,
+        exec: &PlanExec,
+        ta: bool,
+        tb: bool,
+        ua: usize,
+        ub: usize,
+    ) -> Result<Vec<(usize, Tensor)>> {
+        let node = &self.nodes[id];
+        let g = exec.grads[id]
+            .as_ref()
+            .ok_or_else(|| Error::InvalidArgument(format!("node {id} has no gradient")))?;
+        // dL/d(op a) = g · (op b)ᵀ; with op b = ub^(tb), its transpose is
+        // ub^(!tb). Probes run fresh: `g` changes every step.
+        let ga = g.matmul_layout_probed(&exec.values[ub], false, !tb, None)?;
+        // dL/d(op b) = (op a)ᵀ · g, with (op a)ᵀ = ua^(!ta).
+        let gb = exec.values[ua].matmul_layout_probed(g, !ta, false, None)?;
+        Ok(vec![(node.parents[0], ga), (node.parents[1], gb)])
+    }
+
+    /// Evaluates one node by overwriting its dying parent's buffer: the
+    /// marked parent's tensor is stolen out of its slot (a shared scalar
+    /// placeholder is parked there) and mutated with the identical
+    /// per-element formula the out-of-place kernel applies.
+    fn eval_in_place(&self, id: usize, exec: &mut PlanExec) -> Result<Tensor> {
+        let node = &self.nodes[id];
+        let slot = self.in_place[id].ok_or_else(|| {
+            Error::InvalidArgument(format!("node {id} is not an in-place rewrite"))
+        })?;
+        let q = node.parents[slot];
+        let mut t = std::mem::replace(&mut exec.values[q], self.placeholder.clone());
+        debug_assert_eq!(t.shape(), &node.shape, "in-place steal shape drifted");
+        match &node.op {
+            Op::Add | Op::Sub | Op::Mul | Op::Div => {
+                let other = exec.values[node.parents[1 - slot]].clone();
+                let b = other.data();
+                let op = node.op.clone();
+                let buf = t.data_mut();
+                par::for_each_row_chunk_mut(buf, 1, PAR_GRAIN_OPS, |first, window| {
+                    let end = first + window.len();
+                    for (o, &y) in window.iter_mut().zip(&b[first..end]) {
+                        let (l, r) = if slot == 0 { (*o, y) } else { (y, *o) };
+                        *o = match op {
+                            Op::Add => l + r,
+                            Op::Sub => l - r,
+                            Op::Mul => l * r,
+                            _ => l / r,
+                        };
+                    }
+                });
+            }
+            Op::AddRowBroadcast | Op::AddColBroadcast | Op::MulColBroadcast => {
+                let other = exec.values[node.parents[1]].clone();
+                let v = other.data();
+                let (_, c) = node.shape.as_matrix("in_place_broadcast")?;
+                let op = node.op.clone();
+                let grain = (PAR_GRAIN_OPS / c.max(1)).max(1);
+                let buf = t.data_mut();
+                par::for_each_row_chunk_mut(buf, c, grain, |first_row, window| {
+                    for (i, o_row) in window.chunks_mut(c).enumerate() {
+                        match op {
+                            Op::AddRowBroadcast => {
+                                for (o, &b) in o_row.iter_mut().zip(v) {
+                                    *o += b;
+                                }
+                            }
+                            Op::AddColBroadcast => {
+                                let b = v[first_row + i];
+                                for o in o_row.iter_mut() {
+                                    *o += b;
+                                }
+                            }
+                            _ => {
+                                let b = v[first_row + i];
+                                for o in o_row.iter_mut() {
+                                    *o *= b;
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+            op => {
+                let m = MapOp::from_op(op).ok_or_else(|| {
+                    Error::InvalidArgument(format!(
+                        "node {id}: op {} has no in-place kernel",
+                        node.op
+                    ))
+                })?;
+                let buf = t.data_mut();
+                par::for_each_row_chunk_mut(buf, 1, PAR_GRAIN_OPS, |_, window| {
+                    for o in window.iter_mut() {
+                        *o = m.fwd(*o);
+                    }
+                });
+            }
+        }
+        Ok(t)
+    }
+
+    /// Evaluates one op from its parents' slot values — the identical
+    /// kernel call the eager `Var` method makes.
+    fn eval(
+        &self,
+        id: usize,
+        exec: &mut PlanExec,
+        draw: &mut dyn FnMut() -> f32,
+    ) -> Result<Tensor> {
+        let node = &self.nodes[id];
+        let values = &exec.values;
+        let pv = |k: usize| -> &Tensor { &values[node.parents[k]] };
+        match &node.op {
+            Op::Leaf | Op::Param => Err(Error::InvalidArgument(format!(
+                "node {id}: {} nodes are bound, never computed",
+                node.op
+            ))),
+            Op::Add => pv(0).add(pv(1)),
+            Op::Sub => pv(0).sub(pv(1)),
+            Op::Mul => pv(0).mul(pv(1)),
+            Op::Div => pv(0).div(pv(1)),
+            Op::AddScalar(s) => Ok(pv(0).add_scalar(*s)),
+            Op::MulScalar(s) => Ok(pv(0).mul_scalar(*s)),
+            Op::Neg => Ok(pv(0).neg()),
+            Op::Matmul => pv(0).matmul(pv(1)),
+            Op::Transpose => pv(0).transpose(),
+            Op::Reshape(shape) => pv(0).reshape(shape.clone()),
+            Op::SliceRows { start, end } => pv(0).slice_rows(*start, *end),
+            Op::Relu => Ok(pv(0).relu()),
+            Op::Elu => Ok(pv(0).elu()),
+            Op::Sigmoid => Ok(pv(0).sigmoid()),
+            Op::Tanh => Ok(pv(0).tanh()),
+            Op::Exp => Ok(pv(0).exp()),
+            Op::Square => Ok(pv(0).square()),
+            Op::Abs => Ok(pv(0).abs()),
+            Op::Sqrt => Ok(pv(0).sqrt()),
+            Op::SoftmaxRows => pv(0).softmax_rows(),
+            Op::Dropout { rate } => {
+                let keep = 1.0 - rate;
+                let x = pv(0);
+                let mask = Tensor::filled_with(x.shape().clone(), || {
+                    if draw() < keep {
+                        1.0 / keep
+                    } else {
+                        0.0
+                    }
+                });
+                let out = x.mul(&mask)?;
+                exec.masks[id] = Some(mask);
+                Ok(out)
+            }
+            Op::AddRowBroadcast => pv(0).add_row_broadcast(pv(1)),
+            Op::AddColBroadcast => pv(0).add_col_broadcast(pv(1)),
+            Op::MulColBroadcast => pv(0).mul_col_broadcast(pv(1)),
+            Op::RowsMaxPool { groups } => {
+                let v = pv(0);
+                let (rows, cols) = v.shape().as_matrix("rows_max_pool")?;
+                let out_rows = groups.len();
+                let mut out = Buffer::filled(out_rows * cols, f32::NEG_INFINITY);
+                let mut argmax = exec.argmax[id].take().unwrap_or_default();
+                argmax.clear();
+                argmax.resize(out_rows * cols, 0);
+                for (i, group) in groups.iter().enumerate() {
+                    for &r in group {
+                        if r >= rows {
+                            return Err(Error::InvalidArgument(format!(
+                                "rows_max_pool: row {r} out of {rows}"
+                            )));
+                        }
+                        for c in 0..cols {
+                            let val = v.data()[r * cols + c];
+                            if val > out[i * cols + c] {
+                                out[i * cols + c] = val;
+                                argmax[i * cols + c] = r;
+                            }
+                        }
+                    }
+                }
+                exec.argmax[id] = Some(argmax);
+                Ok(Tensor::from_buffer(Shape::matrix(out_rows, cols), out))
+            }
+            Op::SumAll => Ok(pv(0).sum_all()),
+            Op::MeanAll => Ok(pv(0).mean_all()),
+            Op::SumCols => pv(0).sum_cols(),
+            Op::SumRows => pv(0).sum_rows(),
+            Op::ConcatCols => {
+                let parts: Vec<&Tensor> = node.parents.iter().map(|&p| &values[p]).collect();
+                Tensor::concat_cols(&parts)
+            }
+        }
+    }
+
+    /// Re-applies the eager backward formula for node `id`, returning the
+    /// gradient contribution per parent in parent order.
+    fn backprop(&self, id: usize, exec: &PlanExec) -> Result<Vec<(usize, Tensor)>> {
+        let node = &self.nodes[id];
+        let g = exec.grads[id]
+            .as_ref()
+            .ok_or_else(|| Error::InvalidArgument(format!("node {id} has no gradient")))?;
+        let values = &exec.values;
+        let out = &values[id];
+        let pid = |k: usize| node.parents[k];
+        let pv = |k: usize| -> &Tensor { &values[node.parents[k]] };
+        let one = |t: Tensor| -> Result<Vec<(usize, Tensor)>> { Ok(vec![(node.parents[0], t)]) };
+        match &node.op {
+            Op::Leaf | Op::Param => Ok(Vec::new()),
+            Op::Add => Ok(vec![(pid(0), g.clone()), (pid(1), g.clone())]),
+            Op::Sub => Ok(vec![(pid(0), g.clone()), (pid(1), g.neg())]),
+            Op::Mul => Ok(vec![(pid(0), g.mul(pv(1))?), (pid(1), g.mul(pv(0))?)]),
+            Op::Div => {
+                let (av, bv) = (pv(0), pv(1));
+                let ga = g.div(bv)?;
+                // d(a/b)/db = -a / b²  — same composition as the eager closure.
+                let gb = g.mul(av)?.div(&bv.square())?.neg();
+                Ok(vec![(pid(0), ga), (pid(1), gb)])
+            }
+            Op::AddScalar(_) => one(g.clone()),
+            Op::MulScalar(s) => one(g.mul_scalar(*s)),
+            Op::Neg => one(g.neg()),
+            Op::Matmul => {
+                let (av, bv) = (pv(0), pv(1));
+                let ga = g.matmul(&bv.transpose()?)?;
+                let gb = av.transpose()?.matmul(g)?;
+                Ok(vec![(pid(0), ga), (pid(1), gb)])
+            }
+            Op::Transpose => one(g.transpose()?),
+            Op::Reshape(_) => one(g.reshape(pv(0).shape().clone())?),
+            Op::SliceRows { start, end } => {
+                let (_, cols) = pv(0).shape().as_matrix("slice_rows_bw")?;
+                let mut full = Tensor::zeros(pv(0).shape().clone());
+                full.data_mut()[start * cols..end * cols].copy_from_slice(g.data());
+                one(full)
+            }
+            Op::Relu => {
+                one(g.zip_map(pv(0), "relu_bw", |gv, xv| if xv > 0.0 { gv } else { 0.0 })?)
+            }
+            Op::Elu => {
+                one(g.zip_map(
+                    out,
+                    "elu_bw",
+                    |gv, ov| {
+                        if ov > 0.0 {
+                            gv
+                        } else {
+                            gv * (ov + 1.0)
+                        }
+                    },
+                )?)
+            }
+            Op::Sigmoid => one(g.zip_map(out, "sigmoid_bw", |gv, sv| gv * sv * (1.0 - sv))?),
+            Op::Tanh => one(g.zip_map(out, "tanh_bw", |gv, tv| gv * (1.0 - tv * tv))?),
+            Op::Exp => one(g.mul(out)?),
+            Op::Square => one(g.zip_map(pv(0), "square_bw", |gv, xv| gv * 2.0 * xv)?),
+            Op::Abs => one(g.zip_map(pv(0), "abs_bw", |gv, xv| {
+                if xv == 0.0 {
+                    0.0
+                } else {
+                    gv * xv.signum()
+                }
+            })?),
+            Op::Sqrt => one(g.zip_map(out, "sqrt_bw", |gv, sv| gv * 0.5 / sv.max(1e-8))?),
+            Op::SoftmaxRows => {
+                // dx_j = s_j (g_j − Σ_k g_k s_k), per row — serial, exactly
+                // as the eager closure computes it.
+                let s = out;
+                let (r, c) = s.shape().as_matrix("softmax_bw")?;
+                let mut dx = Tensor::zeros(Shape::matrix(r, c));
+                let buf = dx.data_mut();
+                for i in 0..r {
+                    let srow = s.row(i);
+                    let grow = g.row(i);
+                    let dot: f32 = srow.iter().zip(grow).map(|(&sv, &gv)| sv * gv).sum();
+                    for j in 0..c {
+                        buf[i * c + j] = srow[j] * (grow[j] - dot);
+                    }
+                }
+                one(dx)
+            }
+            Op::Dropout { .. } => {
+                let mask = exec.masks[id].as_ref().ok_or_else(|| {
+                    Error::InvalidArgument(format!(
+                        "dropout node {id} has no mask — backward before forward?"
+                    ))
+                })?;
+                one(g.mul(mask)?)
+            }
+            Op::AddRowBroadcast => Ok(vec![(pid(0), g.clone()), (pid(1), g.sum_rows()?)]),
+            Op::AddColBroadcast => Ok(vec![(pid(0), g.clone()), (pid(1), g.sum_cols()?)]),
+            Op::MulColBroadcast => {
+                let (av, cv) = (pv(0), pv(1));
+                let ga = g.mul_col_broadcast(cv)?;
+                let gc = g.mul(av)?.sum_cols()?;
+                Ok(vec![(pid(0), ga), (pid(1), gc)])
+            }
+            Op::RowsMaxPool { groups } => {
+                let argmax = exec.argmax[id].as_ref().ok_or_else(|| {
+                    Error::InvalidArgument(format!(
+                        "rows_max_pool node {id} has no argmax — backward before forward?"
+                    ))
+                })?;
+                let (out_rows, cols) = (groups.len(), out.shape().cols());
+                let mut dx = Tensor::zeros(pv(0).shape().clone());
+                let buf = dx.data_mut();
+                for i in 0..out_rows {
+                    for c in 0..cols {
+                        buf[argmax[i * cols + c] * cols + c] += g.data()[i * cols + c];
+                    }
+                }
+                one(dx)
+            }
+            Op::SumAll => one(Tensor::full(pv(0).shape().clone(), g.scalar())),
+            Op::MeanAll => {
+                let shape = pv(0).shape().clone();
+                let inv = 1.0 / shape.len() as f32;
+                one(Tensor::full(shape, g.scalar() * inv))
+            }
+            Op::SumCols => {
+                let (r, c) = pv(0).shape().as_matrix("sum_cols_bw")?;
+                let mut dx = Tensor::zeros(Shape::matrix(r, c));
+                let buf = dx.data_mut();
+                for i in 0..r {
+                    let gv = g.data()[i];
+                    buf[i * c..(i + 1) * c].fill(gv);
+                }
+                one(dx)
+            }
+            Op::SumRows => {
+                let (r, c) = pv(0).shape().as_matrix("sum_rows_bw")?;
+                let mut dx = Tensor::zeros(Shape::matrix(r, c));
+                let buf = dx.data_mut();
+                for i in 0..r {
+                    buf[i * c..(i + 1) * c].copy_from_slice(g.data());
+                }
+                one(dx)
+            }
+            Op::ConcatCols => {
+                let rows = out.shape().rows();
+                let mut contribs = Vec::with_capacity(node.parents.len());
+                let mut col = 0;
+                for &p in &node.parents {
+                    let w = values[p].shape().cols();
+                    let mut part = Buffer::zeroed(rows * w);
+                    for r in 0..rows {
+                        let src = &g.row(r)[col..col + w];
+                        part[r * w..(r + 1) * w].copy_from_slice(src);
+                    }
+                    contribs.push((p, Tensor::from_buffer(Shape::matrix(rows, w), part)));
+                    col += w;
+                }
+                Ok(contribs)
+            }
+        }
+    }
+}

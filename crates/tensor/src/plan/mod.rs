@@ -1,0 +1,411 @@
+// lint: allow-file(L004): the compiler validates every node/parent id against
+// the tape once in `Plan::compile`; replay then indexes the per-node slot
+// vectors with those proven-in-bounds ids on the hot path.
+//! Compiled tape replay: execute one traced graph many times without
+//! rebuilding it — now through an optimizing compiler.
+//!
+//! STGNN-DJD's tape has a fixed structure for a given station count and
+//! window configuration — every training step and every serve forward
+//! re-traces the identical graph. Eager mode pays for that by rebuilding
+//! every [`crate::autograd::Var`] node per step: `Rc` churn, backward
+//! closures, shape clones, and a fresh allocation per op output.
+//!
+//! [`Plan::compile`] takes one [`TapeSnapshot`] traced by eager mode and
+//! turns it into a static schedule: ops in topological (= insertion) order,
+//! leaf **bindings** that say how each leaf gets its value on replay
+//! (rebound input, recomputed derived value, re-read parameter, or frozen
+//! constant), and parameter links for gradient writeback. A [`PlanExec`]
+//! holds the per-node value/gradient/mask slots; replaying overwrites the
+//! slots in place, so each step's outputs recycle the previous step's
+//! buffers through the [`crate::pool`] and the steady state performs **zero
+//! pool misses** — the allocator is never touched.
+//!
+//! On top of the schedule, [`Plan::compile_with`] runs an optimizer
+//! pipeline ([`PlanOptions`] gates each pass; see `DESIGN.md` §12):
+//!
+//! 1. **Constant folding** — compute subtrees reachable only from constant
+//!    leaves are frozen at their traced values and skipped entirely.
+//! 2. **Transpose elision** — a single-consumer `Transpose` feeding a
+//!    `Matmul` becomes a layout flag on a blocked GEMM microkernel, and
+//!    every matmul's backward runs through the same layout-flag kernel,
+//!    eliding the two gradient transposes eager backward materialises.
+//! 3. **Elementwise fusion** — chains of zip/broadcast/unary elementwise
+//!    ops collapse into one cache-resident sweep; backward recomputes the
+//!    chain per element and releases the folded gradient at the chain
+//!    head's original sweep position.
+//! 4. **In-place rewrites** — where liveness allows, an op overwrites its
+//!    dying parent's buffer instead of cycling a fresh one through the
+//!    pool, and gradient accumulation adds into the existing slot.
+//! 5. **Probe caching** — matmul lhs density probes against stable
+//!    (constant/derived/folded) operands run once per executor.
+//!
+//! Replay remains **bit-identical** to eager execution at any thread
+//! count: every pass preserves each output element's exact f32 operation
+//! sequence and every gradient deposit's sweep position (see the legality
+//! notes on each pass). Dropout nodes are never folded, fused or elided,
+//! so a plan step consumes the RNG stream exactly like the eager step it
+//! replaces. The parity suite in `crates/core/tests/plan_parity.rs` proves
+//! this per pass, per thread count, down to the bit.
+//!
+//! One caveat is inherent to replay: ops whose *structure* (not value) was
+//! derived from input data at trace time — [`Op::RowsMaxPool`] group lists
+//! built from a data-dependent mask — replay the traced structure. Callers
+//! that configure such ops from per-input data (the FCG max aggregator)
+//! must keep the eager path; input-independent structures (the PCG
+//! aggregators, whose groups cover all stations) replay correctly.
+
+mod exec;
+mod fuse;
+mod ir;
+mod passes;
+
+pub use exec::PlanExec;
+pub use ir::{
+    DerivedFn, DerivedSpec, LeafBinding, PassReport, PlanNodeSummary, PlanOpKind, PlanOptions,
+    PlanSpec, PlanSummary,
+};
+
+use crate::autograd::{Op, Param, ParamSet, TapeSnapshot};
+use crate::error::{Error, Result};
+use crate::tensor::Tensor;
+use ir::{FusedChain, NodeBinding, PlanNode, Role};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// A compiled, replayable schedule for one traced tape. Cheap to execute,
+/// immutable once compiled; per-replay state lives in [`PlanExec`].
+pub struct Plan {
+    pub(crate) nodes: Vec<PlanNode>,
+    pub(crate) derived: Vec<DerivedFn>,
+    /// `(node id, param)` in tape order — the deposit order of eager
+    /// `backward`.
+    pub(crate) param_links: Vec<(usize, Rc<Param>)>,
+    pub(crate) init_values: Vec<Tensor>,
+    pub(crate) roots: Vec<usize>,
+    pub(crate) loss: Option<usize>,
+    pub(crate) num_inputs: usize,
+    pub(crate) has_dropout: bool,
+    /// Node ids any derived closure reads — pinned against erasure and
+    /// in-place clobbering.
+    pub(crate) derived_deps: Vec<usize>,
+    /// Fused chains, indexed by [`Role::FusedOut`].
+    pub(crate) chains: Vec<FusedChain>,
+    /// Per node: the parent slot whose buffer this node steals and
+    /// overwrites in place (`None` = normal output).
+    pub(crate) in_place: Vec<Option<usize>>,
+    /// Per node: whether the matmul/GEMM lhs density probe is cached in the
+    /// executor instead of re-run each replay.
+    pub(crate) probe_cached: Vec<bool>,
+    pub(crate) options: PlanOptions,
+    pub(crate) report: PassReport,
+    /// Shared scalar parked in a slot whose buffer was stolen — cloning it
+    /// is an `Arc` bump, so in-place rewrites stay allocation-free.
+    pub(crate) placeholder: Tensor,
+}
+
+impl Plan {
+    /// Compiles a traced tape into a replayable plan with every optimizer
+    /// pass enabled ([`PlanOptions::default`]).
+    ///
+    /// Validates the tape topology (parents strictly precede children),
+    /// resolves every `Param` node against `params` by name, and checks the
+    /// spec's bindings point at leaf nodes. Returns
+    /// [`Error::InvalidArgument`] on any structural defect.
+    pub fn compile(snapshot: &TapeSnapshot, params: &ParamSet, spec: PlanSpec) -> Result<Self> {
+        Self::compile_with(snapshot, params, spec, PlanOptions::default())
+    }
+
+    /// [`Plan::compile`] with an explicit optimizer-pass selection.
+    pub fn compile_with(
+        snapshot: &TapeSnapshot,
+        params: &ParamSet,
+        spec: PlanSpec,
+        options: PlanOptions,
+    ) -> Result<Self> {
+        let n = snapshot.nodes.len();
+        if n == 0 {
+            return Err(Error::InvalidArgument(
+                "cannot compile an empty tape".into(),
+            ));
+        }
+        let mut by_name: HashMap<&str, Rc<Param>> = HashMap::new();
+        for p in params.params() {
+            if by_name.insert(p.name(), Rc::clone(p)).is_some() {
+                return Err(Error::InvalidArgument(format!(
+                    "duplicate parameter name {:?} — plan compilation resolves params by name",
+                    p.name()
+                )));
+            }
+        }
+
+        let mut bindings: HashMap<usize, LeafBinding> = HashMap::new();
+        let mut num_inputs = 0usize;
+        for (id, b) in spec.bindings {
+            if let LeafBinding::Input(i) = &b {
+                num_inputs = num_inputs.max(i + 1);
+            }
+            if bindings.insert(id, b).is_some() {
+                return Err(Error::InvalidArgument(format!(
+                    "node {id} bound twice in PlanSpec"
+                )));
+            }
+        }
+
+        let mut nodes = Vec::with_capacity(n);
+        let mut derived: Vec<DerivedFn> = Vec::new();
+        let mut derived_deps: Vec<usize> = Vec::new();
+        let mut param_links = Vec::new();
+        let mut init_values = Vec::with_capacity(n);
+        let mut has_dropout = false;
+        for (id, info) in snapshot.nodes.iter().enumerate() {
+            if info.parents.iter().any(|&p| p >= id) {
+                return Err(Error::InvalidArgument(format!(
+                    "node {id} has a parent at or after itself — not a valid tape"
+                )));
+            }
+            if info.value.shape() != &info.shape {
+                return Err(Error::InvalidArgument(format!(
+                    "node {id} recorded shape {} but carries a value of shape {}",
+                    info.shape,
+                    info.value.shape()
+                )));
+            }
+            let binding = match (&info.op, bindings.remove(&id)) {
+                (Op::Leaf, Some(LeafBinding::Input(i))) => NodeBinding::Input(i),
+                (Op::Leaf, Some(LeafBinding::Derived(spec))) => {
+                    for &dep in &spec.deps {
+                        if dep >= id {
+                            return Err(Error::InvalidArgument(format!(
+                                "derived leaf {id} declares dep {dep}, which does not precede it"
+                            )));
+                        }
+                    }
+                    derived_deps.extend_from_slice(&spec.deps);
+                    derived.push(spec.f);
+                    NodeBinding::Derived(derived.len() - 1)
+                }
+                (Op::Leaf, None) => NodeBinding::Constant,
+                (_, Some(_)) => {
+                    return Err(Error::InvalidArgument(format!(
+                        "PlanSpec binds node {id}, but it is a {} node, not a leaf",
+                        info.op
+                    )));
+                }
+                (Op::Param, None) => {
+                    let name = info.param.as_deref().ok_or_else(|| {
+                        Error::InvalidArgument(format!("param node {id} carries no name"))
+                    })?;
+                    let p = by_name.get(name).ok_or_else(|| {
+                        Error::InvalidArgument(format!(
+                            "param node {id} refers to {name:?}, absent from the ParamSet"
+                        ))
+                    })?;
+                    param_links.push((id, Rc::clone(p)));
+                    NodeBinding::Param(Rc::clone(p))
+                }
+                (_, None) => NodeBinding::Compute,
+            };
+            if matches!(info.op, Op::Dropout { .. }) {
+                has_dropout = true;
+            }
+            nodes.push(PlanNode {
+                op: info.op.clone(),
+                parents: info.parents.clone(),
+                shape: info.shape.clone(),
+                binding,
+                role: Role::Eager,
+            });
+            init_values.push(info.value.clone());
+        }
+        if let Some((id, _)) = bindings.into_iter().next() {
+            return Err(Error::InvalidArgument(format!(
+                "PlanSpec binds node {id}, which is outside the tape"
+            )));
+        }
+        for &r in spec.roots.iter().chain(spec.loss.iter()) {
+            if r >= n {
+                return Err(Error::InvalidArgument(format!(
+                    "root node {r} is outside the tape of {n} nodes"
+                )));
+            }
+        }
+        let mut plan = Plan {
+            nodes,
+            derived,
+            param_links,
+            init_values,
+            roots: spec.roots,
+            loss: spec.loss,
+            num_inputs,
+            has_dropout,
+            derived_deps,
+            chains: Vec::new(),
+            in_place: vec![None; n],
+            probe_cached: vec![false; n],
+            options,
+            report: PassReport::default(),
+            placeholder: Tensor::from_scalar(0.0),
+        };
+        plan.optimize();
+        Ok(plan)
+    }
+
+    /// Runs the enabled optimizer passes, in dependency order: folding
+    /// first (so later passes see frozen subtrees), then structural
+    /// rewrites (elision, fusion), then the purely-local passes (in-place,
+    /// probe marks) over the final roles.
+    fn optimize(&mut self) {
+        let mut report = PassReport::default();
+        if self.options.fold_constants {
+            report.folded = passes::fold_constants(self);
+        }
+        if self.options.elide_transposes {
+            let (elided, gemms) = passes::elide_transposes(self);
+            report.elided_transposes = elided;
+            report.gemm_nodes = gemms;
+        }
+        if self.options.fuse {
+            let (chains, ops) = fuse::fuse_chains(self);
+            report.fused_chains = chains;
+            report.fused_ops = ops;
+        }
+        if self.options.in_place {
+            report.in_place_nodes = passes::mark_in_place(self);
+        }
+        if self.options.cache_probes {
+            report.probe_cached = passes::mark_probe_cache(self);
+        }
+        self.report = report;
+    }
+
+    /// Number of nodes in the compiled schedule.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True for a plan over an empty tape (cannot be constructed).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of rebindable inputs `forward` expects.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// True when the tape contains dropout nodes and replay therefore needs
+    /// the RNG-taking entry points.
+    pub fn needs_rng(&self) -> bool {
+        self.has_dropout
+    }
+
+    /// The optimizer options this plan was compiled with.
+    pub fn options(&self) -> PlanOptions {
+        self.options
+    }
+
+    /// What each optimizer pass did at compile time.
+    pub fn pass_report(&self) -> PassReport {
+        self.report
+    }
+
+    /// Node ids whose lhs density probe is cached per executor (matmul /
+    /// GEMM nodes over stable operands). Exposed for the probe-agreement
+    /// tests.
+    pub fn cached_probe_nodes(&self) -> Vec<usize> {
+        (0..self.nodes.len())
+            .filter(|&id| self.probe_cached[id])
+            .collect()
+    }
+
+    /// Recomputes the probe verdict for node `id` from the executor's
+    /// current slot values — what an uncached replay would decide right
+    /// now. `None` when the node is not a probe-cached matmul/GEMM.
+    pub fn fresh_probe(&self, exec: &PlanExec, id: usize) -> Option<bool> {
+        if !self.probe_cached.get(id).copied().unwrap_or(false) {
+            return None;
+        }
+        let node = &self.nodes[id];
+        match node.role {
+            Role::Gemm { ta, ua, .. } => {
+                let lhs = exec.value(ua)?;
+                Some(if ta {
+                    lhs.probe_dense_t().ok()?
+                } else {
+                    lhs.probe_dense()
+                })
+            }
+            _ => Some(exec.value(node.parents[0])?.probe_dense()),
+        }
+    }
+
+    /// A structural summary for external validators (`stgnn-analyze`): one
+    /// entry per node with its optimizer classification and *effective*
+    /// parent reads.
+    pub fn summary(&self) -> PlanSummary {
+        let nodes = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(id, node)| {
+                let (kind, parents) = match (&node.binding, node.role) {
+                    (NodeBinding::Constant, _) => (PlanOpKind::Constant, node.parents.clone()),
+                    (NodeBinding::Input(_), _) => (PlanOpKind::Input, node.parents.clone()),
+                    (NodeBinding::Derived(_), _) => (PlanOpKind::Derived, node.parents.clone()),
+                    (NodeBinding::Param(_), _) => (PlanOpKind::Param, node.parents.clone()),
+                    (NodeBinding::Compute, role) => match role {
+                        Role::Eager => (PlanOpKind::Eager, node.parents.clone()),
+                        Role::Folded => (PlanOpKind::Folded, node.parents.clone()),
+                        Role::Erased => (PlanOpKind::Erased, node.parents.clone()),
+                        Role::FusedLead { .. } => (PlanOpKind::FusedLead, node.parents.clone()),
+                        Role::FusedOut { chain } => (
+                            PlanOpKind::FusedOut {
+                                stages: self.chains[chain].stages.len(),
+                            },
+                            {
+                                let src = self.chains[chain].src;
+                                let mut p = vec![src.0];
+                                p.extend(src.1);
+                                p
+                            },
+                        ),
+                        Role::Gemm { ta, tb, ua, ub } => (
+                            PlanOpKind::Gemm {
+                                ta,
+                                tb,
+                                probe_cached: self.probe_cached[id],
+                            },
+                            vec![ua, ub],
+                        ),
+                        Role::ElidedTranspose => {
+                            (PlanOpKind::ElidedTranspose, node.parents.clone())
+                        }
+                    },
+                };
+                let fused_cost_per_elem = match node.role {
+                    Role::FusedOut { chain } => {
+                        let c = &self.chains[chain];
+                        let lead = match c.kind {
+                            ir::LeadKind::Map(m) => m.cost_weight(),
+                            _ => 1,
+                        };
+                        lead + c.stages.iter().map(|m| m.cost_weight()).sum::<u64>()
+                    }
+                    _ => 0,
+                };
+                PlanNodeSummary {
+                    op: node.op.name(),
+                    kind,
+                    parents,
+                    shape: node.shape.clone(),
+                    fused_cost_per_elem,
+                }
+            })
+            .collect();
+        PlanSummary {
+            nodes,
+            report: self.report,
+            options: self.options,
+        }
+    }
+}

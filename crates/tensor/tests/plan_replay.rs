@@ -295,7 +295,7 @@ fn derived_leaves_recompute_from_upstream_values() {
                 (xl.id(), LeafBinding::Input(0)),
                 (
                     mask.id(),
-                    LeafBinding::Derived(Box::new(move |values| Ok(mask_of(&values[h_id])))),
+                    LeafBinding::derived(vec![h_id], move |values| Ok(mask_of(&values[h_id]))),
                 ),
             ],
             roots: vec![root.id()],
