@@ -28,6 +28,17 @@
 //!   the hot-path crates, flags locks held across `forward` calls, and
 //!   honors `// lint: allow(<code>)` escapes. Run as a CI gate via
 //!   `cargo run -p stgnn-analyze --bin stgnn-lint`.
+//! * [`sound`] — **`stgnn-sound`**, a deeper soundness pass built on the
+//!   same lexical substrate ([`lex`]): a per-function event parser feeding
+//!   an interprocedural lock-order analysis (may-hold-while-acquiring
+//!   graph, cycle = potential deadlock), a determinism-taint analysis
+//!   (wall-clock/thread-identity/hash-order sources must not reach tensor
+//!   values, RNG seeds, checkpoint bytes, or `BENCH_*.json` numerics), and
+//!   a panic-reachability-under-lock check. Diagnostics use `S001`…`S006`,
+//!   escapes require a *named invariant*
+//!   (`// sound: allow(S002): NAME — why`), and the run emits a
+//!   machine-readable `SOUND_REPORT.json`. CI gate:
+//!   `cargo run -p stgnn-analyze --bin stgnn-sound`.
 //!
 //! The crate depends only on `stgnn-tensor`, so every model-level crate
 //! (core, serve, bench) can embed the validator without a dependency cycle;
@@ -35,10 +46,13 @@
 //! dev-dependencies.
 
 pub mod diag;
+pub(crate) mod lex;
 pub mod lint;
 pub mod plan;
+pub mod sound;
 pub mod tape;
 
 pub use diag::{codes, Diagnostic, OpCost, Report, Severity};
 pub use plan::validate_plan;
+pub use sound::{analyze_sources, analyze_workspace, SoundReport};
 pub use tape::{infer_shape, lower_bounds, validate_tape};

@@ -1,11 +1,11 @@
 //! `stgnn-lint`: a hand-rolled, lexer-based source-policy checker.
 //!
-//! No crates.io parser — a character scanner masks comments, string/char
-//! literals and raw strings out of each file (preserving byte offsets and
-//! line structure), then plain substring scans over the masked text detect
-//! the policy violations. Test code (`#[cfg(test)]` modules, `#[test]`
-//! functions, `tests/`/`benches/`/`examples/` trees) is exempt: the policy
-//! protects *request and training paths*, not assertions.
+//! No crates.io parser — the shared [`crate::lex`] scanner masks comments,
+//! string/char literals and raw strings out of each file (preserving byte
+//! offsets and line structure), then plain substring scans over the masked
+//! text detect the policy violations. Test code (`#[cfg(test)]` modules,
+//! `#[test]` functions, `tests/`/`benches/`/`examples/` trees) is exempt:
+//! the policy protects *request and training paths*, not assertions.
 //!
 //! ## Codes
 //!
@@ -15,7 +15,7 @@
 //! | `L002` | deny | `.expect(...)` in non-test code |
 //! | `L003` | deny | `panic!(...)` in non-test code |
 //! | `L004` | deny | slice/array indexing `x[...]` in non-test code |
-//! | `L005` | warn | lock guard bound across a `forward`/`predict_horizon` call |
+//! | `L005` | deny | lock guard bound across a `forward`/`predict_horizon` call |
 //! | `L006` | deny | raw `File::create` on a persistence path (use `stgnn_faults::fsio::atomic_write`) |
 //!
 //! ## Escapes
@@ -29,17 +29,22 @@
 //!
 //! ## Policy
 //!
-//! Hot-path crates (`tensor`, `graph`, `serve`) get the full table; other
-//! crates are scanned but nothing is forbidden there yet. `L005` is a
-//! heuristic (brace-depth tracking of `let`-bound `.lock()`/`.read()`/
-//! `.write()` guards), so it warns instead of denying.
+//! Hot-path crates (`tensor`, `graph`, `serve`, `scale`) get the full
+//! table; persistence crates get `L006` only. `L005` started life as a
+//! warn-level heuristic (brace-depth tracking of `let`-bound `.lock()`/
+//! `.read()`/`.write()` guards cannot see non-lexical lifetimes); it is
+//! deny-level now that [`crate::sound`]'s lock-order pass cross-checks the
+//! same property interprocedurally — a false positive is escaped with an
+//! invariant, not tolerated as a warning nobody reads.
 
 use crate::diag::Severity;
+use crate::lex::{find_from, ident_char, mask, MaskedSource};
 use std::fmt;
 use std::path::{Path, PathBuf};
 
 /// Stable source-lint codes (`L0xx`); tape-validator codes (`A0xx`) live in
-/// [`crate::diag::codes`].
+/// [`crate::diag::codes`], soundness codes (`S0xx`) in
+/// [`crate::sound::codes`].
 pub mod codes {
     /// `.unwrap()` on a request/training path.
     pub const UNWRAP: &str = "L001";
@@ -68,7 +73,7 @@ pub struct Policy {
     pub panic: bool,
     /// Forbid slice/array indexing (`L004`).
     pub index: bool,
-    /// Warn on lock guards held across forward calls (`L005`).
+    /// Deny lock guards held across forward calls (`L005`).
     pub locks: bool,
     /// Forbid raw `File::create` (`L006`).
     pub raw_create: bool,
@@ -134,308 +139,6 @@ impl fmt::Display for Violation {
             self.file, self.line, self.code, self.severity, self.message
         )
     }
-}
-
-/// Per-line allow state parsed from `// lint: allow(...)` comments.
-#[derive(Default)]
-struct Allows {
-    /// Codes allowed for the whole file.
-    file: Vec<String>,
-    /// `(line, code)` pairs (0-based lines).
-    lines: Vec<(usize, String)>,
-}
-
-impl Allows {
-    fn permits(&self, line: usize, code: &str) -> bool {
-        self.file.iter().any(|c| c == code)
-            || self.lines.iter().any(|(l, c)| *l == line && c == code)
-    }
-}
-
-/// The masked source: comments and literals replaced by spaces (newlines
-/// kept), plus the allow-escapes harvested from line comments and the
-/// byte ranges of test-only code.
-struct MaskedSource {
-    text: Vec<u8>,
-    line_starts: Vec<usize>,
-    allows: Allows,
-    test_ranges: Vec<(usize, usize)>,
-}
-
-impl MaskedSource {
-    fn line_of(&self, offset: usize) -> usize {
-        match self.line_starts.binary_search(&offset) {
-            Ok(l) => l,
-            Err(l) => l - 1,
-        }
-    }
-
-    fn in_test(&self, offset: usize) -> bool {
-        self.test_ranges
-            .iter()
-            .any(|&(s, e)| s <= offset && offset < e)
-    }
-}
-
-/// Masks comments, strings and char literals out of `src`, harvesting
-/// `// lint: allow(...)` escapes along the way.
-fn mask(src: &str) -> MaskedSource {
-    let bytes = src.as_bytes();
-    let mut out = bytes.to_vec();
-    let mut allows = Allows::default();
-    let mut line_starts = vec![0usize];
-    for (i, &b) in bytes.iter().enumerate() {
-        if b == b'\n' {
-            line_starts.push(i + 1);
-        }
-    }
-    let line_of = |offset: usize| match line_starts.binary_search(&offset) {
-        Ok(l) => l,
-        Err(l) => l - 1,
-    };
-
-    let blank = |out: &mut [u8], range: std::ops::Range<usize>| {
-        for i in range {
-            if out[i] != b'\n' {
-                out[i] = b' ';
-            }
-        }
-    };
-
-    let mut i = 0usize;
-    while i < bytes.len() {
-        match bytes[i] {
-            b'/' if bytes.get(i + 1) == Some(&b'/') => {
-                let end = bytes[i..]
-                    .iter()
-                    .position(|&b| b == b'\n')
-                    .map_or(bytes.len(), |p| i + p);
-                let comment = &src[i..end];
-                let line = line_of(i);
-                // A comment alone on its line annotates the next line;
-                // a trailing comment annotates its own.
-                let standalone = src[line_starts[line]..i].trim().is_empty();
-                harvest_allows(comment, line, standalone, &mut allows);
-                blank(&mut out, i..end);
-                i = end;
-            }
-            b'/' if bytes.get(i + 1) == Some(&b'*') => {
-                let mut depth = 1usize;
-                let mut j = i + 2;
-                while j < bytes.len() && depth > 0 {
-                    if bytes[j] == b'/' && bytes.get(j + 1) == Some(&b'*') {
-                        depth += 1;
-                        j += 2;
-                    } else if bytes[j] == b'*' && bytes.get(j + 1) == Some(&b'/') {
-                        depth -= 1;
-                        j += 2;
-                    } else {
-                        j += 1;
-                    }
-                }
-                blank(&mut out, i..j);
-                i = j;
-            }
-            b'r' | b'b' if is_raw_string_start(bytes, i) => {
-                let j = skip_raw_string(bytes, i);
-                blank(&mut out, i..j);
-                i = j;
-            }
-            b'"' => {
-                let j = skip_string(bytes, i);
-                blank(&mut out, i..j);
-                i = j;
-            }
-            b'\'' => {
-                // Lifetime (`'a`, `'static`) vs char literal (`'a'`, `'\n'`):
-                // a lifetime's ident is not followed by a closing quote.
-                let next = bytes.get(i + 1).copied().unwrap_or(0);
-                let is_lifetime = (next.is_ascii_alphabetic() || next == b'_')
-                    && bytes.get(i + 2) != Some(&b'\'');
-                if is_lifetime {
-                    i += 2;
-                } else {
-                    let j = skip_char_literal(bytes, i);
-                    blank(&mut out, i..j);
-                    i = j;
-                }
-            }
-            _ => i += 1,
-        }
-    }
-
-    // Resolve standalone allow comments to the next line that carries code
-    // (in the masked text, comment continuation lines are all blank), so a
-    // multi-line invariant comment still annotates the statement below it.
-    let masked_line_blank = |l: usize| {
-        let start = line_starts[l];
-        let end = line_starts.get(l + 1).copied().unwrap_or(out.len());
-        out[start..end].iter().all(|&b| b == b' ' || b == b'\n')
-    };
-    for (line, _) in allows.lines.iter_mut() {
-        if *line >= line_starts.len() {
-            continue;
-        }
-        if masked_line_blank(*line) {
-            let mut l = *line;
-            while l + 1 < line_starts.len() && masked_line_blank(l) {
-                l += 1;
-            }
-            *line = l;
-        }
-    }
-
-    let test_ranges = find_test_ranges(&out);
-    MaskedSource {
-        text: out,
-        line_starts,
-        allows,
-        test_ranges,
-    }
-}
-
-fn harvest_allows(comment: &str, line: usize, standalone: bool, allows: &mut Allows) {
-    for (marker, file_level) in [("lint: allow-file(", true), ("lint: allow(", false)] {
-        let Some(pos) = comment.find(marker) else {
-            continue;
-        };
-        let rest = &comment[pos + marker.len()..];
-        let Some(close) = rest.find(')') else {
-            continue;
-        };
-        for code in rest[..close].split(',') {
-            let code = code.trim().to_string();
-            if code.is_empty() {
-                continue;
-            }
-            if file_level {
-                allows.file.push(code);
-            } else {
-                let target = if standalone { line + 1 } else { line };
-                allows.lines.push((target, code));
-            }
-        }
-        return; // one marker per comment
-    }
-}
-
-fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
-    // r"...", r#"..."#, br"...", b"..." is handled by `"` unless raw.
-    let mut j = i;
-    if bytes[j] == b'b' {
-        j += 1;
-    }
-    if bytes.get(j) != Some(&b'r') {
-        return false;
-    }
-    j += 1;
-    while bytes.get(j) == Some(&b'#') {
-        j += 1;
-    }
-    // Reject identifiers like `robust` — require the quote right after.
-    bytes.get(j) == Some(&b'"')
-        && !ident_char(bytes.get(i.wrapping_sub(1)).copied().unwrap_or(b' '))
-}
-
-fn skip_raw_string(bytes: &[u8], i: usize) -> usize {
-    let mut j = i;
-    if bytes[j] == b'b' {
-        j += 1;
-    }
-    j += 1; // 'r'
-    let mut hashes = 0usize;
-    while bytes.get(j) == Some(&b'#') {
-        hashes += 1;
-        j += 1;
-    }
-    j += 1; // opening quote
-    while j < bytes.len() {
-        if bytes[j] == b'"' {
-            let mut k = j + 1;
-            let mut seen = 0usize;
-            while seen < hashes && bytes.get(k) == Some(&b'#') {
-                seen += 1;
-                k += 1;
-            }
-            if seen == hashes {
-                return k;
-            }
-        }
-        j += 1;
-    }
-    j
-}
-
-fn skip_string(bytes: &[u8], i: usize) -> usize {
-    let mut j = i + 1;
-    while j < bytes.len() {
-        match bytes[j] {
-            b'\\' => j += 2,
-            b'"' => return j + 1,
-            _ => j += 1,
-        }
-    }
-    j
-}
-
-fn skip_char_literal(bytes: &[u8], i: usize) -> usize {
-    let mut j = i + 1;
-    while j < bytes.len() && j < i + 12 {
-        match bytes[j] {
-            b'\\' => j += 2,
-            b'\'' => return j + 1,
-            _ => j += 1,
-        }
-    }
-    j
-}
-
-fn ident_char(b: u8) -> bool {
-    b.is_ascii_alphanumeric() || b == b'_'
-}
-
-/// Byte ranges of `#[cfg(test)]` / `#[test]` items in the masked text: from
-/// the attribute to the close of the following brace-balanced block.
-fn find_test_ranges(masked: &[u8]) -> Vec<(usize, usize)> {
-    let mut ranges = Vec::new();
-    for pat in [b"#[cfg(test)]".as_slice(), b"#[test]".as_slice()] {
-        let mut from = 0usize;
-        while let Some(pos) = find_from(masked, pat, from) {
-            from = pos + pat.len();
-            let Some(open) = masked[from..].iter().position(|&b| b == b'{') else {
-                continue;
-            };
-            let open = from + open;
-            let mut depth = 0usize;
-            let mut end = masked.len();
-            for (k, &b) in masked.iter().enumerate().skip(open) {
-                match b {
-                    b'{' => depth += 1,
-                    b'}' => {
-                        depth -= 1;
-                        if depth == 0 {
-                            end = k + 1;
-                            break;
-                        }
-                    }
-                    _ => {}
-                }
-            }
-            ranges.push((pos, end));
-            from = end;
-        }
-    }
-    ranges
-}
-
-fn find_from(haystack: &[u8], needle: &[u8], from: usize) -> Option<usize> {
-    if from >= haystack.len() {
-        return None;
-    }
-    haystack[from..]
-        .windows(needle.len())
-        .position(|w| w == needle)
-        .map(|p| p + from)
 }
 
 /// Lints one file's source under `policy`. `file` is the label used in
@@ -576,7 +279,7 @@ pub fn lint_file(file: &str, src: &str, policy: &Policy) -> Vec<Violation> {
 
 /// `.name` followed by optional whitespace and `(`, with nothing joining
 /// the identifier (so `.unwrap_or_default()` never matches `.unwrap`).
-fn scan_method_call(masked: &[u8], pat: &[u8], mut hit: impl FnMut(usize)) {
+pub(crate) fn scan_method_call(masked: &[u8], pat: &[u8], mut hit: impl FnMut(usize)) {
     let mut from = 0usize;
     while let Some(pos) = find_from(masked, pat, from) {
         from = pos + pat.len();
@@ -593,11 +296,12 @@ fn scan_method_call(masked: &[u8], pat: &[u8], mut hit: impl FnMut(usize)) {
     }
 }
 
-/// Heuristic for `L005`: a `let`-bound guard from a statement ending in
-/// `.lock();` / `.read();` / `.write();` is considered live until its block
-/// closes or `drop(<name>)` runs; a `forward(`/`predict_horizon(` call
-/// while one is live is flagged. Warn-level: brace tracking cannot see
-/// non-lexical lifetimes.
+/// `L005`: a `let`-bound guard from a statement ending in `.lock();` /
+/// `.read();` / `.write();` is considered live until its block closes or
+/// `drop(<name>)` runs; a `forward(`/`predict_horizon(` call while one is
+/// live is denied. Deny-level since the `stgnn-sound` lock-order pass
+/// proves the same property interprocedurally — a false positive here gets
+/// an escape with a named invariant, not a warning.
 fn lint_locks(m: &MaskedSource, push: &mut impl FnMut(usize, &'static str, Severity, String)) {
     let mut depth = 0usize;
     let mut guards: Vec<(String, usize)> = Vec::new(); // (binding, depth)
@@ -617,7 +321,7 @@ fn lint_locks(m: &MaskedSource, push: &mut impl FnMut(usize, &'static str, Sever
                     push(
                         start + p,
                         codes::LOCK_ACROSS_FORWARD,
-                        Severity::Warn,
+                        Severity::Deny,
                         format!(
                             "`{}` called while lock guard(s) [{}] are live; a slow forward \
                              blocks every other worker on that lock",
@@ -669,7 +373,7 @@ fn lint_locks(m: &MaskedSource, push: &mut impl FnMut(usize, &'static str, Sever
 /// Recursively collects `.rs` files under `dir`, sorted for deterministic
 /// output. `tests/`, `benches/` and `examples/` subtrees are skipped —
 /// the policy exempts test code.
-fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+pub(crate) fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
         .filter_map(|e| e.ok().map(|e| e.path()))
         .collect();
@@ -827,7 +531,7 @@ mod tests {
     }
 
     #[test]
-    fn lock_across_forward_warns_and_scoped_lock_does_not() {
+    fn lock_across_forward_denies_and_scoped_lock_does_not() {
         let held = "fn f(&self) {\n    let guard = self.state.lock();\n    \
                     let y = model.forward(&g, &inputs, false);\n}\n";
         let v = lint_file("test.rs", held, &Policy::hot_path());
@@ -835,7 +539,7 @@ mod tests {
             v.iter().any(|v| v.code == codes::LOCK_ACROSS_FORWARD),
             "{v:?}"
         );
-        assert!(v.iter().all(|v| v.severity == Severity::Warn), "{v:?}");
+        assert!(v.iter().all(|v| v.severity == Severity::Deny), "{v:?}");
 
         let scoped = "fn f(&self) {\n    {\n        let guard = self.state.lock();\n        \
                       guard.push(1);\n    }\n    let y = model.forward(&g, &inputs, false);\n}\n";

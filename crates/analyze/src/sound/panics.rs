@@ -1,0 +1,114 @@
+//! Panic-reachability summaries (`S006` support).
+//!
+//! Computes, for every parsed function, whether its *calling thread* can
+//! panic: a direct uncaught `panic!`/`.unwrap()`/`.expect(…)` event, or a
+//! call (outside any `catch_unwind` region) to a resolvable function that
+//! may panic. The lock walk in [`crate::sound::locks`] consults these
+//! summaries to flag panics reachable while a lock guard is live — on a
+//! `std` Mutex that poisons the lock for every other thread; on the
+//! vendored `parking_lot` it releases the guard mid-mutation, which is how
+//! the batcher's queue invariants would silently break.
+//!
+//! Resolution is restricted to **uniquely-named** workspace functions not
+//! on the common-method stoplist (see [`crate::sound::locks::resolve`]) —
+//! the same precision/soundness trade the lock pass makes, documented in
+//! DESIGN.md §13. Events inside `spawn(...)` closures are excluded: a
+//! panic on a detached thread cannot unwind through the caller's guards.
+
+use super::locks::Resolver;
+use super::parser::{Ev, FnInfo};
+
+/// Per-function may-panic verdicts: `Some((desc, line))` names an example
+/// site (the first one found, for the diagnostic message).
+pub(crate) fn may_panic(fns: &[FnInfo], resolver: &Resolver) -> Vec<Option<(String, usize)>> {
+    let mut out: Vec<Option<(String, usize)>> = fns
+        .iter()
+        .map(|f| {
+            f.events.iter().find_map(|e| match e {
+                Ev::Panic {
+                    what,
+                    line,
+                    caught: false,
+                } => Some(((*what).to_string(), *line)),
+                _ => None,
+            })
+        })
+        .collect();
+    // Propagate through uncaught calls to unique workspace fns, to a
+    // fixpoint (the call graph is small; depth is bounded by fn count).
+    loop {
+        let mut changed = false;
+        for (i, f) in fns.iter().enumerate() {
+            if out[i].is_some() {
+                continue;
+            }
+            let via = f.events.iter().find_map(|e| match e {
+                Ev::Call {
+                    name,
+                    line,
+                    caught: false,
+                } => {
+                    let j = resolver.resolve(name)?;
+                    let (inner, _) = out[j].as_ref()?;
+                    Some((format!("{inner} via {name}()"), *line))
+                }
+                _ => None,
+            });
+            if via.is_some() {
+                out[i] = via;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::locks::Resolver;
+    use super::*;
+    use crate::lex::mask;
+    use crate::sound::parser::parse_functions;
+
+    fn summaries(src: &str) -> (Vec<FnInfo>, Vec<Option<(String, usize)>>) {
+        let fns = parse_functions(&mask(src), 0, "fix");
+        let resolver = Resolver::build(&fns);
+        let mp = may_panic(&fns, &resolver);
+        (fns, mp)
+    }
+
+    #[test]
+    fn direct_and_transitive_panics() {
+        let (fns, mp) = summaries(
+            "fn leaf() { x.unwrap(); }\nfn mid() { leaf(); }\nfn top() { mid(); }\n\
+             fn clean() { y.checked(); }\n",
+        );
+        let idx = |n: &str| fns.iter().position(|f| f.name == n).unwrap();
+        assert!(mp[idx("leaf")].is_some());
+        assert!(mp[idx("mid")].is_some());
+        assert!(mp[idx("top")].is_some(), "two hops through unique names");
+        assert!(mp[idx("clean")].is_none());
+    }
+
+    #[test]
+    fn caught_panics_do_not_propagate() {
+        let (fns, mp) = summaries(
+            "fn leaf() { x.unwrap(); }\n\
+             fn guarded() { let r = catch_unwind(AssertUnwindSafe(|| leaf()));\n }\n",
+        );
+        let idx = |n: &str| fns.iter().position(|f| f.name == n).unwrap();
+        assert!(mp[idx("guarded")].is_none(), "{mp:?}");
+    }
+
+    #[test]
+    fn stoplisted_names_do_not_propagate() {
+        // `get` is on the stoplist: even though it is unique here, a call
+        // to `get` must not import its panic.
+        let (fns, mp) = summaries("fn get() { x.unwrap(); }\nfn caller() { thing.get(); }\n");
+        let idx = |n: &str| fns.iter().position(|f| f.name == n).unwrap();
+        assert!(mp[idx("caller")].is_none());
+    }
+}

@@ -1,0 +1,380 @@
+//! Seeded-defect suite for `stgnn-sound`.
+//!
+//! Contract mirrors `tests/properties.rs` for the tape validator: every
+//! stable code (`S000`…`S006`) must be *demonstrated* — a fixture carrying
+//! exactly that defect fires exactly that code at the exact `file:line` —
+//! and the real workspace must analyze clean (no false positives), with a
+//! negative control proving the CI gate fails when a lock-order cycle is
+//! introduced into the real tree.
+
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+use std::fs;
+use std::path::{Path, PathBuf};
+use stgnn_analyze::{analyze_sources, analyze_workspace, SoundReport};
+
+fn run(files: &[(&str, &str)]) -> SoundReport {
+    let owned: Vec<(String, String)> = files
+        .iter()
+        .map(|(l, s)| (l.to_string(), s.to_string()))
+        .collect();
+    analyze_sources(&owned)
+}
+
+/// `(code, file, 1-based line)` triples, in the report's sorted order.
+fn triples(r: &SoundReport) -> Vec<(String, String, usize)> {
+    r.diagnostics
+        .iter()
+        .map(|d| (d.code.to_string(), d.file.clone(), d.line))
+        .collect()
+}
+
+// ---------------------------------------------------------------- S001
+
+const INVERSE_ORDER: &str = "fn submit(&self) {\n\
+                             \x20   let q = self.queue.lock();\n\
+                             \x20   let s = self.stats.lock();\n\
+                             }\n\
+                             fn drain(&self) {\n\
+                             \x20   let s = self.stats.lock();\n\
+                             \x20   let q = self.queue.lock();\n\
+                             }\n";
+
+#[test]
+fn s001_inverse_lock_orders_fire_at_the_witnessing_acquisition() {
+    let r = run(&[("fixture.rs", INVERSE_ORDER)]);
+    let t = triples(&r);
+    assert_eq!(
+        t,
+        vec![("S001".into(), "fixture.rs".into(), 3)],
+        "{:#?}",
+        r.diagnostics
+    );
+    assert!(r.diagnostics[0]
+        .message
+        .contains("fixture::queue -> fixture::stats -> fixture::queue"));
+    assert_eq!(r.denies(), 1);
+}
+
+#[test]
+fn s001_interprocedural_cycle_spans_files() {
+    // Each lock key is `<file-stem>::<field>`, so a cross-file cycle needs
+    // the second acquisition to happen inside a callee that lives with its
+    // own lock — exactly how `serve -> scale` coupling would deadlock.
+    let a = "fn hold_alpha_then_beta(&self) {\n    let g = self.alpha.lock();\n    \
+             self.take_beta();\n}\n\
+             fn take_alpha(&self) {\n    let g = self.alpha.lock();\n}\n";
+    let b = "fn hold_beta_then_alpha(&self) {\n    let g = self.beta.lock();\n    \
+             self.take_alpha();\n}\n\
+             fn take_beta(&self) {\n    let g = self.beta.lock();\n}\n";
+    let r = run(&[("a.rs", a), ("b.rs", b)]);
+    assert!(
+        r.diagnostics.iter().any(|d| d.code == "S001"
+            && d.message.contains("a::alpha")
+            && d.message.contains("b::beta")),
+        "{:#?}",
+        r.diagnostics
+    );
+}
+
+// ---------------------------------------------------------------- S002
+
+#[test]
+fn s002_channel_send_under_lock_fires_at_the_send() {
+    let src = "fn submit(&self) {\n\
+               \x20   let q = self.queue.lock();\n\
+               \x20   req.respond.send(out);\n\
+               }\n";
+    let r = run(&[("batcher.rs", src)]);
+    assert_eq!(triples(&r), vec![("S002".into(), "batcher.rs".into(), 3)]);
+    assert!(r.diagnostics[0].message.contains("batcher::queue"));
+}
+
+// ---------------------------------------------------------------- S003
+
+#[test]
+fn s003_wall_clock_into_rng_seed_fires_at_the_seeding_call() {
+    let src = "fn f(rng: &mut StreamRng) {\n\
+               \x20   let t = Instant::now();\n\
+               \x20   let s = t.elapsed().as_nanos() as u64;\n\
+               \x20   rng.reseed(s);\n\
+               }\n";
+    let r = run(&[("stream.rs", src)]);
+    assert_eq!(triples(&r), vec![("S003".into(), "stream.rs".into(), 4)]);
+}
+
+// ---------------------------------------------------------------- S004
+
+#[test]
+fn s004_wall_clock_into_checkpoint_bytes_fires_at_the_write() {
+    let src = "fn save(&self) {\n\
+               \x20   let stamp = SystemTime::now();\n\
+               \x20   atomic_write(path, encode(stamp));\n\
+               }\n";
+    let r = run(&[("ckpt.rs", src)]);
+    assert_eq!(triples(&r), vec![("S004".into(), "ckpt.rs".into(), 3)]);
+}
+
+// ---------------------------------------------------------------- S005
+
+#[test]
+fn s005_wall_clock_into_bench_json_fields_fires_at_the_format() {
+    let src = "fn report() {\n\
+               \x20   let t0 = Instant::now();\n\
+               \x20   let ms = t0.elapsed().as_secs_f64() * 1e3;\n\
+               \x20   let row = format!(\"x\", ms);\n\
+               \x20   atomic_write(\"BENCH_x.json\", row);\n\
+               }\n";
+    let r = run(&[("steady.rs", src)]);
+    assert!(
+        triples(&r).contains(&("S005".into(), "steady.rs".into(), 4)),
+        "{:#?}",
+        r.diagnostics
+    );
+}
+
+// ---------------------------------------------------------------- S006
+
+#[test]
+fn s006_panic_under_live_guard_fires_at_the_panic() {
+    let src = "fn f(&self) {\n\
+               \x20   let g = self.state.lock();\n\
+               \x20   panic!(\"bad\");\n\
+               }\n";
+    let r = run(&[("pool.rs", src)]);
+    assert_eq!(triples(&r), vec![("S006".into(), "pool.rs".into(), 3)]);
+    assert!(r.diagnostics[0].message.contains("pool::state"));
+}
+
+#[test]
+fn s006_is_silent_when_the_panic_is_caught_or_the_guard_is_scoped() {
+    let caught = "fn f(&self) {\n    let g = self.state.lock();\n    \
+                  let r = std::panic::catch_unwind(|| {\n        panic!(\"bad\");\n    });\n}\n";
+    let scoped = "fn f(&self) {\n    {\n        let g = self.state.lock();\n    }\n    \
+                  panic!(\"bad\");\n}\n";
+    assert!(run(&[("p.rs", caught)]).diagnostics.is_empty());
+    assert!(run(&[("p.rs", scoped)]).diagnostics.is_empty());
+}
+
+// ------------------------------------------------- escapes and S000
+
+#[test]
+fn s000_unnamed_escape_is_itself_a_deny_and_suppresses_nothing() {
+    let src = "fn submit(&self) {\n\
+               \x20   let q = self.queue.lock();\n\
+               \x20   // sound: allow(S002): the send is fine here\n\
+               \x20   req.respond.send(out);\n\
+               }\n";
+    let r = run(&[("batcher.rs", src)]);
+    let t = triples(&r);
+    assert!(
+        t.contains(&("S000".into(), "batcher.rs".into(), 3)),
+        "{t:?}"
+    );
+    assert!(
+        t.contains(&("S002".into(), "batcher.rs".into(), 4)),
+        "{t:?}"
+    );
+    assert_eq!(r.denies(), 2);
+}
+
+#[test]
+fn named_escape_suppresses_exactly_its_code_and_is_inventoried_as_used() {
+    let src = "fn submit(&self) {\n\
+               \x20   let q = self.queue.lock();\n\
+               \x20   // sound: allow(S002): SEND-IS-NONBLOCKING — unbounded channel\n\
+               \x20   req.respond.send(out);\n\
+               }\n";
+    let r = run(&[("batcher.rs", src)]);
+    assert!(r.diagnostics.is_empty(), "{:#?}", r.diagnostics);
+    assert_eq!(r.escapes.len(), 1);
+    let e = &r.escapes[0];
+    assert_eq!(
+        (e.code.as_str(), e.invariant.as_str(), e.used),
+        ("S002", "SEND-IS-NONBLOCKING", true)
+    );
+}
+
+#[test]
+fn escape_for_a_different_code_does_not_suppress() {
+    let src = "fn submit(&self) {\n\
+               \x20   let q = self.queue.lock();\n\
+               \x20   // sound: allow(S006): WRONG-CODE — mismatched annotation\n\
+               \x20   req.respond.send(out);\n\
+               }\n";
+    let r = run(&[("batcher.rs", src)]);
+    assert!(triples(&r).contains(&("S002".into(), "batcher.rs".into(), 4)));
+    assert!(!r.escapes[0].used);
+}
+
+#[test]
+fn test_code_is_exempt() {
+    let src = "#[test]\nfn f() {\n    let g = STATE.lock();\n    panic!(\"bad\");\n}\n";
+    assert!(run(&[("t.rs", src)]).diagnostics.is_empty());
+}
+
+// ------------------------------------------ property: order vs cycle
+
+/// Ground truth for the fixture generator: nested acquisition of `seq`
+/// makes an edge `u -> v` for every `u` acquired before `v`; the analyzer
+/// must report S001 exactly when the union of those edges has a cycle.
+fn edges_have_cycle(seqs: &[Vec<usize>]) -> bool {
+    let mut adj: HashMap<usize, HashSet<usize>> = HashMap::new();
+    for seq in seqs {
+        for i in 0..seq.len() {
+            for j in i + 1..seq.len() {
+                adj.entry(seq[i]).or_default().insert(seq[j]);
+            }
+        }
+    }
+    fn dfs(
+        n: usize,
+        adj: &HashMap<usize, HashSet<usize>>,
+        open: &mut HashSet<usize>,
+        done: &mut HashSet<usize>,
+    ) -> bool {
+        if done.contains(&n) {
+            return false;
+        }
+        if !open.insert(n) {
+            return true;
+        }
+        let found = adj
+            .get(&n)
+            .into_iter()
+            .flatten()
+            .any(|&m| dfs(m, adj, open, done));
+        open.remove(&n);
+        done.insert(n);
+        found
+    }
+    let (mut open, mut done) = (HashSet::new(), HashSet::new());
+    adj.keys().any(|&n| dfs(n, &adj, &mut open, &mut done))
+}
+
+fn fixture_for(seqs: &[Vec<usize>]) -> String {
+    const LOCKS: [&str; 4] = ["alpha", "beta", "delta", "gamma"];
+    let mut s = String::new();
+    for (fi, seq) in seqs.iter().enumerate() {
+        s.push_str(&format!("fn acquire_chain_{fi}(&self) {{\n"));
+        for (gi, &l) in seq.iter().enumerate() {
+            s.push_str(&format!("    let g{gi} = self.{}.lock();\n", LOCKS[l]));
+        }
+        s.push_str("}\n");
+    }
+    s
+}
+
+proptest! {
+    // For any pair of nested acquisition orders over four locks, S001
+    // fires iff the pairwise order relation actually has a cycle — no
+    // missed inversions, no phantom deadlocks.
+    #[test]
+    fn s001_fires_iff_an_order_inversion_exists(
+        raw_a in proptest::collection::vec(0usize..4, 0..5),
+        raw_b in proptest::collection::vec(0usize..4, 0..5),
+    ) {
+        let dedupe = |raw: &[usize]| {
+            let mut seen = HashSet::new();
+            raw.iter().copied().filter(|x| seen.insert(*x)).collect::<Vec<_>>()
+        };
+        let seqs = [dedupe(&raw_a), dedupe(&raw_b)];
+        let src = fixture_for(&seqs);
+        let r = run(&[("orders.rs", &src)]);
+        let fired = r.diagnostics.iter().any(|d| d.code == "S001");
+        prop_assert_eq!(fired, edges_have_cycle(&seqs), "fixture:\n{}", src);
+    }
+}
+
+// --------------------------------------- the real tree, both polarities
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root above crates/analyze")
+        .to_path_buf()
+}
+
+#[test]
+fn real_workspace_is_clean_and_every_escape_names_an_invariant() {
+    let r = analyze_workspace(&workspace_root()).expect("workspace readable");
+    assert_eq!(r.denies(), 0, "{:#?}", r.diagnostics);
+    assert!(r.files_scanned > 50, "only {} files", r.files_scanned);
+    assert!(r.functions > 500);
+    // The serve batcher's shutdown send is the one annotated acquisition
+    // boundary in the tree; its escape must be live, not stale.
+    assert!(
+        r.escapes
+            .iter()
+            .any(|e| e.used && e.code == "S002" && e.invariant == "UNBOUNDED-SEND-NONBLOCKING"),
+        "{:#?}",
+        r.escapes
+    );
+    let json = r.to_json();
+    assert!(json.contains("stgnn-sound-report/v1"));
+    assert!(json.contains("\"denied\": 0"));
+}
+
+fn read_workspace_sources(root: &Path) -> Vec<(String, String)> {
+    fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+        let Ok(entries) = fs::read_dir(dir) else {
+            return;
+        };
+        let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+        paths.sort();
+        for p in paths {
+            if p.is_dir() {
+                walk(&p, out);
+            } else if p.extension().is_some_and(|e| e == "rs") {
+                out.push(p);
+            }
+        }
+    }
+    let mut files = Vec::new();
+    let Ok(crates) = fs::read_dir(root.join("crates")) else {
+        return Vec::new();
+    };
+    let mut dirs: Vec<PathBuf> = crates.flatten().map(|e| e.path().join("src")).collect();
+    dirs.sort();
+    for d in dirs {
+        walk(&d, &mut files);
+    }
+    files
+        .into_iter()
+        .filter_map(|p| {
+            let label = p
+                .strip_prefix(root)
+                .unwrap_or(&p)
+                .to_string_lossy()
+                .replace('\\', "/");
+            fs::read_to_string(&p).ok().map(|src| (label, src))
+        })
+        .collect()
+}
+
+#[test]
+fn negative_control_an_introduced_cycle_fails_the_gate() {
+    let mut files = read_workspace_sources(&workspace_root());
+    assert!(files.len() > 50, "workspace walk found {}", files.len());
+    let clean = analyze_sources(&files);
+    assert_eq!(clean.denies(), 0, "{:#?}", clean.diagnostics);
+    files.push((
+        "crates/scale/src/defect.rs".to_string(),
+        "fn defect_ab(&self) {\n    let a = self.routing.lock();\n    \
+         let b = self.members.lock();\n}\n\
+         fn defect_ba(&self) {\n    let b = self.members.lock();\n    \
+         let a = self.routing.lock();\n}\n"
+            .to_string(),
+    ));
+    let broken = analyze_sources(&files);
+    assert!(
+        broken
+            .diagnostics
+            .iter()
+            .any(|d| d.code == "S001" && d.file.ends_with("defect.rs")),
+        "{:#?}",
+        broken.diagnostics
+    );
+    assert!(broken.denies() >= 1, "gate must fail on the seeded cycle");
+}

@@ -35,7 +35,7 @@ fn main() {
     let report = stgnn_analyze::validate_tape(&snapshot, &[sq.id()]);
     println!("{}", report.render());
     let mut by_op = report.by_op.clone();
-    by_op.sort_by(|a, b| b.flops.cmp(&a.flops));
+    by_op.sort_by_key(|r| std::cmp::Reverse(r.flops));
     println!(
         "{:<20} {:>6} {:>12} {:>10}",
         "op", "count", "flops", "bytes"
@@ -60,7 +60,7 @@ fn main() {
             }
         }
     }
-    shapes.sort_by(|a, b| b.1.cmp(&a.1));
+    shapes.sort_by_key(|s| std::cmp::Reverse(s.1));
     println!("matmul shapes:");
     for (s, c) in &shapes {
         println!("  {c:>3} x  {s}");

@@ -1,3 +1,6 @@
+// sound: allow-file(S004, S005): BENCH-LATENCY-IS-WALLCLOCK — these
+// benchmarks measure wall-clock latency; timing flowing into the emitted
+// JSON is the entire point, not a determinism leak.
 //! City-scale serving benchmark: the diurnal load generator against fleets
 //! of increasing replica counts, in both replicated and sharded modes.
 //!

@@ -1,3 +1,6 @@
+// sound: allow-file(S004, S005): BENCH-LATENCY-IS-WALLCLOCK — these
+// benchmarks measure wall-clock latency; timing flowing into the emitted
+// JSON is the entire point, not a determinism leak.
 //! Steady-state memory-plane benchmark: eager tape re-tracing vs compiled
 //! plan replay, for the training step and the serve forward.
 //!

@@ -150,6 +150,9 @@ impl WorkerPool {
         };
         let mut q = self.shared.queue.lock();
         if q.shutdown {
+            // sound: allow(S002): UNBOUNDED-SEND-NONBLOCKING — respond is an
+            // unbounded mpsc; send() only enqueues, it cannot block while the
+            // queue lock is held, and the receiver is the caller of submit.
             let _ = req.respond.send(Err(ServeError::Shutdown));
         } else {
             q.deque.push_back(req);

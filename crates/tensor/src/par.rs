@@ -1,5 +1,4 @@
-// lint: allow-file(L002, L004): pool threads spawn once at init (startup
-// resource exhaustion aborts); chunk bounds derive from slice lengths.
+// lint: allow-file(L004): chunk bounds derive from slice lengths.
 //! Parallel kernel execution: a persistent, work-chunking thread pool.
 //!
 //! Every hot kernel in this crate — `matmul`, `softmax_rows`, `transpose`,
@@ -120,24 +119,33 @@ pub fn effective_threads() -> usize {
 pub fn init() -> usize {
     let n = effective_threads();
     if n > 1 {
-        ensure_workers(n - 1);
+        ensure_workers(n - 1) + 1
+    } else {
+        1
     }
-    n
 }
 
-/// Makes sure at least `n` workers exist (capped at `MAX_THREADS - 1`).
-fn ensure_workers(n: usize) {
+/// Makes sure at least `n` workers exist (capped at `MAX_THREADS - 1`) and
+/// returns the number actually running. Spawn failure (thread-resource
+/// exhaustion) stops growing the pool and reports the shortfall instead of
+/// panicking — an unwind here would hold-and-abandon the `spawned` guard,
+/// and dispatchers can degrade safely because results are bit-identical at
+/// any chunk count (the module's determinism contract).
+fn ensure_workers(n: usize) -> usize {
     let p = pool();
     let n = n.min(MAX_THREADS - 1);
     let mut spawned = lock(&p.spawned);
     while *spawned < n {
         let queue: &'static Queue = p.queue;
-        thread::Builder::new()
+        let res = thread::Builder::new()
             .name(format!("stgnn-par-{}", *spawned))
-            .spawn(move || worker_loop(queue))
-            .expect("spawn kernel pool worker");
+            .spawn(move || worker_loop(queue));
+        if res.is_err() {
+            break;
+        }
         *spawned += 1;
     }
+    *spawned
 }
 
 fn worker_loop(queue: &'static Queue) {
@@ -207,7 +215,14 @@ pub fn for_each_chunk(items: usize, grain: usize, body: impl Fn(Range<usize>) + 
         body(0..items);
         return;
     }
-    ensure_workers(chunks - 1);
+    // Degraded pool (worker spawn failed): clamp the dispatch to the
+    // workers that exist plus this thread. Chunk boundaries change but
+    // results do not — see the determinism contract above.
+    let chunks = chunks.min(ensure_workers(chunks - 1) + 1);
+    if chunks <= 1 {
+        body(0..items);
+        return;
+    }
 
     let latch = Latch {
         remaining: Mutex::new(chunks),

@@ -87,15 +87,14 @@ pub(crate) fn fold_constants(plan: &mut Plan) -> usize {
         let node = &plan.nodes[id];
         match &node.binding {
             NodeBinding::Constant => is_const[id] = true,
-            NodeBinding::Compute => {
+            NodeBinding::Compute
                 if !matches!(node.op, Op::Dropout { .. })
                     && !node.parents.is_empty()
-                    && node.parents.iter().all(|&p| is_const[p])
-                {
-                    is_const[id] = true;
-                    plan.nodes[id].role = Role::Folded;
-                    folded += 1;
-                }
+                    && node.parents.iter().all(|&p| is_const[p]) =>
+            {
+                is_const[id] = true;
+                plan.nodes[id].role = Role::Folded;
+                folded += 1;
             }
             _ => {}
         }

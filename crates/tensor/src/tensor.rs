@@ -922,6 +922,7 @@ fn gemm_row_nn(o_row: &mut [f32], a_row: &[f32], b: &[f32], _k: usize, n: usize,
 /// advanced in ascending contraction order — the same per-element chain
 /// the eager dense loop produces; row/column blocking only changes which
 /// *independent* chains run interleaved.
+#[allow(clippy::too_many_arguments)]
 fn gemm_window_blocked(
     window: &mut [f32],
     first_row: usize,
@@ -1199,6 +1200,7 @@ fn gemm_row_nt_tail(o_row: &mut [f32], a_row: &[f32], b: &[f32], k: usize, j0: u
 /// walks a strided column of `a` (one element per contraction step), the
 /// rhs streams rows through the same `zip` loop as the natural-layout
 /// kernel — no transpose is ever materialised.
+#[allow(clippy::too_many_arguments)]
 fn gemm_row_tn(
     o_row: &mut [f32],
     a: &[f32],
@@ -1568,7 +1570,7 @@ mod tests {
                 .map(|_| {
                     state = state.wrapping_mul(1664525).wrapping_add(1013904223);
                     let v = (state >> 8) as f32 / (1 << 24) as f32 - 0.5;
-                    if sparse && state % 4 != 0 {
+                    if sparse && !state.is_multiple_of(4) {
                         0.0
                     } else {
                         v
@@ -1622,7 +1624,7 @@ mod tests {
             let data = (0..40 * 33)
                 .map(|_| {
                     state = state.wrapping_mul(1664525).wrapping_add(1013904223);
-                    if state % zero_every == 0 {
+                    if state.is_multiple_of(zero_every) {
                         0.0
                     } else {
                         (state >> 8) as f32 / (1 << 24) as f32
