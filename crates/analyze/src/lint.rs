@@ -108,7 +108,7 @@ impl Policy {
     /// itself) get the `L006` persistence rule.
     pub fn for_crate(name: &str) -> Option<Policy> {
         match name {
-            "tensor" | "graph" | "serve" | "scale" => Some(Policy::hot_path()),
+            "tensor" | "graph" | "serve" | "scale" | "online" => Some(Policy::hot_path()),
             "core" | "bench" | "faults" => Some(Policy::persistence()),
             _ => None,
         }
@@ -591,6 +591,10 @@ mod tests {
         assert!(Policy::for_crate("graph").is_some());
         assert!(Policy::for_crate("serve").is_some());
         assert!(Policy::for_crate("scale").is_some());
+        // The online loop swaps models under live traffic: full hot-path
+        // policy, same as serve.
+        assert!(Policy::for_crate("online").is_some());
+        assert!(Policy::for_crate("online").unwrap().unwrap);
         assert!(Policy::for_crate("tensor").unwrap().raw_create);
         // Persistence-only crates get L006 but not the panic policy.
         let core = Policy::for_crate("core").unwrap();

@@ -73,6 +73,17 @@ pub enum CheckpointError {
     /// fingerprint or parameter structure does not match the model being
     /// resumed.
     Incompatible(String),
+    /// Configuration and parameter structure match, but the FCG/PCG graph
+    /// topology hashes do not: the data-driven graphs were refreshed after
+    /// the checkpoint was taken. Resuming would silently reuse Adam moments
+    /// accumulated against the *old* edges — the caller must warm-start
+    /// from the weights with a fresh optimizer instead.
+    GraphMismatch {
+        /// The graph-hash part of the checkpoint's fingerprint.
+        expected: String,
+        /// The graph-hash part of the resuming run's fingerprint.
+        found: String,
+    },
 }
 
 impl fmt::Display for CheckpointError {
@@ -93,6 +104,12 @@ impl fmt::Display for CheckpointError {
             ),
             CheckpointError::Malformed(msg) => write!(f, "malformed checkpoint: {msg}"),
             CheckpointError::Incompatible(msg) => write!(f, "incompatible checkpoint: {msg}"),
+            CheckpointError::GraphMismatch { expected, found } => write!(
+                f,
+                "graph topology mismatch: checkpoint was taken against {expected}, \
+                 current data is {found} — the FCG/PCG edges were refreshed; \
+                 warm-start from the weights with a fresh optimizer instead of resuming"
+            ),
         }
     }
 }
@@ -164,16 +181,92 @@ pub struct TrainCheckpoint {
     pub best_snapshot: Option<Vec<Tensor>>,
 }
 
+/// Hashes of the data-driven graph structure a training run is anchored
+/// to. The paper's FCG mask and PCG attention are **functions of the flow
+/// window** — the FCG edge set derives from the inflow/outflow matrices,
+/// the PCG attention from the demand/supply series — so hashing those
+/// inputs (as exact bit patterns) identifies the graph topology without
+/// materialising per-slot edge sets.
+///
+/// Participates in [`fingerprint`]: a checkpoint taken before an online
+/// edge refresh no longer matches the refreshed run, and `resume_from`
+/// surfaces the difference as the typed
+/// [`CheckpointError::GraphMismatch`] instead of silently reusing Adam
+/// moments accumulated against the old edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GraphTopology {
+    /// FNV-1a over the flow matrices (FCG edge inputs) and their dims.
+    pub fcg: u64,
+    /// FNV-1a over the demand/supply series (PCG attention inputs).
+    pub pcg: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(state: u64, bytes: impl IntoIterator<Item = u8>) -> u64 {
+    bytes
+        .into_iter()
+        .fold(state, |h, b| (h ^ b as u64).wrapping_mul(FNV_PRIME))
+}
+
+impl GraphTopology {
+    /// Computes both hashes from the dataset the run trains on. Exact: all
+    /// floats are hashed as IEEE-754 bit patterns, so two datasets collide
+    /// only if their graph-defining inputs are bit-identical.
+    pub fn of(data: &stgnn_data::dataset::BikeDataset) -> GraphTopology {
+        let flows = data.flows();
+        let n = flows.n_stations();
+        let dims = [
+            n as u64,
+            flows.slots_per_day() as u64,
+            flows.num_slots() as u64,
+        ];
+        let mut fcg = FNV_OFFSET;
+        let mut pcg = FNV_OFFSET;
+        for d in dims {
+            fcg = fnv1a(fcg, d.to_le_bytes());
+            pcg = fnv1a(pcg, d.to_le_bytes());
+        }
+        for t in 0..flows.num_slots() {
+            for v in flows.inflow(t).data().iter().chain(flows.outflow(t).data()) {
+                fcg = fnv1a(fcg, v.to_bits().to_le_bytes());
+            }
+            for v in flows.demand_at(t).iter().chain(flows.supply_at(t)) {
+                pcg = fnv1a(pcg, v.to_bits().to_le_bytes());
+            }
+        }
+        GraphTopology { fcg, pcg }
+    }
+}
+
+/// The marker that opens the graph-topology section of a fingerprint; the
+/// prefix before it is the configuration/architecture identity.
+pub const GRAPH_FINGERPRINT_MARKER: &str = " fcg_topo=";
+
+/// Splits a fingerprint into its (config/architecture, graph-topology)
+/// parts. Fingerprints written before the graph section existed split into
+/// `(whole, "")`.
+pub fn split_fingerprint(fp: &str) -> (&str, &str) {
+    match fp.find(GRAPH_FINGERPRINT_MARKER) {
+        Some(i) => (&fp[..i], &fp[i..]),
+        None => (fp, ""),
+    }
+}
+
 /// A config/model identity string. Every field that shapes the parameter
 /// set or the training trajectory participates; floats go in as bit
-/// patterns so the comparison is exact.
+/// patterns so the comparison is exact. The trailing
+/// `fcg_topo=…/pcg_topo=…` section anchors the run to the data-driven
+/// graph topology (see [`GraphTopology`]).
 pub fn fingerprint(
     config: &crate::config::StgnnConfig,
     n_stations: usize,
     n_params: usize,
+    topology: &GraphTopology,
 ) -> String {
     format!(
-        "k={} d={} fcg={} pcg={} heads={} dropout={:08x} lr={:08x} bs={} epochs={} patience={} mbpe={:?} seed={} flow_conv={} use_fcg={} use_pcg={} fcg_agg={:?} pcg_agg={:?} hidden={:?} horizon={} stations={} params={}",
+        "k={} d={} fcg={} pcg={} heads={} dropout={:08x} lr={:08x} bs={} epochs={} patience={} mbpe={:?} seed={} flow_conv={} use_fcg={} use_pcg={} fcg_agg={:?} pcg_agg={:?} hidden={:?} horizon={} stations={} params={}{GRAPH_FINGERPRINT_MARKER}{:016x} pcg_topo={:016x}",
         config.k,
         config.d,
         config.fcg_layers,
@@ -195,6 +288,8 @@ pub fn fingerprint(
         config.horizon,
         n_stations,
         n_params,
+        topology.fcg,
+        topology.pcg,
     )
 }
 
@@ -773,5 +868,57 @@ mod tests {
         ));
         let path = tmp("fault");
         assert!(matches!(sample().save(&path), Err(CheckpointError::Io(_))));
+    }
+
+    fn tiny_dataset(seed: u64) -> stgnn_data::dataset::BikeDataset {
+        use stgnn_data::dataset::{BikeDataset, DatasetConfig};
+        use stgnn_data::synthetic::{CityConfig, SyntheticCity};
+        let city = SyntheticCity::generate(CityConfig::test_tiny(seed));
+        BikeDataset::from_city(&city, DatasetConfig::small(6, 2)).unwrap()
+    }
+
+    #[test]
+    fn graph_topology_is_deterministic_and_flow_sensitive() {
+        let a = GraphTopology::of(&tiny_dataset(7));
+        let a2 = GraphTopology::of(&tiny_dataset(7));
+        assert_eq!(a, a2, "same trips must hash identically");
+        let b = GraphTopology::of(&tiny_dataset(8));
+        // A different trip stream perturbs both the flow matrices (FCG
+        // inputs) and the demand/supply series (PCG inputs).
+        assert_ne!(a.fcg, b.fcg);
+        assert_ne!(a.pcg, b.pcg);
+    }
+
+    #[test]
+    fn fingerprint_carries_the_graph_section_and_splits_cleanly() {
+        let config = crate::config::StgnnConfig::test_tiny(6, 2);
+        let topo = GraphTopology {
+            fcg: 0xdead_beef,
+            pcg: 0x0bad_cafe,
+        };
+        let fp = fingerprint(&config, 10, 42, &topo);
+        let (base, graph) = split_fingerprint(&fp);
+        assert!(base.ends_with("stations=10 params=42"), "{base}");
+        assert_eq!(
+            graph,
+            " fcg_topo=00000000deadbeef pcg_topo=000000000badcafe"
+        );
+        // Pre-graph-section fingerprints (older checkpoints) split whole/"".
+        let (legacy_base, legacy_graph) = split_fingerprint("k=6 d=2 test fingerprint");
+        assert_eq!(legacy_base, "k=6 d=2 test fingerprint");
+        assert_eq!(legacy_graph, "");
+    }
+
+    #[test]
+    fn graph_mismatch_error_names_both_topologies() {
+        let e = CheckpointError::GraphMismatch {
+            expected: "fcg_topo=aa pcg_topo=bb".into(),
+            found: "fcg_topo=cc pcg_topo=dd".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("graph topology mismatch"), "{msg}");
+        assert!(msg.contains("fcg_topo=aa"), "{msg}");
+        assert!(msg.contains("fcg_topo=cc"), "{msg}");
+        assert!(msg.contains("warm-start"), "{msg}");
     }
 }

@@ -7,7 +7,9 @@
 //! parameter snapshot is restored at the end — the standard protocol the
 //! paper's "set hyperparameters on the validation set" implies.
 
-use crate::checkpoint::{fingerprint, CheckpointError, Cursor, TrainCheckpoint};
+use crate::checkpoint::{
+    fingerprint, split_fingerprint, CheckpointError, Cursor, GraphTopology, TrainCheckpoint,
+};
 use crate::compiled::TrainingPlan;
 use crate::config::StgnnConfig;
 use crate::model::{ModelInputs, StgnnDjd};
@@ -207,7 +209,13 @@ impl Trainer {
         };
         let mut best_snapshot: Option<Vec<Tensor>> = None;
         let mut epochs_since_best = 0usize;
-        let run_fingerprint = fingerprint(&self.config, model.n_stations(), model.params().len());
+        let topology = GraphTopology::of(data);
+        let run_fingerprint = fingerprint(
+            &self.config,
+            model.n_stations(),
+            model.params().len(),
+            &topology,
+        );
 
         // Restore checkpointed state *after* the probe/compile above: the
         // probe traces a training-mode forward pass on the freshly-built
@@ -218,6 +226,19 @@ impl Trainer {
         let mut start_epoch = 0usize;
         if let Some(ckpt) = resume {
             if ckpt.fingerprint != run_fingerprint {
+                // Same configuration but a different graph section means the
+                // FCG/PCG inputs were refreshed out from under the run —
+                // surface that as the typed mismatch so callers can
+                // warm-start instead of resuming onto stale Adam moments.
+                let (ckpt_base, ckpt_graph) = split_fingerprint(&ckpt.fingerprint);
+                let (run_base, run_graph) = split_fingerprint(&run_fingerprint);
+                if ckpt_base == run_base && ckpt_graph != run_graph {
+                    return Err(CheckpointError::GraphMismatch {
+                        expected: ckpt_graph.trim_start().to_string(),
+                        found: run_graph.trim_start().to_string(),
+                    }
+                    .into());
+                }
                 return Err(CheckpointError::Incompatible(format!(
                     "checkpoint was taken from a different run:\n  theirs: {}\n  ours:   {}",
                     ckpt.fingerprint, run_fingerprint
@@ -731,6 +752,48 @@ mod tests {
             .resume_from(&path, &mut fresh, &data)
             .unwrap_err();
         assert!(err.to_string().contains("incompatible checkpoint"), "{err}");
+    }
+
+    /// Named invariant: GRAPH-REFRESH-REFUSES-RESUME. The same
+    /// configuration trained against refreshed FCG/PCG inputs must not
+    /// resume from a pre-refresh checkpoint — the Adam moments were
+    /// accumulated against the old edges — and the refusal must be the
+    /// *typed* graph mismatch so the online loop can warm-start instead.
+    #[test]
+    fn resume_after_graph_refresh_is_a_typed_graph_mismatch() {
+        use stgnn_faults::{scoped, FaultPlan};
+        let _quiet = scoped(FaultPlan::new());
+
+        let data = dataset(51);
+        let mut config = StgnnConfig::test_tiny(6, 2);
+        config.epochs = 1;
+        config.max_batches_per_epoch = Some(2);
+        let path = ckpt_path("graphmismatch");
+        let trainer = Trainer::new(config.clone()).with_checkpointing(&path, 1);
+        let mut model = StgnnDjd::new(config.clone(), data.n_stations()).unwrap();
+        trainer.train(&mut model, &data).unwrap();
+        assert!(path.exists());
+
+        // Identical config and station count, but a different trip stream ⇒
+        // different flow matrices ⇒ different FCG/PCG topology hashes.
+        let refreshed = dataset(52);
+        assert_eq!(refreshed.n_stations(), data.n_stations());
+        let mut fresh = StgnnDjd::new(config.clone(), data.n_stations()).unwrap();
+        let err = trainer
+            .resume_from(&path, &mut fresh, &refreshed)
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("graph topology mismatch"), "{msg}");
+        assert!(msg.contains("fcg_topo="), "{msg}");
+        assert!(
+            !msg.contains("different run"),
+            "graph refresh must not degrade to the generic mismatch: {msg}"
+        );
+
+        // Unchanged data still resumes: identity is stable, not flapping.
+        let mut same = StgnnDjd::new(config, data.n_stations()).unwrap();
+        let report = trainer.resume_from(&path, &mut same, &data).unwrap();
+        assert!(report.resumed);
     }
 
     /// Named invariant: CHECKPOINT-FAILURE-IS-NON-FATAL. A failing

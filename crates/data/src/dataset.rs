@@ -130,6 +130,15 @@ impl BikeDataset {
         })
     }
 
+    /// A dataset over a whole-day window of this dataset's flows, with
+    /// splits and normalisation statistics re-derived **from the window
+    /// alone** — the view an online fine-tune sees: drifted recent data
+    /// changes the training scale, not just the slots.
+    pub fn windowed(&self, days: std::ops::Range<usize>) -> Result<Self> {
+        let flows = self.flows.window(days)?;
+        Self::new(flows, self.registry.clone(), self.config.clone())
+    }
+
     /// Number of stations.
     pub fn n_stations(&self) -> usize {
         self.flows.n_stations()
@@ -412,6 +421,25 @@ mod tests {
         let city = SyntheticCity::generate(CityConfig::test_tiny(5));
         // d = 20 days of history on an 8-day horizon cannot work.
         assert!(BikeDataset::from_city(&city, DatasetConfig::small(6, 20)).is_err());
+    }
+
+    #[test]
+    fn windowed_view_rederives_splits_and_scales() {
+        let ds = dataset(); // 8 days of 24 slots
+        let w = ds.windowed(2..8).unwrap();
+        assert_eq!(w.flows().num_days(), 6);
+        // Slot 0 of the view is slot 2*24 of the parent, bit for bit.
+        assert_eq!(w.flows().outflow(0).data(), ds.flows().outflow(48).data());
+        // Scales come from the window's own training split, not the parent's.
+        let spd = w.slots_per_day();
+        let train_end = w.days(Split::Train).end;
+        assert_eq!(
+            w.flow_scale(),
+            w.flows().max_flow_in(0, train_end * spd).max(1.0)
+        );
+        // Day windows must be non-empty and inside the horizon.
+        assert!(ds.windowed(5..5).is_err());
+        assert!(ds.windowed(4..20).is_err());
     }
 
     #[test]

@@ -305,9 +305,15 @@ fn process_batch(
         }
     };
     let checkpoint = entry.checkpoint();
-    let key: SlotKey = (model_name.clone(), checkpoint.version, slot);
+    let key: SlotKey = (
+        model_name.clone(),
+        checkpoint.version,
+        checkpoint.graph_epoch,
+        slot,
+    );
 
-    // Fast path: someone already computed this slot at this version.
+    // Fast path: someone already computed this slot at this version and
+    // graph epoch.
     if let Some(hit) = shared.cache.get(&key) {
         shared.metrics.inc_cache_hits(batch.len() as u64);
         respond_all(&batch, &Ok(hit));
@@ -611,7 +617,7 @@ mod tests {
         let t = data.slots(Split::Test)[0];
         // Prime the v1 cache entry.
         let v1 = pool.submit("stgnn", t).recv().unwrap().unwrap();
-        let v1_key = ("stgnn".to_string(), 1, t);
+        let v1_key = ("stgnn".to_string(), 1, 1, t);
         assert!(cache.get(&v1_key).is_some(), "v1 entry should be cached");
 
         let mut config = StgnnConfig::test_tiny(6, 2);
@@ -640,6 +646,50 @@ mod tests {
         // The stale entry still sits in the cache under the v1 key — proof
         // that correctness comes from version-keying, not eager deletion.
         assert!(cache.get(&v1_key).is_some());
+    }
+
+    /// The graph-epoch staleness regression: a cache keyed only by
+    /// (model, version, slot) would satisfy a request from a prediction
+    /// computed against pre-refresh FCG/PCG inputs whenever the version
+    /// number path is unchanged. Bumping the graph epoch must make every
+    /// old entry unreachable and force a recompute, even though version
+    /// and weights are identical.
+    #[test]
+    fn graph_epoch_bump_invalidates_cached_predictions() {
+        let data = dataset();
+        let (pool, registry, metrics, cache) = pool_with(&data, PoolConfig::default());
+        let t = data.slots(Split::Test)[0];
+
+        let first = pool.submit("stgnn", t).recv().unwrap().unwrap();
+        let e1_key = ("stgnn".to_string(), 1, 1, t);
+        assert!(cache.get(&e1_key).is_some());
+        assert_eq!(metrics.snapshot().forward_passes, 1);
+        // A repeat hits the cache: no second forward pass.
+        pool.submit("stgnn", t).recv().unwrap().unwrap();
+        assert_eq!(metrics.snapshot().forward_passes, 1);
+
+        // The online loop refreshed the graph window: same version, same
+        // weights, new epoch.
+        registry.set_graph_epoch("stgnn", 2).unwrap();
+        assert_eq!(registry.get("stgnn").unwrap().version(), 1);
+
+        let after = pool.submit("stgnn", t).recv().unwrap().unwrap();
+        assert_eq!(
+            metrics.snapshot().forward_passes,
+            2,
+            "epoch bump must force a recompute, not a cache hit"
+        );
+        let e2_key = ("stgnn".to_string(), 1, 2, t);
+        assert!(
+            cache.get(&e2_key).is_some(),
+            "recompute cached under new epoch"
+        );
+        // Identical weights over the same dataset ⇒ same values; the point
+        // is *which key* served, not the numbers.
+        assert_eq!(first[0], after[0]);
+        // The old-epoch entry survives unreachable — correctness comes
+        // from epoch-keying, not eager deletion.
+        assert!(cache.get(&e1_key).is_some());
     }
 
     /// The worker's compiled-plan path must serve exactly what an eager

@@ -1,20 +1,28 @@
 //! Slot-keyed prediction cache.
 //!
 //! A prediction for slot `t` is a pure function of `(model, checkpoint
-//! version, t)` — the input windows end strictly before `t`, and weights
-//! only change by bumping the registry version — so entries never go stale;
-//! they only get superseded when the key rotates. That makes this a plain
-//! bounded map with no TTL logic: hot-swapping a model changes the version
-//! component and naturally abandons the old entries, which eviction then
+//! version, graph epoch, t)` — the input windows end strictly before `t`,
+//! weights only change by bumping the registry version, and the FCG/PCG
+//! inputs only change by bumping the graph epoch — so entries never go
+//! stale; they only get superseded when the key rotates. That makes this a
+//! plain bounded map with no TTL logic: hot-swapping a model changes the
+//! version component, an online edge refresh changes the epoch component,
+//! and either naturally abandons the old entries, which eviction then
 //! reclaims.
+//!
+//! The graph-epoch component is load-bearing: without it, a candidate
+//! trained on refreshed FCG/PCG edges that reaches the same version number
+//! path (e.g. rollback to version `v` followed by a re-promotion that
+//! reuses `v+1`) could serve a prediction computed against the *old*
+//! graph. Keying on the epoch makes those entries unreachable instead.
 
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
 use stgnn_data::predictor::Prediction;
 
-/// Cache key: model name, checkpoint version, target slot.
-pub type SlotKey = (String, u64, usize);
+/// Cache key: model name, checkpoint version, graph epoch, target slot.
+pub type SlotKey = (String, u64, u64, usize);
 
 /// A cached multi-step prediction (element `h` forecasts slot `t + h`).
 pub type CachedPrediction = Arc<Vec<Prediction>>;
@@ -42,9 +50,10 @@ impl SlotCache {
     pub fn insert(&self, key: SlotKey, value: CachedPrediction) {
         let mut map = self.inner.write();
         if map.len() >= self.capacity && !map.contains_key(&key) {
-            // Evict the oldest slot (then lowest version) — superseded
-            // versions and long-rolled-over slots go first.
-            if let Some(victim) = map.keys().min_by_key(|(_, v, t)| (*t, *v)).cloned() {
+            // Evict the oldest slot (then lowest version, then lowest
+            // epoch) — superseded versions/epochs and long-rolled-over
+            // slots go first.
+            if let Some(victim) = map.keys().min_by_key(|(_, v, e, t)| (*t, *v, *e)).cloned() {
                 map.remove(&victim);
             }
         }
@@ -77,7 +86,11 @@ mod tests {
     }
 
     fn key(name: &str, version: u64, slot: usize) -> SlotKey {
-        (name.to_string(), version, slot)
+        epoch_key(name, version, 1, slot)
+    }
+
+    fn epoch_key(name: &str, version: u64, epoch: u64, slot: usize) -> SlotKey {
+        (name.to_string(), version, epoch, slot)
     }
 
     #[test]
@@ -85,8 +98,9 @@ mod tests {
         let c = SlotCache::new(8);
         c.insert(key("m", 1, 100), pred(1.0));
         assert!(c.get(&key("m", 1, 100)).is_some());
-        // A different version or slot misses.
+        // A different version, graph epoch, or slot misses.
         assert!(c.get(&key("m", 2, 100)).is_none());
+        assert!(c.get(&epoch_key("m", 1, 2, 100)).is_none());
         assert!(c.get(&key("m", 1, 101)).is_none());
         assert!(c.get(&key("other", 1, 100)).is_none());
     }
@@ -111,6 +125,16 @@ mod tests {
         c.insert(key("m", 2, 11), pred(3.0)); // evicts (v1, slot 10)
         assert!(c.get(&key("m", 1, 10)).is_none());
         assert!(c.get(&key("m", 2, 10)).is_some());
+    }
+
+    #[test]
+    fn superseded_graph_epoch_evicted_before_newer() {
+        let c = SlotCache::new(2);
+        c.insert(epoch_key("m", 1, 1, 10), pred(1.0));
+        c.insert(epoch_key("m", 1, 2, 10), pred(2.0));
+        c.insert(epoch_key("m", 1, 2, 11), pred(3.0)); // evicts (epoch 1, slot 10)
+        assert!(c.get(&epoch_key("m", 1, 1, 10)).is_none());
+        assert!(c.get(&epoch_key("m", 1, 2, 10)).is_some());
     }
 
     #[test]

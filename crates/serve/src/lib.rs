@@ -28,9 +28,10 @@
 //!   models never cross threads. The [`registry`] shares *checkpoints*
 //!   (config + serialized weights); each worker materialises its own model
 //!   instance and refreshes it when the registry's version moves.
-//! * **Predictions for a slot are immutable** until the slot rolls over, so
-//!   the [`cache`] keys on `(model, checkpoint version, slot)` and cache hits
-//!   bypass the forward pass entirely.
+//! * **Predictions for a slot are immutable** until the slot rolls over or
+//!   the FCG/PCG graph window is refreshed, so the [`cache`] keys on
+//!   `(model, checkpoint version, graph epoch, slot)` and cache hits bypass
+//!   the forward pass entirely.
 //! * **Tail latency is bounded** by a per-request deadline: the HTTP handler
 //!   waits on the batch result only up to the deadline, then answers from the
 //!   Historical-Average table and tags the response `degraded`.

@@ -46,17 +46,33 @@ impl ModelSpec {
 }
 
 /// One immutable, versioned set of serialized weights.
+///
+/// `graph_epoch` identifies the FCG/PCG topology generation the weights
+/// were trained against: the online loop bumps it on every windowed edge
+/// refresh, and the prediction cache keys on it so a hot-swapped candidate
+/// trained on refreshed edges can never satisfy a request from a
+/// prediction computed against the old graph.
 #[derive(Debug)]
 pub struct Checkpoint {
     pub version: u64,
+    pub graph_epoch: u64,
     pub bytes: Vec<u8>,
 }
 
-/// A registered model: its spec plus the current checkpoint.
+/// A registered model: its spec, the serving checkpoint, and — after a
+/// swap — a retained handle to the checkpoint it displaced, so a
+/// post-promotion watchdog can restore the incumbent bit-identically
+/// without re-validating or re-loading anything.
 #[derive(Debug)]
 pub struct ModelEntry {
     spec: ModelSpec,
     checkpoint: RwLock<Arc<Checkpoint>>,
+    /// The checkpoint displaced by the most recent swap (cleared by
+    /// rollback so the incumbent cannot be "restored" twice).
+    previous: RwLock<Option<Arc<Checkpoint>>>,
+    /// When pinned, no path — swap or rollback — may replace the serving
+    /// checkpoint.
+    pinned: std::sync::atomic::AtomicBool,
 }
 
 impl ModelEntry {
@@ -73,6 +89,21 @@ impl ModelEntry {
     /// The current checkpoint version.
     pub fn version(&self) -> u64 {
         self.checkpoint.read().version
+    }
+
+    /// The graph-topology epoch of the serving checkpoint.
+    pub fn graph_epoch(&self) -> u64 {
+        self.checkpoint.read().graph_epoch
+    }
+
+    /// The version displaced by the last swap, if rollback is available.
+    pub fn previous_version(&self) -> Option<u64> {
+        self.previous.read().as_ref().map(|c| c.version)
+    }
+
+    /// Whether the serving checkpoint is pinned against replacement.
+    pub fn is_pinned(&self) -> bool {
+        self.pinned.load(std::sync::atomic::Ordering::SeqCst)
     }
 }
 
@@ -135,7 +166,11 @@ impl ModelRegistry {
         bytes: Vec<u8>,
     ) -> Result<(), ServeError> {
         let name = name.into();
-        let checkpoint = Checkpoint { version: 1, bytes };
+        let checkpoint = Checkpoint {
+            version: 1,
+            graph_epoch: 1,
+            bytes,
+        };
         let candidate = spec.materialize_with(&checkpoint)?;
         self.validate_candidate(&candidate)?;
         let mut models = self.models.write();
@@ -149,16 +184,35 @@ impl ModelRegistry {
             Arc::new(ModelEntry {
                 spec,
                 checkpoint: RwLock::new(Arc::new(checkpoint)),
+                previous: RwLock::new(None),
+                pinned: std::sync::atomic::AtomicBool::new(false),
             }),
         );
         Ok(())
     }
 
-    /// Atomically replaces `name`'s weights, bumping the version. The new
-    /// checkpoint is validated against the registered spec *before* the
-    /// swap; a bad checkpoint leaves the old weights serving. Returns the
-    /// new version.
+    /// Atomically replaces `name`'s weights, bumping the version and
+    /// keeping the current graph epoch. See [`Self::swap_at_epoch`].
     pub fn swap(&self, name: &str, bytes: Vec<u8>) -> Result<u64, ServeError> {
+        let entry = self
+            .get(name)
+            .ok_or_else(|| ServeError::UnknownModel(name.into()))?;
+        let epoch = entry.graph_epoch();
+        self.swap_at_epoch(name, bytes, epoch)
+    }
+
+    /// Atomically replaces `name`'s weights, bumping the version and
+    /// stamping the new checkpoint with `graph_epoch` (the FCG/PCG
+    /// topology generation it was trained against). The new checkpoint is
+    /// validated against the registered spec *before* the swap; a bad
+    /// checkpoint leaves the old weights serving. The displaced checkpoint
+    /// is retained for [`Self::rollback`]. Returns the new version.
+    pub fn swap_at_epoch(
+        &self,
+        name: &str,
+        bytes: Vec<u8>,
+        graph_epoch: u64,
+    ) -> Result<u64, ServeError> {
         // An injected fault rejects the swap up front — the same
         // old-weights-keep-serving contract as a corrupt checkpoint.
         if let Some(e) = stgnn_faults::check_io("registry::swap") {
@@ -167,32 +221,126 @@ impl ModelRegistry {
         let entry = self
             .get(name)
             .ok_or_else(|| ServeError::UnknownModel(name.into()))?;
+        if entry.is_pinned() {
+            return Err(ServeError::BadRequest(format!(
+                "model {name:?} is pinned at version {}",
+                entry.version()
+            )));
+        }
         // Validate outside the checkpoint lock: materialisation and the
         // tape probe are the slow part, and in-flight readers must not wait
         // on them.
-        let probe = Checkpoint { version: 0, bytes };
+        let probe = Checkpoint {
+            version: 0,
+            graph_epoch,
+            bytes,
+        };
         let candidate = entry.spec.materialize_with(&probe)?;
         self.validate_candidate(&candidate)?;
         let mut slot = entry.checkpoint.write();
         let version = slot.version + 1;
+        let displaced = slot.clone();
         *slot = Arc::new(Checkpoint {
             version,
+            graph_epoch,
             bytes: probe.bytes,
         });
+        // Retain the incumbent under the same write lock: no window where
+        // the candidate serves but rollback has nothing to restore.
+        *entry.previous.write() = Some(displaced);
         Ok(version)
+    }
+
+    /// Restores the checkpoint displaced by the last swap —
+    /// bit-identically: the exact `Arc` (version, graph epoch, and bytes)
+    /// the incumbent served with goes back into the serving slot, so cache
+    /// entries keyed under it become valid again and per-worker models
+    /// rebuilt from it are the incumbent's. The retained handle is cleared:
+    /// a second rollback without an intervening swap is an error, not a
+    /// silent no-op. Returns the restored version.
+    pub fn rollback(&self, name: &str) -> Result<u64, ServeError> {
+        let entry = self
+            .get(name)
+            .ok_or_else(|| ServeError::UnknownModel(name.into()))?;
+        if entry.is_pinned() {
+            return Err(ServeError::BadRequest(format!(
+                "model {name:?} is pinned at version {}",
+                entry.version()
+            )));
+        }
+        // Take both locks in a fixed order (checkpoint, then previous) so
+        // the restore is atomic with respect to concurrent swaps.
+        let mut slot = entry.checkpoint.write();
+        let mut prev = entry.previous.write();
+        let Some(incumbent) = prev.take() else {
+            return Err(ServeError::BadRequest(format!(
+                "model {name:?} has no retained previous version to roll back to"
+            )));
+        };
+        let version = incumbent.version;
+        *slot = incumbent;
+        Ok(version)
+    }
+
+    /// Re-stamps `name`'s serving checkpoint with a new graph epoch
+    /// without touching version or weights. Every cached prediction keyed
+    /// under the old epoch becomes unreachable — this is the cache
+    /// invalidation seam the online loop triggers after a windowed edge
+    /// refresh changes the FCG/PCG inputs the *serving* model's
+    /// predictions were computed from.
+    pub fn set_graph_epoch(&self, name: &str, graph_epoch: u64) -> Result<(), ServeError> {
+        let entry = self
+            .get(name)
+            .ok_or_else(|| ServeError::UnknownModel(name.into()))?;
+        let mut slot = entry.checkpoint.write();
+        if slot.graph_epoch == graph_epoch {
+            return Ok(());
+        }
+        *slot = Arc::new(Checkpoint {
+            version: slot.version,
+            graph_epoch,
+            bytes: slot.bytes.clone(),
+        });
+        Ok(())
+    }
+
+    /// Pins `name`'s serving checkpoint: swap and rollback are rejected
+    /// until [`Self::unpin`]. The online loop pins the incumbent while a
+    /// candidate is in its shadow phase so nothing can replace the
+    /// comparison baseline mid-gate.
+    pub fn pin(&self, name: &str) -> Result<(), ServeError> {
+        let entry = self
+            .get(name)
+            .ok_or_else(|| ServeError::UnknownModel(name.into()))?;
+        entry
+            .pinned
+            .store(true, std::sync::atomic::Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Releases a pin set by [`Self::pin`].
+    pub fn unpin(&self, name: &str) -> Result<(), ServeError> {
+        let entry = self
+            .get(name)
+            .ok_or_else(|| ServeError::UnknownModel(name.into()))?;
+        entry
+            .pinned
+            .store(false, std::sync::atomic::Ordering::SeqCst);
+        Ok(())
     }
 
     pub fn get(&self, name: &str) -> Option<Arc<ModelEntry>> {
         self.models.read().get(name).cloned()
     }
 
-    /// Registered model names with their current versions, sorted by name.
-    pub fn list(&self) -> Vec<(String, u64)> {
-        let mut out: Vec<(String, u64)> = self
+    /// Registered model names with their current (version, graph epoch),
+    /// sorted by name.
+    pub fn list(&self) -> Vec<(String, u64, u64)> {
+        let mut out: Vec<(String, u64, u64)> = self
             .models
             .read()
             .iter()
-            .map(|(k, v)| (k.clone(), v.version()))
+            .map(|(k, v)| (k.clone(), v.version(), v.graph_epoch()))
             .collect();
         out.sort();
         out
@@ -217,8 +365,9 @@ mod tests {
     fn register_validates_and_lists() {
         let reg = ModelRegistry::new();
         reg.register("stgnn", spec(), checkpoint_bytes(1)).unwrap();
-        assert_eq!(reg.list(), vec![("stgnn".to_string(), 1)]);
+        assert_eq!(reg.list(), vec![("stgnn".to_string(), 1, 1)]);
         assert_eq!(reg.get("stgnn").unwrap().version(), 1);
+        assert_eq!(reg.get("stgnn").unwrap().graph_epoch(), 1);
         assert!(reg.get("missing").is_none());
     }
 
@@ -304,11 +453,93 @@ mod tests {
         assert_eq!(reg.get("m").unwrap().version(), 1);
     }
 
+    /// Named invariant: ROLLBACK-IS-BIT-IDENTICAL. The rollback target is
+    /// the *same* `Arc<Checkpoint>` the incumbent served with — version,
+    /// graph epoch, and weight bytes all restored exactly — and the
+    /// retained handle is consumed so rollback cannot fire twice.
+    #[test]
+    fn rollback_restores_the_displaced_checkpoint_exactly() {
+        let reg = ModelRegistry::new();
+        reg.register("m", spec(), checkpoint_bytes(1)).unwrap();
+        let entry = reg.get("m").unwrap();
+        assert_eq!(entry.previous_version(), None);
+        let incumbent = entry.checkpoint();
+
+        let v2 = reg.swap_at_epoch("m", checkpoint_bytes(2), 9).unwrap();
+        assert_eq!(v2, 2);
+        assert_eq!(entry.graph_epoch(), 9);
+        assert_eq!(entry.previous_version(), Some(1));
+
+        let restored = reg.rollback("m").unwrap();
+        assert_eq!(restored, 1);
+        let now = entry.checkpoint();
+        assert!(Arc::ptr_eq(&incumbent, &now), "not the same checkpoint");
+        assert_eq!(now.version, 1);
+        assert_eq!(now.graph_epoch, 1);
+        assert_eq!(now.bytes, incumbent.bytes);
+
+        // The handle was consumed: a second rollback is a typed error.
+        assert_eq!(entry.previous_version(), None);
+        assert!(matches!(reg.rollback("m"), Err(ServeError::BadRequest(_))));
+        assert!(matches!(
+            reg.rollback("missing"),
+            Err(ServeError::UnknownModel(_))
+        ));
+    }
+
+    #[test]
+    fn failed_swap_retains_no_rollback_target() {
+        let reg = ModelRegistry::new();
+        reg.register("m", spec(), checkpoint_bytes(1)).unwrap();
+        assert!(reg.swap("m", b"garbage".to_vec()).is_err());
+        // The failed candidate never displaced anything.
+        assert_eq!(reg.get("m").unwrap().previous_version(), None);
+        assert!(reg.rollback("m").is_err());
+    }
+
+    #[test]
+    fn pin_blocks_swap_and_rollback_until_unpin() {
+        let reg = ModelRegistry::new();
+        reg.register("m", spec(), checkpoint_bytes(1)).unwrap();
+        reg.swap("m", checkpoint_bytes(2)).unwrap();
+        reg.pin("m").unwrap();
+        assert!(reg.get("m").unwrap().is_pinned());
+        let err = reg.swap("m", checkpoint_bytes(3)).unwrap_err();
+        assert!(err.to_string().contains("pinned"), "{err}");
+        assert!(reg.rollback("m").is_err());
+        assert_eq!(reg.get("m").unwrap().version(), 2);
+
+        reg.unpin("m").unwrap();
+        assert_eq!(reg.swap("m", checkpoint_bytes(3)).unwrap(), 3);
+        assert_eq!(reg.rollback("m").unwrap(), 2);
+        assert!(matches!(reg.pin("nope"), Err(ServeError::UnknownModel(_))));
+    }
+
+    #[test]
+    fn set_graph_epoch_restamps_without_touching_weights() {
+        let reg = ModelRegistry::new();
+        reg.register("m", spec(), checkpoint_bytes(1)).unwrap();
+        let entry = reg.get("m").unwrap();
+        let before = entry.checkpoint();
+        reg.set_graph_epoch("m", 4).unwrap();
+        let after = entry.checkpoint();
+        assert_eq!(after.graph_epoch, 4);
+        assert_eq!(after.version, before.version);
+        assert_eq!(after.bytes, before.bytes);
+        // Same epoch is a no-op (pointer-equal checkpoint).
+        reg.set_graph_epoch("m", 4).unwrap();
+        assert!(Arc::ptr_eq(&after, &entry.checkpoint()));
+    }
+
     #[test]
     fn materialized_models_predict_identically_for_same_checkpoint() {
         let spec = spec();
         let bytes = checkpoint_bytes(7);
-        let ck = Checkpoint { version: 1, bytes };
+        let ck = Checkpoint {
+            version: 1,
+            graph_epoch: 1,
+            bytes,
+        };
         let a = spec.materialize_with(&ck).unwrap();
         let b = spec.materialize_with(&ck).unwrap();
         assert!(a.is_trained() && b.is_trained());

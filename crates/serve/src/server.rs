@@ -237,8 +237,11 @@ fn route(ctx: &Ctx, req: &Request) -> (u16, &'static str, String) {
                 .registry
                 .list()
                 .into_iter()
-                .map(|(name, version)| {
-                    format!(r#"{{"name":"{}","version":{version}}}"#, json_escape(&name))
+                .map(|(name, version, graph_epoch)| {
+                    format!(
+                        r#"{{"name":"{}","version":{version},"graph_epoch":{graph_epoch}}}"#,
+                        json_escape(&name)
+                    )
                 })
                 .collect();
             (200, "application/json", format!("[{}]", entries.join(",")))

@@ -24,6 +24,11 @@
 //! * [`scale`] — city-scale serving: balanced edge-cut shard planner with
 //!   bit-exact halos, consistent-hash fleet router with admission control
 //!   and HA load-shedding, and the open-loop diurnal load generator.
+//! * [`online`] — the crash-safe train-while-serving loop: windowed trip
+//!   ingestion with incremental (bit-identical) FCG/PCG refresh, cadenced
+//!   fine-tuning, a gated promotion pipeline (validator → holdout →
+//!   shadow), hot-swap with retained rollback handle, and post-promotion
+//!   watchdogs that restore the incumbent automatically.
 //!
 //! See `examples/quickstart.rs` for an end-to-end walkthrough and
 //! `DESIGN.md` / `EXPERIMENTS.md` for the reproduction methodology.
@@ -34,6 +39,7 @@ pub use stgnn_core as model;
 pub use stgnn_data as data;
 pub use stgnn_faults as faults;
 pub use stgnn_graph as graph;
+pub use stgnn_online as online;
 pub use stgnn_scale as scale;
 pub use stgnn_serve as serve;
 pub use stgnn_tensor as tensor;

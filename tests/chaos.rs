@@ -19,6 +19,12 @@
 //! | SWAP-FAULT-KEEPS-OLD-WEIGHTS       | failed hot-swap serves old model  |
 //! | DELAY-FAULTS-ARE-SEMANTICALLY-INERT| delay-only plan changes no bits   |
 //! | CORRUPT-CHECKPOINT-IS-REJECTED     | damage → typed error, no panic    |
+//! | PROMOTE-CRASH-RESUMES              | kill mid-promotion; registry holds|
+//! |                                    | exactly one model, loop resumes   |
+//! | POISONED-CANDIDATE-ROLLS-BACK      | RMSE watchdog restores incumbent  |
+//! |                                    | bit-identically, zero serve errors|
+//! | ONLINE-CRASH-ANY-PHASE-RESUMES     | kill at every `online::*` seam in |
+//! |                                    | turn; resume to a named state     |
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -28,8 +34,10 @@ use stgnn_djd::data::error::Error;
 use stgnn_djd::data::synthetic::{CityConfig, SyntheticCity};
 use stgnn_djd::faults::{scoped, FaultPlan, FaultSpec, Trigger};
 use stgnn_djd::model::{StgnnConfig, StgnnDjd, Trainer};
+use stgnn_djd::online::{CycleOutcome, OnlineConfig, OnlineLoop, Phase};
 use stgnn_djd::serve::client;
-use stgnn_djd::serve::{ModelSpec, ServeConfig, Server};
+use stgnn_djd::serve::registry::ModelRegistry;
+use stgnn_djd::serve::{MetricsSnapshot, ModelSpec, ServeConfig, Server};
 
 fn dataset(seed: u64) -> BikeDataset {
     let city = SyntheticCity::generate(CityConfig::test_tiny(seed));
@@ -365,4 +373,305 @@ fn damaged_checkpoints_are_rejected_without_touching_the_model() {
     std::fs::write(&path, pristine).unwrap();
     let mut fresh = StgnnDjd::new(config, data.n_stations()).unwrap();
     assert!(trainer.resume_from(&path, &mut fresh, &data).is_ok());
+}
+
+// ---------------------------------------------------------------------------
+// Online-loop chaos: the crash-safe train-while-serving pipeline.
+// ---------------------------------------------------------------------------
+
+/// A 12-day seeded city and an [`OnlineConfig`] whose 8-day window gives the
+/// per-cycle fine-tune dataset a 6/1/1 day train/val/test split.
+fn online_fixture(label: &str, seed: u64) -> (OnlineConfig, SyntheticCity) {
+    let mut city = CityConfig::test_tiny(seed);
+    city.days = 12;
+    let source = SyntheticCity::generate(city);
+    let dir = scratch_dir(label);
+    let _ = std::fs::remove_file(dir.join("loop.state"));
+    let _ = std::fs::remove_file(dir.join("finetune.ckpt"));
+    let config = OnlineConfig {
+        model_name: "stgnn".into(),
+        window_days: 8,
+        dataset: DatasetConfig::small(6, 2),
+        train: tiny_config(),
+        gate: Default::default(),
+        watchdog: Default::default(),
+        state_path: dir.join("loop.state"),
+        checkpoint_path: dir.join("finetune.ckpt"),
+        checkpoint_every: 8,
+    };
+    (config, source)
+}
+
+fn idle_metrics() -> MetricsSnapshot {
+    MetricsSnapshot {
+        requests: 0,
+        cache_hits: 0,
+        batched: 0,
+        forward_passes: 0,
+        fallbacks: 0,
+        errors: 0,
+        swaps: 0,
+        shed: 0,
+        queue_depth: 0,
+        batch_hist: Vec::new(),
+        latency_p50_us: 0,
+        latency_p99_us: 0,
+    }
+}
+
+/// Named invariant: PROMOTE-CRASH-RESUMES. The loop is killed (panic) at the
+/// promote seam — after the candidate passed every gate, immediately before
+/// the hot-swap. The registry must hold exactly the incumbent (never a torn
+/// or half-swapped model), live traffic keeps being answered throughout, and
+/// a restarted loop resumes from the persisted `Shadowing` phase to the
+/// named `Ingesting` state and promotes atomically on its next cycle.
+#[test]
+fn promotion_crash_leaves_the_registry_untorn_and_the_loop_resumes() {
+    // `OnHit(1)`: the first promotion attempt crashes, the post-restart one
+    // sails through — one plan covers the whole scenario.
+    let _chaos =
+        scoped(FaultPlan::new().with("online::promote", FaultSpec::panic(Trigger::OnHit(1))));
+    let (config, source) = online_fixture("online-promote-crash", 147);
+    let data = Arc::new(BikeDataset::from_city(&source, DatasetConfig::small(6, 2)).unwrap());
+    let mut server = Server::start(Arc::clone(&data), ServeConfig::default()).unwrap();
+    let registry = Arc::clone(server.registry());
+    let spec = ModelSpec::new(config.train.clone(), data.n_stations());
+    let bytes_v1 = spec.materialize().unwrap().weights_to_bytes();
+    registry.register("stgnn", spec, bytes_v1.clone()).unwrap();
+    let addr = server.addr();
+    let t = data.slots(Split::Test)[0];
+    let path = format!("/predict?model=stgnn&slot={t}&deadline_ms=30000");
+
+    {
+        let mut looper = OnlineLoop::new(config.clone(), Arc::clone(&registry), &source).unwrap();
+        for day in 0..7 {
+            let outcome = looper.run_cycle().unwrap();
+            assert!(
+                matches!(outcome, CycleOutcome::WindowFilling { .. }),
+                "day {day}: {outcome:?}"
+            );
+        }
+        // Day 8 fills the window: fine-tune, gate, shadow — then die at the
+        // promote seam.
+        let crash = catch_unwind(AssertUnwindSafe(|| looper.run_cycle()));
+        assert!(crash.is_err(), "the promote failpoint did not fire");
+    }
+    assert_eq!(stgnn_djd::faults::fired("online::promote"), 1);
+
+    // Never torn: exactly the incumbent serves — version 1, the registered
+    // bytes, no orphaned pin — and a live request succeeds mid-outage.
+    let entry = registry.get("stgnn").unwrap();
+    assert_eq!(entry.version(), 1, "registry moved despite the crash");
+    assert_eq!(entry.checkpoint().bytes, bytes_v1);
+    assert!(!entry.is_pinned(), "crash leaked a shadow-phase pin");
+    let during = client::get(addr, &path).unwrap();
+    assert_eq!(during.status, 200, "{}", during.body);
+
+    // Restart: the persisted phase names where the loop died, recovery
+    // resumes it to `Ingesting`, and the next cycle promotes atomically.
+    let mut revived = OnlineLoop::new(config.clone(), Arc::clone(&registry), &source).unwrap();
+    assert_eq!(revived.resumed_from(), Some(Phase::Shadowing));
+    assert_eq!(revived.state().phase, Phase::Ingesting);
+    let outcome = revived.run_cycle().unwrap();
+    let CycleOutcome::Promoted { version, .. } = outcome else {
+        panic!("expected a promotion after recovery, got {outcome:?}");
+    };
+    assert_eq!(version, 2);
+    let entry = registry.get("stgnn").unwrap();
+    assert_eq!(entry.version(), 2);
+    assert_eq!(entry.previous_version(), Some(1), "rollback handle missing");
+    let after = client::get(addr, &path).unwrap();
+    assert_eq!(after.status, 200, "{}", after.body);
+    let models = client::get(addr, "/models").unwrap();
+    assert!(models.body.contains(r#""version":2"#), "{}", models.body);
+    server.shutdown();
+}
+
+/// Named invariant: POISONED-CANDIDATE-ROLLS-BACK. A candidate is promoted
+/// cleanly, then regresses on live traffic (injected live-RMSE spike). The
+/// watchdog restores the incumbent **bit-identically** from the retained
+/// handle, and the serve fleet answers every request across promotion and
+/// rollback with zero errors.
+#[test]
+fn poisoned_candidate_rolls_back_bit_identically_with_zero_serve_errors() {
+    let _quiet = scoped(FaultPlan::new());
+    let (config, source) = online_fixture("online-poisoned", 148);
+    let data = Arc::new(BikeDataset::from_city(&source, DatasetConfig::small(6, 2)).unwrap());
+    let mut server = Server::start(Arc::clone(&data), ServeConfig::default()).unwrap();
+    let registry = Arc::clone(server.registry());
+    let spec = ModelSpec::new(config.train.clone(), data.n_stations());
+    let bytes_v1 = spec.materialize().unwrap().weights_to_bytes();
+    registry.register("stgnn", spec, bytes_v1.clone()).unwrap();
+    let addr = server.addr();
+    let t = data.slots(Split::Test)[0];
+    let path = format!("/predict?model=stgnn&slot={t}&deadline_ms=30000");
+
+    let mut looper = OnlineLoop::new(config, Arc::clone(&registry), &source).unwrap();
+    let mut promoted = None;
+    for _ in 0..9 {
+        if let CycleOutcome::Promoted { version, .. } = looper.run_cycle().unwrap() {
+            promoted = Some(version);
+            break;
+        }
+    }
+    assert_eq!(promoted, Some(2), "loop never promoted a candidate");
+
+    // Load against the promoted candidate.
+    for _ in 0..4 {
+        let r = client::get(addr, &path).unwrap();
+        assert_eq!(r.status, 200, "{}", r.body);
+    }
+    let baseline = server.metrics_snapshot();
+
+    // The candidate regresses in the wild: inject a live-RMSE spike. The
+    // serve-metrics budgets are clean, so it is the RMSE watchdog that fires.
+    let now = server.metrics_snapshot();
+    let outcome = looper.check_watchdogs(&baseline, &now, 50.0, 1.0).unwrap();
+    let CycleOutcome::RolledBack { restored, reason } = outcome else {
+        panic!("watchdog did not roll back: {outcome:?}");
+    };
+    assert_eq!(restored, 1);
+    assert!(reason.contains("RMSE watchdog"), "{reason}");
+
+    // Bit-identical restoration: version, bytes, and the consumed handle.
+    let entry = registry.get("stgnn").unwrap();
+    assert_eq!(entry.version(), 1);
+    assert_eq!(
+        entry.checkpoint().bytes,
+        bytes_v1,
+        "rollback must restore the incumbent's exact bytes"
+    );
+    assert_eq!(entry.previous_version(), None, "handle must be consumed");
+    assert_eq!(looper.state().phase, Phase::RolledBack);
+
+    // Traffic keeps flowing across the rollback — not a single error.
+    for _ in 0..4 {
+        let r = client::get(addr, &path).unwrap();
+        assert_eq!(r.status, 200, "{}", r.body);
+    }
+    let s = server.metrics_snapshot();
+    assert_eq!(s.errors, 0, "rollback surfaced serve errors: {s:?}");
+    server.shutdown();
+}
+
+/// Named invariant: ONLINE-CRASH-ANY-PHASE-RESUMES. For **every** named
+/// `online::*` failpoint in turn: kill the loop there, assert the registry
+/// holds exactly one coherent model (the incumbent before a promotion, the
+/// promoted candidate after — never a torn state), restart, and drive the
+/// recovered loop through a full promotion and a watchdog rollback that
+/// restores version 1 bit-identically.
+#[test]
+fn a_crash_at_every_online_failpoint_resumes_to_a_named_state() {
+    let sites = [
+        "online::ingest",
+        "online::refresh",
+        "online::finetune",
+        "online::gate",
+        "online::shadow",
+        "online::promote",
+        "online::rollback",
+    ];
+    for site in sites {
+        let label = format!("online-{}", site.replace("::", "-"));
+        // First hit of the armed seam crashes; the retry after restart
+        // passes. All other seams stay live and un-faulted.
+        let _chaos = scoped(FaultPlan::new().with(site, FaultSpec::panic(Trigger::OnHit(1))));
+        let (mut config, source) = online_fixture(&label, 149);
+        // This scenario asserts crash safety, not model quality: lenient
+        // gate tolerances make promotion deterministic across seeds (strict
+        // gate semantics are covered by the gate unit tests and the
+        // POISONED-CANDIDATE scenario).
+        config.gate.holdout_tolerance = 10.0;
+        config.gate.shadow_tolerance = 10.0;
+        let registry = Arc::new(ModelRegistry::new());
+        let spec = ModelSpec::new(config.train.clone(), source.registry.len());
+        let bytes_v1 = spec.materialize().unwrap().weights_to_bytes();
+        registry.register("stgnn", spec, bytes_v1.clone()).unwrap();
+
+        let mut crashed = false;
+        {
+            let mut looper =
+                OnlineLoop::new(config.clone(), Arc::clone(&registry), &source).unwrap();
+            for _ in 0..9 {
+                match catch_unwind(AssertUnwindSafe(|| looper.run_cycle())) {
+                    Ok(Ok(CycleOutcome::Promoted { .. })) => break,
+                    Ok(Ok(_)) => continue,
+                    Ok(Err(e)) => panic!("{site}: cycle errored instead of crashing: {e}"),
+                    Err(_) => {
+                        crashed = true;
+                        break;
+                    }
+                }
+            }
+            if site == "online::rollback" {
+                // The rollback seam is only reached via the watchdog after a
+                // clean promotion.
+                assert!(!crashed, "{site} fired before any rollback");
+                let idle = idle_metrics();
+                let crash = catch_unwind(AssertUnwindSafe(|| {
+                    looper.check_watchdogs(&idle, &idle, 1e9, 1.0)
+                }));
+                assert!(crash.is_err(), "{site} did not fire");
+                crashed = true;
+            }
+        }
+        assert!(crashed, "{site} never crashed the loop");
+
+        // Exactly one coherent model serves: its checkpoint materialises
+        // cleanly, and its identity is a named pre/post-promotion version.
+        let entry = registry.get("stgnn").unwrap();
+        assert!(!entry.is_pinned(), "{site}: crash leaked a pin");
+        let ck = entry.checkpoint();
+        assert!(
+            entry.spec().materialize_with(&ck).is_ok(),
+            "{site}: serving checkpoint is torn"
+        );
+        let expect_promoted = site == "online::rollback";
+        assert_eq!(
+            entry.version(),
+            if expect_promoted { 2 } else { 1 },
+            "{site}: unexpected serving version after crash"
+        );
+
+        // Restart: recovery lands on the named resume state for the phase
+        // the loop died in, and the loop then makes real progress.
+        let mut revived = OnlineLoop::new(config, Arc::clone(&registry), &source).unwrap();
+        assert!(revived.resumed_from().is_some(), "{site}: state file lost");
+        if expect_promoted {
+            assert_eq!(revived.state().phase, Phase::Promoted, "{site}");
+        } else {
+            assert_eq!(revived.state().phase, Phase::Ingesting, "{site}");
+            let mut promoted = false;
+            let mut outcomes = Vec::new();
+            for _ in 0..9 {
+                let outcome = revived.run_cycle().unwrap();
+                if let CycleOutcome::Promoted { version, .. } = outcome {
+                    assert_eq!(version, 2, "{site}");
+                    promoted = true;
+                    break;
+                }
+                outcomes.push(format!("{outcome:?}"));
+            }
+            assert!(
+                promoted,
+                "{site}: recovered loop never promoted: {outcomes:?}"
+            );
+        }
+
+        // Finally the watchdog path: rollback restores version 1 with the
+        // registered bytes, bit for bit — after a crash at any seam.
+        let idle = idle_metrics();
+        let outcome = revived.check_watchdogs(&idle, &idle, 1e9, 1.0).unwrap();
+        assert!(
+            matches!(outcome, CycleOutcome::RolledBack { restored: 1, .. }),
+            "{site}: {outcome:?}"
+        );
+        let entry = registry.get("stgnn").unwrap();
+        assert_eq!(entry.version(), 1, "{site}");
+        assert_eq!(
+            entry.checkpoint().bytes,
+            bytes_v1,
+            "{site}: rollback not bit-identical"
+        );
+    }
 }
